@@ -1,0 +1,157 @@
+// Command flickbench reproduces the paper's evaluation (§6): one
+// subcommand per table/figure plus the ablation studies.
+//
+//	flickbench websrv        static web server (§6.3 text)
+//	flickbench fig4          HTTP load balancer (persistent + non-persistent)
+//	flickbench fig5          Memcached proxy core scaling
+//	flickbench fig6          Hadoop aggregator core scaling
+//	flickbench fig7          scheduling-policy fairness
+//	flickbench ablations     design-choice ablations
+//	flickbench all           everything above
+//
+// -quick shrinks every experiment for a fast sanity pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"flick/internal/bench"
+)
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "small parameters for a fast pass")
+		dur     = flag.Duration("duration", 2*time.Second, "duration per measured cell")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "FLICK worker threads")
+	)
+	flag.Parse()
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		cmd = "all"
+	}
+
+	clients := []int{100, 200, 400, 800, 1600}
+	cores := []int{1, 2, 4, 8, 16}
+	mapperBytes := int64(16 << 20)
+	fig7Tasks := 200
+	if *quick {
+		clients = []int{16, 64}
+		cores = []int{1, 4}
+		*dur = 400 * time.Millisecond
+		mapperBytes = 1 << 20
+		fig7Tasks = 40
+	}
+
+	run := func(name string, f func() error) {
+		if cmd != "all" && cmd != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "flickbench %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("websrv", func() error {
+		for _, persistent := range []bool{true, false} {
+			pts, err := bench.RunWebServer(bench.WebServerConfig{
+				Clients:    clients,
+				Persistent: persistent,
+				Duration:   *dur,
+				Workers:    *workers,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.WebServerTable(pts, persistent))
+		}
+		return nil
+	})
+
+	run("fig4", func() error {
+		for _, persistent := range []bool{true, false} {
+			pts, err := bench.RunFig4(bench.Fig4Config{
+				Clients:    clients,
+				Backends:   10,
+				Persistent: persistent,
+				Duration:   *dur,
+				Workers:    *workers,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.Fig4Table(pts, persistent))
+		}
+		return nil
+	})
+
+	run("fig5", func() error {
+		pts, err := bench.RunFig5(bench.Fig5Config{
+			Cores:    cores,
+			Clients:  128,
+			Backends: 10,
+			Duration: *dur,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.Fig5Table(pts))
+		return nil
+	})
+
+	run("fig6", func() error {
+		pts, err := bench.RunFig6(bench.Fig6Config{
+			Cores:    cores,
+			WordLens: []int{8, 12, 16},
+			Mappers:  8,
+			BytesPer: mapperBytes,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.Fig6Table(pts))
+		return nil
+	})
+
+	run("fig7", func() error {
+		// Fairness only shows when tasks far outnumber workers (the
+		// paper's shared middlebox); cap the worker pool at 4.
+		fig7Workers := *workers
+		if fig7Workers > 4 {
+			fig7Workers = 4
+		}
+		pts, err := bench.RunFig7(bench.Fig7Config{
+			Tasks:        fig7Tasks,
+			ItemsPerTask: 256,
+			Workers:      fig7Workers,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.Fig7Table(pts))
+		return nil
+	})
+
+	run("ablations", func() error {
+		fmt.Println(bench.TimesliceTable(bench.RunTimesliceAblation(nil, *workers)))
+		fmt.Println(bench.AffinityTable(bench.RunAffinityAblation(*workers, 128, 64)))
+		pool, err := bench.RunGraphPoolAblation(64, *dur)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.PoolTable(pool))
+		fmt.Println(bench.PruningTable(bench.RunParserPruningAblation(200000, 4096)))
+		return nil
+	})
+
+	switch cmd {
+	case "websrv", "fig4", "fig5", "fig6", "fig7", "ablations", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "flickbench: unknown experiment %q\n", cmd)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,165 @@
+// Command flickc is the FLICK compiler front end: it parses, type-checks
+// and compiles a .flick program, reporting the resulting task graph(s).
+//
+// Usage:
+//
+//	flickc [-backends n=SIZE] [-dump] program.flick
+//
+// Channel-array sizes are supplied with repeated -array flags
+// (e.g. -array backends=4). Types without serialisation annotations need
+// codec bindings at deployment time and are reported as such.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"flick/internal/compiler"
+	"flick/internal/core"
+	"flick/internal/grammar"
+	"flick/internal/lang"
+	"flick/internal/proto/hadoop"
+	phttp "flick/internal/proto/http"
+	"flick/internal/proto/memcache"
+	"flick/internal/types"
+)
+
+type arrayFlags map[string]int
+
+func (a arrayFlags) String() string { return fmt.Sprint(map[string]int(a)) }
+
+func (a arrayFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("expected name=size, got %q", s)
+	}
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return err
+	}
+	a[name] = n
+	return nil
+}
+
+// builtinCodec resolves the -codec flag values to bundled wire formats.
+func builtinCodec(name string) (compiler.CodecPair, bool) {
+	switch name {
+	case "memcached":
+		return compiler.CodecPair{Decode: memcache.Codec, Encode: memcache.Codec}, true
+	case "hadoop-kv":
+		return compiler.CodecPair{Decode: hadoop.Codec, Encode: hadoop.Codec}, true
+	case "http-request":
+		return compiler.CodecPair{Decode: phttp.RequestFormat{}, Encode: phttp.RequestFormat{}}, true
+	case "http-response":
+		return compiler.CodecPair{Decode: phttp.ResponseFormat{}, Encode: phttp.ResponseFormat{}}, true
+	case "line":
+		c := grammar.LineUnit().MustCompile()
+		return compiler.CodecPair{Decode: c, Encode: c}, true
+	}
+	return compiler.CodecPair{}, false
+}
+
+type codecFlags map[string]compiler.CodecPair
+
+func (c codecFlags) String() string { return fmt.Sprint(len(c)) }
+
+func (c codecFlags) Set(s string) error {
+	typeName, codecName, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("expected type=codec, got %q", s)
+	}
+	pair, ok := builtinCodec(codecName)
+	if !ok {
+		return fmt.Errorf("unknown codec %q (memcached, hadoop-kv, http-request, http-response, line)", codecName)
+	}
+	c[typeName] = pair
+	return nil
+}
+
+func main() {
+	arrays := arrayFlags{}
+	codecs := codecFlags{}
+	var (
+		checkOnly = flag.Bool("check", false, "stop after type checking")
+		dump      = flag.Bool("dump", false, "dump the compiled task graph structure")
+	)
+	flag.Var(arrays, "array", "channel array size, name=N (repeatable)")
+	flag.Var(codecs, "codec", "bind a record type to a built-in codec, type=codec (repeatable)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: flickc [flags] program.flick")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	ast, err := lang.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	checked, err := types.Check(ast)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d type(s), %d process(es), %d function(s) — type check OK\n",
+		flag.Arg(0), len(checked.Types), len(checked.Procs), len(checked.Funs))
+	if *checkOnly {
+		return
+	}
+
+	prog, err := compiler.Compile(string(src), compiler.Config{
+		ArraySizes: arrays,
+		Codecs:     codecs,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	var procNames []string
+	for name := range checked.Procs {
+		procNames = append(procNames, name)
+	}
+	sort.Strings(procNames)
+	for _, name := range procNames {
+		pg, err := prog.Proc(name)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nprocess %s: task graph with %d tasks\n", name, len(pg.Template.Nodes()))
+		if *dump {
+			dumpGraph(pg)
+		}
+	}
+}
+
+func dumpGraph(pg *compiler.ProcGraph) {
+	for _, n := range pg.Template.Nodes() {
+		codec := ""
+		if n.Codec != nil {
+			codec = " codec=" + n.Codec.FormatName()
+		}
+		fmt.Printf("  task %2d %-7s %s%s\n", n.ID, n.Kind, n.Name, codec)
+	}
+	var names []string
+	for name := range pg.Ports {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  port %-12s -> indices %v\n", name, pg.Ports[name])
+	}
+	_ = core.NodeInput
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flickc:", err)
+	os.Exit(1)
+}

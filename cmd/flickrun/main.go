@@ -1,0 +1,83 @@
+// Command flickrun deploys one of the bundled FLICK services on the local
+// platform over real (kernel) TCP, for interactive use:
+//
+//	flickrun -service web -listen 127.0.0.1:8080
+//	flickrun -service httplb -listen 127.0.0.1:8080 -backend 127.0.0.1:9001 -backend 127.0.0.1:9002
+//	flickrun -service memcachedproxy -listen 127.0.0.1:11211 -backend 127.0.0.1:11212
+//
+// The process serves until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+
+	"flick/internal/apps"
+	"flick/internal/core"
+)
+
+type backendList []string
+
+func (b *backendList) String() string { return fmt.Sprint([]string(*b)) }
+
+func (b *backendList) Set(s string) error {
+	*b = append(*b, s)
+	return nil
+}
+
+func main() {
+	var backends backendList
+	var (
+		service = flag.String("service", "web", "service: web | httplb | memcachedproxy | memcachedrouter | hadoopagg")
+		listen  = flag.String("listen", "127.0.0.1:8080", "listen address")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker threads")
+	)
+	flag.Var(&backends, "backend", "backend address (repeatable)")
+	flag.Parse()
+
+	var (
+		svc *apps.Service
+		err error
+	)
+	switch *service {
+	case "web":
+		svc, err = apps.StaticWebServer()
+	case "httplb":
+		svc, err = apps.HTTPLoadBalancer(len(backends))
+	case "memcachedproxy":
+		svc, err = apps.MemcachedProxy(len(backends))
+	case "memcachedrouter":
+		svc, err = apps.MemcachedRouter(len(backends))
+	case "hadoopagg":
+		svc, err = apps.HadoopAggregator(8)
+	default:
+		fmt.Fprintf(os.Stderr, "flickrun: unknown service %q\n", *service)
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	p := core.NewPlatform(core.Config{Workers: *workers})
+	defer p.Close()
+	deployed, err := svc.Deploy(p, *listen, backends)
+	if err != nil {
+		fatal(err)
+	}
+	defer deployed.Close()
+	fmt.Printf("flickrun: %s serving on %s (%d workers, %d tasks per graph)\n",
+		svc.Name, deployed.Addr(), *workers, len(svc.Graph.Template.Nodes()))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("\nflickrun: shutting down")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flickrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,29 @@
+// Scheduling-policy demo — the paper's §6.4 resource-sharing experiment in
+// miniature. Light tasks (1 KB items) and heavy tasks (16 KB items) share a
+// small worker pool; cooperative scheduling lets the light class finish
+// early without stretching total runtime, while round-robin (one item per
+// activation) lets the heavy items dominate the workers.
+//
+//	go run ./examples/scheduling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flick/internal/bench"
+)
+
+func main() {
+	points, err := bench.RunFig7(bench.Fig7Config{
+		Tasks:        100,
+		ItemsPerTask: 128,
+		Workers:      2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(bench.Fig7Table(points))
+	fmt.Println("Reading the table: under 'cooperative', light-done lands well before")
+	fmt.Println("heavy-done with the same total — each class gets a fair CPU share.")
+}

@@ -1,0 +1,286 @@
+// Package apps packages the paper's three application-specific network
+// services (§2.1, §6.1) as deployable units: each bundles the FLICK source,
+// the compilation configuration (codec bindings, array sizes) and the
+// platform service configuration, so benchmarks and examples deploy them
+// with one call.
+//
+// A fourth service, the static web server (§6.3's first experiment), is the
+// HTTP load balancer variant that answers requests itself instead of
+// forwarding ("We also implement a variant of the HTTP load balancer that
+// does not use backend servers but which returns a fixed response").
+package apps
+
+import (
+	"fmt"
+
+	"flick/internal/compiler"
+	"flick/internal/core"
+	"flick/internal/lang"
+	"flick/internal/proto/hadoop"
+	phttp "flick/internal/proto/http"
+	"flick/internal/proto/memcache"
+	"flick/internal/value"
+)
+
+// MemcachedRouterSource is the cache-router program of Listing 1, with the
+// cmd record laid out to match the real Memcached binary protocol (the
+// paper's Listing 2 grammar) so the service interoperates with the
+// repository's Memcached backends and clients. See lang.Listing1 for the
+// paper-verbatim layout.
+const MemcachedRouterSource = `
+type cmd: record
+    magic : integer {size=1}
+    opcode : integer {size=1}
+    keylen : integer {signed=false, size=2}
+    extraslen : integer {signed=false, size=1}
+    _ : string {size=3}
+    bodylen : integer {signed=false, size=4}
+    _ : string {size=12}
+    _ : string {size=extraslen}
+    key : string {size=keylen}
+    _ : string {size=bodylen-extraslen-keylen}
+
+proc memcached: (cmd/cmd client, [cmd/cmd] backends)
+    global cache := empty_dict
+    | backends => update_cache(cache) => client
+    | client => test_cache(client, backends, cache)
+
+fun update_cache: (cache: ref dict<string*cmd>, resp: cmd) -> (cmd)
+    if resp.opcode = 0x0c:
+        cache[resp.key] := resp
+    resp
+
+fun test_cache: (-/cmd client, [-/cmd] backends, cache: ref dict<string*cmd>, req: cmd) -> ()
+    if cache[req.key] = None or req.opcode <> 0x0c:
+        let target = hash(req.key) mod len(backends)
+        req => backends[target]
+    else:
+        cache[req.key] => client
+`
+
+// MemcachedProxySource is the §4.1 proxy (no caching): pure hash
+// partitioning of the key space across backends, responses returned to the
+// client — the service measured in Figure 5.
+const MemcachedProxySource = `
+type cmd: record
+    key : string
+
+proc memcached_proxy: (cmd/cmd client, [cmd/cmd] backends)
+    | backends => client
+    | client => target_backend(backends)
+
+fun target_backend: ([-/cmd] backends, req: cmd) -> ()
+    let target = hash(req.key) mod len(backends)
+    req => backends[target]
+`
+
+// StaticWebSource is the backend-less web server variant: every request is
+// answered with a fixed response by the middlebox itself.
+const StaticWebSource = `
+type request: record
+    uri : string
+    keep_alive : integer
+
+type response: record
+    status : integer
+    body : string
+
+proc webserver: (request/response client)
+    | client => respond() => client
+
+fun respond: (req: request) -> (response)
+    response(200, "Hello from FLICK! This payload is sized to mimic the paper's 137-byte static object for the web-server test.")
+`
+
+// Service is a ready-to-deploy FLICK application.
+type Service struct {
+	// Name identifies the service.
+	Name string
+	// Program is the compiled FLICK program.
+	Program *compiler.Program
+	// Graph is the compiled process graph.
+	Graph *compiler.ProcGraph
+	// clientChannel names the channel bound to accepted connections.
+	clientChannel string
+	// backendChannel names the channel array dialled to backends.
+	backendChannel string
+	dispatch       core.Dispatch
+	sharedChannel  string // Shared dispatch: accepted conns fill this array
+	outChannel     string // Shared dispatch: dialled output channel
+}
+
+// Deploy installs the service on a platform.
+//
+// For PerConnection services, backendAddrs supplies one address per element
+// of the backend channel array. For Shared services (the Hadoop
+// aggregator), backendAddrs carries exactly one address: the reducer.
+func (s *Service) Deploy(p *core.Platform, listenAddr string, backendAddrs []string) (*core.Service, error) {
+	cfg := core.ServiceConfig{
+		Name:       s.Name,
+		ListenAddr: listenAddr,
+		Template:   s.Graph.Template,
+		Dispatch:   s.dispatch,
+	}
+	switch s.dispatch {
+	case core.PerConnection:
+		cp, err := s.Graph.PortIndex(s.clientChannel)
+		if err != nil {
+			return nil, err
+		}
+		cfg.ClientPort = cp
+		if s.backendChannel != "" {
+			ports := s.Graph.Ports[s.backendChannel]
+			if len(backendAddrs) != len(ports) {
+				return nil, fmt.Errorf("apps: %s needs %d backend addresses, got %d",
+					s.Name, len(ports), len(backendAddrs))
+			}
+			cfg.BackendAddrs = map[int]string{}
+			for i, port := range ports {
+				cfg.BackendAddrs[port] = backendAddrs[i]
+			}
+		}
+	case core.Shared:
+		cfg.SharedPorts = s.Graph.Ports[s.sharedChannel]
+		op, err := s.Graph.PortIndex(s.outChannel)
+		if err != nil {
+			return nil, err
+		}
+		if len(backendAddrs) != 1 {
+			return nil, fmt.Errorf("apps: %s needs exactly the reducer address", s.Name)
+		}
+		cfg.BackendAddrs = map[int]string{op: backendAddrs[0]}
+	}
+	return p.Deploy(cfg)
+}
+
+// HTTPLoadBalancer compiles the §6.1 HTTP load balancer for n backends.
+func HTTPLoadBalancer(n int) (*Service, error) {
+	prog, err := compiler.Compile(lang.ListingHTTPLB, compiler.Config{
+		ArraySizes: map[string]int{"backends": n},
+		ChannelCodecs: map[string]compiler.PortCodec{
+			"client":   {Decode: phttp.RequestFormat{}, Encode: phttp.ResponseFormat{}},
+			"backends": {Decode: phttp.ResponseFormat{}, Encode: phttp.RequestFormat{}},
+		},
+		Codecs: map[string]compiler.CodecPair{
+			"request": {Decode: phttp.RequestFormat{}, Encode: phttp.RequestFormat{}},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	pg, err := prog.Proc("http_lb")
+	if err != nil {
+		return nil, err
+	}
+	return &Service{
+		Name:           "http-lb",
+		Program:        prog,
+		Graph:          pg,
+		clientChannel:  "client",
+		backendChannel: "backends",
+		dispatch:       core.PerConnection,
+	}, nil
+}
+
+// StaticWebServer compiles the backend-less web server.
+func StaticWebServer() (*Service, error) {
+	prog, err := compiler.Compile(StaticWebSource, compiler.Config{
+		ChannelCodecs: map[string]compiler.PortCodec{
+			"client": {Decode: phttp.RequestFormat{}, Encode: phttp.ResponseFormat{}},
+		},
+		Codecs: map[string]compiler.CodecPair{
+			"request":  {Decode: phttp.RequestFormat{}, Encode: phttp.RequestFormat{}},
+			"response": {Decode: phttp.ResponseFormat{}, Encode: phttp.ResponseFormat{}},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	pg, err := prog.Proc("webserver")
+	if err != nil {
+		return nil, err
+	}
+	return &Service{
+		Name:          "static-web",
+		Program:       prog,
+		Graph:         pg,
+		clientChannel: "client",
+		dispatch:      core.PerConnection,
+	}, nil
+}
+
+// MemcachedProxy compiles the Figure 5 proxy for n backend shards.
+func MemcachedProxy(n int) (*Service, error) {
+	pair := compiler.CodecPair{Decode: memcache.Codec, Encode: memcache.Codec}
+	prog, err := compiler.Compile(MemcachedProxySource, compiler.Config{
+		ArraySizes: map[string]int{"backends": n},
+		Codecs:     map[string]compiler.CodecPair{"cmd": pair},
+	})
+	if err != nil {
+		return nil, err
+	}
+	pg, err := prog.Proc("memcached_proxy")
+	if err != nil {
+		return nil, err
+	}
+	return &Service{
+		Name:           "memcached-proxy",
+		Program:        prog,
+		Graph:          pg,
+		clientChannel:  "client",
+		backendChannel: "backends",
+		dispatch:       core.PerConnection,
+	}, nil
+}
+
+// MemcachedRouter compiles the Listing 1 cache router (GETK caching) for n
+// backend shards, using the program's own synthesised binary grammar.
+func MemcachedRouter(n int) (*Service, error) {
+	prog, err := compiler.Compile(MemcachedRouterSource, compiler.Config{
+		ArraySizes: map[string]int{"backends": n},
+	})
+	if err != nil {
+		return nil, err
+	}
+	pg, err := prog.Proc("memcached")
+	if err != nil {
+		return nil, err
+	}
+	return &Service{
+		Name:           "memcached-router",
+		Program:        prog,
+		Graph:          pg,
+		clientChannel:  "client",
+		backendChannel: "backends",
+		dispatch:       core.PerConnection,
+	}, nil
+}
+
+// HadoopAggregator compiles the Listing 3 in-network combiner for n mapper
+// connections feeding one reducer.
+func HadoopAggregator(n int) (*Service, error) {
+	pair := compiler.CodecPair{Decode: hadoop.Codec, Encode: hadoop.Codec}
+	prog, err := compiler.Compile(lang.Listing3, compiler.Config{
+		ArraySizes: map[string]int{"mappers": n},
+		Codecs:     map[string]compiler.CodecPair{"kv": pair},
+	})
+	if err != nil {
+		return nil, err
+	}
+	pg, err := prog.Proc("hadoop")
+	if err != nil {
+		return nil, err
+	}
+	return &Service{
+		Name:          "hadoop-agg",
+		Program:       prog,
+		Graph:         pg,
+		dispatch:      core.Shared,
+		sharedChannel: "mappers",
+		outChannel:    "reducer",
+	}, nil
+}
+
+// RouterCmdDesc returns the record descriptor of the router's cmd type
+// (clients build requests with it in tests and examples).
+func RouterCmdDesc(s *Service) *value.RecordDesc { return s.Program.Desc("cmd") }

@@ -1,0 +1,210 @@
+// Package backend provides the origin servers behind the middleboxes under
+// test: a static HTTP server (the paper's Apache web servers behind the
+// load balancer) and a Memcached server speaking the binary protocol (the
+// backends behind the proxy). Both are deliberately simple goroutine-per-
+// connection servers — they play the role of the paper's dedicated backend
+// machines, not of the system under test — and run on either transport.
+package backend
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flick/internal/buffer"
+	"flick/internal/metrics"
+	"flick/internal/netstack"
+	phttp "flick/internal/proto/http"
+	"flick/internal/proto/memcache"
+	"flick/internal/value"
+)
+
+// HTTPServer answers every GET with a fixed payload.
+type HTTPServer struct {
+	listener net.Listener
+	payload  []byte
+	cost     time.Duration
+	requests metrics.Counter
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// NewHTTPServer starts a static server on addr. payloadSize controls the
+// response body (the paper uses 137-byte objects).
+func NewHTTPServer(tr netstack.Transport, addr string, payloadSize int) (*HTTPServer, error) {
+	return NewHTTPServerWithCost(tr, addr, payloadSize, 0)
+}
+
+// NewHTTPServerWithCost starts a static server that burns the given CPU
+// time per request. The web-server experiment uses it to model Apache's and
+// Nginx's heavier static-content paths (see internal/baseline for the cost
+// rationale).
+func NewHTTPServerWithCost(tr netstack.Transport, addr string, payloadSize int, cost time.Duration) (*HTTPServer, error) {
+	l, err := tr.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	payload := make([]byte, payloadSize)
+	for i := range payload {
+		payload[i] = 'a' + byte(i%26)
+	}
+	s := &HTTPServer{listener: l, payload: payload, cost: cost}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *HTTPServer) Addr() string { return s.listener.Addr().String() }
+
+// Requests returns the number of requests served.
+func (s *HTTPServer) Requests() uint64 { return s.requests.Value() }
+
+// Close stops the server.
+func (s *HTTPServer) Close() {
+	if s.closed.CompareAndSwap(false, true) {
+		s.listener.Close()
+		s.wg.Wait()
+	}
+}
+
+func (s *HTTPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		go s.serve(conn)
+	}
+}
+
+func (s *HTTPServer) serve(conn net.Conn) {
+	defer conn.Close()
+	q := buffer.NewQueue(nil)
+	dec := phttp.RequestFormat{}.NewDecoder()
+	rbuf := make([]byte, 16<<10)
+	wbuf := make([]byte, 0, 512)
+	for {
+		msg, ok, derr := dec.Decode(q)
+		if derr != nil {
+			return
+		}
+		if ok {
+			s.requests.Inc()
+			netstack.Spin(s.cost)
+			ka := msg.Field("keep_alive").AsInt() == 1
+			wbuf = phttp.BuildResponse(wbuf[:0], 200, "OK", ka, s.payload)
+			if _, err := conn.Write(wbuf); err != nil {
+				return
+			}
+			if !ka {
+				return
+			}
+			continue
+		}
+		n, rerr := conn.Read(rbuf)
+		if n > 0 {
+			q.Append(rbuf[:n])
+		}
+		if rerr != nil {
+			return
+		}
+	}
+}
+
+// MemcachedServer is an in-memory binary-protocol key/value server.
+type MemcachedServer struct {
+	listener net.Listener
+	mu       sync.RWMutex
+	store    map[string][]byte
+	requests metrics.Counter
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// NewMemcachedServer starts a server on addr.
+func NewMemcachedServer(tr netstack.Transport, addr string) (*MemcachedServer, error) {
+	l, err := tr.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &MemcachedServer{listener: l, store: map[string][]byte{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *MemcachedServer) Addr() string { return s.listener.Addr().String() }
+
+// Requests returns the number of commands processed.
+func (s *MemcachedServer) Requests() uint64 { return s.requests.Value() }
+
+// Preload inserts key/value pairs directly (benchmark setup).
+func (s *MemcachedServer) Preload(kv map[string]string) {
+	s.mu.Lock()
+	for k, v := range kv {
+		s.store[k] = []byte(v)
+	}
+	s.mu.Unlock()
+}
+
+// Close stops the server.
+func (s *MemcachedServer) Close() {
+	if s.closed.CompareAndSwap(false, true) {
+		s.listener.Close()
+		s.wg.Wait()
+	}
+}
+
+func (s *MemcachedServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		go s.serve(conn)
+	}
+}
+
+func (s *MemcachedServer) serve(raw net.Conn) {
+	c := memcache.NewConn(raw)
+	defer c.Close()
+	for {
+		req, err := c.Receive()
+		if err != nil {
+			return
+		}
+		s.requests.Inc()
+		if err := c.Send(s.handle(req)); err != nil {
+			return
+		}
+	}
+}
+
+// handle executes one command.
+func (s *MemcachedServer) handle(req value.Value) value.Value {
+	op := byte(req.Field("opcode").AsInt())
+	key := req.Field("key").AsString()
+	switch op {
+	case memcache.OpSet:
+		val := append([]byte{}, req.Field("value").AsBytes()...)
+		s.mu.Lock()
+		s.store[key] = val
+		s.mu.Unlock()
+		return memcache.Response(req, memcache.StatusOK, nil, nil)
+	case memcache.OpGet, memcache.OpGetK:
+		s.mu.RLock()
+		val, ok := s.store[key]
+		s.mu.RUnlock()
+		if !ok {
+			return memcache.Response(req, memcache.StatusKeyNotFound, []byte(key), nil)
+		}
+		return memcache.Response(req, memcache.StatusOK, []byte(key), val)
+	default:
+		return memcache.Response(req, memcache.StatusKeyNotFound, nil, nil)
+	}
+}

@@ -1,0 +1,168 @@
+package backend
+
+import (
+	"testing"
+	"time"
+
+	"flick/internal/buffer"
+	"flick/internal/netstack"
+	phttp "flick/internal/proto/http"
+	"flick/internal/proto/memcache"
+)
+
+func TestHTTPServerServes(t *testing.T) {
+	u := netstack.NewUserNet()
+	s, err := NewHTTPServer(u, "web:1", 137)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	conn, err := u.Dial("web:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	q := buffer.NewQueue(nil)
+	dec := phttp.ResponseFormat{}.NewDecoder()
+	rbuf := make([]byte, 8192)
+	for round := 0; round < 3; round++ { // keep-alive reuse
+		conn.Write(phttp.BuildRequest(nil, "GET", "/", "web", true, nil))
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		for {
+			msg, ok, derr := dec.Decode(q)
+			if derr != nil {
+				t.Fatal(derr)
+			}
+			if ok {
+				if msg.Field("status").AsInt() != 200 {
+					t.Fatalf("status = %d", msg.Field("status").AsInt())
+				}
+				if msg.Field("content_length").AsInt() != 137 {
+					t.Fatalf("content length = %d", msg.Field("content_length").AsInt())
+				}
+				break
+			}
+			n, rerr := conn.Read(rbuf)
+			if n > 0 {
+				q.Append(rbuf[:n])
+				continue
+			}
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+		}
+	}
+	if s.Requests() != 3 {
+		t.Fatalf("requests = %d", s.Requests())
+	}
+	if s.Addr() != "web:1" {
+		t.Fatalf("addr = %s", s.Addr())
+	}
+}
+
+func TestHTTPServerConnectionClose(t *testing.T) {
+	u := netstack.NewUserNet()
+	s, err := NewHTTPServer(u, "web:2", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn, _ := u.Dial("web:2")
+	defer conn.Close()
+	conn.Write(phttp.BuildRequest(nil, "GET", "/", "web", false, nil))
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	// The server must respond and then close (EOF).
+	total := 0
+	buf := make([]byte, 8192)
+	for {
+		n, err := conn.Read(buf[total:])
+		total += n
+		if err != nil {
+			break
+		}
+	}
+	if total == 0 {
+		t.Fatal("no response before close")
+	}
+}
+
+func TestMemcachedServerGetSet(t *testing.T) {
+	u := netstack.NewUserNet()
+	s, err := NewMemcachedServer(u, "mc:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	raw, _ := u.Dial("mc:1")
+	c := memcache.NewConn(raw)
+	defer c.Close()
+
+	// Miss.
+	resp, err := c.RoundTrip(memcache.Request(memcache.OpGet, []byte("k"), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memcache.Status(resp) != memcache.StatusKeyNotFound {
+		t.Fatalf("status = %d", memcache.Status(resp))
+	}
+	// Set + hit.
+	if _, err := c.RoundTrip(memcache.Request(memcache.OpSet, []byte("k"), []byte("v1"))); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = c.RoundTrip(memcache.Request(memcache.OpGetK, []byte("k"), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memcache.Status(resp) != memcache.StatusOK || resp.Field("value").AsString() != "v1" {
+		t.Fatalf("get after set: %d %q", memcache.Status(resp), resp.Field("value").AsString())
+	}
+	if resp.Field("key").AsString() != "k" {
+		t.Fatal("GETK response must echo the key")
+	}
+	if s.Requests() != 3 {
+		t.Fatalf("requests = %d", s.Requests())
+	}
+}
+
+func TestMemcachedServerPreload(t *testing.T) {
+	u := netstack.NewUserNet()
+	s, err := NewMemcachedServer(u, "mc:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Preload(map[string]string{"warm": "data"})
+	raw, _ := u.Dial("mc:2")
+	c := memcache.NewConn(raw)
+	defer c.Close()
+	resp, err := c.RoundTrip(memcache.Request(memcache.OpGet, []byte("warm"), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Field("value").AsString() != "data" {
+		t.Fatalf("preloaded value = %q", resp.Field("value").AsString())
+	}
+}
+
+func TestServersOnKernelTCP(t *testing.T) {
+	k := netstack.KernelTCP{}
+	s, err := NewHTTPServer(k, "127.0.0.1:0", 64)
+	if err != nil {
+		t.Skipf("loopback unavailable: %v", err)
+	}
+	defer s.Close()
+	conn, err := k.Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write(phttp.BuildRequest(nil, "GET", "/", "web", false, nil))
+	buf := make([]byte, 1)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatalf("no response over kernel TCP: %v", err)
+	}
+}

@@ -1,0 +1,508 @@
+// Package baseline implements the comparison systems of the paper's
+// evaluation as architectural models: an Apache-style thread-per-connection
+// HTTP proxy (mod_proxy_balancer), an Nginx-style worker-pool proxy, and a
+// Moxi-style multi-threaded Memcached proxy.
+//
+// These are not reimplementations of the originals; they are middleboxes
+// with the same concurrency architecture and the same per-request overhead
+// profile, so they exhibit the paper's scaling behaviours for the paper's
+// reasons: Apache pays a heavyweight general-purpose processing path per
+// request; Nginx is leaner but still a general-purpose server; Moxi's
+// worker threads contend on shared data structures beyond a few cores
+// ("The latency of Moxi beyond 4 CPU cores ... increases as threads compete
+// over common data structures", §6.3). The per-request CPU constants below
+// stand in for the baselines' measured stack costs on the paper's testbed;
+// see DESIGN.md §2 (substitutions) and EXPERIMENTS.md.
+package baseline
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flick/internal/buffer"
+	"flick/internal/netstack"
+	phttp "flick/internal/proto/http"
+	"flick/internal/proto/memcache"
+	"flick/internal/value"
+)
+
+// Per-request CPU costs standing in for the heavier general-purpose stacks
+// (derived from the paper's single-core throughput ratios).
+const (
+	apacheRequestCost = 6 * time.Microsecond
+	nginxRequestCost  = 3 * time.Microsecond
+	moxiRequestCost   = 2 * time.Microsecond
+)
+
+// HTTPProxy is the interface shared by the two HTTP baselines.
+type HTTPProxy interface {
+	Addr() string
+	Close()
+	Requests() uint64
+}
+
+// apacheLike is a thread-per-connection proxy: every accepted connection
+// gets its own goroutine and a backend connection from a shared, mutex-
+// guarded pool; a global scoreboard is updated per request (Apache's
+// process-management bookkeeping).
+type apacheLike struct {
+	listener net.Listener
+	tr       netstack.Transport
+	backends []string
+	pools    []*connPool
+
+	scoreMu    sync.Mutex
+	scoreboard map[int64]int // goroutine-ish id → request count
+	nextID     atomic.Int64
+	requests   atomic.Uint64
+	closed     atomic.Bool
+}
+
+// NewApacheLike starts the Apache-model proxy.
+func NewApacheLike(tr netstack.Transport, addr string, backends []string) (HTTPProxy, error) {
+	l, err := tr.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	a := &apacheLike{
+		listener:   l,
+		tr:         tr,
+		backends:   backends,
+		scoreboard: map[int64]int{},
+	}
+	for _, b := range backends {
+		a.pools = append(a.pools, newConnPool(tr, b, 64))
+	}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go a.serve(conn)
+		}
+	}()
+	return a, nil
+}
+
+func (a *apacheLike) Addr() string     { return a.listener.Addr().String() }
+func (a *apacheLike) Requests() uint64 { return a.requests.Load() }
+
+func (a *apacheLike) Close() {
+	if a.closed.CompareAndSwap(false, true) {
+		a.listener.Close()
+		for _, p := range a.pools {
+			p.close()
+		}
+	}
+}
+
+func (a *apacheLike) serve(conn net.Conn) {
+	defer conn.Close()
+	id := a.nextID.Add(1)
+	target := int(id) % len(a.backends)
+	q := buffer.NewQueue(nil)
+	dec := phttp.RequestFormat{}.NewDecoder()
+	rbuf := make([]byte, 16<<10)
+	for {
+		msg, ok, derr := dec.Decode(q)
+		if derr != nil {
+			return
+		}
+		if ok {
+			// Apache's general-purpose request processing path.
+			netstack.Spin(apacheRequestCost)
+			a.scoreMu.Lock()
+			a.scoreboard[id]++
+			a.scoreMu.Unlock()
+			a.requests.Add(1)
+
+			resp, err := a.pools[target].roundTrip(msg.Field("_raw").AsBytes())
+			if err != nil {
+				return
+			}
+			if _, err := conn.Write(resp); err != nil {
+				return
+			}
+			if msg.Field("keep_alive").AsInt() == 0 {
+				return
+			}
+			continue
+		}
+		n, rerr := conn.Read(rbuf)
+		if n > 0 {
+			q.Append(rbuf[:n])
+		}
+		if rerr != nil {
+			a.scoreMu.Lock()
+			delete(a.scoreboard, id)
+			a.scoreMu.Unlock()
+			return
+		}
+	}
+}
+
+// nginxLike is an event-style proxy: accepted connections are multiplexed
+// over a fixed pool of worker goroutines via a shared queue, with a leaner
+// per-request path than Apache's.
+type nginxLike struct {
+	listener net.Listener
+	queue    chan net.Conn
+	pools    []*connPool
+	backends []string
+	requests atomic.Uint64
+	rr       atomic.Uint64
+	closed   atomic.Bool
+}
+
+// NewNginxLike starts the Nginx-model proxy with the given worker count
+// (0 → 8, nginx's common worker_processes auto on the paper's testbed).
+func NewNginxLike(tr netstack.Transport, addr string, backends []string, workers int) (HTTPProxy, error) {
+	l, err := tr.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = 8
+	}
+	n := &nginxLike{
+		listener: l,
+		queue:    make(chan net.Conn, 1024),
+		backends: backends,
+	}
+	for _, b := range backends {
+		n.pools = append(n.pools, newConnPool(tr, b, 64))
+	}
+	for w := 0; w < workers; w++ {
+		go n.worker()
+	}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				close(n.queue)
+				return
+			}
+			n.queue <- conn
+		}
+	}()
+	return n, nil
+}
+
+func (n *nginxLike) Addr() string     { return n.listener.Addr().String() }
+func (n *nginxLike) Requests() uint64 { return n.requests.Load() }
+
+func (n *nginxLike) Close() {
+	if n.closed.CompareAndSwap(false, true) {
+		n.listener.Close()
+		for _, p := range n.pools {
+			p.close()
+		}
+	}
+}
+
+func (n *nginxLike) worker() {
+	for conn := range n.queue {
+		n.serve(conn)
+	}
+}
+
+func (n *nginxLike) serve(conn net.Conn) {
+	defer conn.Close()
+	target := int(n.rr.Add(1)) % len(n.backends)
+	q := buffer.NewQueue(nil)
+	dec := phttp.RequestFormat{}.NewDecoder()
+	rbuf := make([]byte, 16<<10)
+	for {
+		msg, ok, derr := dec.Decode(q)
+		if derr != nil {
+			return
+		}
+		if ok {
+			netstack.Spin(nginxRequestCost)
+			n.requests.Add(1)
+			resp, err := n.pools[target].roundTrip(msg.Field("_raw").AsBytes())
+			if err != nil {
+				return
+			}
+			if _, err := conn.Write(resp); err != nil {
+				return
+			}
+			if msg.Field("keep_alive").AsInt() == 0 {
+				return
+			}
+			continue
+		}
+		m, rerr := conn.Read(rbuf)
+		if m > 0 {
+			q.Append(rbuf[:m])
+		}
+		if rerr != nil {
+			return
+		}
+	}
+}
+
+// connPool keeps persistent connections to one backend (both baselines
+// reuse backend connections — the reason they beat FLICK-kernel on
+// non-persistent client traffic in Figure 4c).
+type connPool struct {
+	tr    netstack.Transport
+	addr  string
+	mu    sync.Mutex
+	conns []net.Conn
+	max   int
+}
+
+func newConnPool(tr netstack.Transport, addr string, max int) *connPool {
+	return &connPool{tr: tr, addr: addr, max: max}
+}
+
+func (p *connPool) get() (net.Conn, error) {
+	p.mu.Lock()
+	if n := len(p.conns); n > 0 {
+		c := p.conns[n-1]
+		p.conns = p.conns[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	return p.tr.Dial(p.addr)
+}
+
+func (p *connPool) put(c net.Conn) {
+	p.mu.Lock()
+	if len(p.conns) < p.max {
+		p.conns = append(p.conns, c)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	c.Close()
+}
+
+func (p *connPool) close() {
+	p.mu.Lock()
+	for _, c := range p.conns {
+		c.Close()
+	}
+	p.conns = nil
+	p.mu.Unlock()
+}
+
+// roundTrip forwards one raw request over a pooled backend connection and
+// returns the full response bytes.
+func (p *connPool) roundTrip(rawReq []byte) ([]byte, error) {
+	c, err := p.get()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.Write(rawReq); err != nil {
+		c.Close()
+		// One retry on a stale pooled connection.
+		if c, err = p.tr.Dial(p.addr); err != nil {
+			return nil, err
+		}
+		if _, err := c.Write(rawReq); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	q := buffer.NewQueue(nil)
+	dec := phttp.ResponseFormat{}.NewDecoder()
+	rbuf := make([]byte, 16<<10)
+	for {
+		msg, ok, derr := dec.Decode(q)
+		if derr != nil {
+			c.Close()
+			return nil, derr
+		}
+		if ok {
+			raw := append([]byte{}, msg.Field("_raw").AsBytes()...)
+			if msg.Field("keep_alive").AsInt() == 1 {
+				p.put(c)
+			} else {
+				c.Close()
+			}
+			return raw, nil
+		}
+		n, rerr := c.Read(rbuf)
+		if n > 0 {
+			q.Append(rbuf[:n])
+			continue
+		}
+		if rerr != nil {
+			c.Close()
+			return nil, rerr
+		}
+	}
+}
+
+// MoxiLike is the Moxi-model Memcached proxy: a fixed pool of worker
+// threads services all client connections through one shared work queue,
+// and every request updates shared statistics and consults a shared
+// key→backend table under a global lock. The shared structures are what
+// caps its scaling (§6.3).
+type MoxiLike struct {
+	listener net.Listener
+	tr       netstack.Transport
+	backends []string
+	workers  int
+
+	workQueue chan moxiJob
+
+	// Shared state touched per request under one lock (Moxi's stats and
+	// vbucket map).
+	globalMu sync.Mutex
+	stats    map[string]uint64
+	routes   map[string]int
+
+	requests atomic.Uint64
+	closed   atomic.Bool
+}
+
+type moxiJob struct {
+	req   value.Value
+	reply chan value.Value
+}
+
+// NewMoxiLike starts the Moxi-model proxy with the given worker count
+// ("CPU cores" in Figure 5).
+func NewMoxiLike(tr netstack.Transport, addr string, backends []string, workers int) (*MoxiLike, error) {
+	l, err := tr.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = 4
+	}
+	m := &MoxiLike{
+		listener:  l,
+		tr:        tr,
+		backends:  backends,
+		workers:   workers,
+		workQueue: make(chan moxiJob, 4096),
+		stats:     map[string]uint64{},
+		routes:    map[string]int{},
+	}
+	for w := 0; w < workers; w++ {
+		go m.worker()
+	}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go m.serveClient(conn)
+		}
+	}()
+	return m, nil
+}
+
+// Addr returns the proxy's bound address.
+func (m *MoxiLike) Addr() string { return m.listener.Addr().String() }
+
+// Requests returns the number of proxied requests.
+func (m *MoxiLike) Requests() uint64 { return m.requests.Load() }
+
+// Close stops the proxy.
+func (m *MoxiLike) Close() {
+	if m.closed.CompareAndSwap(false, true) {
+		m.listener.Close()
+		close(m.workQueue)
+	}
+}
+
+// serveClient reads requests and funnels them through the shared queue.
+func (m *MoxiLike) serveClient(raw net.Conn) {
+	c := memcache.NewConn(raw)
+	defer c.Close()
+	reply := make(chan value.Value, 1)
+	for {
+		req, err := c.Receive()
+		if err != nil {
+			return
+		}
+		if !m.enqueue(moxiJob{req: req, reply: reply}) {
+			return // proxy shut down
+		}
+		resp := <-reply
+		if resp.IsNull() {
+			return
+		}
+		if err := c.Send(resp); err != nil {
+			return
+		}
+	}
+}
+
+// enqueue pushes a job, reporting false if the queue has been closed.
+func (m *MoxiLike) enqueue(job moxiJob) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	m.workQueue <- job
+	return true
+}
+
+// worker executes jobs: route under the global lock, then round-trip to
+// the backend over the worker's own connections.
+func (m *MoxiLike) worker() {
+	conns := make([]*memcache.Conn, len(m.backends))
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	for job := range m.workQueue {
+		key := job.req.Field("key").AsString()
+
+		// Global-lock section: stats + route table (the contention
+		// bottleneck past ~4 workers).
+		m.globalMu.Lock()
+		m.stats["cmd_get"]++
+		target, ok := m.routes[key]
+		if !ok {
+			target = int(hashKey(key)) % len(m.backends)
+			m.routes[key] = target
+		}
+		m.globalMu.Unlock()
+
+		netstack.Spin(moxiRequestCost)
+		m.requests.Add(1)
+
+		if conns[target] == nil {
+			raw, err := m.tr.Dial(m.backends[target])
+			if err != nil {
+				job.reply <- value.Null
+				continue
+			}
+			conns[target] = memcache.NewConn(raw)
+		}
+		resp, err := conns[target].RoundTrip(job.req)
+		if err != nil {
+			conns[target].Close()
+			conns[target] = nil
+			job.reply <- value.Null
+			continue
+		}
+		job.reply <- resp
+	}
+}
+
+// hashKey is FNV-1a over the key.
+func hashKey(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h & 0x7fffffffffffffff
+}

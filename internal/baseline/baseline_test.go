@@ -1,0 +1,169 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"flick/internal/backend"
+	"flick/internal/loadgen"
+	"flick/internal/netstack"
+	"flick/internal/proto/memcache"
+)
+
+func startBackends(t *testing.T, u *netstack.UserNet, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		addrs[i] = "origin:" + string(rune('0'+i))
+		s, err := backend.NewHTTPServer(u, addrs[i], 137)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+	}
+	return addrs
+}
+
+func TestApacheLikeProxies(t *testing.T) {
+	u := netstack.NewUserNet()
+	addrs := startBackends(t, u, 3)
+	p, err := NewApacheLike(u, "apache:80", addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	res := loadgen.RunHTTP(loadgen.HTTPConfig{
+		Transport:  u,
+		Addr:       "apache:80",
+		Clients:    8,
+		Persistent: true,
+		Duration:   300 * time.Millisecond,
+	})
+	if res.Requests == 0 {
+		t.Fatalf("no requests completed (errors=%d)", res.Errors)
+	}
+	if p.Requests() == 0 {
+		t.Fatal("proxy saw no requests")
+	}
+}
+
+func TestApacheLikeNonPersistent(t *testing.T) {
+	u := netstack.NewUserNet()
+	addrs := startBackends(t, u, 2)
+	p, err := NewApacheLike(u, "apache:81", addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	res := loadgen.RunHTTP(loadgen.HTTPConfig{
+		Transport:  u,
+		Addr:       "apache:81",
+		Clients:    4,
+		Persistent: false,
+		Duration:   300 * time.Millisecond,
+	})
+	if res.Requests == 0 {
+		t.Fatalf("no non-persistent requests (errors=%d)", res.Errors)
+	}
+}
+
+func TestNginxLikeProxies(t *testing.T) {
+	u := netstack.NewUserNet()
+	addrs := startBackends(t, u, 3)
+	p, err := NewNginxLike(u, "nginx:80", addrs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	res := loadgen.RunHTTP(loadgen.HTTPConfig{
+		Transport:  u,
+		Addr:       "nginx:80",
+		Clients:    8,
+		Persistent: true,
+		Duration:   300 * time.Millisecond,
+	})
+	if res.Requests == 0 {
+		t.Fatalf("no requests completed (errors=%d)", res.Errors)
+	}
+	if p.Requests() == 0 {
+		t.Fatal("proxy saw no requests")
+	}
+}
+
+func TestMoxiLikeProxies(t *testing.T) {
+	u := netstack.NewUserNet()
+	addrs := make([]string, 2)
+	for i := range addrs {
+		addrs[i] = "mc:" + string(rune('0'+i))
+		s, err := backend.NewMemcachedServer(u, addrs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Preload(loadgen.PreloadKeys(100, 32))
+		t.Cleanup(s.Close)
+	}
+	m, err := NewMoxiLike(u, "moxi:11211", addrs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	res := loadgen.RunMemcache(loadgen.MemcacheConfig{
+		Transport: u,
+		Addr:      "moxi:11211",
+		Clients:   8,
+		Keys:      100,
+		Duration:  300 * time.Millisecond,
+	})
+	if res.Requests == 0 {
+		t.Fatalf("no memcache requests (errors=%d)", res.Errors)
+	}
+	if m.Requests() == 0 {
+		t.Fatal("moxi saw no requests")
+	}
+}
+
+func TestMoxiRoutesConsistently(t *testing.T) {
+	u := netstack.NewUserNet()
+	var servers [2]*backend.MemcachedServer
+	addrs := make([]string, 2)
+	for i := range addrs {
+		addrs[i] = "mcs:" + string(rune('0'+i))
+		s, err := backend.NewMemcachedServer(u, addrs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = s
+		t.Cleanup(s.Close)
+	}
+	m, err := NewMoxiLike(u, "moxi:2", addrs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	raw, _ := u.Dial("moxi:2")
+	c := memcache.NewConn(raw)
+	defer c.Close()
+	// SET then GET through the proxy must hit the same shard.
+	if _, err := c.RoundTrip(memcache.Request(memcache.OpSet, []byte("route-key"), []byte("val"))); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.RoundTrip(memcache.Request(memcache.OpGet, []byte("route-key"), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Field("value").AsString() != "val" {
+		t.Fatalf("value through proxy = %q", resp.Field("value").AsString())
+	}
+}
+
+func TestHashKeyDeterministic(t *testing.T) {
+	if hashKey("abc") != hashKey("abc") {
+		t.Fatal("hash not deterministic")
+	}
+	if hashKey("abc") == hashKey("abd") {
+		t.Fatal("suspicious collision")
+	}
+}

@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"flick/internal/apps"
+	"flick/internal/buffer"
+	"flick/internal/core"
+	"flick/internal/grammar"
+	"flick/internal/loadgen"
+	"flick/internal/netstack"
+	"flick/internal/value"
+)
+
+// Ablations quantify the design choices DESIGN.md calls out: the timeslice
+// quantum, task→worker affinity, graph pooling, and application-specific
+// parser pruning.
+
+// TimeslicePoint reports the fairness/throughput trade-off for one quantum.
+type TimeslicePoint struct {
+	Quantum         time.Duration
+	LightCompletion time.Duration
+	Total           time.Duration
+}
+
+// RunTimesliceAblation sweeps the cooperative quantum over the paper's
+// 10–100 µs range (§5) using the Figure 7 workload.
+func RunTimesliceAblation(quanta []time.Duration, workers int) []TimeslicePoint {
+	if len(quanta) == 0 {
+		quanta = []time.Duration{
+			10 * time.Microsecond, 50 * time.Microsecond,
+			100 * time.Microsecond, time.Millisecond,
+		}
+	}
+	var out []TimeslicePoint
+	for _, q := range quanta {
+		pts, _ := RunFig7(Fig7Config{
+			Tasks:        64,
+			ItemsPerTask: 64,
+			Workers:      workers,
+			Policies:     []core.Policy{core.CooperativeQuantum(q)},
+		})
+		out = append(out, TimeslicePoint{
+			Quantum:         q,
+			LightCompletion: pts[0].LightCompletion,
+			Total:           pts[0].Total,
+		})
+	}
+	return out
+}
+
+// TimesliceTable renders the sweep.
+func TimesliceTable(points []TimeslicePoint) *Table {
+	t := &Table{
+		Title:   "Ablation: timeslice quantum (Fig 7 workload)",
+		Columns: []string{"quantum", "light-done", "total"},
+		Notes:   []string{"smaller quanta improve light-task latency at slightly higher scheduling overhead"},
+	}
+	for _, p := range points {
+		t.Add(p.Quantum.String(), p.LightCompletion.Round(time.Millisecond).String(),
+			p.Total.Round(time.Millisecond).String())
+	}
+	return t
+}
+
+// AffinityPoint compares per-worker queues + stealing vs one shared queue.
+type AffinityPoint struct {
+	Affinity bool
+	Total    time.Duration
+	Stolen   uint64
+}
+
+// RunAffinityAblation runs a task soup under both queueing disciplines.
+func RunAffinityAblation(workers, tasks, items int) []AffinityPoint {
+	run := func(affinity bool) AffinityPoint {
+		var opts []core.Option
+		if !affinity {
+			opts = append(opts, core.WithoutAffinity())
+		}
+		s := core.NewScheduler(workers, core.Cooperative, opts...)
+		var wg sync.WaitGroup
+		payload := value.Bytes(make([]byte, 4<<10))
+		start := time.Now()
+		for i := 0; i < tasks; i++ {
+			work := core.NewChan(items)
+			for j := 0; j < items; j++ {
+				work.Push(payload)
+			}
+			work.Close()
+			wg.Add(1)
+			task := s.NewTask("soup", func(ctx *core.ExecCtx) core.RunResult {
+				for {
+					v, ok, closed := work.Pop()
+					if closed {
+						wg.Done()
+						return core.RunDone
+					}
+					if !ok {
+						return core.RunIdle
+					}
+					sum := 0
+					for _, b := range v.B {
+						sum += int(b)
+					}
+					_ = sum
+					if ctx.CountItem() {
+						return core.RunYield
+					}
+				}
+			})
+			s.Schedule(task)
+		}
+		s.Start()
+		wg.Wait()
+		total := time.Since(start)
+		st := s.Stats()
+		s.Stop()
+		return AffinityPoint{Affinity: affinity, Total: total, Stolen: st.Stolen}
+	}
+	return []AffinityPoint{run(true), run(false)}
+}
+
+// AffinityTable renders the comparison.
+func AffinityTable(points []AffinityPoint) *Table {
+	t := &Table{
+		Title:   "Ablation: task→worker affinity vs shared queue",
+		Columns: []string{"affinity", "total", "steals"},
+		Notes:   []string{"hash-pinned queues reduce cross-worker cache traffic (§5); stealing covers imbalance"},
+	}
+	for _, p := range points {
+		t.Add(fmt.Sprint(p.Affinity), p.Total.Round(time.Millisecond).String(), fmt.Sprint(p.Stolen))
+	}
+	return t
+}
+
+// PoolPoint compares pooled vs per-connection graph construction.
+type PoolPoint struct {
+	Pooled     bool
+	Throughput float64
+	Errors     uint64
+}
+
+// RunGraphPoolAblation hammers the static web server with non-persistent
+// connections (one graph per connection) with the pool on and off.
+func RunGraphPoolAblation(clients int, dur time.Duration) ([]PoolPoint, error) {
+	run := func(pooled bool) (PoolPoint, error) {
+		tr := netstack.NewUserNet()
+		p := core.NewPlatform(core.Config{Workers: 8, Transport: tr})
+		defer p.Close()
+		ws, err := apps.StaticWebServer()
+		if err != nil {
+			return PoolPoint{}, err
+		}
+		svc, err := p.Deploy(core.ServiceConfig{
+			Name:        "web",
+			ListenAddr:  "web:80",
+			Template:    ws.Graph.Template,
+			Dispatch:    core.PerConnection,
+			DisablePool: !pooled,
+		})
+		if err != nil {
+			return PoolPoint{}, err
+		}
+		defer svc.Close()
+		if pooled {
+			svc.Pool().Prime(clients)
+		}
+		res := loadgen.RunHTTP(loadgen.HTTPConfig{
+			Transport:  tr,
+			Addr:       "web:80",
+			Clients:    clients,
+			Persistent: false, // fresh connection (and graph) per request
+			Duration:   dur,
+		})
+		return PoolPoint{Pooled: pooled, Throughput: res.Throughput(), Errors: res.Errors}, nil
+	}
+	a, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	b, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	return []PoolPoint{a, b}, nil
+}
+
+// PoolTable renders the comparison.
+func PoolTable(points []PoolPoint) *Table {
+	t := &Table{
+		Title:   "Ablation: pre-allocated graph pool vs per-connection construction",
+		Columns: []string{"pooled", "req/s", "errors"},
+		Notes:   []string{"§5: \"a pre-allocated pool of task graphs to avoid the overhead of construction\""},
+	}
+	for _, p := range points {
+		t.Add(fmt.Sprint(p.Pooled), fmtReqs(p.Throughput), fmt.Sprint(p.Errors))
+	}
+	return t
+}
+
+// PruningPoint compares full-fidelity parsing against field-pruned parsing.
+type PruningPoint struct {
+	Pruned   bool
+	MsgsPerS float64
+}
+
+// RunParserPruningAblation decodes a Memcached message stream with the full
+// codec and with a key-only pruned codec (§4.2's application-specific
+// parser specialisation).
+func RunParserPruningAblation(messages int, valueSize int) []PruningPoint {
+	full := grammar.MemcachedUnit().MustCompile()
+	pruned := grammar.MemcachedUnit().MustCompile(grammar.Needed("key"))
+
+	// One representative message with a large body.
+	rec := full.Desc().New()
+	rec.SetField("magic_code", value.Int(grammar.MemcachedMagicRequest))
+	rec.SetField("opcode", value.Int(grammar.MemcachedOpGet))
+	rec.SetField("key", value.Bytes([]byte("pruning-bench-key")))
+	rec.SetField("value", value.Bytes(make([]byte, valueSize)))
+	wire, err := full.Encode(nil, rec)
+	if err != nil {
+		panic(err)
+	}
+
+	run := func(codec *grammar.Codec, prunedRun bool) PruningPoint {
+		q := buffer.NewQueue(nil)
+		dec := codec.NewDecoder()
+		start := time.Now()
+		for i := 0; i < messages; i++ {
+			q.Append(wire)
+			if _, ok, err := dec.Decode(q); !ok || err != nil {
+				panic(fmt.Sprint(ok, err))
+			}
+		}
+		el := time.Since(start)
+		return PruningPoint{Pruned: prunedRun, MsgsPerS: float64(messages) / el.Seconds()}
+	}
+	return []PruningPoint{run(full, false), run(pruned, true)}
+}
+
+// PruningTable renders the comparison.
+func PruningTable(points []PruningPoint) *Table {
+	t := &Table{
+		Title:   "Ablation: application-specific parser pruning",
+		Columns: []string{"pruned", "msgs/s"},
+		Notes:   []string{"§4.2: unneeded fields are skipped rather than materialised"},
+	}
+	for _, p := range points {
+		t.Add(fmt.Sprint(p.Pruned), fmtReqs(p.MsgsPerS))
+	}
+	return t
+}

@@ -1,0 +1,134 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§6): the static web-server comparison, Figure 4 (HTTP load
+// balancer), Figure 5 (Memcached proxy core scaling), Figure 6 (Hadoop
+// aggregator core scaling), Figure 7 (scheduling-policy fairness), plus the
+// ablation studies DESIGN.md calls out. Each runner builds the complete
+// testbed in-process — middlebox under test, origin servers and client
+// fleet — over the transport that matches the measured configuration
+// (kernel loopback for "FLICK"/baselines, the user-space stack for
+// "FLICK mTCP").
+//
+// Absolute numbers are not comparable to the paper's 16-core Xeon testbed
+// with 10 GbE; the reproduction targets the figures' shapes (who wins, by
+// roughly what factor, where peaks and crossovers fall). EXPERIMENTS.md
+// records paper-vs-measured values for every experiment.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"flick/internal/netstack"
+)
+
+// System names the configurations under test.
+type System string
+
+// Systems.
+const (
+	SysFlick     System = "FLICK"      // platform on the kernel stack
+	SysFlickMTCP System = "FLICK mTCP" // platform on the user-space stack
+	SysApache    System = "Apache"     // thread-per-connection baseline
+	SysNginx     System = "Nginx"      // worker-pool baseline
+	SysMoxi      System = "Moxi"       // memcached proxy baseline
+)
+
+// transportFor returns a fresh transport for a system: baselines and
+// FLICK-kernel run over loopback TCP, FLICK-mTCP over the in-process
+// user-space stack (the mTCP/DPDK substitute).
+func transportFor(sys System) netstack.Transport {
+	if sys == SysFlickMTCP {
+		return netstack.NewUserNet()
+	}
+	return netstack.KernelTCP{}
+}
+
+// listenAddr returns a bind address appropriate for the transport.
+func listenAddr(tr netstack.Transport, name string) string {
+	if tr.Name() == "kernel" {
+		return "127.0.0.1:0"
+	}
+	return name
+}
+
+// Table renders experiment rows as an aligned text table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString("== " + t.Title + " ==\n")
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			for p := len(cell); p < widths[i]; p++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		sb.WriteString("note: " + n + "\n")
+	}
+	return sb.String()
+}
+
+// fmtReqs renders requests/second compactly.
+func fmtReqs(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// fmtDur renders a duration rounded for tables.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/1e6)
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/1e3)
+	default:
+		return d.String()
+	}
+}

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"flick/internal/apps"
+	"flick/internal/backend"
+	"flick/internal/baseline"
+	"flick/internal/core"
+	"flick/internal/loadgen"
+	"flick/internal/netstack"
+)
+
+// Fig4Config parameterises the Figure 4 HTTP load-balancer experiment.
+type Fig4Config struct {
+	Systems    []System
+	Clients    []int // concurrent connections (paper: 100..1600)
+	Backends   int   // paper: 10
+	Persistent bool  // 4a/4b vs 4c/4d
+	Duration   time.Duration
+	Workers    int // FLICK worker threads / Nginx workers
+	Payload    int // response body bytes (paper: 137)
+}
+
+// Fig4Point is one measured cell.
+type Fig4Point struct {
+	System      System
+	Clients     int
+	Throughput  float64
+	MeanLatency time.Duration
+	P99Latency  time.Duration
+	Errors      uint64
+}
+
+// RunFig4 measures the HTTP load balancer for every system×concurrency.
+func RunFig4(cfg Fig4Config) ([]Fig4Point, error) {
+	if len(cfg.Systems) == 0 {
+		cfg.Systems = []System{SysFlick, SysFlickMTCP, SysApache, SysNginx}
+	}
+	if len(cfg.Clients) == 0 {
+		cfg.Clients = []int{100, 200, 400, 800, 1600}
+	}
+	if cfg.Backends <= 0 {
+		cfg.Backends = 10
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.Payload <= 0 {
+		cfg.Payload = 137
+	}
+	var out []Fig4Point
+	for _, sys := range cfg.Systems {
+		for _, clients := range cfg.Clients {
+			pt, err := runFig4Cell(cfg, sys, clients)
+			if err != nil {
+				return out, fmt.Errorf("bench: fig4 %s/%d: %w", sys, clients, err)
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// lbTestbed is a constructed load-balancer deployment.
+type lbTestbed struct {
+	addr    string
+	cleanup []func()
+}
+
+func (tb *lbTestbed) close() {
+	for i := len(tb.cleanup) - 1; i >= 0; i-- {
+		tb.cleanup[i]()
+	}
+}
+
+// buildLBTestbed starts the backends and the middlebox under test.
+func buildLBTestbed(cfg Fig4Config, sys System, tr netstack.Transport) (*lbTestbed, error) {
+	tb := &lbTestbed{}
+	addrs := make([]string, cfg.Backends)
+	for i := range addrs {
+		s, err := backend.NewHTTPServer(tr, listenAddr(tr, fmt.Sprintf("origin:%d", i)), cfg.Payload)
+		if err != nil {
+			tb.close()
+			return nil, err
+		}
+		addrs[i] = s.Addr()
+		tb.cleanup = append(tb.cleanup, s.Close)
+	}
+	switch sys {
+	case SysFlick, SysFlickMTCP:
+		p := core.NewPlatform(core.Config{Workers: cfg.Workers, Transport: tr})
+		lb, err := apps.HTTPLoadBalancer(cfg.Backends)
+		if err != nil {
+			p.Close()
+			tb.close()
+			return nil, err
+		}
+		svc, err := lb.Deploy(p, listenAddr(tr, "lb:80"), addrs)
+		if err != nil {
+			p.Close()
+			tb.close()
+			return nil, err
+		}
+		svc.Pool().Prime(64)
+		tb.addr = svc.Addr()
+		tb.cleanup = append(tb.cleanup, func() { svc.Close(); p.Close() })
+	case SysApache:
+		px, err := baseline.NewApacheLike(tr, listenAddr(tr, "lb:80"), addrs)
+		if err != nil {
+			tb.close()
+			return nil, err
+		}
+		tb.addr = px.Addr()
+		tb.cleanup = append(tb.cleanup, px.Close)
+	case SysNginx:
+		px, err := baseline.NewNginxLike(tr, listenAddr(tr, "lb:80"), addrs, cfg.Workers)
+		if err != nil {
+			tb.close()
+			return nil, err
+		}
+		tb.addr = px.Addr()
+		tb.cleanup = append(tb.cleanup, px.Close)
+	default:
+		tb.close()
+		return nil, fmt.Errorf("system %q not applicable to fig4", sys)
+	}
+	return tb, nil
+}
+
+func runFig4Cell(cfg Fig4Config, sys System, clients int) (Fig4Point, error) {
+	tr := transportFor(sys)
+	tb, err := buildLBTestbed(cfg, sys, tr)
+	if err != nil {
+		return Fig4Point{}, err
+	}
+	defer tb.close()
+
+	res := loadgen.RunHTTP(loadgen.HTTPConfig{
+		Transport:  tr,
+		Addr:       tb.addr,
+		Clients:    clients,
+		Persistent: cfg.Persistent,
+		Duration:   cfg.Duration,
+	})
+	return Fig4Point{
+		System:      sys,
+		Clients:     clients,
+		Throughput:  res.Throughput(),
+		MeanLatency: res.Latency.Mean,
+		P99Latency:  res.Latency.P99,
+		Errors:      res.Errors,
+	}, nil
+}
+
+// Fig4Table renders the figure's two panels (throughput and latency).
+func Fig4Table(points []Fig4Point, persistent bool) *Table {
+	panel := "4a/4b (persistent)"
+	notes := []string{
+		"paper shape: FLICK ≈1.4× Nginx and ≈2.2× Apache; FLICK mTCP up to 2.7×/4.2×; FLICK lowest latency",
+	}
+	if !persistent {
+		panel = "4c/4d (non-persistent)"
+		notes = []string{
+			"paper shape: FLICK-kernel BELOW Apache/Nginx (no backend connection reuse);",
+			"FLICK mTCP ≈2.5× Nginx and ≈2.1× Apache; FLICK variants keep the lowest latency",
+		}
+	}
+	t := &Table{
+		Title:   "HTTP load balancer — Figure " + panel,
+		Columns: []string{"system", "clients", "req/s", "mean-lat", "p99-lat", "errors"},
+		Notes:   notes,
+	}
+	for _, p := range points {
+		t.Add(string(p.System), fmt.Sprint(p.Clients), fmtReqs(p.Throughput),
+			fmtDur(p.MeanLatency), fmtDur(p.P99Latency), fmt.Sprint(p.Errors))
+	}
+	return t
+}

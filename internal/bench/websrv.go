@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"flick/internal/apps"
+	"flick/internal/backend"
+	"flick/internal/core"
+	"flick/internal/loadgen"
+)
+
+// Static-server cost models for the baselines (see internal/baseline):
+// Apache's full request-processing path is the heaviest, Nginx's leaner.
+const (
+	apacheStaticCost = 5 * time.Microsecond
+	nginxStaticCost  = 2 * time.Microsecond
+)
+
+// WebServerConfig parameterises the §6.3 static web-server experiment.
+type WebServerConfig struct {
+	// Systems to measure (default: all four).
+	Systems []System
+	// Clients are the concurrency levels (paper: 100..1600).
+	Clients []int
+	// Persistent toggles HTTP keep-alive.
+	Persistent bool
+	// Duration per cell.
+	Duration time.Duration
+	// Workers is the FLICK worker-thread count (0 = GOMAXPROCS).
+	Workers int
+	// PayloadSize is the response body size (paper: 137 B).
+	PayloadSize int
+}
+
+// WebServerPoint is one measured cell.
+type WebServerPoint struct {
+	System      System
+	Clients     int
+	Throughput  float64 // requests/second
+	MeanLatency time.Duration
+	P99Latency  time.Duration
+	Errors      uint64
+}
+
+// RunWebServer measures the static web server on every system×concurrency
+// combination.
+func RunWebServer(cfg WebServerConfig) ([]WebServerPoint, error) {
+	if len(cfg.Systems) == 0 {
+		cfg.Systems = []System{SysFlick, SysFlickMTCP, SysApache, SysNginx}
+	}
+	if len(cfg.Clients) == 0 {
+		cfg.Clients = []int{100, 200, 400, 800, 1600}
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.PayloadSize <= 0 {
+		cfg.PayloadSize = 137
+	}
+	var out []WebServerPoint
+	for _, sys := range cfg.Systems {
+		for _, clients := range cfg.Clients {
+			pt, err := runWebServerCell(cfg, sys, clients)
+			if err != nil {
+				return out, fmt.Errorf("bench: %s/%d clients: %w", sys, clients, err)
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+func runWebServerCell(cfg WebServerConfig, sys System, clients int) (WebServerPoint, error) {
+	tr := transportFor(sys)
+	var addr string
+	var cleanup func()
+
+	switch sys {
+	case SysFlick, SysFlickMTCP:
+		p := core.NewPlatform(core.Config{Workers: cfg.Workers, Transport: tr})
+		ws, err := apps.StaticWebServer()
+		if err != nil {
+			p.Close()
+			return WebServerPoint{}, err
+		}
+		svc, err := ws.Deploy(p, listenAddr(tr, "web:80"), nil)
+		if err != nil {
+			p.Close()
+			return WebServerPoint{}, err
+		}
+		svc.Pool().Prime(64)
+		addr = svc.Addr()
+		cleanup = func() { svc.Close(); p.Close() }
+
+	case SysApache:
+		s, err := backend.NewHTTPServerWithCost(tr, listenAddr(tr, "web:80"), cfg.PayloadSize, apacheStaticCost)
+		if err != nil {
+			return WebServerPoint{}, err
+		}
+		addr = s.Addr()
+		cleanup = s.Close
+
+	case SysNginx:
+		s, err := backend.NewHTTPServerWithCost(tr, listenAddr(tr, "web:80"), cfg.PayloadSize, nginxStaticCost)
+		if err != nil {
+			return WebServerPoint{}, err
+		}
+		addr = s.Addr()
+		cleanup = s.Close
+
+	default:
+		return WebServerPoint{}, fmt.Errorf("system %q not applicable", sys)
+	}
+	defer cleanup()
+
+	res := loadgen.RunHTTP(loadgen.HTTPConfig{
+		Transport:  tr,
+		Addr:       addr,
+		Clients:    clients,
+		Persistent: cfg.Persistent,
+		Duration:   cfg.Duration,
+	})
+	return WebServerPoint{
+		System:      sys,
+		Clients:     clients,
+		Throughput:  res.Throughput(),
+		MeanLatency: res.Latency.Mean,
+		P99Latency:  res.Latency.P99,
+		Errors:      res.Errors,
+	}, nil
+}
+
+// WebServerTable renders the experiment.
+func WebServerTable(points []WebServerPoint, persistent bool) *Table {
+	mode := "persistent"
+	if !persistent {
+		mode = "non-persistent"
+	}
+	t := &Table{
+		Title:   "Static web server (" + mode + " connections) — §6.3",
+		Columns: []string{"system", "clients", "req/s", "mean-lat", "p99-lat", "errors"},
+		Notes: []string{
+			"paper (persistent): FLICK 306k, FLICK mTCP 380k, Apache 159k, Nginx 217k req/s",
+			"paper (non-persistent): FLICK 45k, FLICK mTCP 193k, Apache 35k, Nginx 44k req/s",
+		},
+	}
+	for _, p := range points {
+		t.Add(string(p.System), fmt.Sprint(p.Clients), fmtReqs(p.Throughput),
+			fmtDur(p.MeanLatency), fmtDur(p.P99Latency), fmt.Sprint(p.Errors))
+	}
+	return t
+}

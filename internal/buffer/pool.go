@@ -1,0 +1,146 @@
+// Package buffer provides pooled byte buffers, ring buffers and chunked byte
+// queues used throughout the FLICK runtime.
+//
+// The FLICK platform promises allocation-free steady-state operation: all
+// buffers that carry network payloads are drawn from pre-allocated pools
+// (§5 of the paper: "All buffers are drawn from a pre-allocated pool to avoid
+// dynamic memory allocation"). This package is that pool, plus the two byte
+// containers built on top of it.
+package buffer
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Default pool geometry. Class sizes are powers of two from MinClass to
+// MaxClass; requests above MaxClass fall back to direct allocation (and are
+// counted, so tests can assert the steady state never hits that path).
+const (
+	MinClassBits = 6  // 64 B
+	MaxClassBits = 20 // 1 MiB
+	NumClasses   = MaxClassBits - MinClassBits + 1
+)
+
+// Pool is a size-classed free list of byte slices. It is safe for concurrent
+// use. The zero value is not usable; call NewPool.
+type Pool struct {
+	classes [NumClasses]*classList
+
+	// stats
+	gets      atomic.Uint64
+	puts      atomic.Uint64
+	misses    atomic.Uint64 // allocations because the class list was empty
+	oversized atomic.Uint64 // requests above MaxClass
+}
+
+type classList struct {
+	mu   sync.Mutex
+	free [][]byte
+	size int
+	cap  int // maximum retained slices
+}
+
+// NewPool creates a pool that retains up to perClass free buffers in every
+// size class. perClass must be positive.
+func NewPool(perClass int) *Pool {
+	if perClass <= 0 {
+		perClass = 64
+	}
+	p := &Pool{}
+	for i := range p.classes {
+		p.classes[i] = &classList{size: 1 << (MinClassBits + i), cap: perClass}
+	}
+	return p
+}
+
+// classFor returns the index of the smallest class whose buffers hold n
+// bytes, or -1 when n exceeds the largest class.
+func classFor(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	for i := 0; i < NumClasses; i++ {
+		if n <= 1<<(MinClassBits+i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Get returns a byte slice with length n. Its capacity is the class size, so
+// callers may extend it up to cap without reallocating.
+func (p *Pool) Get(n int) []byte {
+	p.gets.Add(1)
+	ci := classFor(n)
+	if ci < 0 {
+		p.oversized.Add(1)
+		return make([]byte, n)
+	}
+	cl := p.classes[ci]
+	cl.mu.Lock()
+	if len(cl.free) > 0 {
+		b := cl.free[len(cl.free)-1]
+		cl.free = cl.free[:len(cl.free)-1]
+		cl.mu.Unlock()
+		return b[:n]
+	}
+	cl.mu.Unlock()
+	p.misses.Add(1)
+	return make([]byte, n, cl.size)
+}
+
+// Put returns a buffer to the pool. Buffers whose capacity does not match a
+// class size exactly are dropped (they may have come from the oversized
+// path). Put of nil is a no-op.
+func (p *Pool) Put(b []byte) {
+	if b == nil {
+		return
+	}
+	c := cap(b)
+	ci := classFor(c)
+	if ci < 0 || 1<<(MinClassBits+ci) != c {
+		return
+	}
+	p.puts.Add(1)
+	cl := p.classes[ci]
+	cl.mu.Lock()
+	if len(cl.free) < cl.cap {
+		cl.free = append(cl.free, b[:c])
+	}
+	cl.mu.Unlock()
+}
+
+// Prime pre-populates every class with count buffers so that the first Get
+// calls in the steady state do not allocate.
+func (p *Pool) Prime(count int) {
+	for i, cl := range p.classes {
+		cl.mu.Lock()
+		for len(cl.free) < count && len(cl.free) < cl.cap {
+			cl.free = append(cl.free, make([]byte, 1<<(MinClassBits+i)))
+		}
+		cl.mu.Unlock()
+	}
+}
+
+// Stats reports cumulative pool activity.
+type Stats struct {
+	Gets      uint64
+	Puts      uint64
+	Misses    uint64
+	Oversized uint64
+}
+
+// Stats returns a snapshot of pool counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Gets:      p.gets.Load(),
+		Puts:      p.puts.Load(),
+		Misses:    p.misses.Load(),
+		Oversized: p.oversized.Load(),
+	}
+}
+
+// Global is the default process-wide pool used by the runtime when no
+// explicit pool is configured.
+var Global = NewPool(256)

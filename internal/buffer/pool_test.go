@@ -1,0 +1,127 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int
+	}{
+		{0, 0}, {1, 0}, {64, 0}, {65, 1}, {128, 1}, {129, 2},
+		{1 << 20, NumClasses - 1}, {1<<20 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.want {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestPoolGetLengthAndCapacity(t *testing.T) {
+	p := NewPool(8)
+	for _, n := range []int{1, 63, 64, 65, 1000, 4096, 1 << 20} {
+		b := p.Get(n)
+		if len(b) != n {
+			t.Fatalf("Get(%d) length = %d", n, len(b))
+		}
+		if cap(b) < n {
+			t.Fatalf("Get(%d) cap = %d < n", n, cap(b))
+		}
+		p.Put(b)
+	}
+}
+
+func TestPoolReuse(t *testing.T) {
+	p := NewPool(8)
+	b := p.Get(100)
+	b[0] = 42
+	p.Put(b)
+	c := p.Get(100)
+	if &b[0] != &c[0] {
+		t.Fatal("expected Put/Get to recycle the same buffer")
+	}
+}
+
+func TestPoolOversized(t *testing.T) {
+	p := NewPool(2)
+	b := p.Get(2 << 20)
+	if len(b) != 2<<20 {
+		t.Fatalf("oversized len = %d", len(b))
+	}
+	p.Put(b) // must be dropped silently
+	if s := p.Stats(); s.Oversized != 1 {
+		t.Fatalf("oversized count = %d, want 1", s.Oversized)
+	}
+}
+
+func TestPoolPrimeAvoidsMisses(t *testing.T) {
+	p := NewPool(16)
+	p.Prime(4)
+	before := p.Stats().Misses
+	for i := 0; i < 4; i++ {
+		p.Put(p.Get(128))
+	}
+	if after := p.Stats().Misses; after != before {
+		t.Fatalf("misses grew from %d to %d after Prime", before, after)
+	}
+}
+
+func TestPoolPutNil(t *testing.T) {
+	p := NewPool(2)
+	p.Put(nil) // must not panic
+}
+
+func TestPoolCapRespected(t *testing.T) {
+	p := NewPool(2)
+	bufs := make([][]byte, 5)
+	for i := range bufs {
+		bufs[i] = make([]byte, 64)
+	}
+	for _, b := range bufs {
+		p.Put(b)
+	}
+	cl := p.classes[0]
+	cl.mu.Lock()
+	n := len(cl.free)
+	cl.mu.Unlock()
+	if n != 2 {
+		t.Fatalf("retained %d buffers, cap is 2", n)
+	}
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	p := NewPool(32)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				b := p.Get(200)
+				b[0] = byte(i)
+				p.Put(b)
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}
+
+// Property: Get always returns a slice of exactly the requested length with
+// class-sized capacity for in-range requests.
+func TestPoolGetProperty(t *testing.T) {
+	p := NewPool(8)
+	f := func(n uint16) bool {
+		want := int(n)
+		b := p.Get(want)
+		ok := len(b) == want && cap(b) >= want
+		p.Put(b)
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+package buffer
+
+// Queue is an unbounded-capacity, pool-backed byte FIFO used for incremental
+// protocol parsing: input tasks append network reads and the grammar engine
+// consumes complete messages from the front, possibly across many chunks.
+//
+// Unlike bytes.Buffer, Queue recycles its chunks through a Pool so the steady
+// state performs no allocation, and it supports cheap front consumption
+// without compaction.
+type Queue struct {
+	pool   *Pool
+	chunks [][]byte // chunks[0][off:] is the queue front
+	off    int      // read offset into chunks[0]
+	size   int      // total buffered bytes
+}
+
+// NewQueue creates a queue drawing chunks from pool (Global when nil).
+func NewQueue(pool *Pool) *Queue {
+	if pool == nil {
+		pool = Global
+	}
+	return &Queue{pool: pool}
+}
+
+// Len returns the number of buffered bytes.
+func (q *Queue) Len() int { return q.size }
+
+// Append copies p into the queue.
+func (q *Queue) Append(p []byte) {
+	for len(p) > 0 {
+		// Extend the final chunk if it has spare capacity.
+		if n := len(q.chunks); n > 0 {
+			last := q.chunks[n-1]
+			if spare := cap(last) - len(last); spare > 0 {
+				take := spare
+				if take > len(p) {
+					take = len(p)
+				}
+				q.chunks[n-1] = append(last, p[:take]...)
+				p = p[take:]
+				q.size += take
+				continue
+			}
+		}
+		want := len(p)
+		if want < 4096 {
+			want = 4096
+		}
+		c := q.pool.Get(want)[:0]
+		q.chunks = append(q.chunks, c)
+	}
+}
+
+// Peek copies up to len(p) bytes from the front without consuming and
+// reports how many bytes were copied.
+func (q *Queue) Peek(p []byte) int {
+	copied := 0
+	off := q.off
+	for _, c := range q.chunks {
+		if copied == len(p) {
+			break
+		}
+		src := c[off:]
+		off = 0
+		n := copy(p[copied:], src)
+		copied += n
+	}
+	return copied
+}
+
+// PeekByte returns the i-th buffered byte (0-based) without consuming it.
+// The second result is false when fewer than i+1 bytes are buffered.
+func (q *Queue) PeekByte(i int) (byte, bool) {
+	if i < 0 || i >= q.size {
+		return 0, false
+	}
+	off := q.off
+	for _, c := range q.chunks {
+		span := len(c) - off
+		if i < span {
+			return c[off+i], true
+		}
+		i -= span
+		off = 0
+	}
+	return 0, false
+}
+
+// Discard drops up to n bytes from the front, releasing spent chunks back to
+// the pool, and reports how many bytes were dropped.
+func (q *Queue) Discard(n int) int {
+	dropped := 0
+	for n > 0 && len(q.chunks) > 0 {
+		c := q.chunks[0]
+		avail := len(c) - q.off
+		if n < avail {
+			q.off += n
+			dropped += n
+			q.size -= n
+			return dropped
+		}
+		dropped += avail
+		q.size -= avail
+		n -= avail
+		q.pool.Put(c[:cap(c)])
+		q.chunks[0] = nil
+		q.chunks = q.chunks[1:]
+		q.off = 0
+	}
+	return dropped
+}
+
+// ReadFull copies exactly len(p) bytes from the front, consuming them. It
+// reports false (copying nothing) when fewer bytes are buffered.
+func (q *Queue) ReadFull(p []byte) bool {
+	if q.size < len(p) {
+		return false
+	}
+	n := q.Peek(p)
+	q.Discard(n)
+	return true
+}
+
+// IndexByte returns the offset of the first occurrence of b at or after
+// position from, or -1 when absent.
+func (q *Queue) IndexByte(b byte, from int) int {
+	if from < 0 {
+		from = 0
+	}
+	pos := 0
+	off := q.off
+	for _, c := range q.chunks {
+		span := c[off:]
+		if pos+len(span) <= from {
+			pos += len(span)
+			off = 0
+			continue
+		}
+		start := 0
+		if from > pos {
+			start = from - pos
+		}
+		for i := start; i < len(span); i++ {
+			if span[i] == b {
+				return pos + i
+			}
+		}
+		pos += len(span)
+		off = 0
+	}
+	return -1
+}
+
+// Reset drops all buffered bytes, returning chunks to the pool.
+func (q *Queue) Reset() {
+	for i, c := range q.chunks {
+		q.pool.Put(c[:cap(c)])
+		q.chunks[i] = nil
+	}
+	q.chunks = q.chunks[:0]
+	q.off, q.size = 0, 0
+}

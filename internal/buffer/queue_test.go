@@ -1,0 +1,179 @@
+package buffer
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueAppendPeekDiscard(t *testing.T) {
+	q := NewQueue(nil)
+	q.Append([]byte("hello "))
+	q.Append([]byte("world"))
+	if q.Len() != 11 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	p := make([]byte, 11)
+	if n := q.Peek(p); n != 11 || string(p) != "hello world" {
+		t.Fatalf("peek = %q (%d)", p[:n], n)
+	}
+	if q.Len() != 11 {
+		t.Fatal("peek consumed bytes")
+	}
+	if n := q.Discard(6); n != 6 {
+		t.Fatalf("discard = %d", n)
+	}
+	p = make([]byte, 5)
+	if !q.ReadFull(p) || string(p) != "world" {
+		t.Fatalf("readfull = %q", p)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("len = %d after drain", q.Len())
+	}
+}
+
+func TestQueueReadFullInsufficient(t *testing.T) {
+	q := NewQueue(nil)
+	q.Append([]byte("abc"))
+	p := make([]byte, 5)
+	if q.ReadFull(p) {
+		t.Fatal("ReadFull succeeded with too few bytes")
+	}
+	if q.Len() != 3 {
+		t.Fatal("failed ReadFull consumed bytes")
+	}
+}
+
+func TestQueuePeekByte(t *testing.T) {
+	q := NewQueue(nil)
+	q.Append([]byte("ab"))
+	q.Append([]byte("cd"))
+	for i, want := range []byte("abcd") {
+		got, ok := q.PeekByte(i)
+		if !ok || got != want {
+			t.Fatalf("PeekByte(%d) = %q, %v", i, got, ok)
+		}
+	}
+	if _, ok := q.PeekByte(4); ok {
+		t.Fatal("PeekByte past end succeeded")
+	}
+	if _, ok := q.PeekByte(-1); ok {
+		t.Fatal("PeekByte(-1) succeeded")
+	}
+}
+
+func TestQueueIndexByte(t *testing.T) {
+	q := NewQueue(nil)
+	q.Append([]byte("GET / HT"))
+	q.Append([]byte("TP/1.1\r\n\r\n"))
+	if i := q.IndexByte(' ', 0); i != 3 {
+		t.Fatalf("IndexByte(' ') = %d", i)
+	}
+	if i := q.IndexByte(' ', 4); i != 5 {
+		t.Fatalf("IndexByte(' ', 4) = %d", i)
+	}
+	if i := q.IndexByte('\n', 0); i != 15 {
+		t.Fatalf("IndexByte('\\n') = %d", i)
+	}
+	if i := q.IndexByte('z', 0); i != -1 {
+		t.Fatalf("IndexByte missing = %d", i)
+	}
+}
+
+func TestQueueDiscardAcrossChunks(t *testing.T) {
+	q := NewQueue(NewPool(4))
+	q.Append(bytes.Repeat([]byte{1}, 5000)) // spans growth
+	q.Append(bytes.Repeat([]byte{2}, 5000))
+	if q.Len() != 10000 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	if n := q.Discard(7000); n != 7000 {
+		t.Fatalf("discard = %d", n)
+	}
+	p := make([]byte, 3000)
+	if !q.ReadFull(p) {
+		t.Fatal("readfull failed")
+	}
+	for _, b := range p {
+		if b != 2 {
+			t.Fatal("wrong bytes after cross-chunk discard")
+		}
+	}
+}
+
+func TestQueueReset(t *testing.T) {
+	q := NewQueue(nil)
+	q.Append([]byte("data"))
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatal("reset left data")
+	}
+	q.Append([]byte("more"))
+	p := make([]byte, 4)
+	if !q.ReadFull(p) || string(p) != "more" {
+		t.Fatalf("after reset got %q", p)
+	}
+}
+
+// Property: for any sequence of appended chunks, reading everything back
+// yields the concatenation in order.
+func TestQueueFIFOProperty(t *testing.T) {
+	f := func(chunks [][]byte) bool {
+		q := NewQueue(nil)
+		var want bytes.Buffer
+		for _, c := range chunks {
+			q.Append(c)
+			want.Write(c)
+		}
+		got := make([]byte, q.Len())
+		if !q.ReadFull(got) {
+			return want.Len() != q.Len()
+		}
+		return bytes.Equal(got, want.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: IndexByte agrees with bytes.IndexByte on the flattened content.
+func TestQueueIndexByteProperty(t *testing.T) {
+	f := func(a, b []byte, needle byte, from uint8) bool {
+		q := NewQueue(nil)
+		q.Append(a)
+		q.Append(b)
+		flat := append(append([]byte{}, a...), b...)
+		start := int(from)
+		want := -1
+		if start <= len(flat) {
+			if i := bytes.IndexByte(flat[min(start, len(flat)):], needle); i >= 0 {
+				want = i + min(start, len(flat))
+			}
+		}
+		return q.IndexByte(needle, start) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkQueueAppendDiscard(b *testing.B) {
+	q := NewQueue(nil)
+	chunk := make([]byte, 1500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Append(chunk)
+		q.Discard(1500)
+	}
+}
+
+func BenchmarkPoolGetPut(b *testing.B) {
+	p := NewPool(64)
+	p.Prime(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Put(p.Get(1500))
+	}
+}

@@ -1,0 +1,135 @@
+package buffer
+
+import (
+	"errors"
+	"io"
+)
+
+// Ring is a fixed-capacity single-producer/single-consumer byte ring buffer.
+// It backs the send and receive windows of netstack connections. Methods are
+// NOT safe for concurrent use by multiple producers or multiple consumers;
+// one reader and one writer may operate concurrently only with external
+// synchronisation (netstack wraps every ring in the connection lock).
+type Ring struct {
+	buf  []byte
+	head int // read position
+	tail int // write position
+	size int // bytes currently stored
+}
+
+// ErrRingFull is returned by Write when no byte can be stored.
+var ErrRingFull = errors.New("buffer: ring full")
+
+// NewRing creates a ring with the given capacity (rounded up to a power of
+// two, minimum 64).
+func NewRing(capacity int) *Ring {
+	c := 64
+	for c < capacity {
+		c <<= 1
+	}
+	return &Ring{buf: make([]byte, c)}
+}
+
+// NewRingBuf wraps a caller-supplied backing slice (length must be a power
+// of two); the caller owns the slice's lifecycle, enabling pooled rings.
+func NewRingBuf(buf []byte) *Ring {
+	if len(buf) == 0 || len(buf)&(len(buf)-1) != 0 {
+		return NewRing(len(buf))
+	}
+	return &Ring{buf: buf}
+}
+
+// Buf returns the backing slice (for return to a pool after the ring is no
+// longer referenced).
+func (r *Ring) Buf() []byte { return r.buf }
+
+// Cap returns the ring capacity in bytes.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Len returns the number of buffered bytes.
+func (r *Ring) Len() int { return r.size }
+
+// Free returns the number of bytes that can be written without blocking.
+func (r *Ring) Free() int { return len(r.buf) - r.size }
+
+// Write copies as much of p as fits and returns the number of bytes stored.
+// It returns ErrRingFull when nothing could be stored and p is non-empty.
+func (r *Ring) Write(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	free := r.Free()
+	if free == 0 {
+		return 0, ErrRingFull
+	}
+	n := len(p)
+	if n > free {
+		n = free
+	}
+	// First span: tail..end of buf.
+	first := len(r.buf) - r.tail
+	if first > n {
+		first = n
+	}
+	copy(r.buf[r.tail:], p[:first])
+	copy(r.buf, p[first:n])
+	r.tail = (r.tail + n) & (len(r.buf) - 1)
+	r.size += n
+	return n, nil
+}
+
+// Read copies up to len(p) bytes out of the ring. It returns io.EOF only via
+// higher layers; an empty ring reads 0, nil.
+func (r *Ring) Read(p []byte) (int, error) {
+	if r.size == 0 || len(p) == 0 {
+		return 0, nil
+	}
+	n := len(p)
+	if n > r.size {
+		n = r.size
+	}
+	first := len(r.buf) - r.head
+	if first > n {
+		first = n
+	}
+	copy(p, r.buf[r.head:r.head+first])
+	copy(p[first:], r.buf[:n-first])
+	r.head = (r.head + n) & (len(r.buf) - 1)
+	r.size -= n
+	return n, nil
+}
+
+// Peek copies up to len(p) bytes without consuming them.
+func (r *Ring) Peek(p []byte) int {
+	if r.size == 0 || len(p) == 0 {
+		return 0
+	}
+	n := len(p)
+	if n > r.size {
+		n = r.size
+	}
+	first := len(r.buf) - r.head
+	if first > n {
+		first = n
+	}
+	copy(p, r.buf[r.head:r.head+first])
+	copy(p[first:], r.buf[:n-first])
+	return n
+}
+
+// Discard drops up to n buffered bytes and reports how many were dropped.
+func (r *Ring) Discard(n int) int {
+	if n > r.size {
+		n = r.size
+	}
+	r.head = (r.head + n) & (len(r.buf) - 1)
+	r.size -= n
+	return n
+}
+
+// Reset empties the ring.
+func (r *Ring) Reset() {
+	r.head, r.tail, r.size = 0, 0, 0
+}
+
+var _ io.ReadWriter = (*Ring)(nil)

@@ -1,0 +1,147 @@
+package buffer
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingBasic(t *testing.T) {
+	r := NewRing(64)
+	if r.Cap() != 64 {
+		t.Fatalf("cap = %d", r.Cap())
+	}
+	n, err := r.Write([]byte("hello"))
+	if err != nil || n != 5 {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	if r.Len() != 5 || r.Free() != 59 {
+		t.Fatalf("len=%d free=%d", r.Len(), r.Free())
+	}
+	out := make([]byte, 10)
+	n, err = r.Read(out)
+	if err != nil || n != 5 || string(out[:5]) != "hello" {
+		t.Fatalf("read = %q (%d), %v", out[:n], n, err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("len after drain = %d", r.Len())
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	r := NewRing(64)
+	// Fill, drain half, fill again so writes wrap around the end.
+	full := bytes.Repeat([]byte{1}, 64)
+	if n, _ := r.Write(full); n != 64 {
+		t.Fatalf("write full = %d", n)
+	}
+	out := make([]byte, 40)
+	r.Read(out)
+	second := bytes.Repeat([]byte{2}, 40)
+	if n, _ := r.Write(second); n != 40 {
+		t.Fatalf("wrap write = %d", n)
+	}
+	got := make([]byte, 64)
+	n, _ := r.Read(got)
+	if n != 64 {
+		t.Fatalf("read = %d", n)
+	}
+	want := append(bytes.Repeat([]byte{1}, 24), bytes.Repeat([]byte{2}, 40)...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("wrap data mismatch")
+	}
+}
+
+func TestRingFull(t *testing.T) {
+	r := NewRing(64)
+	r.Write(bytes.Repeat([]byte{0}, 64))
+	if _, err := r.Write([]byte{1}); err != ErrRingFull {
+		t.Fatalf("err = %v, want ErrRingFull", err)
+	}
+	// Partial write when some space remains.
+	r.Discard(10)
+	n, err := r.Write(bytes.Repeat([]byte{9}, 20))
+	if err != nil || n != 10 {
+		t.Fatalf("partial write = %d, %v", n, err)
+	}
+}
+
+func TestRingPeekDoesNotConsume(t *testing.T) {
+	r := NewRing(64)
+	r.Write([]byte("abcdef"))
+	p := make([]byte, 3)
+	if n := r.Peek(p); n != 3 || string(p) != "abc" {
+		t.Fatalf("peek = %q (%d)", p[:n], n)
+	}
+	if r.Len() != 6 {
+		t.Fatalf("peek consumed: len = %d", r.Len())
+	}
+	got := make([]byte, 6)
+	r.Read(got)
+	if string(got) != "abcdef" {
+		t.Fatalf("read after peek = %q", got)
+	}
+}
+
+func TestRingDiscardAndReset(t *testing.T) {
+	r := NewRing(64)
+	r.Write([]byte("abcdef"))
+	if n := r.Discard(2); n != 2 {
+		t.Fatalf("discard = %d", n)
+	}
+	p := make([]byte, 4)
+	r.Read(p)
+	if string(p) != "cdef" {
+		t.Fatalf("after discard read %q", p)
+	}
+	r.Write([]byte("x"))
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("reset left data")
+	}
+}
+
+func TestRingCapacityRounding(t *testing.T) {
+	if c := NewRing(100).Cap(); c != 128 {
+		t.Fatalf("cap = %d, want 128", c)
+	}
+	if c := NewRing(1).Cap(); c != 64 {
+		t.Fatalf("cap = %d, want 64", c)
+	}
+}
+
+// Property: any interleaving of writes and reads preserves the byte stream
+// (FIFO order, no loss, no duplication).
+func TestRingStreamProperty(t *testing.T) {
+	f := func(seed int64, chunks []uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewRing(256)
+		var wrote, readBack bytes.Buffer
+		next := byte(0)
+		for _, c := range chunks {
+			if rng.Intn(2) == 0 {
+				p := make([]byte, int(c)%97)
+				for i := range p {
+					p[i] = next
+					next++
+				}
+				n, _ := r.Write(p)
+				wrote.Write(p[:n])
+				// bytes beyond n were never accepted: rewind generator
+				next -= byte(len(p) - n)
+			} else {
+				p := make([]byte, int(c)%97)
+				n, _ := r.Read(p)
+				readBack.Write(p[:n])
+			}
+		}
+		rest := make([]byte, r.Len())
+		r.Read(rest)
+		readBack.Write(rest)
+		return bytes.Equal(wrote.Bytes(), readBack.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

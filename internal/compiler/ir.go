@@ -1,0 +1,190 @@
+// Package compiler lowers type-checked FLICK programs to executable form:
+// function bodies become closure-tree IR evaluated over runtime values, and
+// process declarations become core task-graph templates whose input/output
+// tasks carry grammar codecs (synthesised from the program's serialisation
+// annotations or bound externally).
+//
+// The compilation pipeline mirrors §4.3 of the paper: "Loops and branching
+// are compiled to their native counterparts … Channel- and process-related
+// code is translated to API calls exposed by the platform". In this
+// reproduction the native counterpart is closure IR instead of C++, which
+// preserves the language's bounded-work guarantees (no recursion, finite
+// iteration) while staying inside one address space with the scheduler.
+package compiler
+
+import (
+	"strconv"
+	"strings"
+
+	"flick/internal/value"
+)
+
+// Frame is one function activation: a fixed-size local slot array plus the
+// per-node emission hook and per-instance identity. Frames are small and
+// stack-allocated per call.
+type Frame struct {
+	locals  []value.Value
+	globals []value.Value // shared per deployed program
+	emit    func(out int, v value.Value)
+	instID  int64
+	ret     value.Value
+	retSet  bool
+}
+
+// exprFn evaluates an expression.
+type exprFn func(fr *Frame) value.Value
+
+// stmtFn executes a statement.
+type stmtFn func(fr *Frame)
+
+// compiledFun is an executable FLICK function.
+type compiledFun struct {
+	name    string
+	nParams int
+	nLocals int // params + lets (maximum over all paths)
+	body    []stmtFn
+}
+
+// call invokes a compiled function with already-evaluated arguments.
+func (f *compiledFun) call(parent *Frame, args []value.Value) value.Value {
+	fr := Frame{
+		locals:  make([]value.Value, f.nLocals),
+		globals: parent.globals,
+		emit:    parent.emit,
+		instID:  parent.instID,
+	}
+	copy(fr.locals, args)
+	for _, s := range f.body {
+		s(&fr)
+	}
+	return fr.ret
+}
+
+// ChanRef is the runtime representation of a scalar channel value: the
+// out-edge index of the compute node executing the current frame.
+type ChanRef struct {
+	Out int
+}
+
+// chanRefValue wraps a ChanRef as a value.
+func chanRefValue(out int) value.Value { return value.Opaque(ChanRef{Out: out}) }
+
+// --- builtin implementations ---
+
+// hashValue is the `hash` builtin: FNV-1a over the value's byte content.
+func hashValue(v value.Value) int64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(b []byte) {
+		for _, x := range b {
+			h ^= uint64(x)
+			h *= prime
+		}
+	}
+	switch v.Kind {
+	case value.KindString:
+		mix([]byte(v.S))
+	case value.KindBytes:
+		mix(v.B)
+	case value.KindInt, value.KindBool:
+		u := uint64(v.I)
+		for i := 0; i < 8; i++ {
+			h ^= u & 0xff
+			h *= prime
+			u >>= 8
+		}
+	case value.KindRecord, value.KindList:
+		for _, f := range v.L {
+			h ^= uint64(hashValue(f))
+			h *= prime
+		}
+	}
+	return int64(h & 0x7fffffffffffffff) // keep mod-friendly (non-negative)
+}
+
+// lenValue is the `len` builtin.
+func lenValue(v value.Value) int64 {
+	switch v.Kind {
+	case value.KindString:
+		return int64(len(v.S))
+	case value.KindBytes:
+		return int64(len(v.B))
+	case value.KindList:
+		return int64(len(v.L))
+	case value.KindDict:
+		return int64(v.D.Len())
+	}
+	return 0
+}
+
+// stringToInt is the `string_to_int` builtin; malformed input yields 0
+// (grammar default behaviour, §4.2).
+func stringToInt(s string) int64 {
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// splitWords is the `split_words` builtin.
+func splitWords(s string) value.Value {
+	fields := strings.Fields(s)
+	out := make([]value.Value, len(fields))
+	for i, f := range fields {
+		out[i] = value.Str(f)
+	}
+	return value.List(out...)
+}
+
+// dictGet reads a dict entry, yielding Null on miss (compared as None).
+func dictGet(d value.Value, key value.Value) value.Value {
+	if d.Kind != value.KindDict {
+		return value.Null
+	}
+	v, ok := d.D.Get(key.AsString())
+	if !ok {
+		return value.Null
+	}
+	return v
+}
+
+// binOp implements the arithmetic/comparison/boolean operators over runtime
+// values. Type checking has already guaranteed operand kinds.
+func binAdd(a, b value.Value) value.Value {
+	if a.Kind == value.KindString || a.Kind == value.KindBytes ||
+		b.Kind == value.KindString || b.Kind == value.KindBytes {
+		return value.Str(a.AsString() + b.AsString())
+	}
+	return value.Int(a.I + b.I)
+}
+
+func binDiv(a, b value.Value) value.Value {
+	if b.I == 0 {
+		return value.Int(0) // checked language: division by zero yields 0
+	}
+	return value.Int(a.I / b.I)
+}
+
+func binMod(a, b value.Value) value.Value {
+	if b.I == 0 {
+		return value.Int(0)
+	}
+	return value.Int(a.I % b.I)
+}
+
+func compareOrdered(a, b value.Value) int {
+	if a.Kind == value.KindInt || a.Kind == value.KindBool {
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		}
+		return 0
+	}
+	return strings.Compare(a.AsString(), b.AsString())
+}

@@ -1,0 +1,478 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+
+	"flick/internal/lang"
+	"flick/internal/value"
+)
+
+// lowerer converts checked AST to closure IR.
+type lowerer struct {
+	prog *Program // being built; funs resolved lazily by name
+
+	// current function scope: name → local slot
+	scopes []map[string]int
+	nSlots int
+	max    int
+
+	// proc-level environment for pipeline-stage arguments: channels and
+	// globals referenced by name.
+	chanEnv   map[string]value.Value // name → ChanRef / list-of-ChanRef constant
+	globalIdx map[string]int         // name → program global slot
+}
+
+func (lw *lowerer) pushScope() { lw.scopes = append(lw.scopes, map[string]int{}) }
+func (lw *lowerer) popScope() {
+	top := lw.scopes[len(lw.scopes)-1]
+	lw.nSlots -= len(top)
+	lw.scopes = lw.scopes[:len(lw.scopes)-1]
+}
+
+func (lw *lowerer) declare(name string) int {
+	slot := lw.nSlots
+	lw.scopes[len(lw.scopes)-1][name] = slot
+	lw.nSlots++
+	if lw.nSlots > lw.max {
+		lw.max = lw.nSlots
+	}
+	return slot
+}
+
+func (lw *lowerer) lookup(name string) (int, bool) {
+	for i := len(lw.scopes) - 1; i >= 0; i-- {
+		if s, ok := lw.scopes[i][name]; ok {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// lowerFun compiles one function declaration.
+func (lw *lowerer) lowerFun(f *lang.FunDecl) (*compiledFun, error) {
+	lw.scopes = nil
+	lw.nSlots, lw.max = 0, 0
+	lw.pushScope()
+	for _, p := range f.Params {
+		lw.declare(p.Name)
+	}
+	body, err := lw.lowerBlock(f.Body)
+	if err != nil {
+		return nil, err
+	}
+	cf := &compiledFun{
+		name:    f.Name,
+		nParams: len(f.Params),
+		nLocals: lw.max,
+		body:    body,
+	}
+	lw.popScope()
+	return cf, nil
+}
+
+func (lw *lowerer) lowerBlock(stmts []lang.Stmt) ([]stmtFn, error) {
+	out := make([]stmtFn, 0, len(stmts))
+	for _, s := range stmts {
+		fn, err := lw.lowerStmt(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fn)
+	}
+	return out, nil
+}
+
+func (lw *lowerer) lowerStmt(s lang.Stmt) (stmtFn, error) {
+	switch x := s.(type) {
+	case *lang.LetStmt:
+		init, err := lw.lowerExpr(x.Init)
+		if err != nil {
+			return nil, err
+		}
+		slot := lw.declare(x.Name)
+		return func(fr *Frame) { fr.locals[slot] = init(fr) }, nil
+
+	case *lang.AssignStmt:
+		return lw.lowerAssign(x)
+
+	case *lang.IfStmt:
+		cond, err := lw.lowerExpr(x.Cond)
+		if err != nil {
+			return nil, err
+		}
+		lw.pushScope()
+		then, err := lw.lowerBlock(x.Then)
+		lw.popScope()
+		if err != nil {
+			return nil, err
+		}
+		var els []stmtFn
+		if x.Else != nil {
+			lw.pushScope()
+			els, err = lw.lowerBlock(x.Else)
+			lw.popScope()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return func(fr *Frame) {
+			if cond(fr).AsBool() {
+				for _, st := range then {
+					st(fr)
+				}
+			} else {
+				for _, st := range els {
+					st(fr)
+				}
+			}
+		}, nil
+
+	case *lang.PipeStmt:
+		// Inside functions, pipelines are sends: value => channel.
+		return lw.lowerSend(x.Src, x.Dst)
+
+	case *lang.SendStmt:
+		return lw.lowerSend(x.Value, x.Dst)
+
+	case *lang.ExprStmt:
+		e, err := lw.lowerExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *Frame) {
+			fr.ret = e(fr)
+			fr.retSet = true
+		}, nil
+	}
+	return nil, fmt.Errorf("compiler: unsupported statement at %s", s.Position())
+}
+
+func (lw *lowerer) lowerAssign(x *lang.AssignStmt) (stmtFn, error) {
+	val, err := lw.lowerExpr(x.Value)
+	if err != nil {
+		return nil, err
+	}
+	switch tgt := x.Target.(type) {
+	case *lang.IndexExpr:
+		base, err := lw.lowerExpr(tgt.X)
+		if err != nil {
+			return nil, err
+		}
+		key, err := lw.lowerExpr(tgt.Index)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *Frame) {
+			d := base(fr)
+			if d.Kind == value.KindDict {
+				d.D.Set(key(fr).AsString(), val(fr))
+			}
+		}, nil
+	case *lang.FieldExpr:
+		base, err := lw.lowerExpr(tgt.X)
+		if err != nil {
+			return nil, err
+		}
+		name := tgt.Name
+		return func(fr *Frame) {
+			base(fr).SetField(name, val(fr))
+		}, nil
+	}
+	return nil, fmt.Errorf("compiler: bad assignment target at %s", x.Pos)
+}
+
+func (lw *lowerer) lowerSend(valExpr, dstExpr lang.Expr) (stmtFn, error) {
+	val, err := lw.lowerExpr(valExpr)
+	if err != nil {
+		return nil, err
+	}
+	dst, err := lw.lowerExpr(dstExpr)
+	if err != nil {
+		return nil, err
+	}
+	return func(fr *Frame) {
+		d := dst(fr)
+		if ref, ok := d.X.(ChanRef); ok && fr.emit != nil {
+			fr.emit(ref.Out, val(fr))
+		}
+	}, nil
+}
+
+func (lw *lowerer) lowerExpr(e lang.Expr) (exprFn, error) {
+	switch x := e.(type) {
+	case *lang.IntLit:
+		v := value.Int(x.Val)
+		return func(*Frame) value.Value { return v }, nil
+	case *lang.StrLit:
+		v := value.Str(x.Val)
+		return func(*Frame) value.Value { return v }, nil
+	case *lang.BoolLit:
+		v := value.Bool(x.Val)
+		return func(*Frame) value.Value { return v }, nil
+	case *lang.NoneLit:
+		return func(*Frame) value.Value { return value.Null }, nil
+
+	case *lang.Ident:
+		if slot, ok := lw.lookup(x.Name); ok {
+			return func(fr *Frame) value.Value { return fr.locals[slot] }, nil
+		}
+		if lw.chanEnv != nil {
+			if cv, ok := lw.chanEnv[x.Name]; ok {
+				return func(*Frame) value.Value { return cv }, nil
+			}
+		}
+		if lw.globalIdx != nil {
+			if gi, ok := lw.globalIdx[x.Name]; ok {
+				return func(fr *Frame) value.Value { return fr.globals[gi] }, nil
+			}
+		}
+		// Niladic builtins usable without parentheses.
+		switch x.Name {
+		case "empty_dict":
+			return func(*Frame) value.Value { return value.NewDict() }, nil
+		case "instance_id":
+			return func(fr *Frame) value.Value { return value.Int(fr.instID) }, nil
+		}
+		return nil, fmt.Errorf("compiler: unresolved name %q at %s", x.Name, x.Pos)
+
+	case *lang.FieldExpr:
+		base, err := lw.lowerExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		name := x.Name
+		return func(fr *Frame) value.Value { return base(fr).Field(name) }, nil
+
+	case *lang.IndexExpr:
+		base, err := lw.lowerExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := lw.lowerExpr(x.Index)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *Frame) value.Value {
+			b := base(fr)
+			switch b.Kind {
+			case value.KindDict:
+				return dictGet(b, idx(fr))
+			case value.KindList:
+				i := idx(fr).AsInt()
+				if i < 0 || i >= int64(len(b.L)) {
+					return value.Null
+				}
+				return b.L[i]
+			}
+			return value.Null
+		}, nil
+
+	case *lang.CallExpr:
+		return lw.lowerCall(x)
+
+	case *lang.BinaryExpr:
+		return lw.lowerBinary(x)
+
+	case *lang.UnaryExpr:
+		sub, err := lw.lowerExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == lang.TokMinus {
+			return func(fr *Frame) value.Value { return value.Int(-sub(fr).AsInt()) }, nil
+		}
+		return func(fr *Frame) value.Value { return value.Bool(!sub(fr).AsBool()) }, nil
+	}
+	return nil, fmt.Errorf("compiler: unsupported expression at %s", e.Position())
+}
+
+func (lw *lowerer) lowerBinary(x *lang.BinaryExpr) (exprFn, error) {
+	l, err := lw.lowerExpr(x.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := lw.lowerExpr(x.R)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case lang.TokPlus:
+		return func(fr *Frame) value.Value { return binAdd(l(fr), r(fr)) }, nil
+	case lang.TokMinus:
+		return func(fr *Frame) value.Value { return value.Int(l(fr).I - r(fr).I) }, nil
+	case lang.TokStar:
+		return func(fr *Frame) value.Value { return value.Int(l(fr).I * r(fr).I) }, nil
+	case lang.TokSlash:
+		return func(fr *Frame) value.Value { return binDiv(l(fr), r(fr)) }, nil
+	case lang.TokMod:
+		return func(fr *Frame) value.Value { return binMod(l(fr), r(fr)) }, nil
+	case lang.TokEq:
+		return func(fr *Frame) value.Value { return value.Bool(value.Equal(l(fr), r(fr))) }, nil
+	case lang.TokNotEq:
+		return func(fr *Frame) value.Value { return value.Bool(!value.Equal(l(fr), r(fr))) }, nil
+	case lang.TokLess:
+		return func(fr *Frame) value.Value { return value.Bool(compareOrdered(l(fr), r(fr)) < 0) }, nil
+	case lang.TokGreater:
+		return func(fr *Frame) value.Value { return value.Bool(compareOrdered(l(fr), r(fr)) > 0) }, nil
+	case lang.TokLessEq:
+		return func(fr *Frame) value.Value { return value.Bool(compareOrdered(l(fr), r(fr)) <= 0) }, nil
+	case lang.TokGreaterEq:
+		return func(fr *Frame) value.Value { return value.Bool(compareOrdered(l(fr), r(fr)) >= 0) }, nil
+	case lang.TokAnd:
+		return func(fr *Frame) value.Value {
+			if !l(fr).AsBool() {
+				return value.Bool(false)
+			}
+			return value.Bool(r(fr).AsBool())
+		}, nil
+	case lang.TokOr:
+		return func(fr *Frame) value.Value {
+			if l(fr).AsBool() {
+				return value.Bool(true)
+			}
+			return value.Bool(r(fr).AsBool())
+		}, nil
+	}
+	return nil, fmt.Errorf("compiler: unsupported operator at %s", x.Pos)
+}
+
+func (lw *lowerer) lowerCall(x *lang.CallExpr) (exprFn, error) {
+	// Record constructor.
+	if desc, ok := lw.prog.descs[x.Name]; ok {
+		slots := lw.prog.ctorSlots[x.Name]
+		args := make([]exprFn, len(x.Args))
+		for i, a := range x.Args {
+			f, err := lw.lowerExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = f
+		}
+		return func(fr *Frame) value.Value {
+			rec := desc.New()
+			for i, af := range args {
+				rec.L[slots[i]] = af(fr)
+			}
+			return rec
+		}, nil
+	}
+
+	// User function (lazy resolution supports any declaration order; the
+	// checker has rejected recursion so resolution terminates).
+	if _, ok := lw.prog.funDecls[x.Name]; ok {
+		args := make([]exprFn, len(x.Args))
+		for i, a := range x.Args {
+			f, err := lw.lowerExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = f
+		}
+		prog := lw.prog
+		name := x.Name
+		return func(fr *Frame) value.Value {
+			vals := make([]value.Value, len(args))
+			for i, af := range args {
+				vals[i] = af(fr)
+			}
+			return prog.funs[name].call(fr, vals)
+		}, nil
+	}
+
+	// Iteration builtins: compile to finite loops (§4.3: "functions such
+	// as fold are translated into finite for-loops").
+	switch x.Name {
+	case "map", "filter", "fold":
+		return lw.lowerIter(x)
+	}
+
+	// Plain builtins.
+	args := make([]exprFn, len(x.Args))
+	for i, a := range x.Args {
+		f, err := lw.lowerExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = f
+	}
+	switch x.Name {
+	case "hash":
+		return func(fr *Frame) value.Value { return value.Int(hashValue(args[0](fr))) }, nil
+	case "len":
+		return func(fr *Frame) value.Value { return value.Int(lenValue(args[0](fr))) }, nil
+	case "empty_dict":
+		return func(*Frame) value.Value { return value.NewDict() }, nil
+	case "instance_id":
+		return func(fr *Frame) value.Value { return value.Int(fr.instID) }, nil
+	case "string_to_int":
+		return func(fr *Frame) value.Value { return value.Int(stringToInt(args[0](fr).AsString())) }, nil
+	case "int_to_string":
+		return func(fr *Frame) value.Value {
+			return value.Str(fmt.Sprintf("%d", args[0](fr).AsInt()))
+		}, nil
+	case "split_words":
+		return func(fr *Frame) value.Value { return splitWords(args[0](fr).AsString()) }, nil
+	case "to_upper":
+		return func(fr *Frame) value.Value {
+			return value.Str(strings.ToUpper(args[0](fr).AsString()))
+		}, nil
+	case "to_lower":
+		return func(fr *Frame) value.Value {
+			return value.Str(strings.ToLower(args[0](fr).AsString()))
+		}, nil
+	}
+	return nil, fmt.Errorf("compiler: unknown function %q at %s", x.Name, x.Pos)
+}
+
+// lowerIter compiles map/filter/fold.
+func (lw *lowerer) lowerIter(x *lang.CallExpr) (exprFn, error) {
+	fname := x.Args[0].(*lang.Ident).Name
+	prog := lw.prog
+	switch x.Name {
+	case "map":
+		list, err := lw.lowerExpr(x.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *Frame) value.Value {
+			xs := list(fr)
+			out := make([]value.Value, len(xs.L))
+			for i, el := range xs.L {
+				out[i] = prog.funs[fname].call(fr, []value.Value{el})
+			}
+			return value.List(out...)
+		}, nil
+	case "filter":
+		list, err := lw.lowerExpr(x.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *Frame) value.Value {
+			xs := list(fr)
+			var out []value.Value
+			for _, el := range xs.L {
+				if prog.funs[fname].call(fr, []value.Value{el}).AsBool() {
+					out = append(out, el)
+				}
+			}
+			return value.List(out...)
+		}, nil
+	default: // fold
+		acc, err := lw.lowerExpr(x.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		list, err := lw.lowerExpr(x.Args[2])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *Frame) value.Value {
+			a := acc(fr)
+			for _, el := range list(fr).L {
+				a = prog.funs[fname].call(fr, []value.Value{a, el})
+			}
+			return a
+		}, nil
+	}
+}

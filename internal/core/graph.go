@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+
+	"flick/internal/grammar"
+	"flick/internal/value"
+)
+
+// NodeKind distinguishes the three task kinds of a FLICK task graph (§3.2:
+// input tasks deserialise, compute tasks transform, output tasks serialise).
+type NodeKind int
+
+// Node kinds.
+const (
+	NodeInput NodeKind = iota
+	NodeCompute
+	NodeOutput
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case NodeInput:
+		return "input"
+	case NodeCompute:
+		return "compute"
+	case NodeOutput:
+		return "output"
+	}
+	return "invalid"
+}
+
+// ComputeFunc is the body of a compute node: it receives one value from
+// in-edge `in` and emits results through ctx.
+type ComputeFunc func(ctx *NodeCtx, v value.Value, in int)
+
+// EOFFunc is called once when an in-edge reaches end-of-stream (after its
+// last value was delivered), letting aggregation nodes flush (the Hadoop
+// combiner emits its accumulated counts here).
+type EOFFunc func(ctx *NodeCtx, in int)
+
+// Node declares one task of a graph template.
+type Node struct {
+	ID   int
+	Name string
+	Kind NodeKind
+
+	// Codec (de)serialises messages for input/output nodes.
+	Codec grammar.WireFormat
+	// Fn is the compute body.
+	Fn ComputeFunc
+	// OnEOF optionally flushes state when an in-edge closes.
+	OnEOF EOFFunc
+	// NewState optionally builds per-instance node state.
+	NewState func() any
+
+	ins  []int // node IDs feeding this node
+	outs []int // node IDs this node feeds
+}
+
+// Port binds a bidirectional connection endpoint to graph nodes: In is the
+// input node that parses bytes read from the connection (-1 for write-only
+// ports), Out is the output node whose serialised bytes are written to it
+// (-1 for read-only ports).
+type Port struct {
+	Name string
+	In   int
+	Out  int
+	// Primary marks the client-facing port: when its read side reaches
+	// EOF the instance shuts down, closing every other connection (§5:
+	// "when a task graph has no more active input channels, it is shut
+	// down"; the client port dominates the proxy-style graphs).
+	Primary bool
+}
+
+// Template is an immutable task-graph blueprint produced by the FLICK
+// compiler (or assembled directly through this API). Instances are stamped
+// out of it by the graph dispatcher.
+type Template struct {
+	Name  string
+	nodes []*Node
+	ports []Port
+}
+
+// NewTemplate creates an empty template.
+func NewTemplate(name string) *Template {
+	return &Template{Name: name}
+}
+
+// AddInput declares an input (deserialiser) node.
+func (t *Template) AddInput(name string, codec grammar.WireFormat) *Node {
+	n := &Node{ID: len(t.nodes), Name: name, Kind: NodeInput, Codec: codec}
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// AddOutput declares an output (serialiser) node.
+func (t *Template) AddOutput(name string, codec grammar.WireFormat) *Node {
+	n := &Node{ID: len(t.nodes), Name: name, Kind: NodeOutput, Codec: codec}
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// AddCompute declares a compute node.
+func (t *Template) AddCompute(name string, fn ComputeFunc) *Node {
+	n := &Node{ID: len(t.nodes), Name: name, Kind: NodeCompute, Fn: fn}
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// Connect adds a directed edge from a to b.
+func (t *Template) Connect(a, b *Node) {
+	a.outs = append(a.outs, b.ID)
+	b.ins = append(b.ins, a.ID)
+}
+
+// AddPort declares a connection endpoint. in/out may be nil for
+// unidirectional ports.
+func (t *Template) AddPort(name string, in, out *Node, primary bool) int {
+	p := Port{Name: name, In: -1, Out: -1, Primary: primary}
+	if in != nil {
+		p.In = in.ID
+	}
+	if out != nil {
+		p.Out = out.ID
+	}
+	t.ports = append(t.ports, p)
+	return len(t.ports) - 1
+}
+
+// Ports returns the template's port table.
+func (t *Template) Ports() []Port { return t.ports }
+
+// Nodes returns the template's nodes.
+func (t *Template) Nodes() []*Node { return t.nodes }
+
+// Validate checks structural invariants: the graph must be a DAG, input
+// nodes have exactly one out-edge and none in, output nodes have at least
+// one in-edge and none out, every input/output node is bound to exactly one
+// port, and codecs are present where required. The FLICK language guarantees
+// these by construction; the check exists for graphs assembled by hand.
+func (t *Template) Validate() error {
+	portIn := map[int]int{}
+	portOut := map[int]int{}
+	for i, p := range t.ports {
+		if p.In >= 0 {
+			portIn[p.In]++
+			if p.In >= len(t.nodes) || t.nodes[p.In].Kind != NodeInput {
+				return fmt.Errorf("core: port %d In is not an input node", i)
+			}
+		}
+		if p.Out >= 0 {
+			portOut[p.Out]++
+			if p.Out >= len(t.nodes) || t.nodes[p.Out].Kind != NodeOutput {
+				return fmt.Errorf("core: port %d Out is not an output node", i)
+			}
+		}
+	}
+	for _, n := range t.nodes {
+		switch n.Kind {
+		case NodeInput:
+			if len(n.ins) != 0 {
+				return fmt.Errorf("core: input node %q has in-edges", n.Name)
+			}
+			if len(n.outs) != 1 {
+				return fmt.Errorf("core: input node %q must have exactly one out-edge, has %d", n.Name, len(n.outs))
+			}
+			if n.Codec == nil {
+				return fmt.Errorf("core: input node %q has no codec", n.Name)
+			}
+			if portIn[n.ID] != 1 {
+				return fmt.Errorf("core: input node %q bound to %d ports, want 1", n.Name, portIn[n.ID])
+			}
+		case NodeOutput:
+			if len(n.outs) != 0 {
+				return fmt.Errorf("core: output node %q has out-edges", n.Name)
+			}
+			if len(n.ins) == 0 {
+				return fmt.Errorf("core: output node %q has no in-edges", n.Name)
+			}
+			if n.Codec == nil {
+				return fmt.Errorf("core: output node %q has no codec", n.Name)
+			}
+			if portOut[n.ID] != 1 {
+				return fmt.Errorf("core: output node %q bound to %d ports, want 1", n.Name, portOut[n.ID])
+			}
+		case NodeCompute:
+			if n.Fn == nil {
+				return fmt.Errorf("core: compute node %q has no body", n.Name)
+			}
+			if len(n.ins) == 0 {
+				return fmt.Errorf("core: compute node %q has no in-edges", n.Name)
+			}
+		}
+	}
+	return t.checkAcyclic()
+}
+
+// checkAcyclic rejects cycles (task graphs are DAGs, §3.2).
+func (t *Template) checkAcyclic() error {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, len(t.nodes))
+	var visit func(int) error
+	visit = func(id int) error {
+		switch color[id] {
+		case grey:
+			return fmt.Errorf("core: task graph %q has a cycle through %q", t.Name, t.nodes[id].Name)
+		case black:
+			return nil
+		}
+		color[id] = grey
+		for _, o := range t.nodes[id].outs {
+			if err := visit(o); err != nil {
+				return err
+			}
+		}
+		color[id] = black
+		return nil
+	}
+	for id := range t.nodes {
+		if err := visit(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"flick/internal/grammar"
+	"flick/internal/value"
+)
+
+var lineCodec = grammar.LineUnit().MustCompile()
+
+func passthrough(ctx *NodeCtx, v value.Value, in int) { ctx.Emit(0, v) }
+
+func TestTemplateValidateOK(t *testing.T) {
+	tmpl := NewTemplate("echo")
+	in := tmpl.AddInput("in", lineCodec)
+	comp := tmpl.AddCompute("id", passthrough)
+	out := tmpl.AddOutput("out", lineCodec)
+	tmpl.Connect(in, comp)
+	tmpl.Connect(comp, out)
+	tmpl.AddPort("client", in, out, true)
+	if err := tmpl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tmpl.Nodes()) != 3 || len(tmpl.Ports()) != 1 {
+		t.Fatal("inventory")
+	}
+}
+
+func TestTemplateValidateErrors(t *testing.T) {
+	build := func(f func(*Template)) error {
+		tmpl := NewTemplate("bad")
+		f(tmpl)
+		return tmpl.Validate()
+	}
+
+	cases := map[string]func(*Template){
+		"input with no out-edge": func(tmpl *Template) {
+			in := tmpl.AddInput("in", lineCodec)
+			tmpl.AddPort("p", in, nil, false)
+		},
+		"input with two out-edges": func(tmpl *Template) {
+			in := tmpl.AddInput("in", lineCodec)
+			c1 := tmpl.AddCompute("c1", passthrough)
+			c2 := tmpl.AddCompute("c2", passthrough)
+			o := tmpl.AddOutput("o", lineCodec)
+			tmpl.Connect(in, c1)
+			tmpl.Connect(in, c2)
+			tmpl.Connect(c1, o)
+			tmpl.Connect(c2, o)
+			tmpl.AddPort("p", in, o, false)
+		},
+		"input without codec": func(tmpl *Template) {
+			in := tmpl.AddInput("in", nil)
+			o := tmpl.AddOutput("o", lineCodec)
+			tmpl.Connect(in, o)
+			tmpl.AddPort("p", in, o, false)
+		},
+		"input unbound to port": func(tmpl *Template) {
+			in := tmpl.AddInput("in", lineCodec)
+			o := tmpl.AddOutput("o", lineCodec)
+			tmpl.Connect(in, o)
+			tmpl.AddPort("p", nil, o, false)
+		},
+		"output with out-edges": func(tmpl *Template) {
+			in := tmpl.AddInput("in", lineCodec)
+			o := tmpl.AddOutput("o", lineCodec)
+			c := tmpl.AddCompute("c", passthrough)
+			tmpl.Connect(in, o)
+			tmpl.Connect(o, c)
+			tmpl.AddPort("p", in, o, false)
+		},
+		"output with no in-edges": func(tmpl *Template) {
+			in := tmpl.AddInput("in", lineCodec)
+			c := tmpl.AddCompute("c", passthrough)
+			o := tmpl.AddOutput("o", lineCodec)
+			tmpl.Connect(in, c)
+			_ = o
+			tmpl.AddPort("p", in, o, false)
+		},
+		"compute without body": func(tmpl *Template) {
+			in := tmpl.AddInput("in", lineCodec)
+			c := tmpl.AddCompute("c", nil)
+			o := tmpl.AddOutput("o", lineCodec)
+			tmpl.Connect(in, c)
+			tmpl.Connect(c, o)
+			tmpl.AddPort("p", in, o, false)
+		},
+		"compute with no inputs": func(tmpl *Template) {
+			in := tmpl.AddInput("in", lineCodec)
+			c := tmpl.AddCompute("c", passthrough)
+			o := tmpl.AddOutput("o", lineCodec)
+			tmpl.Connect(in, o)
+			tmpl.Connect(c, o)
+			tmpl.AddPort("p", in, o, false)
+		},
+	}
+	for name, f := range cases {
+		if err := build(f); err == nil {
+			t.Errorf("%s: validated, want error", name)
+		}
+	}
+}
+
+func TestTemplateCycleDetection(t *testing.T) {
+	tmpl := NewTemplate("cyclic")
+	in := tmpl.AddInput("in", lineCodec)
+	c1 := tmpl.AddCompute("c1", passthrough)
+	c2 := tmpl.AddCompute("c2", passthrough)
+	o := tmpl.AddOutput("o", lineCodec)
+	tmpl.Connect(in, c1)
+	tmpl.Connect(c1, c2)
+	tmpl.Connect(c2, c1) // cycle
+	tmpl.Connect(c2, o)
+	tmpl.AddPort("p", in, o, false)
+	err := tmpl.Validate()
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("err = %v, want cycle error", err)
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	if NodeInput.String() != "input" || NodeCompute.String() != "compute" ||
+		NodeOutput.String() != "output" || NodeKind(9).String() != "invalid" {
+		t.Fatal("kind names")
+	}
+}
+
+func TestPortDirectionality(t *testing.T) {
+	tmpl := NewTemplate("oneway")
+	in := tmpl.AddInput("in", lineCodec)
+	c := tmpl.AddCompute("c", passthrough)
+	out := tmpl.AddOutput("out", lineCodec)
+	tmpl.Connect(in, c)
+	tmpl.Connect(c, out)
+	tmpl.AddPort("source", in, nil, false) // read-only port
+	tmpl.AddPort("sink", nil, out, false)  // write-only port
+	if err := tmpl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ports := tmpl.Ports()
+	if ports[0].Out != -1 || ports[1].In != -1 {
+		t.Fatal("directional ports wrong")
+	}
+}

@@ -1,0 +1,538 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"flick/internal/buffer"
+	"flick/internal/grammar"
+	"flick/internal/netstack"
+	"flick/internal/value"
+)
+
+// Instance is a runtime task graph stamped out of a Template: one Task per
+// node, one Chan per edge, with input/output nodes bound to network
+// connections through ports. Instances are reusable (Reset) to support the
+// graph dispatcher's pre-allocated pool (§5: "The platform maintains a
+// pre-allocated pool of task graphs to avoid the overhead of construction").
+type Instance struct {
+	tmpl  *Template
+	sched *Scheduler
+
+	tasks   []*Task   // by node ID
+	nodeIn  [][]*Chan // per node: in-channels aligned with node.ins
+	nodeOut [][]*Chan // per node: out-channels aligned with node.outs
+
+	inputRT  []*inputState  // by node ID (inputs only)
+	outputRT []*outputState // by node ID (outputs only)
+	compRT   []*computeState
+
+	conns     []net.Conn // by port index
+	id        int64
+	liveTasks atomic.Int32
+	shutdown  atomic.Bool
+	// active gates task bodies: false between Reset and the next Start,
+	// so stale wakeups from a previous binding (old connection callbacks,
+	// queued scheduler entries) cannot touch runtime state while the
+	// dispatcher rebinds the instance.
+	active   atomic.Bool
+	finished chan struct{}
+	onFinish func(*Instance)
+}
+
+var instanceIDs atomic.Int64
+
+// ID returns the instance's unique identifier (used by the language's
+// instance_id() builtin, e.g. for per-connection backend affinity).
+func (inst *Instance) ID() int64 { return inst.id }
+
+// inputState is the runtime of one input node.
+type inputState struct {
+	mu   sync.Mutex
+	q    *buffer.Queue
+	eof  bool
+	conn net.Conn
+	dec  grammar.StreamDecoder
+	rbuf []byte // event-driven TryRead scratch
+	evt  bool   // event-driven (UserNet) vs pump-goroutine (kernel)
+	port int
+}
+
+// outputState is the runtime of one output node.
+type outputState struct {
+	conn net.Conn
+	wbuf []byte
+	port int
+}
+
+// computeState is the runtime of one compute node.
+type computeState struct {
+	edgeClosed []bool
+	open       int
+	state      any
+}
+
+// NewInstance builds a runtime graph. Validate the template first.
+func NewInstance(tmpl *Template, sched *Scheduler) *Instance {
+	inst := &Instance{
+		tmpl:     tmpl,
+		sched:    sched,
+		id:       instanceIDs.Add(1),
+		tasks:    make([]*Task, len(tmpl.nodes)),
+		nodeIn:   make([][]*Chan, len(tmpl.nodes)),
+		nodeOut:  make([][]*Chan, len(tmpl.nodes)),
+		inputRT:  make([]*inputState, len(tmpl.nodes)),
+		outputRT: make([]*outputState, len(tmpl.nodes)),
+		compRT:   make([]*computeState, len(tmpl.nodes)),
+		conns:    make([]net.Conn, len(tmpl.ports)),
+		finished: make(chan struct{}),
+	}
+	// Channels: one per edge, owned (as input) by the downstream node.
+	type edge struct{ from, to int }
+	chans := map[edge]*Chan{}
+	for _, n := range tmpl.nodes {
+		inst.nodeIn[n.ID] = make([]*Chan, len(n.ins))
+		for i, from := range n.ins {
+			ch := NewChan(64)
+			chans[edge{from, n.ID}] = ch
+			inst.nodeIn[n.ID][i] = ch
+		}
+	}
+	for _, n := range tmpl.nodes {
+		inst.nodeOut[n.ID] = make([]*Chan, len(n.outs))
+		for i, to := range n.outs {
+			inst.nodeOut[n.ID][i] = chans[edge{n.ID, to}]
+		}
+	}
+	// Tasks.
+	for _, n := range tmpl.nodes {
+		n := n
+		var body TaskFunc
+		switch n.Kind {
+		case NodeInput:
+			body = func(ctx *ExecCtx) RunResult { return inst.runInput(ctx, n) }
+		case NodeOutput:
+			body = func(ctx *ExecCtx) RunResult { return inst.runOutput(ctx, n) }
+		case NodeCompute:
+			body = func(ctx *ExecCtx) RunResult { return inst.runCompute(ctx, n) }
+		}
+		t := sched.NewTask(tmpl.Name+"/"+n.Name, body)
+		t.onDone = inst.taskDone
+		inst.tasks[n.ID] = t
+		for _, ch := range inst.nodeIn[n.ID] {
+			ch.SetConsumer(t, sched)
+		}
+	}
+	inst.initRuntime()
+	return inst
+}
+
+// initRuntime (re)initialises per-run state; used at construction and
+// Reset. State objects (and in particular the 32 KiB per-input read
+// buffers and the byte queues' pooled chunks) are retained across resets —
+// reallocating them per connection was the dominant allocation source on
+// the non-persistent connection path.
+func (inst *Instance) initRuntime() {
+	inst.active.Store(false)
+	inst.liveTasks.Store(int32(len(inst.tmpl.nodes)))
+	inst.shutdown.Store(false)
+	inst.finished = make(chan struct{})
+	for _, n := range inst.tmpl.nodes {
+		switch n.Kind {
+		case NodeInput:
+			st := inst.inputRT[n.ID]
+			if st == nil {
+				st = &inputState{
+					q:    buffer.NewQueue(nil),
+					rbuf: make([]byte, 32<<10),
+				}
+				inst.inputRT[n.ID] = st
+			}
+			st.mu.Lock()
+			st.q.Reset()
+			st.dec = n.Codec.NewDecoder()
+			st.eof = false
+			st.conn = nil
+			st.evt = false
+			st.port = -1
+			st.mu.Unlock()
+		case NodeOutput:
+			st := inst.outputRT[n.ID]
+			if st == nil {
+				st = &outputState{}
+				inst.outputRT[n.ID] = st
+			}
+			st.conn = nil
+			st.port = -1
+		case NodeCompute:
+			cs := inst.compRT[n.ID]
+			if cs == nil {
+				cs = &computeState{edgeClosed: make([]bool, len(n.ins))}
+				inst.compRT[n.ID] = cs
+			}
+			for i := range cs.edgeClosed {
+				cs.edgeClosed[i] = false
+			}
+			cs.open = len(n.ins)
+			cs.state = nil
+			if n.NewState != nil {
+				cs.state = n.NewState()
+			}
+		}
+	}
+}
+
+// Reset prepares a finished instance for reuse by the pool.
+//
+// Ordering matters: the active gate must drop BEFORE the tasks' done flags
+// clear. A late wakeup from the previous binding (an in-flight connection
+// callback) passes the scheduler's done check as soon as done flips false;
+// with active already false its activation is inert, instead of running
+// against the previous session's input state and poisoning the fresh one.
+func (inst *Instance) Reset() {
+	inst.active.Store(false)
+	for _, t := range inst.tasks {
+		t.done.Store(false)
+		t.state.Store(int32(TaskIdle))
+	}
+	for _, chs := range inst.nodeIn {
+		for _, ch := range chs {
+			ch.Reset()
+		}
+	}
+	for i := range inst.conns {
+		inst.conns[i] = nil
+	}
+	inst.initRuntime()
+}
+
+// Template returns the blueprint this instance was built from.
+func (inst *Instance) Template() *Template { return inst.tmpl }
+
+// Task returns the runtime task of node id (diagnostics and tests).
+func (inst *Instance) Task(id int) *Task { return inst.tasks[id] }
+
+// SetOnFinish registers a completion callback (pool return).
+func (inst *Instance) SetOnFinish(fn func(*Instance)) { inst.onFinish = fn }
+
+// Finished returns a channel closed when every task of the instance has
+// terminated.
+func (inst *Instance) Finished() <-chan struct{} { return inst.finished }
+
+// DebugString renders the instance's runtime state for diagnostics.
+func (inst *Instance) DebugString() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "instance %d (%s) active=%v live=%d shutdown=%v\n",
+		inst.id, inst.tmpl.Name, inst.active.Load(), inst.liveTasks.Load(), inst.shutdown.Load())
+	for _, n := range inst.tmpl.nodes {
+		t := inst.tasks[n.ID]
+		fmt.Fprintf(&sb, "  node %d %-8s %-16s state=%d done=%v runs=%d",
+			n.ID, n.Kind, n.Name, t.state.Load(), t.done.Load(), t.runs.Load())
+		if st := inst.inputRT[n.ID]; st != nil {
+			st.mu.Lock()
+			fmt.Fprintf(&sb, " qlen=%d eof=%v evt=%v conn=%v", st.q.Len(), st.eof, st.evt, st.conn != nil)
+			st.mu.Unlock()
+		}
+		for i, ch := range inst.nodeIn[n.ID] {
+			fmt.Fprintf(&sb, " in%d=%d/%v", i, ch.Len(), ch.Closed())
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Bind attaches a connection to a port. Call before Start.
+func (inst *Instance) Bind(port int, conn net.Conn) {
+	inst.conns[port] = conn
+	p := inst.tmpl.ports[port]
+	if p.In >= 0 {
+		st := inst.inputRT[p.In]
+		st.conn = conn
+		st.port = port
+		_, st.evt = conn.(netstack.Readable)
+	}
+	if p.Out >= 0 {
+		st := inst.outputRT[p.Out]
+		st.conn = conn
+		st.port = port
+	}
+}
+
+// Start activates the instance: event callbacks are registered, pump
+// goroutines start for kernel connections, and every input task is
+// scheduled once to consume any pending bytes.
+func (inst *Instance) Start() {
+	inst.active.Store(true)
+	for _, n := range inst.tmpl.nodes {
+		if n.Kind != NodeInput {
+			continue
+		}
+		st := inst.inputRT[n.ID]
+		task := inst.tasks[n.ID]
+		if st.conn == nil {
+			// Unbound input (write-only benchmark graphs): treat as EOF.
+			st.eof = true
+			inst.sched.Schedule(task)
+			continue
+		}
+		if st.evt {
+			r := st.conn.(netstack.Readable)
+			sched, tsk := inst.sched, task
+			r.SetReadableCallback(func() { sched.Schedule(tsk) })
+		} else {
+			go inst.pump(st, task)
+		}
+		inst.sched.Schedule(task)
+	}
+}
+
+// pump bridges a kernel (blocking) connection into the task world: it
+// blocks on Read and schedules the input task as bytes arrive. This is the
+// kernel-stack analogue of mTCP's event loop (one goroutine per connection
+// instead of one epoll event).
+func (inst *Instance) pump(st *inputState, task *Task) {
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := st.conn.Read(buf)
+		if n > 0 {
+			st.mu.Lock()
+			st.q.Append(buf[:n])
+			st.mu.Unlock()
+			inst.sched.Schedule(task)
+		}
+		if err != nil {
+			st.mu.Lock()
+			st.eof = true
+			st.mu.Unlock()
+			inst.sched.Schedule(task)
+			return
+		}
+	}
+}
+
+// taskDone runs (via Task.onDone, after the scheduler finalises the task's
+// state) exactly once per node when its task returns RunDone. When the last
+// task of the instance terminates the instance is finished and may be
+// recycled by the pool — the ordering guarantees no scheduler store can
+// clobber a Reset.
+func (inst *Instance) taskDone() {
+	if inst.liveTasks.Add(-1) == 0 {
+		close(inst.finished)
+		if inst.onFinish != nil {
+			inst.onFinish(inst)
+		}
+	}
+}
+
+// beginShutdown force-closes every connection; EOFs then propagate through
+// the dataflow and all tasks terminate. After the closes, event callbacks
+// are unregistered (late wakeups from this binding are additionally gated
+// by the active flag) and every input task is scheduled once so it observes
+// its connection's EOF even if its close event fired before the task was
+// ready for it.
+func (inst *Instance) beginShutdown() {
+	if !inst.shutdown.CompareAndSwap(false, true) {
+		return
+	}
+	for _, c := range inst.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	for _, n := range inst.tmpl.nodes {
+		if n.Kind != NodeInput {
+			continue
+		}
+		st := inst.inputRT[n.ID]
+		if st.evt && st.conn != nil {
+			st.conn.(netstack.Readable).SetReadableCallback(nil)
+		}
+		inst.sched.Schedule(inst.tasks[n.ID])
+	}
+}
+
+// Close aborts the instance explicitly (platform shutdown).
+func (inst *Instance) Close() { inst.beginShutdown() }
+
+// --- task bodies ---
+
+// runInput drains bytes from the connection, decodes complete messages and
+// pushes them downstream.
+func (inst *Instance) runInput(ctx *ExecCtx, n *Node) RunResult {
+	if !inst.active.Load() {
+		return RunIdle // stale wakeup while unbound (see Instance.active)
+	}
+	st := inst.inputRT[n.ID]
+	out := inst.nodeOut[n.ID][0]
+	for {
+		if out.Saturated() {
+			return RunYield
+		}
+		st.mu.Lock()
+		msg, ok, derr := st.dec.Decode(st.q)
+		if ok {
+			st.mu.Unlock()
+			out.Push(msg)
+			if ctx.CountItem() {
+				return RunYield
+			}
+			continue
+		}
+		if derr != nil {
+			// Malformed stream: the paper's grammars adopt a default
+			// behaviour for unparseable input (§4.2) — we drop the
+			// connection, the only safe framing recovery.
+			st.eof = true
+		}
+		if st.eof {
+			st.mu.Unlock()
+			return inst.finishInput(st, out)
+		}
+		if st.evt {
+			// Event-driven: pull bytes non-blockingly from the stack.
+			nread, rerr := st.conn.(netstack.Readable).TryRead(st.rbuf)
+			if nread > 0 {
+				st.q.Append(st.rbuf[:nread])
+				st.mu.Unlock()
+				continue
+			}
+			if rerr != nil {
+				// EOF and hard errors end the stream alike.
+				st.eof = true
+				st.mu.Unlock()
+				return inst.finishInput(st, out)
+			}
+		}
+		st.mu.Unlock()
+		return RunIdle
+	}
+}
+
+// finishInput propagates EOF downstream and triggers instance shutdown for
+// primary ports.
+func (inst *Instance) finishInput(st *inputState, out *Chan) RunResult {
+	out.Close()
+	if st.port >= 0 && inst.tmpl.ports[st.port].Primary {
+		inst.beginShutdown()
+	}
+	return RunDone
+}
+
+// runCompute drains the node's in-edges round-robin, invoking the body per
+// value and the EOF hook per closed edge.
+func (inst *Instance) runCompute(ctx *ExecCtx, n *Node) RunResult {
+	if !inst.active.Load() {
+		return RunIdle // stale wakeup while unbound (see Instance.active)
+	}
+	cs := inst.compRT[n.ID]
+	ins := inst.nodeIn[n.ID]
+	nctx := NodeCtx{inst: inst, node: n, State: cs.state, exec: ctx}
+	for {
+		for _, ch := range inst.nodeOut[n.ID] {
+			if ch.Saturated() {
+				return RunYield
+			}
+		}
+		progressed := false
+		for i, ch := range ins {
+			if cs.edgeClosed[i] {
+				continue
+			}
+			v, ok, closed := ch.Pop()
+			if ok {
+				n.Fn(&nctx, v, i)
+				progressed = true
+				if ctx.CountItem() {
+					return RunYield
+				}
+				continue
+			}
+			if closed {
+				cs.edgeClosed[i] = true
+				cs.open--
+				progressed = true
+				if n.OnEOF != nil {
+					n.OnEOF(&nctx, i)
+				}
+			}
+		}
+		if cs.open == 0 {
+			for _, ch := range inst.nodeOut[n.ID] {
+				ch.Close()
+			}
+			return RunDone
+		}
+		if !progressed {
+			return RunIdle
+		}
+	}
+}
+
+// runOutput serialises values from the node's in-edges onto its connection.
+func (inst *Instance) runOutput(ctx *ExecCtx, n *Node) RunResult {
+	if !inst.active.Load() {
+		return RunIdle // stale wakeup while unbound (see Instance.active)
+	}
+	st := inst.outputRT[n.ID]
+	ins := inst.nodeIn[n.ID]
+	for {
+		progressed := false
+		closedCount := 0
+		for _, ch := range ins {
+			v, ok, closed := ch.Pop()
+			if closed {
+				closedCount++
+				continue
+			}
+			if !ok {
+				continue
+			}
+			progressed = true
+			out, err := n.Codec.Encode(st.wbuf[:0], v)
+			if err == nil {
+				st.wbuf = out[:0]
+				if st.conn != nil {
+					st.conn.Write(out)
+				}
+			}
+			if ctx.CountItem() {
+				return RunYield
+			}
+		}
+		if closedCount == len(ins) {
+			if st.conn != nil {
+				st.conn.Close()
+			}
+			return RunDone
+		}
+		if !progressed {
+			return RunIdle
+		}
+	}
+}
+
+// NodeCtx is passed to compute bodies.
+type NodeCtx struct {
+	inst  *Instance
+	node  *Node
+	State any
+	exec  *ExecCtx
+}
+
+// Emit pushes v onto the node's out-edge at index out (declaration order of
+// Connect calls).
+func (c *NodeCtx) Emit(out int, v value.Value) {
+	c.inst.nodeOut[c.node.ID][out].Push(v)
+}
+
+// Outs returns the node's out-edge count.
+func (c *NodeCtx) Outs() int { return len(c.inst.nodeOut[c.node.ID]) }
+
+// Instance returns the enclosing instance.
+func (c *NodeCtx) Instance() *Instance { return c.inst }
+
+// Node returns the node being executed.
+func (c *NodeCtx) Node() *Node { return c.node }

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"flick/internal/netstack"
+)
+
+// Platform hosts FLICK programs: it owns the shared scheduler and the
+// application dispatcher, which maps incoming connections to program
+// instances by listening address (§5, Figure 2).
+type Platform struct {
+	sched     *Scheduler
+	transport netstack.Transport
+
+	mu       sync.Mutex
+	services []*Service
+	closed   bool
+}
+
+// Config configures a platform.
+type Config struct {
+	// Workers is the worker-thread count (<=0: GOMAXPROCS).
+	Workers int
+	// Policy is the scheduling discipline (zero value: Cooperative).
+	Policy Policy
+	// Transport carries all service traffic (nil: kernel TCP).
+	Transport netstack.Transport
+	// SchedOptions tweak the scheduler (ablations).
+	SchedOptions []Option
+}
+
+// NewPlatform creates and starts a platform.
+func NewPlatform(cfg Config) *Platform {
+	pol := cfg.Policy
+	if pol.Name == "" {
+		pol = Cooperative
+	}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = netstack.KernelTCP{}
+	}
+	p := &Platform{
+		sched:     NewScheduler(cfg.Workers, pol, cfg.SchedOptions...),
+		transport: tr,
+	}
+	p.sched.Start()
+	return p
+}
+
+// Scheduler returns the platform's shared scheduler.
+func (p *Platform) Scheduler() *Scheduler { return p.sched }
+
+// Transport returns the platform's network stack.
+func (p *Platform) Transport() netstack.Transport { return p.transport }
+
+// Close shuts down every service and the scheduler.
+func (p *Platform) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	svcs := append([]*Service{}, p.services...)
+	p.mu.Unlock()
+	for _, s := range svcs {
+		s.Close()
+	}
+	p.sched.Stop()
+}
+
+// Dispatch is how a service turns an accepted connection into running task
+// graphs. PerConnection creates (or pools) one instance per connection;
+// Shared attaches successive connections to one instance's ports in order.
+type Dispatch int
+
+// Dispatch modes.
+const (
+	// PerConnection gives every accepted connection its own task graph
+	// ("Giving each client connection a new task graph ensures that
+	// responses are routed back to the correct client", §4.1).
+	PerConnection Dispatch = iota
+	// Shared binds accepted connections to the next unbound port of a
+	// single long-lived instance (the Hadoop aggregator's mappers).
+	Shared
+)
+
+// ServiceConfig describes one deployed FLICK program.
+type ServiceConfig struct {
+	// Name identifies the service.
+	Name string
+	// ListenAddr is where the application dispatcher accepts clients.
+	ListenAddr string
+	// Template is the compiled task graph blueprint.
+	Template *Template
+	// Dispatch selects the instance-per-connection policy.
+	Dispatch Dispatch
+	// ClientPort is the port index bound to accepted connections
+	// (PerConnection mode).
+	ClientPort int
+	// BackendAddrs maps port index → address to dial when an instance is
+	// activated. Ports absent from the map (and != ClientPort) stay
+	// unbound unless Shared dispatch assigns them.
+	BackendAddrs map[int]string
+	// SharedPorts lists, for Shared dispatch, the port indices assigned
+	// to successive accepted connections (in order).
+	SharedPorts []int
+	// PoolSize bounds the instance pool (PerConnection mode).
+	PoolSize int
+	// DisablePool forces fresh construction per connection (ablation).
+	DisablePool bool
+}
+
+// Service is a deployed program: a listener plus the graph dispatcher.
+type Service struct {
+	cfg      ServiceConfig
+	platform *Platform
+	listener net.Listener
+	pool     *GraphPool
+
+	mu      sync.Mutex
+	shared  *Instance // Shared dispatch accumulator
+	nextIdx int       // next SharedPorts slot
+	closed  bool
+	live    map[*Instance]struct{}
+}
+
+// Deploy starts serving cfg on the platform.
+func (p *Platform) Deploy(cfg ServiceConfig) (*Service, error) {
+	if err := cfg.Template.Validate(); err != nil {
+		return nil, err
+	}
+	l, err := p.transport.Listen(cfg.ListenAddr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:      cfg,
+		platform: p,
+		listener: l,
+		pool:     NewGraphPool(cfg.Template, p.sched, cfg.PoolSize),
+		live:     map[*Instance]struct{}{},
+	}
+	s.pool.Disabled = cfg.DisablePool
+	p.mu.Lock()
+	p.services = append(p.services, s)
+	p.mu.Unlock()
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the service's bound listen address.
+func (s *Service) Addr() string { return s.listener.Addr().String() }
+
+// Pool returns the service's graph pool (stats, priming).
+func (s *Service) Pool() *GraphPool { return s.pool }
+
+// Close stops accepting and aborts live instances.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	shared := s.shared
+	s.mu.Unlock()
+	s.listener.Close()
+	if shared != nil {
+		shared.Close()
+	}
+}
+
+// DumpLive renders every unfinished instance's runtime state (diagnostics).
+func (s *Service) DumpLive() []string {
+	s.mu.Lock()
+	insts := make([]*Instance, 0, len(s.live))
+	for i := range s.live {
+		insts = append(insts, i)
+	}
+	s.mu.Unlock()
+	out := make([]string, len(insts))
+	for i, inst := range insts {
+		out[i] = inst.DebugString()
+	}
+	return out
+}
+
+// acceptLoop is the application dispatcher: it hands each accepted
+// connection to the graph dispatcher. PerConnection dispatch (pool
+// checkout, backend dials, instance start) runs concurrently so connection
+// setup cost never serialises accepts; Shared dispatch stays in accept
+// order, since mapper→port assignment is positional.
+func (s *Service) acceptLoop() {
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		if s.cfg.Dispatch == PerConnection {
+			go func(conn net.Conn) {
+				if err := s.dispatch(conn); err != nil {
+					conn.Close()
+				}
+			}(conn)
+			continue
+		}
+		if err := s.dispatch(conn); err != nil {
+			conn.Close()
+		}
+	}
+}
+
+// dispatch is the graph dispatcher (§5: "assigns incoming connections to
+// task graphs, instantiating a new one if none suitable exists").
+func (s *Service) dispatch(conn net.Conn) error {
+	switch s.cfg.Dispatch {
+	case PerConnection:
+		return s.dispatchPerConn(conn)
+	case Shared:
+		return s.dispatchShared(conn)
+	}
+	return fmt.Errorf("core: unknown dispatch mode %d", s.cfg.Dispatch)
+}
+
+func (s *Service) dispatchPerConn(conn net.Conn) error {
+	inst := s.pool.Get()
+	s.mu.Lock()
+	s.live[inst] = struct{}{}
+	s.mu.Unlock()
+	inst.SetOnFinish(func(i *Instance) {
+		s.mu.Lock()
+		delete(s.live, i)
+		s.mu.Unlock()
+		s.pool.Put(i)
+	})
+	inst.Bind(s.cfg.ClientPort, conn)
+	// Dial backends ("The graph dispatcher also creates new output channel
+	// connections to forward processed traffic").
+	for port, addr := range s.cfg.BackendAddrs {
+		bc, err := s.platform.transport.Dial(addr)
+		if err != nil {
+			inst.Close()
+			return fmt.Errorf("core: dial backend %s: %w", addr, err)
+		}
+		inst.Bind(port, bc)
+	}
+	inst.Start()
+	return nil
+}
+
+func (s *Service) dispatchShared(conn net.Conn) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("core: service closed")
+	}
+	if s.shared == nil {
+		inst := NewInstance(s.cfg.Template, s.platform.sched)
+		for port, addr := range s.cfg.BackendAddrs {
+			bc, err := s.platform.transport.Dial(addr)
+			if err != nil {
+				inst.Close()
+				return fmt.Errorf("core: dial backend %s: %w", addr, err)
+			}
+			inst.Bind(port, bc)
+		}
+		s.shared = inst
+		s.nextIdx = 0
+	}
+	if s.nextIdx >= len(s.cfg.SharedPorts) {
+		return fmt.Errorf("core: all %d shared ports bound", len(s.cfg.SharedPorts))
+	}
+	port := s.cfg.SharedPorts[s.nextIdx]
+	s.nextIdx++
+	s.shared.Bind(port, conn)
+	if s.nextIdx == len(s.cfg.SharedPorts) {
+		inst := s.shared
+		// Allow a fresh accumulator for the next wave of connections.
+		s.shared = nil
+		inst.Start()
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// GraphPool is the graph dispatcher's pre-allocated pool of instances (§5).
+// Get reuses a finished instance when available, otherwise builds a fresh
+// one; Put resets and retains up to Cap instances.
+type GraphPool struct {
+	tmpl  *Template
+	sched *Scheduler
+	cap   int
+
+	mu   sync.Mutex
+	free []*Instance
+
+	// Disabled makes Get always construct (the pooling ablation).
+	Disabled bool
+
+	hits   atomic.Uint64
+	builds atomic.Uint64
+}
+
+// NewGraphPool creates a pool bounded at capacity instances (default 256
+// when <= 0).
+func NewGraphPool(tmpl *Template, sched *Scheduler, capacity int) *GraphPool {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &GraphPool{tmpl: tmpl, sched: sched, cap: capacity}
+}
+
+// Prime pre-allocates n pooled instances.
+func (p *GraphPool) Prime(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.free) < n && len(p.free) < p.cap {
+		p.free = append(p.free, NewInstance(p.tmpl, p.sched))
+	}
+}
+
+// Get returns a ready-to-bind instance.
+func (p *GraphPool) Get() *Instance {
+	if !p.Disabled {
+		p.mu.Lock()
+		if n := len(p.free); n > 0 {
+			inst := p.free[n-1]
+			p.free = p.free[:n-1]
+			p.mu.Unlock()
+			p.hits.Add(1)
+			return inst
+		}
+		p.mu.Unlock()
+	}
+	p.builds.Add(1)
+	return NewInstance(p.tmpl, p.sched)
+}
+
+// Put resets inst and returns it to the pool (or drops it when full).
+func (p *GraphPool) Put(inst *Instance) {
+	if p.Disabled {
+		return
+	}
+	inst.Reset()
+	p.mu.Lock()
+	if len(p.free) < p.cap {
+		p.free = append(p.free, inst)
+	}
+	p.mu.Unlock()
+}
+
+// Stats reports pool reuse counters.
+type PoolStats struct {
+	Hits   uint64 // instances served from the pool
+	Builds uint64 // instances constructed
+}
+
+// Stats returns a snapshot.
+func (p *GraphPool) Stats() PoolStats {
+	return PoolStats{Hits: p.hits.Load(), Builds: p.builds.Load()}
+}

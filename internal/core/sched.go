@@ -1,0 +1,286 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Policy is a scheduling discipline (§6.4 evaluates three).
+type Policy struct {
+	// Name identifies the policy in benchmark output.
+	Name string
+	// Quantum is the timeslice threshold: a task exceeding it re-enters
+	// the scheduler (paper: "typically, 10–100 µs"). Zero disables the
+	// bound.
+	Quantum time.Duration
+	// MaxItems bounds the number of input items per activation. Zero
+	// disables the bound.
+	MaxItems int
+}
+
+// The three policies from §6.4.
+var (
+	// Cooperative is FLICK's policy: fixed CPU quantum, then yield.
+	Cooperative = Policy{Name: "cooperative", Quantum: 50 * time.Microsecond}
+	// NonCooperative runs a scheduled task until it exhausts its input.
+	NonCooperative = Policy{Name: "non-cooperative"}
+	// RoundRobin schedules each task for one data item only.
+	RoundRobin = Policy{Name: "round-robin", MaxItems: 1}
+)
+
+// CooperativeQuantum returns the cooperative policy with a custom quantum
+// (the timeslice ablation experiment).
+func CooperativeQuantum(q time.Duration) Policy {
+	return Policy{Name: "cooperative", Quantum: q}
+}
+
+// Scheduler runs tasks on a fixed pool of worker goroutines, one per
+// configured core, with per-worker FIFO queues, task→worker affinity by
+// task-id hash, and work scavenging from other queues when idle (§5).
+type Scheduler struct {
+	workers []*workerQueue
+	policy  Policy
+	// Affinity false routes every schedule to a single shared queue
+	// (ablation: the value of per-worker queues).
+	affinity bool
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	sleeping int
+	stopped  bool
+	wg       sync.WaitGroup
+
+	scheduled atomic.Uint64
+	stolen    atomic.Uint64
+	executed  atomic.Uint64
+}
+
+// workerQueue is one worker's FIFO run queue.
+type workerQueue struct {
+	mu    sync.Mutex
+	tasks []*Task // simple slice FIFO; head at index 0
+}
+
+func (w *workerQueue) push(t *Task) {
+	w.mu.Lock()
+	w.tasks = append(w.tasks, t)
+	w.mu.Unlock()
+}
+
+func (w *workerQueue) pop() *Task {
+	w.mu.Lock()
+	if len(w.tasks) == 0 {
+		w.mu.Unlock()
+		return nil
+	}
+	t := w.tasks[0]
+	copy(w.tasks, w.tasks[1:])
+	w.tasks = w.tasks[:len(w.tasks)-1]
+	w.mu.Unlock()
+	return t
+}
+
+// Option configures a scheduler.
+type Option func(*Scheduler)
+
+// WithoutAffinity funnels all tasks through worker 0's queue, relying on
+// stealing to spread load (ablation baseline).
+func WithoutAffinity() Option {
+	return func(s *Scheduler) { s.affinity = false }
+}
+
+// NewScheduler creates a scheduler with nWorkers worker goroutines (<=0
+// selects GOMAXPROCS) under the given policy. Call Start to run it.
+func NewScheduler(nWorkers int, policy Policy, opts ...Option) *Scheduler {
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	s := &Scheduler{policy: policy, affinity: true}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < nWorkers; i++ {
+		s.workers = append(s.workers, &workerQueue{})
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Workers returns the worker count.
+func (s *Scheduler) Workers() int { return len(s.workers) }
+
+// Policy returns the scheduling policy.
+func (s *Scheduler) Policy() Policy { return s.policy }
+
+// Stats reports cumulative scheduling activity.
+type SchedStats struct {
+	Scheduled uint64 // tasks enqueued
+	Executed  uint64 // task activations
+	Stolen    uint64 // activations run off the task's home worker
+}
+
+// Stats returns a snapshot of scheduler counters.
+func (s *Scheduler) Stats() SchedStats {
+	return SchedStats{
+		Scheduled: s.scheduled.Load(),
+		Executed:  s.executed.Load(),
+		Stolen:    s.stolen.Load(),
+	}
+}
+
+// Start launches the worker goroutines.
+func (s *Scheduler) Start() {
+	for i := range s.workers {
+		s.wg.Add(1)
+		go s.workerLoop(i)
+	}
+}
+
+// Stop terminates the workers. Queued tasks are abandoned.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// NewTask registers a new task under this scheduler and assigns its home
+// worker by identifier hash (§5: "a hash over this identifier determines
+// which worker's task queue the task should be assigned to").
+func (s *Scheduler) NewTask(name string, fn TaskFunc) *Task {
+	t := newTask(name, fn)
+	t.home = int(t.id % uint64(len(s.workers)))
+	return t
+}
+
+// Schedule makes t runnable. It is safe to call from any goroutine,
+// including concurrently with t running (the task transitions to
+// RunningDirty and is requeued when its current activation finishes).
+func (s *Scheduler) Schedule(t *Task) {
+	if t == nil || t.done.Load() {
+		return
+	}
+	for {
+		st := TaskState(t.state.Load())
+		switch st {
+		case TaskIdle:
+			if t.state.CompareAndSwap(int32(TaskIdle), int32(TaskQueued)) {
+				s.scheduled.Add(1)
+				s.enqueue(t)
+				return
+			}
+		case TaskRunning:
+			if t.state.CompareAndSwap(int32(TaskRunning), int32(TaskRunningDirty)) {
+				return
+			}
+		case TaskQueued, TaskRunningDirty:
+			return
+		}
+	}
+}
+
+func (s *Scheduler) enqueue(t *Task) {
+	w := 0
+	if s.affinity {
+		w = t.home
+	}
+	s.workers[w].push(t)
+	s.mu.Lock()
+	if s.sleeping > 0 {
+		s.cond.Signal()
+	}
+	s.mu.Unlock()
+}
+
+// find returns the next task for worker wid: its own queue first, then a
+// scavenging sweep over the other queues.
+func (s *Scheduler) find(wid int) *Task {
+	if t := s.workers[wid].pop(); t != nil {
+		return t
+	}
+	n := len(s.workers)
+	for off := 1; off < n; off++ {
+		if t := s.workers[(wid+off)%n].pop(); t != nil {
+			s.stolen.Add(1)
+			return t
+		}
+	}
+	return nil
+}
+
+func (s *Scheduler) workerLoop(wid int) {
+	defer s.wg.Done()
+	for {
+		t := s.find(wid)
+		if t == nil {
+			s.mu.Lock()
+			if s.stopped {
+				s.mu.Unlock()
+				return
+			}
+			// Re-check under the sleep lock: any enqueue after this
+			// point must acquire s.mu to signal and will wake us.
+			if t = s.find(wid); t == nil {
+				s.sleeping++
+				s.cond.Wait()
+				s.sleeping--
+				s.mu.Unlock()
+				continue
+			}
+			s.mu.Unlock()
+		}
+		s.run(t, wid)
+	}
+}
+
+// run executes one activation of t on worker wid.
+func (s *Scheduler) run(t *Task, wid int) {
+	if !t.state.CompareAndSwap(int32(TaskQueued), int32(TaskRunning)) {
+		return // defensive: stale pointer in a queue
+	}
+	// A Schedule call may have read done==false, lost the race with the
+	// task's final activation, and enqueued it again; the done flag is
+	// stored before the state returns to Idle, so this check is reliable.
+	if t.done.Load() {
+		t.state.Store(int32(TaskIdle))
+		return
+	}
+	s.executed.Add(1)
+	t.runs.Add(1)
+	ctx := ExecCtx{
+		sched:    s,
+		task:     t,
+		worker:   wid,
+		started:  time.Now(),
+		quantum:  s.policy.Quantum,
+		maxItems: s.policy.MaxItems,
+	}
+	res := t.fn(&ctx)
+	t.itemsRun.Add(uint64(ctx.items))
+
+	if res == RunDone {
+		t.done.Store(true)
+		t.state.Store(int32(TaskIdle))
+		if t.onDone != nil {
+			t.onDone()
+		}
+		return
+	}
+	requeue := res == RunYield
+	if requeue {
+		t.yields.Add(1)
+	}
+	// Finish the activation: RunningDirty means new data arrived mid-run.
+	if !requeue {
+		if t.state.CompareAndSwap(int32(TaskRunning), int32(TaskIdle)) {
+			return
+		}
+		requeue = true // was RunningDirty
+	}
+	t.state.Store(int32(TaskQueued))
+	s.scheduled.Add(1)
+	s.enqueue(t)
+}

@@ -1,0 +1,91 @@
+package grammar
+
+// Built-in reusable grammars (§4.2: "The FLICK framework provides reusable
+// grammars for common protocols, such as the HTTP and Memcached protocols").
+// HTTP, being a header-structured text protocol, ships as a native codec in
+// internal/proto/http implementing the same WireFormat interface; the binary
+// and simple text formats below are expressed directly in the grammar
+// language.
+
+// MemcachedUnit is the paper's Listing 2: the Memcached binary protocol
+// command format, shared by requests and responses.
+//
+//	type cmd = unit {
+//	    %byteorder = big;
+//	    magic_code : uint8;
+//	    opcode     : uint8;
+//	    key_len    : uint16;
+//	    extras_len : uint8;
+//	               : uint8;    # anonymous, reserved
+//	    status_or_v_bucket : uint16;
+//	    total_len  : uint32;
+//	    opaque     : uint32;
+//	    cas        : uint64;
+//	    var value_len : uint32 &parse = total_len - (extras_len + key_len)
+//	                          &serialize = total_len = key_len + extras_len + $$;
+//	    extras : bytes  &length = extras_len;
+//	    key    : string &length = key_len;
+//	    value  : bytes  &length = value_len;
+//	}
+func MemcachedUnit() Unit {
+	return Unit{
+		Name:  "memcached.cmd",
+		Order: BigEndian,
+		Fields: []Field{
+			{Name: "magic_code", Kind: KindUint, Size: 1},
+			{Name: "opcode", Kind: KindUint, Size: 1},
+			{Name: "key_len", Kind: KindUint, Size: 2, Serialize: LenOf("key")},
+			{Name: "extras_len", Kind: KindUint, Size: 1, Serialize: LenOf("extras")},
+			{Kind: KindUint, Size: 1}, // anonymous: data type, reserved
+			{Name: "status_or_v_bucket", Kind: KindUint, Size: 2},
+			{Name: "total_len", Kind: KindUint, Size: 4,
+				Serialize: Add(LenOf("key"), Add(LenOf("extras"), LenOf("value")))},
+			{Name: "opaque", Kind: KindUint, Size: 4},
+			{Name: "cas", Kind: KindUint, Size: 8},
+			{Name: "value_len", Kind: KindVar,
+				Parse: Sub(Ref("total_len"), Add(Ref("extras_len"), Ref("key_len")))},
+			{Name: "extras", Kind: KindBytes, Length: Ref("extras_len")},
+			{Name: "key", Kind: KindBytes, Length: Ref("key_len")},
+			{Name: "value", Kind: KindBytes, Length: Ref("value_len")},
+		},
+	}
+}
+
+// Memcached binary protocol opcodes used by the use cases.
+const (
+	MemcachedMagicRequest  = 0x80
+	MemcachedMagicResponse = 0x81
+	MemcachedOpGet         = 0x00
+	MemcachedOpSet         = 0x01
+	MemcachedOpGetK        = 0x0c // GETK: the opcode Listing 1 caches
+)
+
+// HadoopKVUnit is the intermediate key/value pair format used by the Hadoop
+// data aggregator: length-prefixed key and value. (Hadoop's IFile uses
+// varint lengths; fixed 32-bit prefixes keep the same structure — length
+// then payload — while staying in the grammar language. The aggregation
+// semantics are unaffected; see DESIGN.md.)
+func HadoopKVUnit() Unit {
+	return Unit{
+		Name:  "hadoop.kv",
+		Order: BigEndian,
+		Fields: []Field{
+			{Name: "key_len", Kind: KindUint, Size: 4, Serialize: LenOf("key")},
+			{Name: "value_len", Kind: KindUint, Size: 4, Serialize: LenOf("value")},
+			{Name: "key", Kind: KindBytes, Length: Ref("key_len")},
+			{Name: "value", Kind: KindBytes, Length: Ref("value_len")},
+		},
+	}
+}
+
+// LineUnit is a trivial newline-terminated text format used by the
+// quickstart example and tests.
+func LineUnit() Unit {
+	return Unit{
+		Name:  "text.line",
+		Order: BigEndian,
+		Fields: []Field{
+			{Name: "line", Kind: KindUntil, Delim: []byte{'\n'}},
+		},
+	}
+}

@@ -1,0 +1,242 @@
+package grammar
+
+import (
+	"fmt"
+
+	"flick/internal/buffer"
+	"flick/internal/value"
+)
+
+// decoder is the incremental parse state for one connection. Completed
+// fields are consumed from the queue immediately; an incomplete field leaves
+// the queue untouched until enough bytes arrive, so a single message may be
+// assembled across many Decode calls (and many network reads).
+type decoder struct {
+	c       *Codec
+	fi      int           // index of the field being parsed
+	fields  []value.Value // decoded field values (slot == field index)
+	spans   [][2]int      // byte ranges into raw for aliased fields
+	raw     []byte        // wire image accumulated when capturing
+	scanned int           // delimiter scan progress for KindUntil
+	total   int           // bytes consumed for the current message
+}
+
+// NewDecoder implements WireFormat.
+func (c *Codec) NewDecoder() StreamDecoder {
+	return &decoder{
+		c:      c,
+		fields: make([]value.Value, len(c.fields)),
+		spans:  make([][2]int, len(c.fields)),
+	}
+}
+
+// reset prepares the decoder for the next message.
+func (d *decoder) reset() {
+	for i := range d.fields {
+		d.fields[i] = value.Null
+		d.spans[i] = [2]int{-1, 0}
+	}
+	d.fi = 0
+	d.raw = nil
+	d.scanned = 0
+	d.total = 0
+}
+
+// consume moves n bytes out of the queue. When the codec captures raw wire
+// images the bytes land in d.raw and the returned span indexes it; when
+// materialise is set without capture, a fresh copy is returned.
+func (d *decoder) consume(q *buffer.Queue, n int, materialise bool) (span [2]int, copied []byte) {
+	span = [2]int{-1, 0}
+	switch {
+	case d.c.capture:
+		start := len(d.raw)
+		d.raw = append(d.raw, make([]byte, n)...)
+		q.ReadFull(d.raw[start : start+n])
+		span = [2]int{start, n}
+	case materialise:
+		copied = make([]byte, n)
+		q.ReadFull(copied)
+	default:
+		q.Discard(n)
+	}
+	d.total += n
+	return span, copied
+}
+
+// Decode implements StreamDecoder.
+func (d *decoder) Decode(q *buffer.Queue) (value.Value, bool, error) {
+	if d.spans == nil {
+		d.spans = make([][2]int, len(d.c.fields))
+	}
+	for d.fi < len(d.c.fields) {
+		f := &d.c.fields[d.fi]
+		switch f.Kind {
+		case KindUint:
+			if q.Len() < f.Size {
+				return value.Null, false, nil
+			}
+			var scratch [8]byte
+			q.ReadFull(scratch[:f.Size])
+			if d.c.capture {
+				start := len(d.raw)
+				d.raw = append(d.raw, scratch[:f.Size]...)
+				d.spans[d.fi] = [2]int{start, f.Size}
+			}
+			d.total += f.Size
+			d.fields[d.fi] = value.Int(decodeUint(scratch[:f.Size], d.c.unit.Order))
+
+		case KindFixedBytes:
+			if q.Len() < f.Size {
+				return value.Null, false, nil
+			}
+			span, copied := d.consume(q, f.Size, f.needed)
+			d.spans[d.fi] = span
+			if copied != nil {
+				d.fields[d.fi] = value.Bytes(copied)
+			}
+
+		case KindBytes:
+			n := int(f.length(d.fields, nil))
+			if n < 0 {
+				d.reset()
+				return value.Null, false, fmt.Errorf("%w: field %q computed negative length %d", ErrMalformed, f.Name, n)
+			}
+			if n > f.maxLen || d.total+n > d.c.maxMsg {
+				d.reset()
+				return value.Null, false, fmt.Errorf("%w: field %q length %d", ErrTooLarge, f.Name, n)
+			}
+			if q.Len() < n {
+				return value.Null, false, nil
+			}
+			span, copied := d.consume(q, n, f.needed)
+			d.spans[d.fi] = span
+			if copied != nil {
+				d.fields[d.fi] = value.Bytes(copied)
+			}
+
+		case KindLiteral:
+			n := len(f.Lit)
+			if q.Len() < n {
+				return value.Null, false, nil
+			}
+			var scratch [16]byte
+			probe := scratch[:]
+			if n > len(probe) {
+				probe = make([]byte, n)
+			}
+			q.Peek(probe[:n])
+			for i := 0; i < n; i++ {
+				if probe[i] != f.Lit[i] {
+					d.reset()
+					return value.Null, false, fmt.Errorf("%w: field %q", ErrBadLiteral, f.Name)
+				}
+			}
+			d.consume(q, n, false)
+
+		case KindUntil:
+			pos, found := d.scanDelim(q, f.Delim)
+			if !found {
+				if q.Len() > f.maxLen || d.total+q.Len() > d.c.maxMsg {
+					d.reset()
+					return value.Null, false, fmt.Errorf("%w: unterminated field %q", ErrTooLarge, f.Name)
+				}
+				return value.Null, false, nil
+			}
+			if pos > f.maxLen {
+				d.reset()
+				return value.Null, false, fmt.Errorf("%w: field %q length %d", ErrTooLarge, f.Name, pos)
+			}
+			span, copied := d.consume(q, pos, f.needed)
+			d.spans[d.fi] = span
+			if copied != nil {
+				d.fields[d.fi] = value.Bytes(copied)
+			}
+			d.consume(q, len(f.Delim), false) // the delimiter itself
+			d.scanned = 0
+
+		case KindVar:
+			d.fields[d.fi] = value.Int(f.parse(d.fields, nil))
+		}
+		d.fi++
+	}
+
+	// Message complete: build the record. Aliased fields point into the
+	// (now stable) raw image.
+	rec := d.c.desc.New()
+	if d.c.capture {
+		for i := range d.c.fields {
+			f := &d.c.fields[i]
+			if sp := d.spans[i]; sp[0] >= 0 && f.needed && f.Kind != KindUint {
+				d.fields[i] = value.Bytes(d.raw[sp[0] : sp[0]+sp[1]])
+			}
+		}
+		rec.L[d.c.rawSlot] = value.Bytes(d.raw)
+	}
+	copy(rec.L, d.fields)
+	d.reset()
+	return rec, true, nil
+}
+
+// scanDelim looks for delim in q resuming from d.scanned. It returns the
+// offset of the delimiter start when found.
+func (d *decoder) scanDelim(q *buffer.Queue, delim []byte) (int, bool) {
+	from := d.scanned
+	for {
+		i := q.IndexByte(delim[0], from)
+		if i < 0 {
+			// Resume close to the end next time (a prefix of the delimiter
+			// may be buffered).
+			d.scanned = max(0, q.Len()-len(delim)+1)
+			return 0, false
+		}
+		if i+len(delim) > q.Len() {
+			d.scanned = i
+			return 0, false
+		}
+		match := true
+		for j := 1; j < len(delim); j++ {
+			b, _ := q.PeekByte(i + j)
+			if b != delim[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i, true
+		}
+		from = i + 1
+	}
+}
+
+// decodeUint decodes a big- or little-endian unsigned integer.
+func decodeUint(b []byte, order ByteOrder) int64 {
+	var v uint64
+	if order == BigEndian {
+		for _, x := range b {
+			v = v<<8 | uint64(x)
+		}
+	} else {
+		for i := len(b) - 1; i >= 0; i-- {
+			v = v<<8 | uint64(b[i])
+		}
+	}
+	return int64(v)
+}
+
+// encodeUint appends an unsigned integer of the given width.
+func encodeUint(dst []byte, v int64, size int, order ByteOrder) []byte {
+	var tmp [8]byte
+	u := uint64(v)
+	if order == BigEndian {
+		for i := size - 1; i >= 0; i-- {
+			tmp[i] = byte(u)
+			u >>= 8
+		}
+	} else {
+		for i := 0; i < size; i++ {
+			tmp[i] = byte(u)
+			u >>= 8
+		}
+	}
+	return append(dst, tmp[:size]...)
+}

@@ -1,0 +1,84 @@
+package grammar
+
+import (
+	"fmt"
+
+	"flick/internal/value"
+)
+
+// Encode implements WireFormat. It appends msg's wire form to dst. Integer
+// fields carrying &serialize expressions are recomputed from the current
+// field contents (the paper's Listing 2: "During serialisation, the values
+// of extras_len, key_len, and value_len are updated according to the sizes
+// of the values stored in the ... fields"), so a program may mutate a
+// message's payload fields and the framing stays consistent. msg itself is
+// not modified.
+func (c *Codec) Encode(dst []byte, msg value.Value) ([]byte, error) {
+	if msg.Kind != value.KindRecord || msg.R != c.desc {
+		return dst, fmt.Errorf("%w: encode of %v message with %q codec", ErrMalformed, msg.Kind, c.unit.Name)
+	}
+	// Raw fast path: a captured, unmodified wire image is copied verbatim
+	// (the paper's "simply copied in their wire format representation").
+	// Programs that mutate fields must clear the image (ClearRaw).
+	if c.rawSlot >= 0 && c.rawSlot < len(msg.L) && !msg.L[c.rawSlot].IsNull() {
+		return append(dst, msg.L[c.rawSlot].B...), nil
+	}
+
+	// Pass 1: compute the encoded byte length of every field.
+	lens := make([]int, len(c.fields))
+	for i := range c.fields {
+		f := &c.fields[i]
+		switch f.Kind {
+		case KindUint, KindFixedBytes:
+			lens[i] = f.Size
+		case KindLiteral:
+			lens[i] = len(f.Lit)
+		case KindBytes:
+			lens[i] = msg.L[i].ByteLen()
+		case KindUntil:
+			lens[i] = msg.L[i].ByteLen() // delimiter appended separately
+		case KindVar:
+			lens[i] = msg.L[i].ByteLen()
+		}
+	}
+
+	// Pass 2: recompute fields with &serialize expressions over a scratch
+	// copy so Encode stays pure.
+	fields := make([]value.Value, len(c.fields))
+	copy(fields, msg.L[:len(c.fields)])
+	for i := range c.fields {
+		f := &c.fields[i]
+		if f.serialize != nil {
+			fields[i] = value.Int(f.serialize(fields, lens))
+		}
+	}
+
+	// Pass 3: emit wire bytes.
+	for i := range c.fields {
+		f := &c.fields[i]
+		switch f.Kind {
+		case KindUint:
+			dst = encodeUint(dst, fields[i].AsInt(), f.Size, c.unit.Order)
+		case KindFixedBytes:
+			b := fields[i].AsBytes()
+			if len(b) >= f.Size {
+				dst = append(dst, b[:f.Size]...)
+			} else {
+				dst = append(dst, b...)
+				for j := len(b); j < f.Size; j++ {
+					dst = append(dst, 0)
+				}
+			}
+		case KindLiteral:
+			dst = append(dst, f.Lit...)
+		case KindBytes:
+			dst = append(dst, fields[i].AsBytes()...)
+		case KindUntil:
+			dst = append(dst, fields[i].AsBytes()...)
+			dst = append(dst, f.Delim...)
+		case KindVar:
+			// no wire presence
+		}
+	}
+	return dst, nil
+}

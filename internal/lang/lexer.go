@@ -1,0 +1,350 @@
+package lang
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Lexer tokenises FLICK source. Like the paper's listings, FLICK uses
+// significant indentation: the lexer emits synthetic Indent/Dedent tokens
+// around nested blocks and Newline tokens at logical line ends. Blank lines
+// and '#' comments are skipped. Tabs count as 8 columns.
+type Lexer struct {
+	src    string
+	pos    int
+	line   int
+	col    int
+	indent []int // indentation stack
+	toks   []Token
+	err    *Error
+	parens int // bracket nesting: newlines inside brackets are ignored
+}
+
+// Lex tokenises src completely.
+func Lex(src string) ([]Token, error) {
+	l := &Lexer{src: src, line: 1, col: 1, indent: []int{0}}
+	l.run()
+	if l.err != nil {
+		return nil, l.err
+	}
+	return l.toks, nil
+}
+
+func (l *Lexer) emit(k TokKind, text string, pos Pos) {
+	l.toks = append(l.toks, Token{Kind: k, Text: text, Pos: pos})
+}
+
+func (l *Lexer) fail(pos Pos, format string, args ...any) {
+	if l.err == nil {
+		l.err = errf(pos, format, args...)
+	}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else if c == '\t' {
+		l.col += 8 - (l.col-1)%8
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) run() {
+	atLineStart := true
+	for l.err == nil {
+		if atLineStart && l.parens == 0 {
+			if !l.handleIndentation() {
+				break // EOF
+			}
+			atLineStart = false
+			continue
+		}
+		if l.pos >= len(l.src) {
+			break
+		}
+		c := l.peek()
+		switch {
+		case c == '\n':
+			l.advance()
+			if l.parens == 0 {
+				l.emitNewlineIfNeeded()
+				atLineStart = true
+			}
+		case c == ' ' || c == '\t' || c == '\r':
+			l.advance()
+		case c == '#':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case isIdentStart(c):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		case c == '"':
+			l.lexString()
+		default:
+			l.lexOperator()
+		}
+	}
+	// Close out the file: final newline + dedents.
+	if l.err == nil {
+		l.emitNewlineIfNeeded()
+		for len(l.indent) > 1 {
+			l.indent = l.indent[:len(l.indent)-1]
+			l.emit(TokDedent, "", Pos{l.line, l.col})
+		}
+		l.emit(TokEOF, "", Pos{l.line, l.col})
+	}
+}
+
+// emitNewlineIfNeeded suppresses redundant newline tokens (blank lines,
+// lines holding only a comment).
+func (l *Lexer) emitNewlineIfNeeded() {
+	if n := len(l.toks); n > 0 {
+		switch l.toks[n-1].Kind {
+		case TokNewline, TokIndent, TokDedent:
+			return
+		}
+		l.emit(TokNewline, "", Pos{l.line, l.col})
+	}
+}
+
+// handleIndentation measures the new line's indentation and emits
+// Indent/Dedent tokens. It returns false at EOF.
+func (l *Lexer) handleIndentation() bool {
+	for {
+		// Measure leading whitespace.
+		width := 0
+		for l.pos < len(l.src) {
+			c := l.peek()
+			if c == ' ' {
+				width++
+				l.advance()
+			} else if c == '\t' {
+				width += 8 - width%8
+				l.advance()
+			} else {
+				break
+			}
+		}
+		if l.pos >= len(l.src) {
+			return false
+		}
+		c := l.peek()
+		if c == '\n' {
+			l.advance()
+			continue // blank line
+		}
+		if c == '\r' {
+			l.advance()
+			continue
+		}
+		if c == '#' {
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+			continue // comment-only line
+		}
+		cur := l.indent[len(l.indent)-1]
+		pos := Pos{l.line, l.col}
+		switch {
+		case width > cur:
+			l.indent = append(l.indent, width)
+			l.emit(TokIndent, "", pos)
+		case width < cur:
+			for len(l.indent) > 1 && l.indent[len(l.indent)-1] > width {
+				l.indent = l.indent[:len(l.indent)-1]
+				l.emit(TokDedent, "", pos)
+			}
+			if l.indent[len(l.indent)-1] != width {
+				l.fail(pos, "inconsistent indentation (width %d)", width)
+			}
+		}
+		return true
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+func (l *Lexer) lexIdent() {
+	pos := Pos{l.line, l.col}
+	start := l.pos
+	for l.pos < len(l.src) && isIdentChar(l.peek()) {
+		l.advance()
+	}
+	word := l.src[start:l.pos]
+	if word == "_" {
+		l.emit(TokUnderscore, "_", pos)
+		return
+	}
+	if k, ok := keywords[word]; ok {
+		l.emit(k, word, pos)
+		return
+	}
+	l.emit(TokIdent, word, pos)
+}
+
+func (l *Lexer) lexNumber() {
+	pos := Pos{l.line, l.col}
+	start := l.pos
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		for l.pos < len(l.src) && isHex(l.peek()) {
+			l.advance()
+		}
+	} else {
+		for l.pos < len(l.src) && l.peek() >= '0' && l.peek() <= '9' {
+			l.advance()
+		}
+	}
+	text := l.src[start:l.pos]
+	var v int64
+	var err error
+	if strings.HasPrefix(text, "0x") || strings.HasPrefix(text, "0X") {
+		v, err = strconv.ParseInt(text[2:], 16, 64)
+	} else {
+		// No octal: leading zeros are plain decimal.
+		v, err = strconv.ParseInt(text, 10, 64)
+	}
+	if err != nil {
+		l.fail(pos, "bad integer literal %q", text)
+		return
+	}
+	l.toks = append(l.toks, Token{Kind: TokInt, Text: text, Int: v, Pos: pos})
+}
+
+func isHex(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func (l *Lexer) lexString() {
+	pos := Pos{l.line, l.col}
+	l.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			l.fail(pos, "unterminated string literal")
+			return
+		}
+		c := l.advance()
+		switch c {
+		case '"':
+			l.emit(TokString, sb.String(), pos)
+			return
+		case '\\':
+			if l.pos >= len(l.src) {
+				l.fail(pos, "unterminated escape")
+				return
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '\\', '"':
+				sb.WriteByte(e)
+			case '0':
+				sb.WriteByte(0)
+			default:
+				l.fail(pos, "unknown escape \\%c", e)
+				return
+			}
+		case '\n':
+			l.fail(pos, "newline in string literal")
+			return
+		default:
+			sb.WriteByte(c)
+		}
+	}
+}
+
+func (l *Lexer) lexOperator() {
+	pos := Pos{l.line, l.col}
+	c := l.advance()
+	two := func(next byte, k2 TokKind, k1 TokKind) {
+		if l.pos < len(l.src) && l.peek() == next {
+			l.advance()
+			l.emit(k2, "", pos)
+		} else {
+			l.emit(k1, "", pos)
+		}
+	}
+	switch c {
+	case ':':
+		two('=', TokAssign, TokColon)
+	case ',':
+		l.emit(TokComma, "", pos)
+	case '(':
+		l.parens++
+		l.emit(TokLParen, "", pos)
+	case ')':
+		l.parens--
+		l.emit(TokRParen, "", pos)
+	case '[':
+		l.parens++
+		l.emit(TokLBracket, "", pos)
+	case ']':
+		l.parens--
+		l.emit(TokRBracket, "", pos)
+	case '{':
+		l.parens++
+		l.emit(TokLBrace, "", pos)
+	case '}':
+		l.parens--
+		l.emit(TokRBrace, "", pos)
+	case '<':
+		if l.pos < len(l.src) && l.peek() == '>' {
+			l.advance()
+			l.emit(TokNotEq, "", pos)
+		} else {
+			two('=', TokLessEq, TokLess)
+		}
+	case '>':
+		two('=', TokGreaterEq, TokGreater)
+	case '=':
+		two('>', TokArrow, TokEq)
+	case '+':
+		l.emit(TokPlus, "", pos)
+	case '-':
+		two('>', TokRArrow, TokMinus)
+	case '*':
+		l.emit(TokStar, "", pos)
+	case '/':
+		l.emit(TokSlash, "", pos)
+	case '.':
+		l.emit(TokDot, "", pos)
+	case '|':
+		l.emit(TokPipe, "", pos)
+	default:
+		l.fail(pos, "unexpected character %q", string(c))
+	}
+}

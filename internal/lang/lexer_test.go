@@ -1,0 +1,197 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []TokKind {
+	out := make([]TokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexSimpleTokens(t *testing.T) {
+	toks, err := Lex(`let x = 5 + 0x0c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokLet, TokIdent, TokEq, TokInt, TokPlus, TokInt, TokNewline, TokEOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tok %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if toks[3].Int != 5 || toks[5].Int != 0x0c {
+		t.Fatalf("int values %d %d", toks[3].Int, toks[5].Int)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex(`:= => -> <> <= >= < > = + - * / . | , : ( ) [ ] { } _`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokAssign, TokArrow, TokRArrow, TokNotEq, TokLessEq,
+		TokGreaterEq, TokLess, TokGreater, TokEq, TokPlus, TokMinus, TokStar,
+		TokSlash, TokDot, TokPipe, TokComma, TokColon, TokLParen, TokRParen,
+		TokLBracket, TokRBracket, TokLBrace, TokRBrace, TokUnderscore}
+	got := kinds(toks)
+	for i, k := range want {
+		if got[i] != k {
+			t.Fatalf("tok %d = %v, want %v", i, got[i], k)
+		}
+	}
+}
+
+func TestLexIndentation(t *testing.T) {
+	src := "proc p: (cmd/cmd c)\n    let x = 1\n    if x = 1:\n        x\n    let y = 2\n"
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indents, dedents := 0, 0
+	for _, tk := range toks {
+		switch tk.Kind {
+		case TokIndent:
+			indents++
+		case TokDedent:
+			dedents++
+		}
+	}
+	if indents != 2 || dedents != 2 {
+		t.Fatalf("indents=%d dedents=%d, want 2/2", indents, dedents)
+	}
+}
+
+func TestLexCommentsAndBlankLines(t *testing.T) {
+	src := "# leading comment\n\nlet x = 1  # trailing\n\n# another\nlet y = 2\n"
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lets := 0
+	for _, tk := range toks {
+		if tk.Kind == TokLet {
+			lets++
+		}
+		if tk.Kind == TokIndent || tk.Kind == TokDedent {
+			t.Fatal("comments/blank lines should not affect indentation")
+		}
+	}
+	if lets != 2 {
+		t.Fatalf("lets = %d", lets)
+	}
+}
+
+func TestLexNewlineSuppressedInBrackets(t *testing.T) {
+	src := "fun f: (a: cmd,\n        b: cmd) -> (cmd)\n    a\n"
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The newline inside the parameter list must not produce TokNewline.
+	for i, tk := range toks {
+		if tk.Kind == TokNewline {
+			// The first newline must come after the ')' of the result list.
+			var before []TokKind
+			for _, x := range toks[:i] {
+				before = append(before, x.Kind)
+			}
+			if before[len(before)-1] != TokRParen {
+				t.Fatalf("newline too early; tokens before: %v", before)
+			}
+			break
+		}
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := Lex(`let s = "a\n\t\"b\\"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[3].Kind != TokString || toks[3].Text != "a\n\t\"b\\" {
+		t.Fatalf("string = %q", toks[3].Text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{
+		"let s = \"unterminated",
+		"let s = \"bad \\q escape\"",
+		"let x = 5 @ 6",
+		"proc p: (c/c x)\n    a\n   b\n", // inconsistent dedent
+	}
+	for _, src := range cases {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks, err := Lex("type record proc fun global let if else ref dict list and or not mod true false None foldt myident")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokType, TokRecord, TokProc, TokFun, TokGlobal, TokLet,
+		TokIf, TokElse, TokRef, TokDict, TokList, TokAnd, TokOr, TokNot,
+		TokMod, TokTrue, TokFalse, TokNone, TokFoldt, TokIdent}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Fatalf("tok %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("let x = 1\nlet y = 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Fatalf("first pos = %v", toks[0].Pos)
+	}
+	// Find the second 'let'.
+	for _, tk := range toks[1:] {
+		if tk.Kind == TokLet {
+			if tk.Pos.Line != 2 {
+				t.Fatalf("second let line = %d", tk.Pos.Line)
+			}
+			return
+		}
+	}
+	t.Fatal("second let not found")
+}
+
+func TestLexTabIndentation(t *testing.T) {
+	src := "proc p: (c/c x)\n\tlet a = 1\n\tlet b = 2\n"
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indents := 0
+	for _, tk := range toks {
+		if tk.Kind == TokIndent {
+			indents++
+		}
+	}
+	if indents != 1 {
+		t.Fatalf("indents = %d", indents)
+	}
+}
+
+func TestTokKindStringTotal(t *testing.T) {
+	for k := TokEOF; k <= TokFoldt; k++ {
+		if strings.HasPrefix(k.String(), "tok(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}

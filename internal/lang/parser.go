@@ -1,0 +1,813 @@
+package lang
+
+import "fmt"
+
+// Parser is a recursive-descent parser over the token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses a FLICK program.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseProgram()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) at(k TokKind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k TokKind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	if !p.at(k) {
+		return Token{}, errf(p.cur().Pos, "expected %s, found %s", k, p.describe(p.cur()))
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) describe(t Token) string {
+	if t.Kind == TokIdent {
+		return fmt.Sprintf("identifier %q", t.Text)
+	}
+	return t.Kind.String()
+}
+
+func (p *Parser) skipNewlines() {
+	for p.at(TokNewline) {
+		p.pos++
+	}
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for {
+		p.skipNewlines()
+		switch p.cur().Kind {
+		case TokEOF:
+			return prog, nil
+		case TokType:
+			d, err := p.parseTypeDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Types = append(prog.Types, d)
+		case TokProc:
+			d, err := p.parseProcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Procs = append(prog.Procs, d)
+		case TokFun:
+			d, err := p.parseFunDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funs = append(prog.Funs, d)
+		default:
+			return nil, errf(p.cur().Pos, "expected declaration (type, proc or fun), found %s", p.describe(p.cur()))
+		}
+	}
+}
+
+// parseTypeDecl parses `type NAME: record` + an indented field block.
+func (p *Parser) parseTypeDecl() (*TypeDecl, error) {
+	kw := p.next() // 'type'
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRecord); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokNewline); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokIndent); err != nil {
+		return nil, err
+	}
+	d := &TypeDecl{Pos: kw.Pos, Name: name.Text}
+	for !p.at(TokDedent) && !p.at(TokEOF) {
+		p.skipNewlines()
+		if p.at(TokDedent) {
+			break
+		}
+		f, err := p.parseFieldDecl()
+		if err != nil {
+			return nil, err
+		}
+		d.Fields = append(d.Fields, f)
+	}
+	p.accept(TokDedent)
+	return d, nil
+}
+
+// parseFieldDecl parses `name : type {attr=expr, ...}` or `_ : type {...}`.
+func (p *Parser) parseFieldDecl() (*FieldDecl, error) {
+	f := &FieldDecl{Pos: p.cur().Pos}
+	switch {
+	case p.at(TokUnderscore):
+		p.next()
+	case p.at(TokIdent):
+		f.Name = p.next().Text
+	default:
+		return nil, errf(p.cur().Pos, "expected field name, found %s", p.describe(p.cur()))
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	tr, err := p.parseTypeRef()
+	if err != nil {
+		return nil, err
+	}
+	f.Type = tr
+	if p.accept(TokLBrace) {
+		for {
+			an, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokEq); err != nil {
+				return nil, err
+			}
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			f.Attrs = append(f.Attrs, Attr{Name: an.Text, Value: v})
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRBrace); err != nil {
+			return nil, err
+		}
+	}
+	if !p.at(TokDedent) && !p.at(TokEOF) {
+		if _, err := p.expect(TokNewline); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// parseTypeRef parses a type reference.
+func (p *Parser) parseTypeRef() (*TypeRef, error) {
+	pos := p.cur().Pos
+	var name string
+	switch {
+	case p.at(TokIdent):
+		name = p.next().Text
+	case p.at(TokDict):
+		p.next()
+		name = "dict"
+	case p.at(TokList):
+		p.next()
+		name = "list"
+	default:
+		return nil, errf(pos, "expected type, found %s", p.describe(p.cur()))
+	}
+	tr := &TypeRef{Pos: pos, Name: name}
+	if name == "dict" {
+		if _, err := p.expect(TokLess); err != nil {
+			return nil, err
+		}
+		k, err := p.parseTypeRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokStar); err != nil {
+			return nil, err
+		}
+		v, err := p.parseTypeRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokGreater); err != nil {
+			return nil, err
+		}
+		tr.Args = []*TypeRef{k, v}
+	} else if name == "list" {
+		if _, err := p.expect(TokLess); err != nil {
+			return nil, err
+		}
+		e, err := p.parseTypeRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokGreater); err != nil {
+			return nil, err
+		}
+		tr.Args = []*TypeRef{e}
+	}
+	return tr, nil
+}
+
+// parseChanType parses `T/T`, `T/-`, `-/T`, optionally preceded by '[' for
+// arrays (the bracket is consumed by the caller).
+func (p *Parser) parseChanType(array bool) (*ChanType, error) {
+	pos := p.cur().Pos
+	var produce, accept string
+	if p.accept(TokMinus) {
+		produce = "-"
+	} else {
+		t, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		produce = t.Text
+	}
+	if _, err := p.expect(TokSlash); err != nil {
+		return nil, err
+	}
+	if p.accept(TokMinus) {
+		accept = "-"
+	} else {
+		t, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		accept = t.Text
+	}
+	if produce == "-" && accept == "-" {
+		return nil, errf(pos, "channel cannot be -/-")
+	}
+	ct := &ChanType{Pos: pos, Array: array}
+	if produce != "-" {
+		ct.Recv = produce
+	}
+	if accept != "-" {
+		ct.Send = accept
+	}
+	return ct, nil
+}
+
+// parseProcDecl parses a process declaration.
+func (p *Parser) parseProcDecl() (*ProcDecl, error) {
+	kw := p.next() // 'proc'
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	d := &ProcDecl{Pos: kw.Pos, Name: name.Text}
+	for !p.at(TokRParen) {
+		array := p.accept(TokLBracket)
+		ct, err := p.parseChanType(array)
+		if err != nil {
+			return nil, err
+		}
+		if array {
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+		}
+		cn, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		d.Channels = append(d.Channels, &ChanParam{Pos: ct.Pos, Name: cn.Text, Type: ct})
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	d.Body = body
+	return d, nil
+}
+
+// parseFunDecl parses a function declaration.
+func (p *Parser) parseFunDecl() (*FunDecl, error) {
+	kw := p.next() // 'fun'
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	d := &FunDecl{Pos: kw.Pos, Name: name.Text}
+	for !p.at(TokRParen) {
+		param, err := p.parseParam()
+		if err != nil {
+			return nil, err
+		}
+		d.Params = append(d.Params, param)
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRArrow); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	for !p.at(TokRParen) {
+		tr, err := p.parseTypeRef()
+		if err != nil {
+			return nil, err
+		}
+		d.Results = append(d.Results, tr)
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	d.Body = body
+	return d, nil
+}
+
+// parseParam parses a function parameter: channel forms (`-/cmd client`,
+// `[cmd/cmd] backends`, `cmd/- src`) or value forms (`req: cmd`,
+// `cache: ref dict<string*string>`).
+func (p *Parser) parseParam() (*Param, error) {
+	pos := p.cur().Pos
+	// Channel array: [ ... ] name
+	if p.accept(TokLBracket) {
+		ct, err := p.parseChanType(true)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		n, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		return &Param{Pos: pos, Name: n.Text, Chan: ct}, nil
+	}
+	// Write-only channel: - / T name
+	if p.at(TokMinus) {
+		ct, err := p.parseChanType(false)
+		if err != nil {
+			return nil, err
+		}
+		n, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		return &Param{Pos: pos, Name: n.Text, Chan: ct}, nil
+	}
+	// Either `T/... name` (channel) or `name : type` (value): both start
+	// with an identifier, so look ahead one token.
+	id, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if p.at(TokSlash) {
+		// Rewind-free: parse the remainder of the channel type by hand.
+		p.next() // '/'
+		ct := &ChanType{Pos: pos, Recv: id.Text}
+		if !p.accept(TokMinus) {
+			t, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			ct.Send = t.Text
+		}
+		n, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		return &Param{Pos: pos, Name: n.Text, Chan: ct}, nil
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	ref := p.accept(TokRef)
+	tr, err := p.parseTypeRef()
+	if err != nil {
+		return nil, err
+	}
+	return &Param{Pos: pos, Name: id.Text, Type: tr, Ref: ref}, nil
+}
+
+// parseBlock parses `NEWLINE INDENT stmts DEDENT`.
+func (p *Parser) parseBlock() ([]Stmt, error) {
+	if _, err := p.expect(TokNewline); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokIndent); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for {
+		p.skipNewlines()
+		if p.accept(TokDedent) || p.at(TokEOF) {
+			return stmts, nil
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+}
+
+// parseStmt parses one statement.
+func (p *Parser) parseStmt() (Stmt, error) {
+	pos := p.cur().Pos
+	switch p.cur().Kind {
+	case TokGlobal:
+		p.next()
+		n, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokAssign); err != nil {
+			return nil, err
+		}
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.endStmt(); err != nil {
+			return nil, err
+		}
+		return &GlobalStmt{Pos: pos, Name: n.Text, Init: init}, nil
+
+	case TokLet:
+		p.next()
+		n, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokEq); err != nil {
+			return nil, err
+		}
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.endStmt(); err != nil {
+			return nil, err
+		}
+		return &LetStmt{Pos: pos, Name: n.Text, Init: init}, nil
+
+	case TokIf:
+		return p.parseIf()
+
+	case TokFoldt:
+		p.next()
+		combine, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		order, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		src, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokArrow); err != nil {
+			return nil, err
+		}
+		dst, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.endStmt(); err != nil {
+			return nil, err
+		}
+		return &FoldtStmt{Pos: pos, Combine: combine.Text, Order: order.Text,
+			Src: src.Text, Dst: dst.Text}, nil
+
+	case TokPipe:
+		p.next() // optional leading '|'
+		return p.parsePipelineOrExpr(pos, true)
+
+	default:
+		return p.parsePipelineOrExpr(pos, false)
+	}
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	pos := p.next().Pos // 'if'
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Pos: pos, Cond: cond, Then: then}
+	p.skipNewlines()
+	if p.at(TokElse) {
+		p.next()
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		els, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		s.Else = els
+	}
+	return s, nil
+}
+
+// parsePipelineOrExpr disambiguates pipelines (`a => f(x) => b`), sends,
+// assignments (`cache[k] := v`) and bare expression statements.
+func (p *Parser) parsePipelineOrExpr(pos Pos, pipeRequired bool) (Stmt, error) {
+	first, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case TokArrow:
+		return p.parsePipelineTail(pos, first)
+	case TokAssign:
+		p.next()
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.endStmt(); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Pos: pos, Target: first, Value: v}, nil
+	default:
+		if pipeRequired {
+			return nil, errf(pos, "expected => after | pipeline source")
+		}
+		if err := p.endStmt(); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{Pos: pos, X: first}, nil
+	}
+}
+
+// parsePipelineTail consumes `=> stage => stage ...` after the source.
+func (p *Parser) parsePipelineTail(pos Pos, src Expr) (Stmt, error) {
+	s := &PipeStmt{Pos: pos, Src: src}
+	var last Expr
+	for p.accept(TokArrow) {
+		stage, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if call, ok := stage.(*CallExpr); ok {
+			s.Stages = append(s.Stages, call)
+			last = nil
+		} else {
+			if last != nil {
+				return nil, errf(stage.Position(), "pipeline may have at most one destination channel")
+			}
+			last = stage
+		}
+	}
+	if err := p.endStmt(); err != nil {
+		return nil, err
+	}
+	s.Dst = last
+	// A two-element pipeline whose source is a plain value expression is a
+	// send (`req => backends[target]`); the type checker reclassifies when
+	// the source turns out to be a channel. Here we keep the general form.
+	return s, nil
+}
+
+func (p *Parser) endStmt() error {
+	if p.at(TokDedent) || p.at(TokEOF) {
+		return nil
+	}
+	_, err := p.expect(TokNewline)
+	return err
+}
+
+// --- expressions (precedence climbing) ---
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokOr) {
+		op := p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Pos: op.Pos, Op: TokOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokAnd) {
+		op := p.next()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Pos: op.Pos, Op: TokAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.at(TokNot) {
+		op := p.next()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: op.Pos, Op: TokNot, X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *Parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case TokEq, TokNotEq, TokLess, TokGreater, TokLessEq, TokGreaterEq:
+		op := p.next()
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Pos: op.Pos, Op: op.Kind, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokPlus) || p.at(TokMinus) {
+		op := p.next()
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Pos: op.Pos, Op: op.Kind, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokStar) || p.at(TokSlash) || p.at(TokMod) {
+		op := p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Pos: op.Pos, Op: op.Kind, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.at(TokMinus) {
+		op := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: op.Pos, Op: TokMinus, X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case TokDot:
+			p.next()
+			n, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			x = &FieldExpr{Pos: n.Pos, X: x, Name: n.Text}
+		case TokLBracket:
+			lb := p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{Pos: lb.Pos, X: x, Index: idx}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokIdent:
+		p.next()
+		if p.at(TokLParen) {
+			p.next()
+			call := &CallExpr{Pos: t.Pos, Name: t.Text}
+			for !p.at(TokRParen) {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &Ident{Pos: t.Pos, Name: t.Text}, nil
+	case TokInt:
+		p.next()
+		return &IntLit{Pos: t.Pos, Val: t.Int}, nil
+	case TokString:
+		p.next()
+		return &StrLit{Pos: t.Pos, Val: t.Text}, nil
+	case TokTrue:
+		p.next()
+		return &BoolLit{Pos: t.Pos, Val: true}, nil
+	case TokFalse:
+		p.next()
+		return &BoolLit{Pos: t.Pos, Val: false}, nil
+	case TokNone:
+		p.next()
+		return &NoneLit{Pos: t.Pos}, nil
+	case TokLParen:
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, errf(t.Pos, "expected expression, found %s", p.describe(t))
+}

@@ -1,0 +1,333 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseListing1(t *testing.T) {
+	prog, err := Parse(Listing1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Types) != 1 || len(prog.Procs) != 1 || len(prog.Funs) != 2 {
+		t.Fatalf("decls = %d/%d/%d", len(prog.Types), len(prog.Procs), len(prog.Funs))
+	}
+
+	cmd := prog.Types[0]
+	if cmd.Name != "cmd" || len(cmd.Fields) != 8 {
+		t.Fatalf("cmd type: %s with %d fields", cmd.Name, len(cmd.Fields))
+	}
+	if cmd.Fields[0].Name != "opcode" || cmd.Fields[0].Type.Name != "integer" {
+		t.Fatal("opcode field")
+	}
+	if cmd.Fields[3].Name != "" {
+		t.Fatal("anonymous field should have empty name")
+	}
+	// keylen has signed=false, size=2.
+	kl := cmd.Fields[1]
+	if len(kl.Attrs) != 2 || kl.Attrs[0].Name != "signed" || kl.Attrs[1].Name != "size" {
+		t.Fatalf("keylen attrs = %+v", kl.Attrs)
+	}
+	// key's size is the expression `keylen`.
+	key := cmd.Fields[6]
+	if key.Name != "key" {
+		t.Fatal("field 6 should be key")
+	}
+	if id, ok := key.Attrs[0].Value.(*Ident); !ok || id.Name != "keylen" {
+		t.Fatalf("key size attr = %s", ExprString(key.Attrs[0].Value))
+	}
+	// Final anonymous field: bodylen-extraslen-keylen.
+	last := cmd.Fields[7]
+	if ExprString(last.Attrs[0].Value) != "((bodylen - extraslen) - keylen)" {
+		t.Fatalf("computed size = %s", ExprString(last.Attrs[0].Value))
+	}
+
+	proc := prog.Procs[0]
+	if proc.Name != "memcached" || len(proc.Channels) != 2 {
+		t.Fatal("proc signature")
+	}
+	if proc.Channels[0].Name != "client" || proc.Channels[0].Type.Dir() != ChanBoth || proc.Channels[0].Type.Array {
+		t.Fatalf("client channel = %+v", proc.Channels[0].Type)
+	}
+	if proc.Channels[1].Name != "backends" || !proc.Channels[1].Type.Array {
+		t.Fatal("backends channel array")
+	}
+	if len(proc.Body) != 3 {
+		t.Fatalf("proc body stmts = %d", len(proc.Body))
+	}
+	if g, ok := proc.Body[0].(*GlobalStmt); !ok || g.Name != "cache" {
+		t.Fatal("global cache decl")
+	}
+	p1, ok := proc.Body[1].(*PipeStmt)
+	if !ok {
+		t.Fatalf("stmt 1 is %T", proc.Body[1])
+	}
+	if ExprString(p1.Src) != "backends" || len(p1.Stages) != 1 || p1.Stages[0].Name != "update_cache" {
+		t.Fatal("pipe 1 shape")
+	}
+	if id, ok := p1.Dst.(*Ident); !ok || id.Name != "client" {
+		t.Fatal("pipe 1 dst")
+	}
+	p2, ok := proc.Body[2].(*PipeStmt)
+	if !ok || len(p2.Stages) != 1 || p2.Dst != nil {
+		t.Fatal("pipe 2 shape")
+	}
+	if len(p2.Stages[0].Args) != 3 {
+		t.Fatalf("test_cache stage args = %d", len(p2.Stages[0].Args))
+	}
+
+	// update_cache: ref dict param + value param, one result.
+	uc := prog.Funs[0]
+	if uc.Name != "update_cache" || len(uc.Params) != 2 || len(uc.Results) != 1 {
+		t.Fatal("update_cache signature")
+	}
+	if !uc.Params[0].Ref || uc.Params[0].Type.Name != "dict" {
+		t.Fatal("cache param should be ref dict")
+	}
+	if len(uc.Body) != 2 {
+		t.Fatalf("update_cache body = %d stmts", len(uc.Body))
+	}
+	ifs, ok := uc.Body[0].(*IfStmt)
+	if !ok || len(ifs.Then) != 1 || ifs.Else != nil {
+		t.Fatal("update_cache if shape")
+	}
+	if _, ok := ifs.Then[0].(*AssignStmt); !ok {
+		t.Fatal("cache assignment")
+	}
+	if _, ok := uc.Body[1].(*ExprStmt); !ok {
+		t.Fatal("trailing return expression")
+	}
+
+	// test_cache: write-only channel params, if/else with a send each way.
+	tc := prog.Funs[1]
+	if tc.Params[0].Chan == nil || tc.Params[0].Chan.Dir() != ChanWrite {
+		t.Fatal("client param should be write-only channel")
+	}
+	if tc.Params[1].Chan == nil || !tc.Params[1].Chan.Array {
+		t.Fatal("backends param should be channel array")
+	}
+	if len(tc.Results) != 0 {
+		t.Fatal("test_cache should return unit")
+	}
+	ifs2 := tc.Body[0].(*IfStmt)
+	if len(ifs2.Then) != 2 || len(ifs2.Else) != 1 {
+		t.Fatalf("test_cache if: %d then, %d else", len(ifs2.Then), len(ifs2.Else))
+	}
+	send, ok := ifs2.Then[1].(*PipeStmt)
+	if !ok || ExprString(send.Src) != "req" {
+		t.Fatalf("then-branch send: %T", ifs2.Then[1])
+	}
+	if ExprString(send.Dst) != "backends[target]" {
+		t.Fatalf("send dst = %s", ExprString(send.Dst))
+	}
+}
+
+func TestParseListing3(t *testing.T) {
+	prog, err := Parse(Listing3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := prog.Procs[0]
+	if proc.Channels[0].Type.Dir() != ChanRead || !proc.Channels[0].Type.Array {
+		t.Fatal("mappers should be read-only channel array")
+	}
+	if proc.Channels[1].Type.Dir() != ChanWrite {
+		t.Fatal("reducer should be write-only")
+	}
+	ft, ok := proc.Body[0].(*FoldtStmt)
+	if !ok {
+		t.Fatalf("body[0] is %T", proc.Body[0])
+	}
+	if ft.Combine != "combine" || ft.Order != "key_of" || ft.Src != "mappers" || ft.Dst != "reducer" {
+		t.Fatalf("foldt = %+v", ft)
+	}
+	// combine's body: nested calls.
+	comb := prog.Funs[0]
+	es, ok := comb.Body[0].(*ExprStmt)
+	if !ok {
+		t.Fatal("combine body")
+	}
+	call, ok := es.X.(*CallExpr)
+	if !ok || call.Name != "kv" || len(call.Args) != 2 {
+		t.Fatalf("combine return: %s", ExprString(es.X))
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	cases := map[string]string{
+		"let x = 1 + 2 * 3":            "(1 + (2 * 3))",
+		"let x = (1 + 2) * 3":          "((1 + 2) * 3)",
+		"let x = a.b.c":                "a.b.c",
+		"let x = m[k][j]":              "m[k][j]",
+		"let x = f(g(1), h())":         "f(g(1), h())",
+		"let x = a = b or c <> d":      "((a = b) or (c <> d))",
+		"let x = not a and b":          "(not a and b)",
+		"let x = -5 + 3":               "(- 5 + 3)",
+		"let x = a mod b / c":          "((a mod b) / c)",
+		"let x = hash(k) mod len(b)":   "(hash(k) mod len(b))",
+		`let x = "lit"`:                `"lit"`,
+		"let x = true":                 "true",
+		"let x = None":                 "None",
+		"let x = a <= b":               "(a <= b)",
+		"let x = a >= b":               "(a >= b)",
+		"let x = a < b":                "(a < b)",
+		"let x = a > b":                "(a > b)",
+		"let x = a - b - c":            "((a - b) - c)",
+		"let x = f()":                  "f()",
+		"let x = cache[req.key]":       "cache[req.key]",
+		"let x = 0x1F + 010":           "(31 + 10)",
+		"let x = false or true":        "(false or true)",
+		"let x = a and b and c":        "((a and b) and c)",
+		"let x = string_to_int(a.val)": "string_to_int(a.val)",
+	}
+	for src, want := range cases {
+		prog, err := Parse("fun f: (a: cmd) -> ()\n    " + src + "\n")
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		ls := prog.Funs[0].Body[0].(*LetStmt)
+		if got := ExprString(ls.Init); got != want {
+			t.Errorf("%q parsed as %s, want %s", src, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"type x record\n    a : integer\n",              // missing colon
+		"type x: record\n",                              // missing block
+		"proc p: cmd/cmd c\n    c => c\n",               // missing parens
+		"proc p: (cmd/cmd c)\n    | c\n",                // pipe without arrow
+		"proc p: (-/- c)\n    c => c\n",                 // -/- channel
+		"fun f: (x: cmd) -> cmd\n    x\n",               // result not parenthesised
+		"fun f: (x: cmd) -> (cmd)\n    let x 5\n",       // let missing =
+		"fun f: (x: cmd) -> (cmd)\n    a => b => c\n",   // two dst channels
+		"fun f: (x: cmd) -> (cmd)\n    if x:\n",         // if without block
+		"let x = 5\n",                                   // stmt at top level
+		"fun f: (x: dict<string>) -> ()\n    x\n",       // dict with one param
+		"fun f: (x: cmd) -> (cmd)\n    x[\n",            // unterminated index
+		"foldt a b c => d\n",                            // foldt at top level
+		"fun f: (x: cmd) -> (cmd)\n    cache[k] := \n",  // missing value
+		"type x: record\n    f : integer {size=}\n",     // empty attr
+		"type x: record\n    f : integer {size=1,}\n\n", // trailing comma attr
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseEmptyProgram(t *testing.T) {
+	prog, err := Parse("# nothing here\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Types)+len(prog.Procs)+len(prog.Funs) != 0 {
+		t.Fatal("expected empty program")
+	}
+}
+
+func TestParseMultipleResults(t *testing.T) {
+	prog, err := Parse("fun f: (x: cmd) -> (cmd, integer)\n    x\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Funs[0].Results) != 2 {
+		t.Fatal("two results expected")
+	}
+}
+
+func TestParseIfElse(t *testing.T) {
+	src := `
+fun f: (x: cmd) -> (integer)
+    if x.a = 1:
+        1
+    else:
+        2
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifs := prog.Funs[0].Body[0].(*IfStmt)
+	if len(ifs.Then) != 1 || len(ifs.Else) != 1 {
+		t.Fatal("if/else blocks")
+	}
+}
+
+func TestParseNestedIf(t *testing.T) {
+	src := `
+fun f: (x: cmd) -> (integer)
+    if x.a = 1:
+        if x.b = 2:
+            3
+        else:
+            4
+    else:
+        5
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := prog.Funs[0].Body[0].(*IfStmt)
+	inner, ok := outer.Then[0].(*IfStmt)
+	if !ok || len(inner.Else) != 1 {
+		t.Fatal("nested if structure")
+	}
+}
+
+func TestParseChanDirString(t *testing.T) {
+	for _, d := range []ChanDir{ChanBoth, ChanRead, ChanWrite} {
+		if d.String() == "invalid" {
+			t.Fatal("dir name")
+		}
+	}
+	ct := &ChanType{Send: "cmd", Array: true}
+	if ct.String() != "[-/cmd]" {
+		t.Fatalf("chan type string = %s", ct.String())
+	}
+	ct2 := &ChanType{Recv: "cmd"}
+	if ct2.String() != "cmd/-" {
+		t.Fatalf("chan type string = %s", ct2.String())
+	}
+	ct3 := &ChanType{Recv: "cmd", Send: "cmd"}
+	if ct3.String() != "cmd/cmd" {
+		t.Fatalf("chan type string = %s", ct3.String())
+	}
+}
+
+func TestTypeRefString(t *testing.T) {
+	prog, err := Parse("fun f: (x: dict<string*cmd>, y: list<kv>) -> ()\n    x\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := prog.Funs[0].Params
+	if ps[0].Type.String() != "dict<string*cmd>" {
+		t.Fatalf("dict string = %s", ps[0].Type.String())
+	}
+	if ps[1].Type.String() != "list<kv>" {
+		t.Fatalf("list string = %s", ps[1].Type.String())
+	}
+}
+
+func TestParseSendInsideProc(t *testing.T) {
+	src := `
+proc p: (cmd/cmd client, [cmd/cmd] backends)
+    | client => backends
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := prog.Procs[0].Body[0].(*PipeStmt)
+	if len(pipe.Stages) != 0 || pipe.Dst == nil {
+		t.Fatal("pure forwarding pipe")
+	}
+	if !strings.Contains(ExprString(pipe.Dst), "backends") {
+		t.Fatal("dst")
+	}
+}

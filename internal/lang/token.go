@@ -1,0 +1,129 @@
+// Package lang implements the FLICK domain-specific language front end:
+// an indentation-sensitive lexer, the abstract syntax tree, and a
+// recursive-descent parser for the three declaration forms of §4 (types,
+// processes, functions) and the statement/expression language of the paper's
+// listings.
+package lang
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokNewline
+	TokIndent
+	TokDedent
+	TokIdent
+	TokInt
+	TokString
+	// punctuation and operators
+	TokColon     // :
+	TokComma     // ,
+	TokLParen    // (
+	TokRParen    // )
+	TokLBracket  // [
+	TokRBracket  // ]
+	TokLBrace    // {
+	TokRBrace    // }
+	TokLess      // <
+	TokGreater   // >
+	TokLessEq    // <=
+	TokGreaterEq // >=
+	TokEq        // =
+	TokNotEq     // <>
+	TokPlus      // +
+	TokMinus     // -
+	TokStar      // *
+	TokSlash     // /
+	TokAssign    // :=
+	TokArrow     // =>
+	TokRArrow    // ->
+	TokDot       // .
+	TokPipe      // |
+	TokUnderscore
+	// keywords
+	TokType
+	TokRecord
+	TokProc
+	TokFun
+	TokGlobal
+	TokLet
+	TokIf
+	TokElse
+	TokRef
+	TokDict
+	TokList
+	TokAnd
+	TokOr
+	TokNot
+	TokMod
+	TokTrue
+	TokFalse
+	TokNone
+	TokFoldt
+)
+
+var kindNames = map[TokKind]string{
+	TokEOF: "EOF", TokNewline: "newline", TokIndent: "indent", TokDedent: "dedent",
+	TokIdent: "identifier", TokInt: "integer", TokString: "string",
+	TokColon: ":", TokComma: ",", TokLParen: "(", TokRParen: ")",
+	TokLBracket: "[", TokRBracket: "]", TokLBrace: "{", TokRBrace: "}",
+	TokLess: "<", TokGreater: ">", TokLessEq: "<=", TokGreaterEq: ">=",
+	TokEq: "=", TokNotEq: "<>", TokPlus: "+", TokMinus: "-", TokStar: "*",
+	TokSlash: "/", TokAssign: ":=", TokArrow: "=>", TokRArrow: "->",
+	TokDot: ".", TokPipe: "|", TokUnderscore: "_",
+	TokType: "type", TokRecord: "record", TokProc: "proc", TokFun: "fun",
+	TokGlobal: "global", TokLet: "let", TokIf: "if", TokElse: "else",
+	TokRef: "ref", TokDict: "dict", TokList: "list", TokAnd: "and",
+	TokOr: "or", TokNot: "not", TokMod: "mod", TokTrue: "true",
+	TokFalse: "false", TokNone: "None", TokFoldt: "foldt",
+}
+
+// String names the kind.
+func (k TokKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok(%d)", int(k))
+}
+
+var keywords = map[string]TokKind{
+	"type": TokType, "record": TokRecord, "proc": TokProc, "fun": TokFun,
+	"global": TokGlobal, "let": TokLet, "if": TokIf, "else": TokElse,
+	"ref": TokRef, "dict": TokDict, "list": TokList, "and": TokAnd,
+	"or": TokOr, "not": TokNot, "mod": TokMod, "true": TokTrue,
+	"false": TokFalse, "None": TokNone, "foldt": TokFoldt,
+}
+
+// Pos locates a token in the source.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string // identifier / literal spelling
+	Int  int64  // value for TokInt
+	Pos  Pos
+}
+
+// Error is a front-end error carrying a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,188 @@
+package loadgen
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"flick/internal/backend"
+	"flick/internal/netstack"
+	"flick/internal/proto/hadoop"
+)
+
+func TestRunHTTPPersistent(t *testing.T) {
+	u := netstack.NewUserNet()
+	s, err := backend.NewHTTPServer(u, "web:1", 137)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res := RunHTTP(HTTPConfig{
+		Transport:  u,
+		Addr:       "web:1",
+		Clients:    4,
+		Persistent: true,
+		Duration:   200 * time.Millisecond,
+	})
+	if res.Requests == 0 || res.Errors > 0 {
+		t.Fatalf("requests=%d errors=%d", res.Requests, res.Errors)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("zero throughput")
+	}
+	if res.Latency.Count != res.Requests {
+		t.Fatalf("latency samples %d != requests %d", res.Latency.Count, res.Requests)
+	}
+	if res.Bytes != res.Requests*137 {
+		t.Fatalf("bytes = %d, want %d", res.Bytes, res.Requests*137)
+	}
+}
+
+func TestRunHTTPNonPersistent(t *testing.T) {
+	u := netstack.NewUserNet()
+	s, err := backend.NewHTTPServer(u, "web:2", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res := RunHTTP(HTTPConfig{
+		Transport:  u,
+		Addr:       "web:2",
+		Clients:    4,
+		Persistent: false,
+		Duration:   200 * time.Millisecond,
+	})
+	if res.Requests == 0 {
+		t.Fatalf("no requests (errors=%d)", res.Errors)
+	}
+	// Non-persistent must be slower per request than persistent on the
+	// same setup — not asserted strictly here, just sanity that both ran.
+}
+
+func TestRunMemcache(t *testing.T) {
+	u := netstack.NewUserNet()
+	s, err := backend.NewMemcachedServer(u, "mc:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Preload(PreloadKeys(500, 32))
+	res := RunMemcache(MemcacheConfig{
+		Transport: u,
+		Addr:      "mc:1",
+		Clients:   8,
+		Keys:      500,
+		GetKShare: 0.5,
+		Duration:  200 * time.Millisecond,
+	})
+	if res.Requests == 0 || res.Errors > 0 {
+		t.Fatalf("requests=%d errors=%d", res.Requests, res.Errors)
+	}
+	if res.Bytes == 0 {
+		t.Fatal("no payload bytes (all misses?)")
+	}
+}
+
+func TestAppendKey(t *testing.T) {
+	if got := string(appendKey(nil, 42)); got != "key-000042" {
+		t.Fatalf("key = %q", got)
+	}
+	if got := string(appendKey(nil, 999999)); got != "key-999999" {
+		t.Fatalf("key = %q", got)
+	}
+}
+
+func TestPreloadKeys(t *testing.T) {
+	kv := PreloadKeys(10, 8)
+	if len(kv) != 10 {
+		t.Fatalf("len = %d", len(kv))
+	}
+	v, ok := kv["key-000003"]
+	if !ok || len(v) != 8 {
+		t.Fatalf("key-000003 = %q %v", v, ok)
+	}
+}
+
+func TestWordDataset(t *testing.T) {
+	ds := NewWordDataset(12, 50, 1)
+	if len(ds.Words) != 50 {
+		t.Fatalf("words = %d", len(ds.Words))
+	}
+	for _, w := range ds.Words {
+		if len(w) != 12 {
+			t.Fatalf("word %q has length %d", w, len(w))
+		}
+	}
+	// Determinism.
+	ds2 := NewWordDataset(12, 50, 1)
+	if string(ds.Words[0]) != string(ds2.Words[0]) {
+		t.Fatal("dataset not deterministic for same seed")
+	}
+}
+
+func TestRunMapper(t *testing.T) {
+	u := netstack.NewUserNet()
+	l, err := u.Listen("agg:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type sink struct {
+		pairs int
+		bytes int64
+	}
+	done := make(chan sink, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		r := hadoop.NewReader(c)
+		var s sink
+		for {
+			kv, err := r.Read()
+			if err == io.EOF {
+				done <- s
+				return
+			}
+			if err != nil {
+				t.Error(err)
+				done <- s
+				return
+			}
+			s.pairs++
+			s.bytes += int64(len(hadoop.Key(kv)) + len(hadoop.Value(kv)) + 8)
+		}
+	}()
+
+	ds := NewWordDataset(8, 20, 7)
+	res, err := ds.RunMapper(u, "agg:1", 64<<10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs == 0 || res.Bytes < 64<<10 {
+		t.Fatalf("mapper result = %+v", res)
+	}
+	select {
+	case s := <-done:
+		if uint64(s.pairs) != res.Pairs {
+			t.Fatalf("sink saw %d pairs, mapper sent %d", s.pairs, res.Pairs)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sink never finished")
+	}
+}
+
+func TestResultDerivedMetrics(t *testing.T) {
+	r := Result{Requests: 100, Elapsed: 2 * time.Second, Bytes: 2_000_000}
+	if r.Throughput() != 50 {
+		t.Fatalf("throughput = %f", r.Throughput())
+	}
+	if r.Mbps() != 8 {
+		t.Fatalf("mbps = %f", r.Mbps())
+	}
+	zero := Result{}
+	if zero.Throughput() != 0 || zero.Mbps() != 0 {
+		t.Fatal("zero-elapsed result should report zero rates")
+	}
+}

@@ -1,0 +1,192 @@
+// Package metrics provides the measurement primitives used by the FLICK
+// benchmark harness: lock-free throughput counters and log-bucketed latency
+// histograms with percentile extraction.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing, concurrency-safe event counter.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Rate is a windowed throughput meter: it records a start time and computes
+// events per second on demand.
+type Rate struct {
+	Counter
+	start time.Time
+}
+
+// NewRate starts a throughput meter now.
+func NewRate() *Rate { return &Rate{start: time.Now()} }
+
+// PerSecond returns the average events/second since the meter started.
+func (r *Rate) PerSecond() float64 {
+	el := time.Since(r.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(r.Value()) / el
+}
+
+// Elapsed returns the time since the meter started.
+func (r *Rate) Elapsed() time.Duration { return time.Since(r.start) }
+
+// Histogram buckets and constants. Buckets are logarithmic with sub-decade
+// resolution: bucket i covers [lower(i), lower(i+1)) nanoseconds with 16
+// buckets per power of two, spanning 1 ns .. ~17 s.
+const (
+	subBuckets = 16
+	numBuckets = 64 * subBuckets
+)
+
+// Histogram is a concurrency-safe latency histogram. Record is wait-free
+// (single atomic add); quantile extraction walks the bucket array.
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+	maxNs   atomic.Uint64
+}
+
+func bucketIndex(ns uint64) int {
+	if ns == 0 {
+		return 0
+	}
+	exp := 63 - leadingZeros(ns)
+	var sub uint64
+	if exp >= 4 {
+		sub = (ns >> (uint(exp) - 4)) & (subBuckets - 1)
+	} else {
+		sub = (ns << (4 - uint(exp))) & (subBuckets - 1)
+	}
+	idx := exp*subBuckets + int(sub)
+	if idx >= numBuckets {
+		idx = numBuckets - 1
+	}
+	return idx
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// bucketLower returns the lower bound in ns of bucket i.
+func bucketLower(i int) uint64 {
+	exp := i / subBuckets
+	sub := uint64(i % subBuckets)
+	if exp >= 4 {
+		return (1 << uint(exp)) + (sub << (uint(exp) - 4))
+	}
+	return (1 << uint(exp)) + (sub >> (4 - uint(exp)))
+}
+
+// Record adds one latency observation.
+func (h *Histogram) Record(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	if d < 0 {
+		ns = 0
+	}
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.maxNs.Load()
+		if ns <= cur || h.maxNs.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Mean returns the mean latency.
+func (h *Histogram) Mean() time.Duration {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / c)
+}
+
+// Max returns the largest recorded latency.
+func (h *Histogram) Max() time.Duration {
+	return time.Duration(h.maxNs.Load())
+}
+
+// Quantile returns an approximation of the q-th quantile (0 < q <= 1).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := 0; i < numBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return time.Duration(bucketLower(i))
+		}
+	}
+	return h.Max()
+}
+
+// Snapshot summarises the histogram for reporting.
+type Snapshot struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Snapshot extracts a point-in-time summary.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}
+
+// String renders a snapshot compactly.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		s.Count, s.Mean, s.P50, s.P95, s.P99, s.Max)
+}

@@ -1,0 +1,191 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("value = %d", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 16000 {
+		t.Fatalf("value = %d, want 16000", c.Value())
+	}
+}
+
+func TestRatePerSecond(t *testing.T) {
+	r := NewRate()
+	r.Add(100)
+	time.Sleep(10 * time.Millisecond)
+	ps := r.PerSecond()
+	if ps <= 0 || ps > 100/0.010*2 {
+		t.Fatalf("rate = %f implausible", ps)
+	}
+}
+
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for _, ns := range []uint64{0, 1, 2, 3, 10, 100, 1000, 1e6, 1e9, 1e10} {
+		i := bucketIndex(ns)
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", ns, i, prev)
+		}
+		prev = i
+	}
+}
+
+func TestBucketLowerInvertsIndex(t *testing.T) {
+	// Property: a value's bucket lower bound is <= the value, and the next
+	// bucket's lower bound is > the value (within representable range).
+	f := func(v uint32) bool {
+		ns := uint64(v) + 1
+		i := bucketIndex(ns)
+		lo := bucketLower(i)
+		if lo > ns {
+			return false
+		}
+		if i+1 < numBuckets {
+			return bucketLower(i+1) > ns || bucketLower(i+1) == lo
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	mean := h.Mean()
+	if mean < 40*time.Millisecond || mean > 60*time.Millisecond {
+		t.Fatalf("mean = %v, want ~50ms", mean)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 30*time.Millisecond || p50 > 70*time.Millisecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < p50 {
+		t.Fatalf("p99 %v < p50 %v", p99, p50)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Record(-time.Second)
+	if h.Count() != 1 {
+		t.Fatal("negative duration not recorded")
+	}
+	if h.Quantile(1) > time.Microsecond {
+		t.Fatalf("negative recorded as %v", h.Quantile(1))
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramQuantileBoundsClamped(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	if h.Quantile(-1) == 0 && h.Quantile(2) == 0 {
+		t.Fatal("clamped quantiles should still find the observation")
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Record(time.Duration(g+1) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("snapshot count = %d", s.Count)
+	}
+	if str := s.String(); str == "" {
+		t.Fatal("empty string")
+	}
+}
+
+// Property: quantiles are monotone in q.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Record(time.Duration(i*i) * time.Nanosecond)
+	}
+	f := func(a, b float64) bool {
+		qa, qb := a, b
+		if qa < 0 {
+			qa = -qa
+		}
+		if qb < 0 {
+			qb = -qb
+		}
+		qa -= float64(int(qa))
+		qb -= float64(int(qb))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return h.Quantile(qa) <= h.Quantile(qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i) * time.Nanosecond)
+	}
+}

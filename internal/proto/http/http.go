@@ -1,0 +1,457 @@
+// Package http implements a fast incremental HTTP/1.1 message codec.
+//
+// It is the FLICK framework's reusable HTTP grammar (§4.2): header-structured
+// text formats sit outside the unit/field grammar language, so this codec is
+// hand-written but implements the same grammar.WireFormat interface and
+// produces the same value.Value records, making it interchangeable with
+// grammar-compiled codecs in input/output tasks.
+//
+// Scope matches the paper's workloads (ApacheBench-style traffic): requests
+// and responses with Content-Length or no body; chunked transfer encoding is
+// not needed by any experiment and is rejected explicitly.
+package http
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"flick/internal/buffer"
+	"flick/internal/grammar"
+	"flick/internal/value"
+)
+
+// Record fields shared by requests and responses. Requests fill method/uri;
+// responses fill status/reason.
+var (
+	// RequestDesc describes decoded HTTP requests.
+	RequestDesc = value.NewRecordDesc("http.request",
+		"method", "uri", "version", "headers", "body", "content_length", "keep_alive", "_raw")
+	// ResponseDesc describes decoded HTTP responses.
+	ResponseDesc = value.NewRecordDesc("http.response",
+		"version", "status", "reason", "headers", "body", "content_length", "keep_alive", "_raw")
+)
+
+// Errors.
+var (
+	ErrMalformed = errors.New("http: malformed message")
+	ErrTooLarge  = errors.New("http: message too large")
+	ErrChunked   = errors.New("http: chunked transfer encoding unsupported")
+)
+
+// MaxHeaderBytes bounds the header block.
+const MaxHeaderBytes = 64 << 10
+
+// MaxBodyBytes bounds message bodies.
+const MaxBodyBytes = 16 << 20
+
+// RequestFormat decodes/encodes HTTP requests.
+type RequestFormat struct{}
+
+// ResponseFormat decodes/encodes HTTP responses.
+type ResponseFormat struct{}
+
+// FormatName implements grammar.WireFormat.
+func (RequestFormat) FormatName() string { return "http.request" }
+
+// Desc implements grammar.WireFormat.
+func (RequestFormat) Desc() *value.RecordDesc { return RequestDesc }
+
+// NewDecoder implements grammar.WireFormat.
+func (RequestFormat) NewDecoder() grammar.StreamDecoder {
+	return &decoder{isRequest: true}
+}
+
+// FormatName implements grammar.WireFormat.
+func (ResponseFormat) FormatName() string { return "http.response" }
+
+// Desc implements grammar.WireFormat.
+func (ResponseFormat) Desc() *value.RecordDesc { return ResponseDesc }
+
+// NewDecoder implements grammar.WireFormat.
+func (ResponseFormat) NewDecoder() grammar.StreamDecoder {
+	return &decoder{isRequest: false}
+}
+
+var (
+	_ grammar.WireFormat = RequestFormat{}
+	_ grammar.WireFormat = ResponseFormat{}
+)
+
+// decoder incrementally assembles one message at a time.
+type decoder struct {
+	isRequest bool
+	// header phase
+	scanned   int // resume offset for the \r\n\r\n scan
+	headerEnd int // bytes of the header block incl. terminator; 0 = unknown
+	// body phase
+	head      []byte // copied header block
+	bodyLen   int
+	keepAlive bool
+}
+
+func (d *decoder) reset() {
+	d.scanned = 0
+	d.headerEnd = 0
+	d.head = nil
+	d.bodyLen = 0
+	d.keepAlive = false
+}
+
+// Decode implements grammar.StreamDecoder.
+func (d *decoder) Decode(q *buffer.Queue) (value.Value, bool, error) {
+	if d.headerEnd == 0 {
+		end, found := scanCRLFCRLF(q, &d.scanned)
+		if !found {
+			if q.Len() > MaxHeaderBytes {
+				d.reset()
+				return value.Null, false, fmt.Errorf("%w: headers exceed %d bytes", ErrTooLarge, MaxHeaderBytes)
+			}
+			return value.Null, false, nil
+		}
+		d.headerEnd = end + 4
+		d.head = make([]byte, d.headerEnd)
+		q.ReadFull(d.head)
+		n, ka, err := parseFraming(d.head, d.isRequest)
+		if err != nil {
+			d.reset()
+			return value.Null, false, err
+		}
+		if n > MaxBodyBytes {
+			d.reset()
+			return value.Null, false, fmt.Errorf("%w: body of %d bytes", ErrTooLarge, n)
+		}
+		d.bodyLen = n
+		d.keepAlive = ka
+	}
+	if q.Len() < d.bodyLen {
+		return value.Null, false, nil
+	}
+	raw := make([]byte, len(d.head)+d.bodyLen)
+	copy(raw, d.head)
+	q.ReadFull(raw[len(d.head):])
+	head := raw[:len(d.head)]
+	body := raw[len(d.head):]
+
+	msg, err := buildRecord(head, body, d.isRequest, d.keepAlive, raw)
+	d.reset()
+	if err != nil {
+		return value.Null, false, err
+	}
+	return msg, true, nil
+}
+
+// scanCRLFCRLF looks for the header terminator, resuming from *scanned.
+func scanCRLFCRLF(q *buffer.Queue, scanned *int) (int, bool) {
+	from := *scanned
+	for {
+		i := q.IndexByte('\r', from)
+		if i < 0 || i+3 >= q.Len() {
+			if i < 0 {
+				*scanned = maxInt(0, q.Len()-3)
+			} else {
+				*scanned = i
+			}
+			return 0, false
+		}
+		b1, _ := q.PeekByte(i + 1)
+		b2, _ := q.PeekByte(i + 2)
+		b3, _ := q.PeekByte(i + 3)
+		if b1 == '\n' && b2 == '\r' && b3 == '\n' {
+			return i, true
+		}
+		from = i + 1
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// parseFraming extracts Content-Length and keep-alive from a header block.
+func parseFraming(head []byte, isRequest bool) (bodyLen int, keepAlive bool, err error) {
+	// Default keep-alive per HTTP/1.1; HTTP/1.0 defaults to close.
+	line, rest := splitLine(head)
+	keepAlive = !containsToken(line, []byte("HTTP/1.0"))
+	for len(rest) > 0 {
+		line, rest = splitLine(rest)
+		if len(line) == 0 {
+			break
+		}
+		name, val := splitHeader(line)
+		switch {
+		case asciiEqualFold(name, []byte("content-length")):
+			n, perr := strconv.Atoi(string(trimSpace(val)))
+			if perr != nil || n < 0 {
+				return 0, false, fmt.Errorf("%w: bad content-length %q", ErrMalformed, val)
+			}
+			bodyLen = n
+		case asciiEqualFold(name, []byte("connection")):
+			v := trimSpace(val)
+			if asciiEqualFold(v, []byte("close")) {
+				keepAlive = false
+			} else if asciiEqualFold(v, []byte("keep-alive")) {
+				keepAlive = true
+			}
+		case asciiEqualFold(name, []byte("transfer-encoding")):
+			if containsToken(val, []byte("chunked")) {
+				return 0, false, ErrChunked
+			}
+		}
+	}
+	return bodyLen, keepAlive, nil
+}
+
+// buildRecord constructs the value record for a complete message.
+func buildRecord(head, body []byte, isRequest, keepAlive bool, raw []byte) (value.Value, error) {
+	start, rest := splitLine(head)
+	p1 := indexByte(start, ' ')
+	if p1 < 0 {
+		return value.Null, fmt.Errorf("%w: start line %q", ErrMalformed, start)
+	}
+	p2 := indexByte(start[p1+1:], ' ')
+	if p2 < 0 {
+		return value.Null, fmt.Errorf("%w: start line %q", ErrMalformed, start)
+	}
+	p2 += p1 + 1
+	a, b, c := start[:p1], start[p1+1:p2], start[p2+1:]
+
+	ka := int64(0)
+	if keepAlive {
+		ka = 1
+	}
+	// Headers block excludes the start line and the final CRLF pair.
+	headers := rest
+	if len(headers) >= 2 {
+		headers = headers[:len(headers)-2]
+	}
+
+	if isRequest {
+		rec := RequestDesc.New()
+		rec.L[0] = value.Bytes(a) // method
+		rec.L[1] = value.Bytes(b) // uri
+		rec.L[2] = value.Bytes(c) // version
+		rec.L[3] = value.Bytes(headers)
+		rec.L[4] = value.Bytes(body)
+		rec.L[5] = value.Int(int64(len(body)))
+		rec.L[6] = value.Int(ka)
+		rec.L[7] = value.Bytes(raw)
+		return rec, nil
+	}
+	status, err := strconv.Atoi(string(b))
+	if err != nil {
+		return value.Null, fmt.Errorf("%w: status %q", ErrMalformed, b)
+	}
+	rec := ResponseDesc.New()
+	rec.L[0] = value.Bytes(a) // version
+	rec.L[1] = value.Int(int64(status))
+	rec.L[2] = value.Bytes(c) // reason
+	rec.L[3] = value.Bytes(headers)
+	rec.L[4] = value.Bytes(body)
+	rec.L[5] = value.Int(int64(len(body)))
+	rec.L[6] = value.Int(ka)
+	rec.L[7] = value.Bytes(raw)
+	return rec, nil
+}
+
+// Encode implements grammar.WireFormat for requests. When the record carries
+// a raw image and has not been rebuilt, the raw bytes are emitted verbatim
+// (the paper's "copied in their wire format representation" fast path).
+func (RequestFormat) Encode(dst []byte, msg value.Value) ([]byte, error) {
+	return encode(dst, msg, RequestDesc)
+}
+
+// Encode implements grammar.WireFormat for responses.
+func (ResponseFormat) Encode(dst []byte, msg value.Value) ([]byte, error) {
+	return encode(dst, msg, ResponseDesc)
+}
+
+func encode(dst []byte, msg value.Value, desc *value.RecordDesc) ([]byte, error) {
+	if msg.Kind != value.KindRecord || msg.R != desc {
+		return dst, fmt.Errorf("%w: encode of %v with %s codec", ErrMalformed, msg.Kind, desc.Name)
+	}
+	if raw := msg.Field("_raw"); !raw.IsNull() {
+		return append(dst, raw.B...), nil
+	}
+	body := msg.Field("body").AsBytes()
+	version := msg.Field("version").AsBytes()
+	if len(version) == 0 {
+		version = []byte("HTTP/1.1") // default for program-built messages
+	}
+	if desc == RequestDesc {
+		dst = append(dst, msg.Field("method").AsBytes()...)
+		dst = append(dst, ' ')
+		dst = append(dst, msg.Field("uri").AsBytes()...)
+		dst = append(dst, ' ')
+		dst = append(dst, version...)
+	} else {
+		dst = append(dst, version...)
+		dst = append(dst, ' ')
+		dst = strconv.AppendInt(dst, msg.Field("status").AsInt(), 10)
+		dst = append(dst, ' ')
+		reason := msg.Field("reason").AsBytes()
+		if len(reason) == 0 {
+			reason = statusReason(int(msg.Field("status").AsInt()))
+		}
+		dst = append(dst, reason...)
+	}
+	dst = append(dst, '\r', '\n')
+	if h := msg.Field("headers").AsBytes(); len(h) > 0 {
+		dst = append(dst, h...)
+		dst = append(dst, '\r', '\n')
+	}
+	dst = append(dst, []byte("Content-Length: ")...)
+	dst = strconv.AppendInt(dst, int64(len(body)), 10)
+	dst = append(dst, '\r', '\n', '\r', '\n')
+	dst = append(dst, body...)
+	return dst, nil
+}
+
+// statusReason supplies a default reason phrase.
+func statusReason(status int) []byte {
+	switch status {
+	case 200:
+		return []byte("OK")
+	case 404:
+		return []byte("Not Found")
+	case 500:
+		return []byte("Internal Server Error")
+	case 502:
+		return []byte("Bad Gateway")
+	default:
+		return []byte("Status")
+	}
+}
+
+// Header returns the value of the named header within a decoded message's
+// headers block ("" when absent). Matching is case-insensitive.
+func Header(msg value.Value, name string) string {
+	block := msg.Field("headers").AsBytes()
+	target := []byte(name)
+	for len(block) > 0 {
+		var line []byte
+		line, block = splitLine(block)
+		n, v := splitHeader(line)
+		if asciiEqualFold(n, target) {
+			return string(trimSpace(v))
+		}
+	}
+	return ""
+}
+
+// --- small byte helpers (kept local to avoid bytes import in hot paths) ---
+
+func splitLine(b []byte) (line, rest []byte) {
+	for i := 0; i+1 < len(b); i++ {
+		if b[i] == '\r' && b[i+1] == '\n' {
+			return b[:i], b[i+2:]
+		}
+	}
+	return b, nil
+}
+
+func splitHeader(line []byte) (name, val []byte) {
+	i := indexByte(line, ':')
+	if i < 0 {
+		return line, nil
+	}
+	return line[:i], line[i+1:]
+}
+
+func indexByte(b []byte, c byte) int {
+	for i, x := range b {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+func trimSpace(b []byte) []byte {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t') {
+		b = b[1:]
+	}
+	for len(b) > 0 && (b[len(b)-1] == ' ' || b[len(b)-1] == '\t') {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+func asciiLower(c byte) byte {
+	if 'A' <= c && c <= 'Z' {
+		return c + 'a' - 'A'
+	}
+	return c
+}
+
+func asciiEqualFold(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if asciiLower(a[i]) != asciiLower(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func containsToken(hay, needle []byte) bool {
+	if len(needle) == 0 || len(hay) < len(needle) {
+		return false
+	}
+	for i := 0; i+len(needle) <= len(hay); i++ {
+		ok := true
+		for j := range needle {
+			if asciiLower(hay[i+j]) != asciiLower(needle[j]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// BuildRequest renders a simple GET/POST request (load-generator helper).
+func BuildRequest(dst []byte, method, uri, host string, keepAlive bool, body []byte) []byte {
+	dst = append(dst, method...)
+	dst = append(dst, ' ')
+	dst = append(dst, uri...)
+	dst = append(dst, " HTTP/1.1\r\nHost: "...)
+	dst = append(dst, host...)
+	dst = append(dst, '\r', '\n')
+	if !keepAlive {
+		dst = append(dst, "Connection: close\r\n"...)
+	}
+	if len(body) > 0 {
+		dst = append(dst, "Content-Length: "...)
+		dst = strconv.AppendInt(dst, int64(len(body)), 10)
+		dst = append(dst, '\r', '\n')
+	}
+	dst = append(dst, '\r', '\n')
+	dst = append(dst, body...)
+	return dst
+}
+
+// BuildResponse renders a 200 response with the given body (backend helper).
+func BuildResponse(dst []byte, status int, reason string, keepAlive bool, body []byte) []byte {
+	dst = append(dst, "HTTP/1.1 "...)
+	dst = strconv.AppendInt(dst, int64(status), 10)
+	dst = append(dst, ' ')
+	dst = append(dst, reason...)
+	dst = append(dst, '\r', '\n')
+	if !keepAlive {
+		dst = append(dst, "Connection: close\r\n"...)
+	}
+	dst = append(dst, "Content-Length: "...)
+	dst = strconv.AppendInt(dst, int64(len(body)), 10)
+	dst = append(dst, "\r\n\r\n"...)
+	dst = append(dst, body...)
+	return dst
+}

@@ -1,0 +1,154 @@
+// Package memcache provides helpers over the Memcached binary protocol
+// grammar: typed message constructors and blocking conn-level send/receive
+// used by the backend server, the Moxi-like baseline and the load
+// generators. The FLICK data path itself uses the grammar codec directly
+// inside input/output tasks.
+package memcache
+
+import (
+	"fmt"
+	"io"
+	"net"
+
+	"flick/internal/buffer"
+	"flick/internal/grammar"
+	"flick/internal/value"
+)
+
+// Protocol constants re-exported from the grammar for convenience.
+const (
+	MagicRequest  = grammar.MemcachedMagicRequest
+	MagicResponse = grammar.MemcachedMagicResponse
+	OpGet         = grammar.MemcachedOpGet
+	OpSet         = grammar.MemcachedOpSet
+	OpGetK        = grammar.MemcachedOpGetK
+
+	StatusOK          = 0x0000
+	StatusKeyNotFound = 0x0001
+)
+
+// Codec is the full-fidelity compiled Memcached grammar.
+var Codec = grammar.MemcachedUnit().MustCompile()
+
+// Desc describes Memcached command records.
+var Desc = Codec.Desc()
+
+// Request builds a request record.
+func Request(opcode byte, key, val []byte) value.Value {
+	rec := Desc.New()
+	rec.SetField("magic_code", value.Int(MagicRequest))
+	rec.SetField("opcode", value.Int(int64(opcode)))
+	rec.SetField("key", value.Bytes(key))
+	rec.SetField("value", value.Bytes(val))
+	return rec
+}
+
+// Response builds a response record mirroring a request's opcode and opaque.
+func Response(req value.Value, status int, key, val []byte) value.Value {
+	rec := Desc.New()
+	rec.SetField("magic_code", value.Int(MagicResponse))
+	rec.SetField("opcode", req.Field("opcode"))
+	rec.SetField("opaque", req.Field("opaque"))
+	rec.SetField("status_or_v_bucket", value.Int(int64(status)))
+	rec.SetField("key", value.Bytes(key))
+	rec.SetField("value", value.Bytes(val))
+	return rec
+}
+
+// IsResponse reports whether msg carries the response magic.
+func IsResponse(msg value.Value) bool {
+	return msg.Field("magic_code").AsInt() == MagicResponse
+}
+
+// Status returns a response's status field.
+func Status(msg value.Value) int {
+	return int(msg.Field("status_or_v_bucket").AsInt())
+}
+
+// Conn wraps a net.Conn with message framing in both directions.
+type Conn struct {
+	conn net.Conn
+	dec  grammar.StreamDecoder
+	q    *buffer.Queue
+	rbuf []byte
+	wbuf []byte
+}
+
+// NewConn wraps c for message-oriented use.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{
+		conn: c,
+		dec:  Codec.NewDecoder(),
+		q:    buffer.NewQueue(nil),
+		rbuf: make([]byte, 16<<10),
+	}
+}
+
+// Send encodes and writes one message.
+func (c *Conn) Send(msg value.Value) error {
+	out, err := Codec.Encode(c.wbuf[:0], msg)
+	if err != nil {
+		return err
+	}
+	c.wbuf = out[:0]
+	_, err = c.conn.Write(out)
+	return err
+}
+
+// Receive blocks until one complete message arrives.
+func (c *Conn) Receive() (value.Value, error) {
+	for {
+		if msg, ok, err := c.dec.Decode(c.q); err != nil {
+			return value.Null, err
+		} else if ok {
+			return msg, nil
+		}
+		n, err := c.conn.Read(c.rbuf)
+		if n > 0 {
+			c.q.Append(c.rbuf[:n])
+			continue
+		}
+		if err != nil {
+			return value.Null, err
+		}
+	}
+}
+
+// RoundTrip sends a request and waits for its response.
+func (c *Conn) RoundTrip(req value.Value) (value.Value, error) {
+	if err := c.Send(req); err != nil {
+		return value.Null, err
+	}
+	return c.Receive()
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.conn.Close() }
+
+// ReadMessage reads exactly one framed message from r without buffering
+// beyond the message (used where a shared bufio layer is undesirable).
+func ReadMessage(r io.Reader) (value.Value, error) {
+	var header [24]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return value.Null, err
+	}
+	totalLen := int(uint32(header[8])<<24 | uint32(header[9])<<16 | uint32(header[10])<<8 | uint32(header[11]))
+	if totalLen > grammar.DefaultMaxMessage {
+		return value.Null, fmt.Errorf("memcache: body of %d bytes too large", totalLen)
+	}
+	body := make([]byte, totalLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return value.Null, err
+	}
+	q := buffer.NewQueue(nil)
+	q.Append(header[:])
+	q.Append(body)
+	msg, ok, err := Codec.NewDecoder().Decode(q)
+	if err != nil {
+		return value.Null, err
+	}
+	if !ok {
+		return value.Null, fmt.Errorf("memcache: short message")
+	}
+	return msg, nil
+}

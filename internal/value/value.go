@@ -1,0 +1,364 @@
+// Package value defines the runtime value representation shared by the FLICK
+// grammar engine (which parses wire bytes into values), the IR evaluator
+// (which computes over them) and the task runtime (whose channels carry
+// them).
+//
+// Values use a flat tagged struct rather than interfaces so that integers,
+// booleans and byte-slice fields never box. Records hold their fields in a
+// slice indexed through a RecordDesc, which is how the language's static
+// typing pays off at runtime: field access is an array index, not a map
+// lookup.
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Kind enumerates runtime value kinds.
+type Kind uint8
+
+// Value kinds.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindString
+	KindBytes
+	KindList
+	KindDict
+	KindRecord
+	KindOpaque
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindString:
+		return "string"
+	case KindBytes:
+		return "bytes"
+	case KindList:
+		return "list"
+	case KindDict:
+		return "dict"
+	case KindRecord:
+		return "record"
+	case KindOpaque:
+		return "opaque"
+	}
+	return "invalid"
+}
+
+// Value is a runtime value. The zero value is Null.
+type Value struct {
+	Kind Kind
+	I    int64       // bool (0/1) and int payload
+	S    string      // string payload
+	B    []byte      // bytes payload
+	L    []Value     // list elements or record fields
+	D    *Dict       // dict payload
+	R    *RecordDesc // record descriptor when Kind == KindRecord
+	X    any         // opaque payload (channel handles etc.)
+}
+
+// Null is the null value.
+var Null = Value{}
+
+// Int makes an integer value.
+func Int(i int64) Value { return Value{Kind: KindInt, I: i} }
+
+// Bool makes a boolean value.
+func Bool(b bool) Value {
+	var i int64
+	if b {
+		i = 1
+	}
+	return Value{Kind: KindBool, I: i}
+}
+
+// Str makes a string value.
+func Str(s string) Value { return Value{Kind: KindString, S: s} }
+
+// Bytes makes a bytes value (no copy).
+func Bytes(b []byte) Value { return Value{Kind: KindBytes, B: b} }
+
+// List makes a list value (no copy).
+func List(elems ...Value) Value { return Value{Kind: KindList, L: elems} }
+
+// Opaque wraps an arbitrary payload (used for channel references).
+func Opaque(x any) Value { return Value{Kind: KindOpaque, X: x} }
+
+// IsNull reports whether v is the null value.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// AsBool returns the boolean payload (false for non-bools).
+func (v Value) AsBool() bool { return v.Kind == KindBool && v.I != 0 }
+
+// AsInt returns the integer payload, converting bools.
+func (v Value) AsInt() int64 { return v.I }
+
+// AsString returns a string form of string/bytes payloads.
+func (v Value) AsString() string {
+	switch v.Kind {
+	case KindString:
+		return v.S
+	case KindBytes:
+		return string(v.B)
+	default:
+		return ""
+	}
+}
+
+// AsBytes returns the byte payload of string/bytes values without copying
+// strings when possible.
+func (v Value) AsBytes() []byte {
+	switch v.Kind {
+	case KindBytes:
+		return v.B
+	case KindString:
+		return []byte(v.S)
+	default:
+		return nil
+	}
+}
+
+// ByteLen returns the wire length of string/bytes payloads.
+func (v Value) ByteLen() int {
+	switch v.Kind {
+	case KindBytes:
+		return len(v.B)
+	case KindString:
+		return len(v.S)
+	case KindList:
+		return len(v.L)
+	default:
+		return 0
+	}
+}
+
+// Equal compares two values structurally. Dicts compare by identity,
+// opaques by interface equality.
+func Equal(a, b Value) bool {
+	if a.Kind != b.Kind {
+		// Allow string/bytes cross-comparison: they are the same wire data.
+		if (a.Kind == KindString && b.Kind == KindBytes) ||
+			(a.Kind == KindBytes && b.Kind == KindString) {
+			return a.AsString() == b.AsString()
+		}
+		return false
+	}
+	switch a.Kind {
+	case KindNull:
+		return true
+	case KindBool, KindInt:
+		return a.I == b.I
+	case KindString:
+		return a.S == b.S
+	case KindBytes:
+		return string(a.B) == string(b.B)
+	case KindList, KindRecord:
+		if a.Kind == KindRecord && a.R != b.R {
+			return false
+		}
+		if len(a.L) != len(b.L) {
+			return false
+		}
+		for i := range a.L {
+			if !Equal(a.L[i], b.L[i]) {
+				return false
+			}
+		}
+		return true
+	case KindDict:
+		return a.D == b.D
+	case KindOpaque:
+		return a.X == b.X
+	}
+	return false
+}
+
+// String renders a value for debugging.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "null"
+	case KindBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindString:
+		return strconv.Quote(v.S)
+	case KindBytes:
+		if len(v.B) > 32 {
+			return fmt.Sprintf("bytes[%d]", len(v.B))
+		}
+		return strconv.Quote(string(v.B))
+	case KindList:
+		var sb strings.Builder
+		sb.WriteByte('[')
+		for i, e := range v.L {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(e.String())
+		}
+		sb.WriteByte(']')
+		return sb.String()
+	case KindDict:
+		return fmt.Sprintf("dict(%d)", v.D.Len())
+	case KindRecord:
+		var sb strings.Builder
+		sb.WriteString(v.R.Name)
+		sb.WriteByte('{')
+		for i, f := range v.R.Fields {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(f)
+			sb.WriteByte('=')
+			if i < len(v.L) {
+				sb.WriteString(v.L[i].String())
+			}
+		}
+		sb.WriteByte('}')
+		return sb.String()
+	case KindOpaque:
+		return fmt.Sprintf("opaque(%T)", v.X)
+	}
+	return "invalid"
+}
+
+// RecordDesc describes a record type's field layout. Descs are built once
+// (at compile time) and shared by every instance, so field lookup is cheap
+// and instances are just value slices.
+type RecordDesc struct {
+	Name   string
+	Fields []string
+	index  map[string]int
+	once   sync.Once
+}
+
+// NewRecordDesc builds a descriptor for the named record type.
+func NewRecordDesc(name string, fields ...string) *RecordDesc {
+	return &RecordDesc{Name: name, Fields: fields}
+}
+
+// FieldIndex returns the slot of the named field, or -1.
+func (d *RecordDesc) FieldIndex(name string) int {
+	d.once.Do(func() {
+		d.index = make(map[string]int, len(d.Fields))
+		for i, f := range d.Fields {
+			d.index[f] = i
+		}
+	})
+	i, ok := d.index[name]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// New creates a record instance with null fields.
+func (d *RecordDesc) New() Value {
+	return Value{Kind: KindRecord, R: d, L: make([]Value, len(d.Fields))}
+}
+
+// Record builds a record instance from field values in declaration order.
+func (d *RecordDesc) Record(fields ...Value) Value {
+	l := make([]Value, len(d.Fields))
+	copy(l, fields)
+	return Value{Kind: KindRecord, R: d, L: l}
+}
+
+// Field returns the named field of a record value (Null when absent).
+func (v Value) Field(name string) Value {
+	if v.Kind != KindRecord || v.R == nil {
+		return Null
+	}
+	i := v.R.FieldIndex(name)
+	if i < 0 || i >= len(v.L) {
+		return Null
+	}
+	return v.L[i]
+}
+
+// SetField assigns the named field of a record value in place.
+func (v Value) SetField(name string, x Value) bool {
+	if v.Kind != KindRecord || v.R == nil {
+		return false
+	}
+	i := v.R.FieldIndex(name)
+	if i < 0 || i >= len(v.L) {
+		return false
+	}
+	v.L[i] = x
+	return true
+}
+
+// Dict is the FLICK dictionary: string-keyed shared state. Processes declare
+// one with the `global` qualifier and every instance of the service shares
+// it, so access is guarded by a read/write mutex (§4.3: "Multiple instances
+// of the service share the key/value store").
+type Dict struct {
+	mu sync.RWMutex
+	m  map[string]Value
+}
+
+// NewDict creates an empty dictionary value.
+func NewDict() Value {
+	return Value{Kind: KindDict, D: &Dict{m: make(map[string]Value)}}
+}
+
+// Get returns the value stored under key and whether it was present.
+func (d *Dict) Get(key string) (Value, bool) {
+	d.mu.RLock()
+	v, ok := d.m[key]
+	d.mu.RUnlock()
+	return v, ok
+}
+
+// Set stores v under key.
+func (d *Dict) Set(key string, v Value) {
+	d.mu.Lock()
+	d.m[key] = v
+	d.mu.Unlock()
+}
+
+// Delete removes key.
+func (d *Dict) Delete(key string) {
+	d.mu.Lock()
+	delete(d.m, key)
+	d.mu.Unlock()
+}
+
+// Len returns the number of entries.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	n := len(d.m)
+	d.mu.RUnlock()
+	return n
+}
+
+// Range calls fn for each entry until fn returns false. The dictionary is
+// locked for reading during the walk.
+func (d *Dict) Range(fn func(k string, v Value) bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for k, v := range d.m {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
