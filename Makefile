@@ -1,0 +1,35 @@
+# Targets mirror .github/workflows/ci.yml so local runs reproduce CI.
+
+GO ?= go
+
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/... ./internal/buffer/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+bench-smoke:
+	$(GO) test -bench=BenchmarkSchedulerScaling -benchtime=100x -run='^$$' .
+
+ci: build vet fmt-check test race bench-smoke

@@ -6,6 +6,7 @@
 package flick
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -184,6 +185,38 @@ func BenchmarkFig7ResourceSharing(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedulerScaling sweeps the scheduler worker count over a
+// fan-out/fan-in task graph: the paper's linear-scaling claim (§6) reduced
+// to the scheduler itself. Throughput (items/s) should grow monotonically
+// from 1 worker up to the hardware's parallelism; the steal/park/wakeup
+// metrics expose where the sharded design spends its coordination budget.
+func BenchmarkSchedulerScaling(b *testing.B) {
+	// Sweep to GOMAXPROCS, but always cover 1→4: on a small host the
+	// multi-worker cells measure oversubscription, where a global-lock
+	// scheduler collapses and the sharded design should stay flat.
+	maxWorkers := runtime.GOMAXPROCS(0)
+	if maxWorkers < 4 {
+		maxWorkers = 4
+	}
+	for w := 1; w <= maxWorkers; w *= 2 {
+		b.Run("workers="+itoa(w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pt := bench.RunSchedulerScaling(bench.SchedScaleConfig{
+					Workers:        w,
+					Sources:        8,
+					ItemsPerSource: 2048,
+				})
+				b.ReportMetric(pt.ItemsPerSec(), "items/s")
+				b.ReportMetric(pt.OpsPerSec(), "ops/s")
+				b.ReportMetric(float64(pt.Stats.Stolen), "steals")
+				b.ReportMetric(float64(pt.Stats.Parks), "parks")
+				b.ReportMetric(float64(pt.Stats.Wakeups), "wakeups")
+				b.ReportMetric(float64(pt.Stats.Overflow), "overflow")
+			}
+		})
+	}
+}
+
 // BenchmarkAblationTimeslice sweeps the cooperative quantum (§5's 10–100µs
 // band plus a coarse 1ms point).
 func BenchmarkAblationTimeslice(b *testing.B) {
@@ -214,7 +247,7 @@ func BenchmarkAblationAffinity(b *testing.B) {
 					idx = 1
 				}
 				b.ReportMetric(float64(pts[idx].Total.Microseconds()), "µs-total")
-				b.ReportMetric(float64(pts[idx].Stolen), "steals")
+				b.ReportMetric(float64(pts[idx].Stats.Stolen), "steals")
 			}
 		})
 	}

@@ -6,6 +6,7 @@
 //	flickbench fig5          Memcached proxy core scaling
 //	flickbench fig6          Hadoop aggregator core scaling
 //	flickbench fig7          scheduling-policy fairness
+//	flickbench schedscale    scheduler worker-count scaling sweep
 //	flickbench ablations     design-choice ablations
 //	flickbench all           everything above
 //
@@ -136,6 +137,30 @@ func main() {
 		return nil
 	})
 
+	run("schedscale", func() error {
+		items := 4096
+		if *quick {
+			items = 512
+		}
+		// Sweep powers of two below -workers, then the requested count
+		// itself, so an explicit -workers value is always measured.
+		var pts []bench.SchedScalePoint
+		for w := 1; w < *workers; w *= 2 {
+			pts = append(pts, bench.RunSchedulerScaling(bench.SchedScaleConfig{
+				Workers:        w,
+				ItemsPerSource: items,
+			}))
+		}
+		pts = append(pts, bench.RunSchedulerScaling(bench.SchedScaleConfig{
+			Workers:        *workers,
+			ItemsPerSource: items,
+		}))
+		fmt.Println(bench.SchedScaleTable(pts))
+		fmt.Printf("counters at %d workers: %s\n\n",
+			pts[len(pts)-1].Workers, pts[len(pts)-1].Stats.Metrics())
+		return nil
+	})
+
 	run("ablations", func() error {
 		fmt.Println(bench.TimesliceTable(bench.RunTimesliceAblation(nil, *workers)))
 		fmt.Println(bench.AffinityTable(bench.RunAffinityAblation(*workers, 128, 64)))
@@ -149,7 +174,7 @@ func main() {
 	})
 
 	switch cmd {
-	case "websrv", "fig4", "fig5", "fig6", "fig7", "ablations", "all":
+	case "websrv", "fig4", "fig5", "fig6", "fig7", "schedscale", "ablations", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "flickbench: unknown experiment %q\n", cmd)
 		os.Exit(2)

@@ -145,7 +145,16 @@ type PlatformOptions struct {
 	InProcessNet bool
 	// Quantum overrides the cooperative timeslice (0: the default 50µs).
 	Quantum PolicyQuantum
+	// SharedQueue disables task→worker affinity and funnels every task
+	// through one shared queue (the §5 ablation; useful for measuring the
+	// value of the sharded scheduler on a given workload).
+	SharedQueue bool
 }
+
+// SchedStats is a snapshot of the platform scheduler's activity counters:
+// enqueues, activations, steals, parks, targeted wakeups and inbox
+// overflows.
+type SchedStats = core.SchedStats
 
 // PolicyQuantum is a timeslice override.
 type PolicyQuantum = core.Policy
@@ -170,11 +179,23 @@ func NewPlatform(opts PlatformOptions) *Platform {
 	if pol.Name == "" {
 		pol = core.Cooperative
 	}
+	var schedOpts []core.Option
+	if opts.SharedQueue {
+		schedOpts = append(schedOpts, core.WithoutAffinity())
+	}
 	return &Platform{
-		inner: core.NewPlatform(core.Config{Workers: workers, Transport: tr, Policy: pol}),
-		tr:    tr,
+		inner: core.NewPlatform(core.Config{
+			Workers:      workers,
+			Transport:    tr,
+			Policy:       pol,
+			SchedOptions: schedOpts,
+		}),
+		tr: tr,
 	}
 }
+
+// SchedStats returns a snapshot of the platform scheduler's counters.
+func (p *Platform) SchedStats() SchedStats { return p.inner.Scheduler().Stats() }
 
 // Close shuts the platform down.
 func (p *Platform) Close() { p.inner.Close() }

@@ -57,6 +57,41 @@ func TestCompileAndDeployEcho(t *testing.T) {
 	}
 }
 
+// TestPlatformSchedStats drives traffic through a deployed service and
+// checks the scheduler counters are exposed (and moving) at the public API.
+func TestPlatformSchedStats(t *testing.T) {
+	svc, err := CompileService(echoProgram, ServiceOptions{
+		Codecs: map[string]Codec{"line": LineCodec()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shared := range []bool{false, true} {
+		p := NewPlatform(PlatformOptions{Workers: 2, InProcessNet: true, SharedQueue: shared})
+		d, err := p.Deploy(svc, "echo:stats", nil)
+		if err != nil {
+			p.Close()
+			t.Fatal(err)
+		}
+		conn, err := p.Dial("echo:stats")
+		if err != nil {
+			p.Close()
+			t.Fatal(err)
+		}
+		fmt.Fprintln(conn, "ping")
+		if _, err := bufio.NewReader(conn).ReadString('\n'); err != nil {
+			t.Fatalf("shared=%v: %v", shared, err)
+		}
+		st := p.SchedStats()
+		if st.Scheduled == 0 || st.Executed == 0 {
+			t.Fatalf("shared=%v: scheduler stats did not move: %+v", shared, st)
+		}
+		conn.Close()
+		d.Close()
+		p.Close()
+	}
+}
+
 func TestCompileServiceErrors(t *testing.T) {
 	if _, err := CompileService("proc broken", ServiceOptions{}); err == nil {
 		t.Fatal("syntax error accepted")

@@ -69,7 +69,9 @@ func TimesliceTable(points []TimeslicePoint) *Table {
 type AffinityPoint struct {
 	Affinity bool
 	Total    time.Duration
-	Stolen   uint64
+	// Stats carries the scheduler counter snapshot (steals, parks,
+	// wakeups, inbox overflow) for the contention analysis.
+	Stats core.SchedStats
 }
 
 // RunAffinityAblation runs a task soup under both queueing disciplines.
@@ -117,7 +119,7 @@ func RunAffinityAblation(workers, tasks, items int) []AffinityPoint {
 		total := time.Since(start)
 		st := s.Stats()
 		s.Stop()
-		return AffinityPoint{Affinity: affinity, Total: total, Stolen: st.Stolen}
+		return AffinityPoint{Affinity: affinity, Total: total, Stats: st}
 	}
 	return []AffinityPoint{run(true), run(false)}
 }
@@ -126,11 +128,13 @@ func RunAffinityAblation(workers, tasks, items int) []AffinityPoint {
 func AffinityTable(points []AffinityPoint) *Table {
 	t := &Table{
 		Title:   "Ablation: task→worker affinity vs shared queue",
-		Columns: []string{"affinity", "total", "steals"},
+		Columns: []string{"affinity", "total", "steals", "parks", "wakeups", "overflow"},
 		Notes:   []string{"hash-pinned queues reduce cross-worker cache traffic (§5); stealing covers imbalance"},
 	}
 	for _, p := range points {
-		t.Add(fmt.Sprint(p.Affinity), p.Total.Round(time.Millisecond).String(), fmt.Sprint(p.Stolen))
+		t.Add(fmt.Sprint(p.Affinity), p.Total.Round(time.Millisecond).String(),
+			fmt.Sprint(p.Stats.Stolen), fmt.Sprint(p.Stats.Parks),
+			fmt.Sprint(p.Stats.Wakeups), fmt.Sprint(p.Stats.Overflow))
 	}
 	return t
 }

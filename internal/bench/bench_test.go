@@ -184,6 +184,45 @@ func TestAffinityAblation(t *testing.T) {
 	}
 }
 
+func TestSchedulerScaling(t *testing.T) {
+	var pts []SchedScalePoint
+	for _, w := range []int{1, 2} {
+		pts = append(pts, RunSchedulerScaling(SchedScaleConfig{
+			Workers:        w,
+			Sources:        4,
+			Stages:         8,
+			ItemsPerSource: 128,
+		}))
+	}
+	for _, p := range pts {
+		if p.Items != 4*128 {
+			t.Fatalf("workers=%d processed %d items, want %d", p.Workers, p.Items, 4*128)
+		}
+		if p.ItemsPerSec() <= 0 || p.OpsPerSec() <= 0 {
+			t.Fatalf("workers=%d: no throughput measured: %+v", p.Workers, p)
+		}
+		if p.Stats.Executed == 0 || p.Stats.Scheduled == 0 {
+			t.Fatalf("workers=%d: scheduler stats empty: %+v", p.Workers, p.Stats)
+		}
+	}
+	if s := SchedScaleTable(pts).String(); !strings.Contains(s, "workers") {
+		t.Fatal("table")
+	}
+}
+
+func TestSchedulerScalingSharedQueue(t *testing.T) {
+	p := RunSchedulerScaling(SchedScaleConfig{
+		Workers:        2,
+		Sources:        2,
+		Stages:         4,
+		ItemsPerSource: 64,
+		SharedQueue:    true,
+	})
+	if p.Items != 2*64 {
+		t.Fatalf("processed %d items, want %d", p.Items, 2*64)
+	}
+}
+
 func TestGraphPoolAblation(t *testing.T) {
 	pts, err := RunGraphPoolAblation(8, 200*time.Millisecond)
 	if err != nil {

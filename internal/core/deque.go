@@ -1,0 +1,112 @@
+package core
+
+import "sync/atomic"
+
+// deque is a Chase–Lev work-stealing deque of tasks (Chase & Lev, SPAA'05;
+// the per-worker run queue design used by most high-throughput dataflow
+// runtimes). The owning worker pushes and pops at the bottom without
+// synchronisation beyond the atomics themselves; any other worker steals
+// from the top with a single CAS. Go's sync/atomic operations are
+// sequentially consistent, which subsumes the fences the original
+// formulation requires.
+//
+// Only the owner may call pushBottom/popBottom; steal is safe from any
+// goroutine. The deque grows by ring doubling and never shrinks.
+type deque struct {
+	top    atomic.Int64 // next index to steal (thieves CAS this)
+	bottom atomic.Int64 // next index to push (owner only)
+	ring   atomic.Pointer[dequeRing]
+}
+
+// dequeRing is one power-of-two circular array generation.
+type dequeRing struct {
+	mask int64
+	slot []atomic.Pointer[Task]
+}
+
+const dequeInitialSize = 64
+
+func newDequeRing(size int64) *dequeRing {
+	return &dequeRing{mask: size - 1, slot: make([]atomic.Pointer[Task], size)}
+}
+
+func (r *dequeRing) load(i int64) *Task     { return r.slot[i&r.mask].Load() }
+func (r *dequeRing) store(i int64, t *Task) { r.slot[i&r.mask].Store(t) }
+func (r *dequeRing) grow(b, t int64) *dequeRing {
+	nr := newDequeRing((r.mask + 1) * 2)
+	for i := t; i < b; i++ {
+		nr.store(i, r.load(i))
+	}
+	return nr
+}
+
+func newDeque() *deque {
+	d := &deque{}
+	d.ring.Store(newDequeRing(dequeInitialSize))
+	return d
+}
+
+// pushBottom appends t at the owner's end. Owner only.
+func (d *deque) pushBottom(t *Task) {
+	b := d.bottom.Load()
+	top := d.top.Load()
+	r := d.ring.Load()
+	if b-top > r.mask {
+		r = r.grow(b, top)
+		d.ring.Store(r)
+	}
+	r.store(b, t)
+	d.bottom.Store(b + 1)
+}
+
+// popBottom removes the most recently pushed task. Owner only.
+func (d *deque) popBottom() *Task {
+	b := d.bottom.Load()
+	if b <= d.top.Load() {
+		return nil // empty fast path: no store traffic
+	}
+	b--
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// A thief emptied the deque between the fast-path check and the
+		// bottom store; restore the canonical empty state.
+		d.bottom.Store(t)
+		return nil
+	}
+	task := d.ring.Load().load(b)
+	if b > t {
+		return task // more than one element: no race with thieves
+	}
+	// Last element: win it against thieves via the same CAS they use.
+	if !d.top.CompareAndSwap(t, t+1) {
+		task = nil // a thief got it
+	}
+	d.bottom.Store(t + 1)
+	return task
+}
+
+// steal removes the oldest task. Safe from any goroutine. A nil return
+// means the deque was empty or the CAS lost a race (either way: move on).
+func (d *deque) steal() *Task {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil
+	}
+	task := d.ring.Load().load(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil
+	}
+	return task
+}
+
+// size reports an instantaneous (racy) element count, for diagnostics.
+func (d *deque) size() int64 {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if b < t {
+		return 0
+	}
+	return b - t
+}

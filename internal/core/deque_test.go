@@ -1,0 +1,258 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDequeOwnerLIFO(t *testing.T) {
+	d := newDeque()
+	a, b, c := &Task{id: 1}, &Task{id: 2}, &Task{id: 3}
+	d.pushBottom(a)
+	d.pushBottom(b)
+	d.pushBottom(c)
+	if d.size() != 3 {
+		t.Fatalf("size = %d", d.size())
+	}
+	for i, want := range []*Task{c, b, a} {
+		if got := d.popBottom(); got != want {
+			t.Fatalf("pop %d = %v, want %v", i, got, want)
+		}
+	}
+	if d.popBottom() != nil {
+		t.Fatal("pop on empty deque")
+	}
+}
+
+func TestDequeStealFIFO(t *testing.T) {
+	d := newDeque()
+	a, b := &Task{id: 1}, &Task{id: 2}
+	d.pushBottom(a)
+	d.pushBottom(b)
+	if got := d.steal(); got != a {
+		t.Fatalf("steal = %v, want oldest %v", got, a)
+	}
+	if got := d.popBottom(); got != b {
+		t.Fatalf("pop = %v, want %v", got, b)
+	}
+	if d.steal() != nil {
+		t.Fatal("steal on empty deque")
+	}
+}
+
+func TestDequeGrowPreservesTasks(t *testing.T) {
+	d := newDeque()
+	const n = dequeInitialSize*4 + 7
+	tasks := make([]*Task, n)
+	for i := range tasks {
+		tasks[i] = &Task{id: uint64(i)}
+		d.pushBottom(tasks[i])
+	}
+	seen := map[*Task]bool{}
+	for i := 0; i < n; i++ {
+		got := d.popBottom()
+		if got == nil {
+			t.Fatalf("pop %d = nil", i)
+		}
+		if seen[got] {
+			t.Fatalf("task %d popped twice", got.id)
+		}
+		seen[got] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("recovered %d tasks, want %d", len(seen), n)
+	}
+}
+
+// TestDequeStealRace is the -race stress test for the Chase–Lev protocol:
+// one owner pushing and popping at the bottom, several thieves hammering
+// the top. Every task must be delivered to exactly one consumer.
+func TestDequeStealRace(t *testing.T) {
+	const (
+		thieves = 4
+		total   = 20000
+	)
+	d := newDeque()
+	hits := make([]atomic.Int32, total)
+	var delivered atomic.Int64
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+
+	take := func(task *Task) {
+		if task == nil {
+			return
+		}
+		if hits[task.id].Add(1) != 1 {
+			t.Errorf("task %d delivered twice", task.id)
+		}
+		delivered.Add(1)
+	}
+
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				take(d.steal())
+			}
+			// Final sweep after the owner finishes.
+			for {
+				task := d.steal()
+				if task == nil && d.size() == 0 {
+					return
+				}
+				take(task)
+			}
+		}()
+	}
+
+	// Owner: interleave pushes with occasional pops.
+	for i := 0; i < total; i++ {
+		d.pushBottom(&Task{id: uint64(i)})
+		if i%3 == 0 {
+			take(d.popBottom())
+		}
+	}
+	for {
+		task := d.popBottom()
+		if task == nil {
+			break
+		}
+		take(task)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if delivered.Load() != total {
+		t.Fatalf("delivered %d tasks, want %d", delivered.Load(), total)
+	}
+}
+
+func TestInboxFIFOAndSpill(t *testing.T) {
+	in := newInbox()
+	// Fill past the ring so the spill path engages.
+	const n = inboxSize + 100
+	spilled := 0
+	for i := 0; i < n; i++ {
+		if !in.push(&Task{id: uint64(i)}) {
+			spilled++
+		}
+	}
+	if spilled != 100 {
+		t.Fatalf("spilled %d pushes, want 100", spilled)
+	}
+	if in.empty() {
+		t.Fatal("inbox reports empty")
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		task := in.pop()
+		if task == nil {
+			t.Fatalf("pop %d = nil", i)
+		}
+		if seen[task.id] {
+			t.Fatalf("task %d delivered twice", task.id)
+		}
+		seen[task.id] = true
+	}
+	if in.pop() != nil {
+		t.Fatal("pop on drained inbox")
+	}
+	if !in.empty() {
+		t.Fatal("drained inbox not empty")
+	}
+}
+
+// TestInboxRingNotStarvedBehindSpill: sustained requeue traffic keeps the
+// spill list permanently non-empty; ring entries must still drain (pops go
+// ring-first), otherwise the 256 ring tasks starve forever behind the
+// recycling spill.
+func TestInboxRingNotStarvedBehindSpill(t *testing.T) {
+	in := newInbox()
+	const n = inboxSize + 50
+	for i := 0; i < n; i++ {
+		in.push(&Task{id: uint64(i)})
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		task := in.pop()
+		if task == nil {
+			t.Fatalf("pop %d = nil with %d tasks circulating", i, n)
+		}
+		if seen[task.id] {
+			t.Fatalf("task %d popped twice before every task ran once (ring starved)", task.id)
+		}
+		seen[task.id] = true
+		in.push(task) // immediate requeue: spill stays non-empty throughout
+	}
+	if len(seen) != n {
+		t.Fatalf("saw %d distinct tasks, want %d", len(seen), n)
+	}
+}
+
+func TestInboxRingFIFOOrder(t *testing.T) {
+	in := newInbox()
+	for i := 0; i < 32; i++ {
+		in.push(&Task{id: uint64(i)})
+	}
+	for i := 0; i < 32; i++ {
+		task := in.pop()
+		if task == nil || task.id != uint64(i) {
+			t.Fatalf("pop %d = %v, want id %d", i, task, i)
+		}
+	}
+}
+
+// TestInboxConcurrentExactlyOnce is the -race stress test for the bounded
+// MPMC ring + spill: many producers, many consumers, spill forced by
+// volume, every task delivered exactly once.
+func TestInboxConcurrentExactlyOnce(t *testing.T) {
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 8000
+		total     = producers * perProd
+	)
+	in := newInbox()
+	hits := make([]atomic.Int32, total)
+	var delivered atomic.Int64
+	var produced atomic.Int64
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				in.push(&Task{id: uint64(p*perProd + i)})
+				produced.Add(1)
+			}
+		}(p)
+	}
+	var cg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				task := in.pop()
+				if task == nil {
+					if produced.Load() == total && in.empty() {
+						return
+					}
+					continue
+				}
+				if hits[task.id].Add(1) != 1 {
+					t.Errorf("task %d delivered twice", task.id)
+				}
+				delivered.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	cg.Wait()
+	if delivered.Load() != total {
+		t.Fatalf("delivered %d, want %d", delivered.Load(), total)
+	}
+}

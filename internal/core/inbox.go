@@ -1,0 +1,137 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// inbox is a worker's overflow queue: the handoff point for every Schedule
+// that cannot touch the worker's private deque (cross-worker schedules,
+// wakeups from connection goroutines, yield requeues). The fast path is a
+// bounded lock-free ring (Vyukov's bounded queue); when the ring is full,
+// pushes spill into a mutex-protected list so Schedule never blocks and
+// never drops a task.
+//
+// The ring is multi-producer/multi-consumer: the owning worker drains it in
+// FIFO order, and idle thieves may also pop from it directly, so a task
+// parked in a busy worker's inbox cannot be starved behind a long-running
+// activation.
+type inbox struct {
+	slots []inboxSlot
+	mask  uint64
+	enq   atomic.Uint64
+	deq   atomic.Uint64
+
+	// spillLen mirrors len(spill) so the hot paths can skip the mutex.
+	// While the spill is non-empty, pushes keep appending to it (never the
+	// ring), and pops drain the ring first, then the spill. Order is
+	// approximately FIFO: a push racing the ring-full transition can slip
+	// into a freed ring slot ahead of an already-spilled older task, so
+	// the ordering is best-effort, not an invariant — the scheduler only
+	// needs starvation-freedom, which holds: a non-empty spill diverts all
+	// new pushes, so the ring is guaranteed to drain, after which the
+	// spill drains too.
+	spillLen atomic.Int64
+	spillMu  sync.Mutex
+	spill    []*Task // head at index 0
+}
+
+type inboxSlot struct {
+	seq  atomic.Uint64
+	task *Task // published by the seq store (release/acquire pairing)
+}
+
+// inboxSize bounds the lock-free ring; must be a power of two. Spill
+// traffic beyond it is counted in SchedStats.Overflow.
+const inboxSize = 256
+
+func newInbox() *inbox {
+	in := &inbox{slots: make([]inboxSlot, inboxSize), mask: inboxSize - 1}
+	for i := range in.slots {
+		in.slots[i].seq.Store(uint64(i))
+	}
+	return in
+}
+
+// push enqueues t. It returns true when the task landed in the lock-free
+// ring and false when it spilled to the overflow list.
+func (in *inbox) push(t *Task) bool {
+	if in.spillLen.Load() > 0 {
+		in.pushSpill(t)
+		return false
+	}
+	pos := in.enq.Load()
+	for {
+		slot := &in.slots[pos&in.mask]
+		seq := slot.seq.Load()
+		switch dif := int64(seq) - int64(pos); {
+		case dif == 0:
+			if in.enq.CompareAndSwap(pos, pos+1) {
+				slot.task = t
+				slot.seq.Store(pos + 1)
+				return true
+			}
+			pos = in.enq.Load()
+		case dif < 0:
+			// Ring full. Spill rather than spin: the owner may be parked
+			// behind this very push and spinning could livelock startup.
+			in.pushSpill(t)
+			return false
+		default:
+			pos = in.enq.Load()
+		}
+	}
+}
+
+func (in *inbox) pushSpill(t *Task) {
+	in.spillMu.Lock()
+	in.spill = append(in.spill, t)
+	in.spillLen.Store(int64(len(in.spill)))
+	in.spillMu.Unlock()
+}
+
+// pop dequeues the oldest task: the ring first (its entries predate every
+// spill entry), then the spill list. Safe from any goroutine.
+func (in *inbox) pop() *Task {
+	pos := in.deq.Load()
+	for {
+		slot := &in.slots[pos&in.mask]
+		seq := slot.seq.Load()
+		switch dif := int64(seq) - int64(pos+1); {
+		case dif == 0:
+			if in.deq.CompareAndSwap(pos, pos+1) {
+				t := slot.task
+				slot.task = nil
+				slot.seq.Store(pos + in.mask + 1)
+				return t
+			}
+			pos = in.deq.Load()
+		case dif < 0:
+			if in.spillLen.Load() > 0 {
+				return in.popSpill()
+			}
+			return nil
+		default:
+			pos = in.deq.Load()
+		}
+	}
+}
+
+func (in *inbox) popSpill() *Task {
+	in.spillMu.Lock()
+	defer in.spillMu.Unlock()
+	if len(in.spill) == 0 {
+		return nil
+	}
+	t := in.spill[0]
+	copy(in.spill, in.spill[1:])
+	in.spill[len(in.spill)-1] = nil
+	in.spill = in.spill[:len(in.spill)-1]
+	in.spillLen.Store(int64(len(in.spill)))
+	return t
+}
+
+// empty reports an instantaneous (racy) emptiness check.
+func (in *inbox) empty() bool {
+	return in.deq.Load() == in.enq.Load() && in.spillLen.Load() == 0
+}

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"flick/internal/metrics"
 )
 
 // Policy is a scheduling discipline (§6.4 evaluates three).
@@ -37,55 +40,91 @@ func CooperativeQuantum(q time.Duration) Policy {
 }
 
 // Scheduler runs tasks on a fixed pool of worker goroutines, one per
-// configured core, with per-worker FIFO queues, task→worker affinity by
-// task-id hash, and work scavenging from other queues when idle (§5).
+// configured core (§5). The design is sharded for low contention:
+//
+//   - Each worker owns a lock-free Chase–Lev deque. Only the owner touches
+//     the bottom; idle workers steal from the top with a single CAS.
+//   - Every Schedule goes through the target worker's bounded MPSC-style
+//     overflow inbox (callers generally run on arbitrary goroutines, so
+//     they may never touch a deque bottom). The owner drains its inbox a
+//     batch at a time into its private deque so subsequent pops are
+//     contention-free and thieves have something to steal; batches are
+//     served in FIFO order (LIFO within a batch), bounding how long any
+//     task can wait behind later arrivals to drainBatch activations.
+//   - Task→worker affinity is a hash of the task id (§5); WithoutAffinity
+//     funnels everything through worker 0's inbox instead (ablation).
+//   - Idle workers park individually on a per-worker condition variable.
+//     An atomic idle bitmap lets producers wake exactly one sleeper with a
+//     claim CAS instead of broadcasting to the whole pool.
 type Scheduler struct {
-	workers []*workerQueue
+	workers []*worker
 	policy  Policy
-	// Affinity false routes every schedule to a single shared queue
+	// affinity false routes every schedule through worker 0's inbox
 	// (ablation: the value of per-worker queues).
 	affinity bool
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	sleeping int
-	stopped  bool
-	wg       sync.WaitGroup
+	// idle is the worker-parking bitmap: bit w of word w/64 is set while
+	// worker w is parked (or committing to park). Producers claim a
+	// sleeper by CASing its bit away before signalling it.
+	idle []atomic.Uint64
 
-	scheduled atomic.Uint64
-	stolen    atomic.Uint64
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+
+	overflow atomic.Uint64 // inbox-ring overflows into the spill list
+	wakeups  atomic.Uint64
+}
+
+// worker is one scheduler shard: a goroutine, its run queues, its parking
+// brake, and its contention-free counters.
+type worker struct {
+	dq    *deque
+	inbox *inbox
+
+	parkMu   sync.Mutex
+	parkCond *sync.Cond
+	notified bool
+
+	// tick counts find calls (owner-only). Every fairnessTick-th find
+	// services foreign queues before local ones, so a worker whose own
+	// queues never drain (a yield-requeue loop) cannot indefinitely
+	// starve tasks stranded on another worker's queues — e.g. the home
+	// worker is wedged in a long activation, or exited at Stop.
+	tick uint32
+
+	// Per-worker counters keep the hot path off shared cache lines; Stats
+	// sums them. scheduled counts enqueues TARGETING this worker — the
+	// enqueuer already touches this worker's inbox line in the same
+	// operation, so the count adds no new cross-core traffic. The padding
+	// separates adjacent workers' counters.
 	executed  atomic.Uint64
+	stolen    atomic.Uint64
+	parks     atomic.Uint64
+	scheduled atomic.Uint64
+	_         [4]uint64 // pad to a cache line with the counters above
 }
 
-// workerQueue is one worker's FIFO run queue.
-type workerQueue struct {
-	mu    sync.Mutex
-	tasks []*Task // simple slice FIFO; head at index 0
+func newWorker() *worker {
+	w := &worker{dq: newDeque(), inbox: newInbox()}
+	w.parkCond = sync.NewCond(&w.parkMu)
+	return w
 }
 
-func (w *workerQueue) push(t *Task) {
-	w.mu.Lock()
-	w.tasks = append(w.tasks, t)
-	w.mu.Unlock()
-}
+// drainBatch is how many extra inbox tasks the owner moves into its deque
+// per drain: enough to amortise the inbox CAS and feed thieves, small
+// enough to keep FIFO batches short (fairness between yielding tasks).
+const drainBatch = 16
 
-func (w *workerQueue) pop() *Task {
-	w.mu.Lock()
-	if len(w.tasks) == 0 {
-		w.mu.Unlock()
-		return nil
-	}
-	t := w.tasks[0]
-	copy(w.tasks, w.tasks[1:])
-	w.tasks = w.tasks[:len(w.tasks)-1]
-	w.mu.Unlock()
-	return t
-}
+// fairnessTick bounds cross-worker starvation: every fairnessTick-th find
+// looks at foreign queues first (the same 1-in-61 idiom the Go runtime
+// uses for its global run queue; 61 is prime so the tick does not resonate
+// with workload periodicity).
+const fairnessTick = 61
 
 // Option configures a scheduler.
 type Option func(*Scheduler)
 
-// WithoutAffinity funnels all tasks through worker 0's queue, relying on
+// WithoutAffinity funnels all tasks through worker 0's inbox, relying on
 // stealing to spread load (ablation baseline).
 func WithoutAffinity() Option {
 	return func(s *Scheduler) { s.affinity = false }
@@ -98,10 +137,10 @@ func NewScheduler(nWorkers int, policy Policy, opts ...Option) *Scheduler {
 		nWorkers = runtime.GOMAXPROCS(0)
 	}
 	s := &Scheduler{policy: policy, affinity: true}
-	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < nWorkers; i++ {
-		s.workers = append(s.workers, &workerQueue{})
+		s.workers = append(s.workers, newWorker())
 	}
+	s.idle = make([]atomic.Uint64, (nWorkers+63)/64)
 	for _, o := range opts {
 		o(s)
 	}
@@ -114,20 +153,42 @@ func (s *Scheduler) Workers() int { return len(s.workers) }
 // Policy returns the scheduling policy.
 func (s *Scheduler) Policy() Policy { return s.policy }
 
-// Stats reports cumulative scheduling activity.
+// SchedStats reports cumulative scheduling activity.
 type SchedStats struct {
 	Scheduled uint64 // tasks enqueued
 	Executed  uint64 // task activations
 	Stolen    uint64 // activations run off the task's home worker
+	Parks     uint64 // times a worker went to sleep
+	Wakeups   uint64 // targeted unparks issued by producers
+	Overflow  uint64 // inbox pushes that overflowed the ring into the spill
 }
 
 // Stats returns a snapshot of scheduler counters.
 func (s *Scheduler) Stats() SchedStats {
-	return SchedStats{
-		Scheduled: s.scheduled.Load(),
-		Executed:  s.executed.Load(),
-		Stolen:    s.stolen.Load(),
+	st := SchedStats{
+		Wakeups:  s.wakeups.Load(),
+		Overflow: s.overflow.Load(),
 	}
+	for _, w := range s.workers {
+		st.Scheduled += w.scheduled.Load()
+		st.Executed += w.executed.Load()
+		st.Stolen += w.stolen.Load()
+		st.Parks += w.parks.Load()
+	}
+	return st
+}
+
+// Metrics renders the stats snapshot as an ordered metrics counter set
+// (benchmark tables, flickbench reporting).
+func (st SchedStats) Metrics() metrics.CounterSet {
+	return metrics.NewCounterSet(
+		"scheduled", st.Scheduled,
+		"executed", st.Executed,
+		"stolen", st.Stolen,
+		"parks", st.Parks,
+		"wakeups", st.Wakeups,
+		"overflow", st.Overflow,
+	)
 }
 
 // Start launches the worker goroutines.
@@ -140,10 +201,10 @@ func (s *Scheduler) Start() {
 
 // Stop terminates the workers. Queued tasks are abandoned.
 func (s *Scheduler) Stop() {
-	s.mu.Lock()
-	s.stopped = true
-	s.cond.Broadcast()
-	s.mu.Unlock()
+	s.stopped.Store(true)
+	for _, w := range s.workers {
+		w.unpark()
+	}
 	s.wg.Wait()
 }
 
@@ -168,7 +229,6 @@ func (s *Scheduler) Schedule(t *Task) {
 		switch st {
 		case TaskIdle:
 			if t.state.CompareAndSwap(int32(TaskIdle), int32(TaskQueued)) {
-				s.scheduled.Add(1)
 				s.enqueue(t)
 				return
 			}
@@ -182,55 +242,222 @@ func (s *Scheduler) Schedule(t *Task) {
 	}
 }
 
-func (s *Scheduler) enqueue(t *Task) {
-	w := 0
+// enqueue hands t to its target worker's inbox and wakes a sleeper if one
+// exists. The push must complete before the idle-bitmap read: paired with
+// the worker publishing its idle bit before its final queue recheck, the
+// sequentially consistent atomics guarantee at least one side observes the
+// other, so no wakeup is lost.
+func (s *Scheduler) enqueue(t *Task) { s.enqueueFrom(t, -1) }
+
+// enqueueFrom is enqueue with the calling worker's id (-1 when the caller
+// is not a worker). A worker requeueing onto its own inbox skips the
+// wakeup: it is awake and finds the task on its next loop, and waking a
+// sleeper here would just migrate the task off its home worker.
+func (s *Scheduler) enqueueFrom(t *Task, from int) {
+	target := 0
 	if s.affinity {
-		w = t.home
+		target = t.home
 	}
-	s.workers[w].push(t)
-	s.mu.Lock()
-	if s.sleeping > 0 {
-		s.cond.Signal()
+	tw := s.workers[target]
+	tw.scheduled.Add(1)
+	if !tw.inbox.push(t) {
+		s.overflow.Add(1)
 	}
-	s.mu.Unlock()
+	if from != target {
+		s.wakeOne(target)
+	}
 }
 
-// find returns the next task for worker wid: its own queue first, then a
-// scavenging sweep over the other queues.
+// wakeOne claims one parked worker (preferring the task's target) and
+// signals it. Claiming via CAS on the idle bitmap means each enqueue wakes
+// at most one sleeper — no thundering broadcast.
+func (s *Scheduler) wakeOne(prefer int) {
+	if w, ok := s.claimIdle(prefer); ok {
+		s.wakeups.Add(1)
+		s.workers[w].unpark()
+	}
+}
+
+// claimIdle finds a set bit in the idle bitmap and clears it atomically.
+func (s *Scheduler) claimIdle(prefer int) (int, bool) {
+	// Fast preference: the task's own worker, for cache affinity.
+	if s.tryClaim(prefer) {
+		return prefer, true
+	}
+	for wi := range s.idle {
+		for {
+			word := s.idle[wi].Load()
+			if word == 0 {
+				break
+			}
+			bit := word & (-word) // lowest set bit
+			if s.idle[wi].CompareAndSwap(word, word&^bit) {
+				return wi*64 + bits.TrailingZeros64(bit), true
+			}
+			// CAS lost: another producer claimed concurrently; reload.
+		}
+	}
+	return 0, false
+}
+
+func (s *Scheduler) tryClaim(w int) bool {
+	wi, bit := w/64, uint64(1)<<(uint(w)%64)
+	for {
+		word := s.idle[wi].Load()
+		if word&bit == 0 {
+			return false
+		}
+		if s.idle[wi].CompareAndSwap(word, word&^bit) {
+			return true
+		}
+	}
+}
+
+// setIdle publishes worker w as parked (or committing to park).
+func (s *Scheduler) setIdle(w int) {
+	wi, bit := w/64, uint64(1)<<(uint(w)%64)
+	for {
+		word := s.idle[wi].Load()
+		if s.idle[wi].CompareAndSwap(word, word|bit) {
+			return
+		}
+	}
+}
+
+// clearIdle withdraws worker w's parked bit. Reports whether this call
+// cleared it; false means a producer already claimed the worker, so a
+// notification token is (or will shortly be) pending.
+func (s *Scheduler) clearIdle(w int) bool {
+	wi, bit := w/64, uint64(1)<<(uint(w)%64)
+	for {
+		word := s.idle[wi].Load()
+		if word&bit == 0 {
+			return false
+		}
+		if s.idle[wi].CompareAndSwap(word, word&^bit) {
+			return true
+		}
+	}
+}
+
+// unpark delivers a notification token to the worker, waking it if parked.
+// Tokens are sticky: delivered before the worker parks, they turn the next
+// park into a no-op instead of being lost.
+func (w *worker) unpark() {
+	w.parkMu.Lock()
+	w.notified = true
+	w.parkCond.Signal()
+	w.parkMu.Unlock()
+}
+
+// park blocks until a notification token arrives (or consumes a pending
+// one immediately).
+func (w *worker) park() {
+	w.parkMu.Lock()
+	for !w.notified {
+		w.parkCond.Wait()
+	}
+	w.notified = false
+	w.parkMu.Unlock()
+}
+
+// find returns the next task for worker wid:
+//
+//  1. its own deque (contention-free owner pop);
+//  2. its own inbox, draining a batch into the deque;
+//  3. under WithoutAffinity, the shared inbox on worker 0;
+//  4. a stealing sweep over every other worker's deque, then inbox.
+//
+// Every fairnessTick-th call inverts the order — foreign queues first — so
+// a worker whose own queues are kept permanently non-empty by requeueing
+// tasks still services work stranded on other workers' queues.
 func (s *Scheduler) find(wid int) *Task {
-	if t := s.workers[wid].pop(); t != nil {
+	me := s.workers[wid]
+	me.tick++
+	if me.tick%fairnessTick == 0 {
+		if t := s.stealSweep(wid); t != nil {
+			return t
+		}
+	}
+	if t := me.dq.popBottom(); t != nil {
 		return t
 	}
+	if t := s.drainInbox(wid); t != nil {
+		return t
+	}
+	if !s.affinity && wid != 0 {
+		if t := s.workers[0].inbox.pop(); t != nil {
+			me.stolen.Add(1)
+			return t
+		}
+	}
+	return s.stealSweep(wid)
+}
+
+// stealSweep scans every other worker's deque, then inbox, for work.
+func (s *Scheduler) stealSweep(wid int) *Task {
+	me := s.workers[wid]
 	n := len(s.workers)
 	for off := 1; off < n; off++ {
-		if t := s.workers[(wid+off)%n].pop(); t != nil {
-			s.stolen.Add(1)
+		v := s.workers[(wid+off)%n]
+		if t := v.dq.steal(); t != nil {
+			me.stolen.Add(1)
+			return t
+		}
+		if t := v.inbox.pop(); t != nil {
+			me.stolen.Add(1)
 			return t
 		}
 	}
 	return nil
 }
 
+// drainInbox pops the oldest inbox task for worker wid and moves up to
+// drainBatch more into the worker's private deque. The batch keeps later
+// pops off the shared ring and exposes queued work to thieves. The owner
+// pops the moved batch LIFO (deque bottom) while thieves see FIFO (top);
+// owner-side unfairness is bounded by the batch size.
+func (s *Scheduler) drainInbox(wid int) *Task {
+	me := s.workers[wid]
+	t := me.inbox.pop()
+	if t == nil {
+		return nil
+	}
+	for i := 0; i < drainBatch; i++ {
+		extra := me.inbox.pop()
+		if extra == nil {
+			break
+		}
+		me.dq.pushBottom(extra)
+	}
+	return t
+}
+
 func (s *Scheduler) workerLoop(wid int) {
 	defer s.wg.Done()
+	me := s.workers[wid]
 	for {
 		t := s.find(wid)
 		if t == nil {
-			s.mu.Lock()
-			if s.stopped {
-				s.mu.Unlock()
+			if s.stopped.Load() {
 				return
 			}
-			// Re-check under the sleep lock: any enqueue after this
-			// point must acquire s.mu to signal and will wake us.
-			if t = s.find(wid); t == nil {
-				s.sleeping++
-				s.cond.Wait()
-				s.sleeping--
-				s.mu.Unlock()
+			// Publish the idle bit BEFORE the final recheck: any producer
+			// whose push lands after our recheck must then observe the bit
+			// and claim us (see enqueue).
+			s.setIdle(wid)
+			if t = s.find(wid); t == nil && !s.stopped.Load() {
+				me.parks.Add(1)
+				me.park()
 				continue
 			}
-			s.mu.Unlock()
+			// Found work (or stopping) after all: withdraw the bit. If a
+			// producer already claimed it, a sticky token is pending and
+			// the next park will return immediately — benign.
+			s.clearIdle(wid)
+			if t == nil {
+				return
+			}
 		}
 		s.run(t, wid)
 	}
@@ -248,7 +475,8 @@ func (s *Scheduler) run(t *Task, wid int) {
 		t.state.Store(int32(TaskIdle))
 		return
 	}
-	s.executed.Add(1)
+	me := s.workers[wid]
+	me.executed.Add(1)
 	t.runs.Add(1)
 	ctx := ExecCtx{
 		sched:    s,
@@ -281,6 +509,5 @@ func (s *Scheduler) run(t *Task, wid int) {
 		requeue = true // was RunningDirty
 	}
 	t.state.Store(int32(TaskQueued))
-	s.scheduled.Add(1)
-	s.enqueue(t)
+	s.enqueueFrom(t, wid)
 }

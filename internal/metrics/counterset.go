@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CounterSet is an ordered set of named counter readings: a point-in-time
+// snapshot of a subsystem's counters (scheduler steals/parks/wakeups,
+// buffer-pool hits, ...) suitable for benchmark tables and deltas between
+// measurement windows.
+type CounterSet struct {
+	names  []string
+	values []uint64
+}
+
+// NewCounterSet builds a set from alternating name, value pairs:
+//
+//	NewCounterSet("steals", 12, "parks", 3)
+//
+// It panics on malformed pairs (programming error, not input error).
+func NewCounterSet(pairs ...any) CounterSet {
+	if len(pairs)%2 != 0 {
+		panic("metrics: NewCounterSet needs name/value pairs")
+	}
+	cs := CounterSet{}
+	for i := 0; i < len(pairs); i += 2 {
+		name, ok := pairs[i].(string)
+		if !ok {
+			panic(fmt.Sprintf("metrics: CounterSet name %d is %T, want string", i/2, pairs[i]))
+		}
+		var v uint64
+		switch x := pairs[i+1].(type) {
+		case uint64:
+			v = x
+		case int:
+			if x < 0 {
+				panic(fmt.Sprintf("metrics: CounterSet value %q is negative", name))
+			}
+			v = uint64(x)
+		default:
+			panic(fmt.Sprintf("metrics: CounterSet value %q is %T, want uint64 or int", name, pairs[i+1]))
+		}
+		cs.names = append(cs.names, name)
+		cs.values = append(cs.values, v)
+	}
+	return cs
+}
+
+// Len returns the number of counters in the set.
+func (cs CounterSet) Len() int { return len(cs.names) }
+
+// Names returns the counter names in insertion order.
+func (cs CounterSet) Names() []string { return append([]string(nil), cs.names...) }
+
+// Get returns the value of the named counter (false when absent).
+func (cs CounterSet) Get(name string) (uint64, bool) {
+	for i, n := range cs.names {
+		if n == name {
+			return cs.values[i], true
+		}
+	}
+	return 0, false
+}
+
+// Sub returns cs - prev counter-wise: the activity between two snapshots.
+// Counters absent from prev are kept as-is; counters that went backwards
+// (a reset) clamp to zero rather than wrapping.
+func (cs CounterSet) Sub(prev CounterSet) CounterSet {
+	out := CounterSet{
+		names:  append([]string(nil), cs.names...),
+		values: append([]uint64(nil), cs.values...),
+	}
+	for i, n := range out.names {
+		if pv, ok := prev.Get(n); ok {
+			if pv > out.values[i] {
+				out.values[i] = 0
+			} else {
+				out.values[i] -= pv
+			}
+		}
+	}
+	return out
+}
+
+// String renders the set compactly: "steals=12 parks=3".
+func (cs CounterSet) String() string {
+	var b strings.Builder
+	for i, n := range cs.names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", n, cs.values[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,57 @@
+package metrics
+
+import "testing"
+
+func TestCounterSetBasics(t *testing.T) {
+	cs := NewCounterSet("steals", 12, "parks", uint64(3), "wakeups", 0)
+	if cs.Len() != 3 {
+		t.Fatalf("len = %d", cs.Len())
+	}
+	if got := cs.Names(); len(got) != 3 || got[0] != "steals" || got[2] != "wakeups" {
+		t.Fatalf("names = %v", got)
+	}
+	if v, ok := cs.Get("parks"); !ok || v != 3 {
+		t.Fatalf("parks = %d, %v", v, ok)
+	}
+	if _, ok := cs.Get("missing"); ok {
+		t.Fatal("found a counter that does not exist")
+	}
+	if s := cs.String(); s != "steals=12 parks=3 wakeups=0" {
+		t.Fatalf("string = %q", s)
+	}
+}
+
+func TestCounterSetSub(t *testing.T) {
+	prev := NewCounterSet("steals", 10, "parks", 5)
+	cur := NewCounterSet("steals", 25, "parks", 3, "wakeups", 7)
+	d := cur.Sub(prev)
+	if v, _ := d.Get("steals"); v != 15 {
+		t.Fatalf("steals delta = %d", v)
+	}
+	// Counter went backwards (reset): clamps to zero rather than wrapping.
+	if v, _ := d.Get("parks"); v != 0 {
+		t.Fatalf("parks delta = %d", v)
+	}
+	// Absent from prev: kept as-is.
+	if v, _ := d.Get("wakeups"); v != 7 {
+		t.Fatalf("wakeups delta = %d", v)
+	}
+}
+
+func TestCounterSetPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"odd pairs":      func() { NewCounterSet("a") },
+		"non-string key": func() { NewCounterSet(1, 2) },
+		"negative int":   func() { NewCounterSet("a", -1) },
+		"bad value type": func() { NewCounterSet("a", "b") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
