@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke ci
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke fuzz-smoke ci
 
 all: build test
 
@@ -24,7 +24,8 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/buffer/...
+	$(GO) test -race ./internal/core/... ./internal/buffer/... \
+		./internal/proto/... ./internal/loadgen/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
@@ -32,4 +33,15 @@ bench:
 bench-smoke:
 	$(GO) test -bench=BenchmarkSchedulerScaling -benchtime=100x -run='^$$' .
 
-ci: build vet fmt-check test race bench-smoke
+# Short-budget native fuzzing of every protocol decoder plus the grammar
+# round-trip (go test -fuzz accepts one target per invocation). The
+# checked-in corpora under testdata/fuzz/ run on every plain `make test` too.
+FUZZTIME ?= 10s
+
+fuzz-smoke:
+	$(GO) test ./internal/proto/http -run='^$$' -fuzz=FuzzHTTPDecode -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/proto/memcache -run='^$$' -fuzz=FuzzMemcacheDecode -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/proto/hadoop -run='^$$' -fuzz=FuzzHadoopDecode -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/grammar -run='^$$' -fuzz=FuzzGrammarRoundTrip -fuzztime=$(FUZZTIME)
+
+ci: build vet fmt-check test race bench-smoke fuzz-smoke

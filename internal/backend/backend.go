@@ -95,6 +95,7 @@ func (s *HTTPServer) serve(conn net.Conn) {
 			s.requests.Inc()
 			netstack.Spin(s.cost)
 			ka := msg.Field("keep_alive").AsInt() == 1
+			msg.Release() // recycle the request's pooled wire bytes
 			wbuf = phttp.BuildResponse(wbuf[:0], 200, "OK", ka, s.payload)
 			if _, err := conn.Write(wbuf); err != nil {
 				return
@@ -179,7 +180,9 @@ func (s *MemcachedServer) serve(raw net.Conn) {
 			return
 		}
 		s.requests.Inc()
-		if err := c.Send(s.handle(req)); err != nil {
+		resp := s.handle(req)
+		req.Release() // done with the request's pooled wire bytes
+		if err := c.Send(resp); err != nil {
 			return
 		}
 	}

@@ -121,12 +121,16 @@ func (a *apacheLike) serve(conn net.Conn) {
 
 			resp, err := a.pools[target].roundTrip(msg.Field("_raw").AsBytes())
 			if err != nil {
+				msg.Release()
 				return
 			}
 			if _, err := conn.Write(resp); err != nil {
+				msg.Release()
 				return
 			}
-			if msg.Field("keep_alive").AsInt() == 0 {
+			ka := msg.Field("keep_alive").AsInt() == 1
+			msg.Release() // recycle the request's pooled wire bytes
+			if !ka {
 				return
 			}
 			continue
@@ -225,12 +229,16 @@ func (n *nginxLike) serve(conn net.Conn) {
 			n.requests.Add(1)
 			resp, err := n.pools[target].roundTrip(msg.Field("_raw").AsBytes())
 			if err != nil {
+				msg.Release()
 				return
 			}
 			if _, err := conn.Write(resp); err != nil {
+				msg.Release()
 				return
 			}
-			if msg.Field("keep_alive").AsInt() == 0 {
+			ka := msg.Field("keep_alive").AsInt() == 1
+			msg.Release() // recycle the request's pooled wire bytes
+			if !ka {
 				return
 			}
 			continue
@@ -321,7 +329,9 @@ func (p *connPool) roundTrip(rawReq []byte) ([]byte, error) {
 		}
 		if ok {
 			raw := append([]byte{}, msg.Field("_raw").AsBytes()...)
-			if msg.Field("keep_alive").AsInt() == 1 {
+			ka := msg.Field("keep_alive").AsInt() == 1
+			msg.Release() // raw copied out; recycle the pooled view
+			if ka {
 				p.put(c)
 			} else {
 				c.Close()
@@ -430,10 +440,13 @@ func (m *MoxiLike) serveClient(raw net.Conn) {
 			return // proxy shut down
 		}
 		resp := <-reply
+		req.Release() // worker is done with the request
 		if resp.IsNull() {
 			return
 		}
-		if err := c.Send(resp); err != nil {
+		err = c.Send(resp)
+		resp.Release()
+		if err != nil {
 			return
 		}
 	}

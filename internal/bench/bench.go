@@ -16,9 +16,11 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
+	"flick/internal/metrics"
 	"flick/internal/netstack"
 )
 
@@ -107,6 +109,36 @@ func (t *Table) String() string {
 		sb.WriteString("note: " + n + "\n")
 	}
 	return sb.String()
+}
+
+// heapAllocs reads the process-wide cumulative heap allocation count.
+func heapAllocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// allocsPerOp divides an allocation delta over completed requests.
+func allocsPerOp(allocs, requests uint64) float64 {
+	if requests == 0 {
+		return 0
+	}
+	return float64(allocs) / float64(requests)
+}
+
+// fmtAllocs renders allocations per request.
+func fmtAllocs(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// fmtPool renders the buffer-pool counters that characterise the zero-copy
+// data path: how many messages were served as views, how many had to be
+// coalesced across chunks, and whether the pool missed or fell back to
+// direct allocation.
+func fmtPool(cs metrics.CounterSet) string {
+	views, _ := cs.Get("views")
+	coal, _ := cs.Get("coalesced")
+	miss, _ := cs.Get("misses")
+	over, _ := cs.Get("oversized")
+	return fmt.Sprintf("views=%d coal=%d miss=%d over=%d", views, coal, miss, over)
 }
 
 // fmtReqs renders requests/second compactly.

@@ -7,8 +7,10 @@ import (
 	"flick/internal/apps"
 	"flick/internal/backend"
 	"flick/internal/baseline"
+	"flick/internal/buffer"
 	"flick/internal/core"
 	"flick/internal/loadgen"
+	"flick/internal/metrics"
 	"flick/internal/netstack"
 )
 
@@ -31,6 +33,12 @@ type Fig4Point struct {
 	MeanLatency time.Duration
 	P99Latency  time.Duration
 	Errors      uint64
+	// AllocsPerOp is heap allocations per completed request across the
+	// whole in-process testbed (middlebox + backends + clients): the
+	// zero-copy data path shows up as this number collapsing.
+	AllocsPerOp float64
+	// Pool is the buffer-pool counter delta over the measurement window.
+	Pool metrics.CounterSet
 }
 
 // RunFig4 measures the HTTP load balancer for every system×concurrency.
@@ -137,6 +145,8 @@ func runFig4Cell(cfg Fig4Config, sys System, clients int) (Fig4Point, error) {
 	}
 	defer tb.close()
 
+	pool0 := buffer.Global.Counters()
+	allocs0 := heapAllocs()
 	res := loadgen.RunHTTP(loadgen.HTTPConfig{
 		Transport:  tr,
 		Addr:       tb.addr,
@@ -144,6 +154,7 @@ func runFig4Cell(cfg Fig4Config, sys System, clients int) (Fig4Point, error) {
 		Persistent: cfg.Persistent,
 		Duration:   cfg.Duration,
 	})
+	allocs1 := heapAllocs()
 	return Fig4Point{
 		System:      sys,
 		Clients:     clients,
@@ -151,6 +162,8 @@ func runFig4Cell(cfg Fig4Config, sys System, clients int) (Fig4Point, error) {
 		MeanLatency: res.Latency.Mean,
 		P99Latency:  res.Latency.P99,
 		Errors:      res.Errors,
+		AllocsPerOp: allocsPerOp(allocs1-allocs0, res.Requests),
+		Pool:        buffer.Global.Counters().Sub(pool0),
 	}, nil
 }
 
@@ -169,12 +182,13 @@ func Fig4Table(points []Fig4Point, persistent bool) *Table {
 	}
 	t := &Table{
 		Title:   "HTTP load balancer — Figure " + panel,
-		Columns: []string{"system", "clients", "req/s", "mean-lat", "p99-lat", "errors"},
+		Columns: []string{"system", "clients", "req/s", "mean-lat", "p99-lat", "errors", "allocs/req", "pool"},
 		Notes:   notes,
 	}
 	for _, p := range points {
 		t.Add(string(p.System), fmt.Sprint(p.Clients), fmtReqs(p.Throughput),
-			fmtDur(p.MeanLatency), fmtDur(p.P99Latency), fmt.Sprint(p.Errors))
+			fmtDur(p.MeanLatency), fmtDur(p.P99Latency), fmt.Sprint(p.Errors),
+			fmtAllocs(p.AllocsPerOp), fmtPool(p.Pool))
 	}
 	return t
 }

@@ -7,8 +7,10 @@ import (
 	"flick/internal/apps"
 	"flick/internal/backend"
 	"flick/internal/baseline"
+	"flick/internal/buffer"
 	"flick/internal/core"
 	"flick/internal/loadgen"
+	"flick/internal/metrics"
 )
 
 // Fig5Config parameterises the Figure 5 Memcached proxy experiment.
@@ -29,6 +31,11 @@ type Fig5Point struct {
 	MeanLatency time.Duration
 	P99Latency  time.Duration
 	Errors      uint64
+	// AllocsPerOp is heap allocations per completed request across the
+	// whole in-process testbed.
+	AllocsPerOp float64
+	// Pool is the buffer-pool counter delta over the measurement window.
+	Pool metrics.CounterSet
 }
 
 // RunFig5 measures the Memcached proxy across core counts.
@@ -120,6 +127,8 @@ func runFig5Cell(cfg Fig5Config, sys System, cores int) (Fig5Point, error) {
 	}
 	defer closeAll()
 
+	pool0 := buffer.Global.Counters()
+	allocs0 := heapAllocs()
 	res := loadgen.RunMemcache(loadgen.MemcacheConfig{
 		Transport: tr,
 		Addr:      addr,
@@ -127,6 +136,7 @@ func runFig5Cell(cfg Fig5Config, sys System, cores int) (Fig5Point, error) {
 		Keys:      cfg.Keys,
 		Duration:  cfg.Duration,
 	})
+	allocs1 := heapAllocs()
 	return Fig5Point{
 		System:      sys,
 		Cores:       cores,
@@ -134,6 +144,8 @@ func runFig5Cell(cfg Fig5Config, sys System, cores int) (Fig5Point, error) {
 		MeanLatency: res.Latency.Mean,
 		P99Latency:  res.Latency.P99,
 		Errors:      res.Errors,
+		AllocsPerOp: allocsPerOp(allocs1-allocs0, res.Requests),
+		Pool:        buffer.Global.Counters().Sub(pool0),
 	}, nil
 }
 
@@ -141,7 +153,7 @@ func runFig5Cell(cfg Fig5Config, sys System, cores int) (Fig5Point, error) {
 func Fig5Table(points []Fig5Point) *Table {
 	t := &Table{
 		Title:   "Memcached proxy vs CPU cores — Figure 5",
-		Columns: []string{"system", "cores", "req/s", "mean-lat", "p99-lat", "errors"},
+		Columns: []string{"system", "cores", "req/s", "mean-lat", "p99-lat", "errors", "allocs/req", "pool"},
 		Notes: []string{
 			"paper shape: FLICK-kernel peaks 126k req/s @8 cores; FLICK mTCP 198k @16;",
 			"Moxi peaks 82k @4 cores then degrades (threads contend on shared structures)",
@@ -149,7 +161,8 @@ func Fig5Table(points []Fig5Point) *Table {
 	}
 	for _, p := range points {
 		t.Add(string(p.System), fmt.Sprint(p.Cores), fmtReqs(p.Throughput),
-			fmtDur(p.MeanLatency), fmtDur(p.P99Latency), fmt.Sprint(p.Errors))
+			fmtDur(p.MeanLatency), fmtDur(p.P99Latency), fmt.Sprint(p.Errors),
+			fmtAllocs(p.AllocsPerOp), fmtPool(p.Pool))
 	}
 	return t
 }

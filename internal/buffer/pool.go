@@ -11,6 +11,8 @@ package buffer
 import (
 	"sync"
 	"sync/atomic"
+
+	"flick/internal/metrics"
 )
 
 // Default pool geometry. Class sizes are powers of two from MinClass to
@@ -32,6 +34,12 @@ type Pool struct {
 	puts      atomic.Uint64
 	misses    atomic.Uint64 // allocations because the class list was empty
 	oversized atomic.Uint64 // requests above MaxClass
+
+	// zero-copy path stats
+	refGets   atomic.Uint64 // refcounted regions handed out
+	refPuts   atomic.Uint64 // refcounted regions fully released
+	views     atomic.Uint64 // zero-copy message views (Queue.TakeRef fast path)
+	coalesced atomic.Uint64 // messages copied because they spanned chunks
 }
 
 type classList struct {
@@ -129,6 +137,10 @@ type Stats struct {
 	Puts      uint64
 	Misses    uint64
 	Oversized uint64
+	RefGets   uint64 // refcounted regions handed out
+	RefPuts   uint64 // refcounted regions fully released
+	Views     uint64 // zero-copy message views served by queues
+	Coalesced uint64 // messages copied because they spanned chunks
 }
 
 // Stats returns a snapshot of pool counters.
@@ -138,7 +150,27 @@ func (p *Pool) Stats() Stats {
 		Puts:      p.puts.Load(),
 		Misses:    p.misses.Load(),
 		Oversized: p.oversized.Load(),
+		RefGets:   p.refGets.Load(),
+		RefPuts:   p.refPuts.Load(),
+		Views:     p.views.Load(),
+		Coalesced: p.coalesced.Load(),
 	}
+}
+
+// Counters returns the pool's counters as an ordered metrics snapshot for
+// benchmark tables and window deltas.
+func (p *Pool) Counters() metrics.CounterSet {
+	s := p.Stats()
+	return metrics.NewCounterSet(
+		"gets", s.Gets,
+		"puts", s.Puts,
+		"misses", s.Misses,
+		"oversized", s.Oversized,
+		"refgets", s.RefGets,
+		"refputs", s.RefPuts,
+		"views", s.Views,
+		"coalesced", s.Coalesced,
+	)
 }
 
 // Global is the default process-wide pool used by the runtime when no

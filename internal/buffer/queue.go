@@ -7,9 +7,16 @@ package buffer
 // Unlike bytes.Buffer, Queue recycles its chunks through a Pool so the steady
 // state performs no allocation, and it supports cheap front consumption
 // without compaction.
+//
+// Every chunk is a refcounted Ref region. Bytes can enter without copying
+// (AppendRef hands a pooled read buffer straight to the queue) and leave
+// without copying (TakeRef returns a view into the front chunk, retained for
+// the caller): the zero-copy decode path reads network bytes into pooled
+// memory once and parses messages in place over it.
 type Queue struct {
 	pool   *Pool
 	chunks [][]byte // chunks[0][off:] is the queue front
+	refs   []*Ref   // refs[i] owns chunks[i]'s backing buffer
 	off    int      // read offset into chunks[0]
 	size   int      // total buffered bytes
 }
@@ -25,10 +32,33 @@ func NewQueue(pool *Pool) *Queue {
 // Len returns the number of buffered bytes.
 func (q *Queue) Len() int { return q.size }
 
+// push appends a chunk+ref pair, keeping the parallel slices compacted at
+// the front so steady-state appends reuse slice capacity without allocating.
+func (q *Queue) push(c []byte, r *Ref) {
+	q.chunks = append(q.chunks, c)
+	q.refs = append(q.refs, r)
+}
+
+// dropFront releases the front chunk and shifts the slices down. The
+// explicit copy-down (rather than re-slicing) keeps the backing arrays
+// anchored, so append never migrates to a fresh allocation in steady state.
+func (q *Queue) dropFront() {
+	q.refs[0].Release()
+	n := len(q.chunks)
+	copy(q.chunks, q.chunks[1:])
+	copy(q.refs, q.refs[1:])
+	q.chunks[n-1], q.refs[n-1] = nil, nil
+	q.chunks = q.chunks[:n-1]
+	q.refs = q.refs[:n-1]
+	q.off = 0
+}
+
 // Append copies p into the queue.
 func (q *Queue) Append(p []byte) {
 	for len(p) > 0 {
-		// Extend the final chunk if it has spare capacity.
+		// Extend the final chunk if it has spare capacity. Writes land
+		// strictly beyond the chunk's current length, so views handed out
+		// over earlier bytes are unaffected.
 		if n := len(q.chunks); n > 0 {
 			last := q.chunks[n-1]
 			if spare := cap(last) - len(last); spare > 0 {
@@ -46,14 +76,35 @@ func (q *Queue) Append(p []byte) {
 		if want < 4096 {
 			want = 4096
 		}
-		c := q.pool.Get(want)[:0]
-		q.chunks = append(q.chunks, c)
+		r := q.pool.GetRef(want)
+		q.push(r.Bytes()[:0], r)
 	}
+}
+
+// AppendRef appends the first n bytes of r's region without copying,
+// transferring the caller's reference to the queue (callers that keep using
+// the region must Retain first). n == 0 releases r immediately.
+func (q *Queue) AppendRef(r *Ref, n int) {
+	if n <= 0 {
+		r.Release()
+		return
+	}
+	q.push(r.Bytes()[:n], r)
+	q.size += n
 }
 
 // Peek copies up to len(p) bytes from the front without consuming and
 // reports how many bytes were copied.
 func (q *Queue) Peek(p []byte) int {
+	return q.PeekAt(p, 0)
+}
+
+// PeekAt copies up to len(p) bytes starting at buffered offset from (0 =
+// queue front) without consuming, and reports how many bytes were copied.
+func (q *Queue) PeekAt(p []byte, from int) int {
+	if from < 0 {
+		from = 0
+	}
 	copied := 0
 	off := q.off
 	for _, c := range q.chunks {
@@ -62,7 +113,12 @@ func (q *Queue) Peek(p []byte) int {
 		}
 		src := c[off:]
 		off = 0
-		n := copy(p[copied:], src)
+		if from >= len(src) {
+			from -= len(src)
+			continue
+		}
+		n := copy(p[copied:], src[from:])
+		from = 0
 		copied += n
 	}
 	return copied
@@ -86,6 +142,50 @@ func (q *Queue) PeekByte(i int) (byte, bool) {
 	return 0, false
 }
 
+// Contig returns a view of the first n buffered bytes when they are stored
+// contiguously in the front chunk, or nil when they span chunks (or fewer
+// than n bytes are buffered). The view is valid until those bytes are
+// consumed; it does not retain the chunk.
+func (q *Queue) Contig(n int) []byte {
+	if n <= 0 || q.size < n || len(q.chunks) == 0 {
+		return nil
+	}
+	if c := q.chunks[0]; len(c)-q.off >= n {
+		return c[q.off : q.off+n]
+	}
+	return nil
+}
+
+// TakeRef consumes the first n bytes and returns them as a contiguous view
+// plus the Ref that keeps the view alive; the caller owns one reference and
+// must Release it when done with the bytes. When the bytes sit in a single
+// chunk the view aliases it directly (zero copy, the steady-state path);
+// bytes spanning chunks are coalesced into a fresh pooled region (counted,
+// so benchmarks can watch the slow path). Returns (nil, nil) when fewer
+// than n bytes are buffered or n <= 0.
+func (q *Queue) TakeRef(n int) ([]byte, *Ref) {
+	if n <= 0 || q.size < n {
+		return nil, nil
+	}
+	if c := q.chunks[0]; len(c)-q.off >= n {
+		view := c[q.off : q.off+n]
+		r := q.refs[0]
+		r.Retain()
+		q.off += n
+		q.size -= n
+		if q.off == len(c) {
+			q.dropFront()
+		}
+		q.pool.views.Add(1)
+		return view, r
+	}
+	r := q.pool.GetRef(n)
+	q.PeekAt(r.Bytes(), 0)
+	q.Discard(n)
+	q.pool.coalesced.Add(1)
+	return r.Bytes(), r
+}
+
 // Discard drops up to n bytes from the front, releasing spent chunks back to
 // the pool, and reports how many bytes were dropped.
 func (q *Queue) Discard(n int) int {
@@ -102,10 +202,7 @@ func (q *Queue) Discard(n int) int {
 		dropped += avail
 		q.size -= avail
 		n -= avail
-		q.pool.Put(c[:cap(c)])
-		q.chunks[0] = nil
-		q.chunks = q.chunks[1:]
-		q.off = 0
+		q.dropFront()
 	}
 	return dropped
 }
@@ -151,12 +248,13 @@ func (q *Queue) IndexByte(b byte, from int) int {
 	return -1
 }
 
-// Reset drops all buffered bytes, returning chunks to the pool.
+// Reset drops all buffered bytes, releasing every chunk reference.
 func (q *Queue) Reset() {
-	for i, c := range q.chunks {
-		q.pool.Put(c[:cap(c)])
-		q.chunks[i] = nil
+	for i := range q.chunks {
+		q.refs[i].Release()
+		q.chunks[i], q.refs[i] = nil, nil
 	}
 	q.chunks = q.chunks[:0]
+	q.refs = q.refs[:0]
 	q.off, q.size = 0, 0
 }

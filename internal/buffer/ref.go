@@ -1,0 +1,73 @@
+package buffer
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"flick/internal/value"
+)
+
+// Ref is a refcounted, pool-backed byte region: the unit of zero-copy
+// ownership on the data path. Input tasks read network bytes into a Ref's
+// buffer, the byte queue holds one reference per buffered chunk, and every
+// decoded message whose field views alias the chunk holds another. The
+// buffer returns to the pool only when the last reference is released, so
+// views stay valid exactly as long as something can still read them.
+//
+// Sub-slicing is free: a view is an ordinary sub-slice of Bytes() and the
+// Ref governs its lifetime. Ref headers themselves are recycled through a
+// freelist, so the steady state allocates neither buffers nor headers.
+type Ref struct {
+	refs atomic.Int32
+	pool *Pool
+	buf  []byte
+}
+
+// refHdrs recycles Ref headers across all pools (headers carry their pool).
+var refHdrs = sync.Pool{New: func() any { return new(Ref) }}
+
+// GetRef returns a refcounted buffer of length n with one reference held by
+// the caller.
+func (p *Pool) GetRef(n int) *Ref {
+	r := refHdrs.Get().(*Ref)
+	r.pool = p
+	r.buf = p.Get(n)
+	r.refs.Store(1)
+	p.refGets.Add(1)
+	return r
+}
+
+// Bytes returns the region's backing slice. Callers may sub-slice freely;
+// the returned memory is valid until the last reference is released.
+func (r *Ref) Bytes() []byte { return r.buf }
+
+// Len returns the region length in bytes.
+func (r *Ref) Len() int { return len(r.buf) }
+
+// Retain adds one reference.
+func (r *Ref) Retain() { r.refs.Add(1) }
+
+// Refs returns the current reference count (tests and diagnostics).
+func (r *Ref) Refs() int32 { return r.refs.Load() }
+
+// Release drops one reference. At zero the backing buffer returns to the
+// pool and the header to the freelist. Releasing past zero panics: a double
+// free would hand the same buffer to two owners.
+func (r *Ref) Release() {
+	n := r.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("buffer: Ref released after refcount reached zero")
+	}
+	p := r.pool
+	buf := r.buf
+	r.buf = nil
+	r.pool = nil
+	p.refPuts.Add(1)
+	p.Put(buf[:cap(buf)])
+	refHdrs.Put(r)
+}
+
+var _ value.Region = (*Ref)(nil)

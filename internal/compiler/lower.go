@@ -352,7 +352,12 @@ func (lw *lowerer) lowerCall(x *lang.CallExpr) (exprFn, error) {
 		return func(fr *Frame) value.Value {
 			rec := desc.New()
 			for i, af := range args {
-				rec.L[slots[i]] = af(fr)
+				// Own every byte payload: an argument like req.uri is a
+				// view into the input message's pooled region, but the
+				// constructed record carries no reference to it — once the
+				// runtime releases the input after this task activation,
+				// the view's bytes would be recycled under the new record.
+				rec.L[slots[i]] = value.Owned(af(fr))
 			}
 			return rec
 		}, nil

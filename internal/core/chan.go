@@ -58,12 +58,18 @@ func (c *Chan) SetConsumer(t *Task, s scheduler) {
 
 // Push appends v and wakes the consumer. Pushing to a closed channel drops
 // the value (the consumer is gone).
+//
+// Refcounting: the channel retains v's backing region while it is queued;
+// Pop transfers that reference to the consumer, which must Release after
+// processing. Producers keep (and separately release) their own reference,
+// so fan-out — pushing one value to several channels — is safe.
 func (c *Chan) Push(v value.Value) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return
 	}
+	v.Retain()
 	if c.size == len(c.buf) {
 		c.grow()
 	}
@@ -145,9 +151,13 @@ func (c *Chan) Closed() bool {
 	return cl
 }
 
-// Reset returns the channel to its initial open empty state (graph pooling).
+// Reset returns the channel to its initial open empty state (graph
+// pooling), releasing the reference held for every still-queued value.
 func (c *Chan) Reset() {
 	c.mu.Lock()
+	for i := 0; i < c.size; i++ {
+		c.buf[(c.head+i)%len(c.buf)].Release()
+	}
 	for i := range c.buf {
 		c.buf[i] = value.Null
 	}

@@ -49,24 +49,35 @@ var instanceIDs atomic.Int64
 // instance_id() builtin, e.g. for per-connection backend affinity).
 func (inst *Instance) ID() int64 { return inst.id }
 
-// inputState is the runtime of one input node.
+// inputState is the runtime of one input node. Network bytes are read
+// directly into pooled refcounted chunks and appended to the byte queue by
+// reference; decoded messages are zero-copy views over those chunks, so no
+// payload byte is copied between the socket and the task graph.
 type inputState struct {
 	mu   sync.Mutex
 	q    *buffer.Queue
 	eof  bool
 	conn net.Conn
 	dec  grammar.StreamDecoder
-	rbuf []byte // event-driven TryRead scratch
-	evt  bool   // event-driven (UserNet) vs pump-goroutine (kernel)
+	evt  bool // event-driven (UserNet) vs pump-goroutine (kernel)
 	port int
 }
 
-// outputState is the runtime of one output node.
+// readChunk is the pooled read-buffer size for input connections.
+const readChunk = 32 << 10
+
+// outputState is the runtime of one output node. Encoded messages
+// accumulate in a pooled scatter list — raw-captured messages as zero-copy
+// references into their region — and leave in batched vectored writes.
 type outputState struct {
 	conn net.Conn
-	wbuf []byte
+	sc   *buffer.Scatter
+	wbuf []byte // rebuild-path encode scratch
 	port int
 }
+
+// flushBytes is the scatter high-water mark that forces a flush mid-drain.
+const flushBytes = 64 << 10
 
 // computeState is the runtime of one compute node.
 type computeState struct {
@@ -145,10 +156,7 @@ func (inst *Instance) initRuntime() {
 		case NodeInput:
 			st := inst.inputRT[n.ID]
 			if st == nil {
-				st = &inputState{
-					q:    buffer.NewQueue(nil),
-					rbuf: make([]byte, 32<<10),
-				}
+				st = &inputState{q: buffer.NewQueue(nil)}
 				inst.inputRT[n.ID] = st
 			}
 			st.mu.Lock()
@@ -162,9 +170,10 @@ func (inst *Instance) initRuntime() {
 		case NodeOutput:
 			st := inst.outputRT[n.ID]
 			if st == nil {
-				st = &outputState{}
+				st = &outputState{sc: buffer.NewScatter(nil)}
 				inst.outputRT[n.ID] = st
 			}
+			st.sc.Reset()
 			st.conn = nil
 			st.port = -1
 		case NodeCompute:
@@ -292,22 +301,23 @@ func (inst *Instance) Start() {
 // pump bridges a kernel (blocking) connection into the task world: it
 // blocks on Read and schedules the input task as bytes arrive. This is the
 // kernel-stack analogue of mTCP's event loop (one goroutine per connection
-// instead of one epoll event).
+// instead of one epoll event). Each read lands in a fresh pooled chunk that
+// is handed to the byte queue by reference — the bytes are never copied
+// again between here and the decoded message views.
 func (inst *Instance) pump(st *inputState, task *Task) {
-	buf := make([]byte, 32<<10)
 	for {
-		n, err := st.conn.Read(buf)
-		if n > 0 {
-			st.mu.Lock()
-			st.q.Append(buf[:n])
-			st.mu.Unlock()
+		ref := buffer.Global.GetRef(readChunk)
+		n, err := st.conn.Read(ref.Bytes())
+		st.mu.Lock()
+		st.q.AppendRef(ref, n) // releases ref when n == 0
+		if err != nil {
+			st.eof = true
+		}
+		st.mu.Unlock()
+		if n > 0 || err != nil {
 			inst.sched.Schedule(task)
 		}
 		if err != nil {
-			st.mu.Lock()
-			st.eof = true
-			st.mu.Unlock()
-			inst.sched.Schedule(task)
 			return
 		}
 	}
@@ -375,7 +385,10 @@ func (inst *Instance) runInput(ctx *ExecCtx, n *Node) RunResult {
 		msg, ok, derr := st.dec.Decode(st.q)
 		if ok {
 			st.mu.Unlock()
+			// Push retains for the channel; dropping the decoder's own
+			// reference leaves the downstream consumer as the sole owner.
 			out.Push(msg)
+			msg.Release()
 			if ctx.CountItem() {
 				return RunYield
 			}
@@ -392,10 +405,12 @@ func (inst *Instance) runInput(ctx *ExecCtx, n *Node) RunResult {
 			return inst.finishInput(st, out)
 		}
 		if st.evt {
-			// Event-driven: pull bytes non-blockingly from the stack.
-			nread, rerr := st.conn.(netstack.Readable).TryRead(st.rbuf)
+			// Event-driven: pull bytes non-blockingly from the stack into
+			// a pooled chunk appended by reference (zero copy).
+			ref := buffer.Global.GetRef(readChunk)
+			nread, rerr := st.conn.(netstack.Readable).TryRead(ref.Bytes())
+			st.q.AppendRef(ref, nread) // releases ref when nread == 0
 			if nread > 0 {
-				st.q.Append(st.rbuf[:nread])
 				st.mu.Unlock()
 				continue
 			}
@@ -444,6 +459,10 @@ func (inst *Instance) runCompute(ctx *ExecCtx, n *Node) RunResult {
 			v, ok, closed := ch.Pop()
 			if ok {
 				n.Fn(&nctx, v, i)
+				// Drop the channel's reference. Emitted copies were
+				// re-retained by the downstream Push; values the body
+				// stored into globals were detached by Dict.Set.
+				v.Release()
 				progressed = true
 				if ctx.CountItem() {
 					return RunYield
@@ -472,6 +491,11 @@ func (inst *Instance) runCompute(ctx *ExecCtx, n *Node) RunResult {
 }
 
 // runOutput serialises values from the node's in-edges onto its connection.
+// Messages accumulate in the node's pooled scatter list — raw-captured
+// messages as zero-copy references into their pooled wire bytes — and are
+// flushed in one batched vectored write when the drain pauses (yield, idle,
+// done) or the list passes the high-water mark. A burst of queued responses
+// therefore leaves in a single writev instead of a syscall per message.
 func (inst *Instance) runOutput(ctx *ExecCtx, n *Node) RunResult {
 	if !inst.active.Load() {
 		return RunIdle // stale wakeup while unbound (see Instance.active)
@@ -491,26 +515,63 @@ func (inst *Instance) runOutput(ctx *ExecCtx, n *Node) RunResult {
 				continue
 			}
 			progressed = true
-			out, err := n.Codec.Encode(st.wbuf[:0], v)
-			if err == nil {
-				st.wbuf = out[:0]
-				if st.conn != nil {
-					st.conn.Write(out)
-				}
+			st.encode(n.Codec, v)
+			v.Release()
+			if st.sc.Len() >= flushBytes {
+				st.flush()
 			}
 			if ctx.CountItem() {
+				st.flush()
 				return RunYield
 			}
 		}
 		if closedCount == len(ins) {
+			st.flush()
 			if st.conn != nil {
 				st.conn.Close()
 			}
 			return RunDone
 		}
 		if !progressed {
+			st.flush()
 			return RunIdle
 		}
+	}
+}
+
+// encode appends v's wire form to the output's scatter list, preferring the
+// codec's zero-copy scatter path.
+func (st *outputState) encode(codec grammar.WireFormat, v value.Value) {
+	if se, ok := codec.(grammar.ScatterEncoder); ok {
+		out, err := se.EncodeScatter(st.sc, st.wbuf, v)
+		if err == nil {
+			st.wbuf = out[:0]
+		}
+		return
+	}
+	out, err := codec.Encode(st.wbuf[:0], v)
+	if err == nil {
+		st.wbuf = out[:0]
+		st.sc.Append(out)
+	}
+}
+
+// flush writes the accumulated scatter list to the connection as one
+// vectored write and resets it (releasing retained message regions). With
+// no connection the list is dropped so regions still recycle.
+//
+// A write error may leave a message half-sent (a batch can fail between —
+// or inside — iovecs), so continuing on this connection would emit bytes
+// the peer cannot frame; the only safe recovery is dropping it. The close
+// propagates as EOF and the instance tears down through the normal path.
+func (st *outputState) flush() {
+	if st.conn == nil {
+		st.sc.Reset()
+		return
+	}
+	if _, err := st.sc.WriteTo(st.conn); err != nil {
+		st.conn.Close()
+		st.conn = nil
 	}
 }
 

@@ -7,18 +7,26 @@ import (
 	"flick/internal/value"
 )
 
-// decoder is the incremental parse state for one connection. Completed
-// fields are consumed from the queue immediately; an incomplete field leaves
-// the queue untouched until enough bytes arrive, so a single message may be
-// assembled across many Decode calls (and many network reads).
+// decoder is the incremental parse state for one connection.
+//
+// Parsing is zero-copy and runs in two phases. The peek phase walks the
+// unit's fields over the buffered bytes WITHOUT consuming them, decoding
+// integer fields into d.fields and recording the byte span of every
+// byte-carrying field; an incomplete field leaves the queue untouched until
+// enough bytes arrive, so a single message may straddle many Decode calls
+// (and many network reads). Once every field has been located the message's
+// total wire length is known and the take phase consumes it as ONE
+// contiguous refcounted view (Queue.TakeRef): field values become sub-slices
+// of the view, the record is drawn from the desc's freelist, and the pooled
+// region is released when the last task holding the record drops it. The
+// steady state copies no payload bytes and allocates nothing.
 type decoder struct {
 	c       *Codec
 	fi      int           // index of the field being parsed
-	fields  []value.Value // decoded field values (slot == field index)
-	spans   [][2]int      // byte ranges into raw for aliased fields
-	raw     []byte        // wire image accumulated when capturing
+	pos     int           // peek offset of the parse point into the queue
+	fields  []value.Value // decoded integer/var field values (slot == index)
+	spans   [][2]int      // byte ranges into the message for aliased fields
 	scanned int           // delimiter scan progress for KindUntil
-	total   int           // bytes consumed for the current message
 }
 
 // NewDecoder implements WireFormat.
@@ -30,70 +38,40 @@ func (c *Codec) NewDecoder() StreamDecoder {
 	}
 }
 
-// reset prepares the decoder for the next message.
+// reset prepares the decoder for the next message. Nothing was consumed
+// during the peek phase, so resetting on error leaves the queue positioned
+// at the malformed message (callers drop the connection).
 func (d *decoder) reset() {
 	for i := range d.fields {
 		d.fields[i] = value.Null
 		d.spans[i] = [2]int{-1, 0}
 	}
 	d.fi = 0
-	d.raw = nil
+	d.pos = 0
 	d.scanned = 0
-	d.total = 0
-}
-
-// consume moves n bytes out of the queue. When the codec captures raw wire
-// images the bytes land in d.raw and the returned span indexes it; when
-// materialise is set without capture, a fresh copy is returned.
-func (d *decoder) consume(q *buffer.Queue, n int, materialise bool) (span [2]int, copied []byte) {
-	span = [2]int{-1, 0}
-	switch {
-	case d.c.capture:
-		start := len(d.raw)
-		d.raw = append(d.raw, make([]byte, n)...)
-		q.ReadFull(d.raw[start : start+n])
-		span = [2]int{start, n}
-	case materialise:
-		copied = make([]byte, n)
-		q.ReadFull(copied)
-	default:
-		q.Discard(n)
-	}
-	d.total += n
-	return span, copied
 }
 
 // Decode implements StreamDecoder.
 func (d *decoder) Decode(q *buffer.Queue) (value.Value, bool, error) {
-	if d.spans == nil {
-		d.spans = make([][2]int, len(d.c.fields))
-	}
+	var scratch [16]byte
 	for d.fi < len(d.c.fields) {
 		f := &d.c.fields[d.fi]
 		switch f.Kind {
 		case KindUint:
-			if q.Len() < f.Size {
+			if q.Len() < d.pos+f.Size {
 				return value.Null, false, nil
 			}
-			var scratch [8]byte
-			q.ReadFull(scratch[:f.Size])
-			if d.c.capture {
-				start := len(d.raw)
-				d.raw = append(d.raw, scratch[:f.Size]...)
-				d.spans[d.fi] = [2]int{start, f.Size}
-			}
-			d.total += f.Size
+			q.PeekAt(scratch[:f.Size], d.pos)
 			d.fields[d.fi] = value.Int(decodeUint(scratch[:f.Size], d.c.unit.Order))
+			d.spans[d.fi] = [2]int{d.pos, f.Size}
+			d.pos += f.Size
 
 		case KindFixedBytes:
-			if q.Len() < f.Size {
+			if q.Len() < d.pos+f.Size {
 				return value.Null, false, nil
 			}
-			span, copied := d.consume(q, f.Size, f.needed)
-			d.spans[d.fi] = span
-			if copied != nil {
-				d.fields[d.fi] = value.Bytes(copied)
-			}
+			d.spans[d.fi] = [2]int{d.pos, f.Size}
+			d.pos += f.Size
 
 		case KindBytes:
 			n := int(f.length(d.fields, nil))
@@ -101,57 +79,49 @@ func (d *decoder) Decode(q *buffer.Queue) (value.Value, bool, error) {
 				d.reset()
 				return value.Null, false, fmt.Errorf("%w: field %q computed negative length %d", ErrMalformed, f.Name, n)
 			}
-			if n > f.maxLen || d.total+n > d.c.maxMsg {
+			if n > f.maxLen || d.pos+n > d.c.maxMsg {
 				d.reset()
 				return value.Null, false, fmt.Errorf("%w: field %q length %d", ErrTooLarge, f.Name, n)
 			}
-			if q.Len() < n {
+			if q.Len() < d.pos+n {
 				return value.Null, false, nil
 			}
-			span, copied := d.consume(q, n, f.needed)
-			d.spans[d.fi] = span
-			if copied != nil {
-				d.fields[d.fi] = value.Bytes(copied)
-			}
+			d.spans[d.fi] = [2]int{d.pos, n}
+			d.pos += n
 
 		case KindLiteral:
 			n := len(f.Lit)
-			if q.Len() < n {
+			if q.Len() < d.pos+n {
 				return value.Null, false, nil
 			}
-			var scratch [16]byte
 			probe := scratch[:]
 			if n > len(probe) {
 				probe = make([]byte, n)
 			}
-			q.Peek(probe[:n])
+			q.PeekAt(probe[:n], d.pos)
 			for i := 0; i < n; i++ {
 				if probe[i] != f.Lit[i] {
 					d.reset()
 					return value.Null, false, fmt.Errorf("%w: field %q", ErrBadLiteral, f.Name)
 				}
 			}
-			d.consume(q, n, false)
+			d.pos += n
 
 		case KindUntil:
 			pos, found := d.scanDelim(q, f.Delim)
 			if !found {
-				if q.Len() > f.maxLen || d.total+q.Len() > d.c.maxMsg {
+				if q.Len()-d.pos > f.maxLen || q.Len() > d.c.maxMsg {
 					d.reset()
 					return value.Null, false, fmt.Errorf("%w: unterminated field %q", ErrTooLarge, f.Name)
 				}
 				return value.Null, false, nil
 			}
-			if pos > f.maxLen {
+			if pos-d.pos > f.maxLen {
 				d.reset()
-				return value.Null, false, fmt.Errorf("%w: field %q length %d", ErrTooLarge, f.Name, pos)
+				return value.Null, false, fmt.Errorf("%w: field %q length %d", ErrTooLarge, f.Name, pos-d.pos)
 			}
-			span, copied := d.consume(q, pos, f.needed)
-			d.spans[d.fi] = span
-			if copied != nil {
-				d.fields[d.fi] = value.Bytes(copied)
-			}
-			d.consume(q, len(f.Delim), false) // the delimiter itself
+			d.spans[d.fi] = [2]int{d.pos, pos - d.pos}
+			d.pos = pos + len(f.Delim)
 			d.scanned = 0
 
 		case KindVar:
@@ -160,33 +130,52 @@ func (d *decoder) Decode(q *buffer.Queue) (value.Value, bool, error) {
 		d.fi++
 	}
 
-	// Message complete: build the record. Aliased fields point into the
-	// (now stable) raw image.
-	rec := d.c.desc.New()
-	if d.c.capture {
-		for i := range d.c.fields {
-			f := &d.c.fields[i]
-			if sp := d.spans[i]; sp[0] >= 0 && f.needed && f.Kind != KindUint {
-				d.fields[i] = value.Bytes(d.raw[sp[0] : sp[0]+sp[1]])
-			}
-		}
-		rec.L[d.c.rawSlot] = value.Bytes(d.raw)
+	// Message complete: consume it as one contiguous pooled view and build
+	// the record over it. Aliased fields sub-slice the view; the record owns
+	// the caller's reference to the region and releases it when the last
+	// task drops the message.
+	var (
+		view []byte
+		ref  *buffer.Ref
+	)
+	if d.pos > 0 {
+		view, ref = q.TakeRef(d.pos)
 	}
-	copy(rec.L, d.fields)
+	var region value.Region
+	if ref != nil {
+		region = ref
+	}
+	rec := d.c.desc.NewOwned(region)
+	copy(rec.L[:len(d.fields)], d.fields)
+	for i := range d.c.fields {
+		f := &d.c.fields[i]
+		if !f.needed || f.Kind == KindUint || f.Kind == KindVar {
+			continue
+		}
+		if sp := d.spans[i]; sp[0] >= 0 {
+			rec.L[i] = value.Bytes(view[sp[0] : sp[0]+sp[1]])
+		}
+	}
+	if d.c.rawSlot >= 0 {
+		rec.L[d.c.rawSlot] = value.Bytes(view)
+	}
 	d.reset()
 	return rec, true, nil
 }
 
-// scanDelim looks for delim in q resuming from d.scanned. It returns the
-// offset of the delimiter start when found.
+// scanDelim looks for delim in q at or after the parse point, resuming from
+// d.scanned. It returns the queue offset of the delimiter start when found.
 func (d *decoder) scanDelim(q *buffer.Queue, delim []byte) (int, bool) {
 	from := d.scanned
+	if from < d.pos {
+		from = d.pos
+	}
 	for {
 		i := q.IndexByte(delim[0], from)
 		if i < 0 {
 			// Resume close to the end next time (a prefix of the delimiter
 			// may be buffered).
-			d.scanned = max(0, q.Len()-len(delim)+1)
+			d.scanned = max(d.pos, q.Len()-len(delim)+1)
 			return 0, false
 		}
 		if i+len(delim) > q.Len() {

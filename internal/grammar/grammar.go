@@ -434,6 +434,15 @@ type WireFormat interface {
 	Encode(dst []byte, msg value.Value) ([]byte, error)
 }
 
+// ScatterEncoder is implemented by codecs that can serialise into a pooled
+// scatter list: raw-captured messages are emitted as zero-copy references
+// into their backing region, rebuilt messages are copied through scratch
+// (returned, possibly grown, for reuse). Output tasks use it to batch many
+// messages into one vectored write.
+type ScatterEncoder interface {
+	EncodeScatter(sc *buffer.Scatter, scratch []byte, msg value.Value) ([]byte, error)
+}
+
 // StreamDecoder incrementally decodes messages from a byte queue. One
 // decoder serves one connection (§3.2: input tasks deserialise a single
 // input channel's byte stream).
@@ -443,4 +452,7 @@ type StreamDecoder interface {
 	Decode(q *buffer.Queue) (msg value.Value, ok bool, err error)
 }
 
-var _ WireFormat = (*Codec)(nil)
+var (
+	_ WireFormat     = (*Codec)(nil)
+	_ ScatterEncoder = (*Codec)(nil)
+)

@@ -168,7 +168,9 @@ func readFullResponse(conn net.Conn, q *buffer.Queue, dec *grammar.StreamDecoder
 			return 0, false
 		}
 		if ok {
-			return int(msg.Field("content_length").AsInt()), true
+			n := int(msg.Field("content_length").AsInt())
+			msg.Release() // recycle the response's pooled wire bytes
+			return n, true
 		}
 		n, rerr := conn.Read(rbuf)
 		if n > 0 {
@@ -217,7 +219,7 @@ func RunMemcache(cfg MemcacheConfig) Result {
 		wg.Add(1)
 		go func(seed int64) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed))
+			seq := NewMemcacheSeq(seed, cfg.Keys, cfg.GetKShare)
 			raw, err := cfg.Transport.Dial(cfg.Addr)
 			if err != nil {
 				errs.Inc()
@@ -225,15 +227,10 @@ func RunMemcache(cfg MemcacheConfig) Result {
 			}
 			mc := memcache.NewConn(raw)
 			defer mc.Close()
-			var keyBuf []byte
 			for time.Now().Before(deadline) {
-				keyBuf = appendKey(keyBuf[:0], rng.Intn(cfg.Keys))
-				op := byte(memcache.OpGet)
-				if rng.Float64() < cfg.GetKShare {
-					op = memcache.OpGetK
-				}
+				op, key := seq.Next()
 				t0 := time.Now()
-				resp, err := mc.RoundTrip(memcache.Request(op, keyBuf, nil))
+				resp, err := mc.RoundTrip(memcache.Request(op, key, nil))
 				if err != nil {
 					errs.Inc()
 					return
@@ -241,6 +238,7 @@ func RunMemcache(cfg MemcacheConfig) Result {
 				hist.Record(time.Since(t0))
 				reqs.Inc()
 				rx.Add(uint64(resp.Field("value").ByteLen()))
+				resp.Release() // recycle the response's pooled wire bytes
 			}
 		}(int64(c) + 1)
 	}
@@ -252,6 +250,36 @@ func RunMemcache(cfg MemcacheConfig) Result {
 		Latency:  hist.Snapshot(),
 		Bytes:    rx.Value(),
 	}
+}
+
+// MemcacheSeq is the deterministic per-client request sequence of the
+// libmemcached-model workload: given the same seed, key-space size and GETK
+// share it yields the identical (opcode, key) stream, so benchmark runs are
+// reproducible across PRs and load is comparable between systems.
+type MemcacheSeq struct {
+	rng       *rand.Rand
+	keys      int
+	getkShare float64
+	keyBuf    []byte
+}
+
+// NewMemcacheSeq creates a sequence. keys must be positive.
+func NewMemcacheSeq(seed int64, keys int, getkShare float64) *MemcacheSeq {
+	if keys <= 0 {
+		keys = 1
+	}
+	return &MemcacheSeq{rng: rand.New(rand.NewSource(seed)), keys: keys, getkShare: getkShare}
+}
+
+// Next returns the next request's opcode and key. The key slice is reused
+// by the following Next call.
+func (s *MemcacheSeq) Next() (op byte, key []byte) {
+	s.keyBuf = appendKey(s.keyBuf[:0], s.rng.Intn(s.keys))
+	op = byte(memcache.OpGet)
+	if s.rng.Float64() < s.getkShare {
+		op = memcache.OpGetK
+	}
+	return op, s.keyBuf
 }
 
 // appendKey renders "key-%06d" without fmt in the hot path.

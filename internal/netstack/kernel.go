@@ -37,3 +37,15 @@ type Readable interface {
 }
 
 var _ Readable = (*userConn)(nil)
+
+// BatchWriter is implemented by connections that accept a whole scatter
+// list in one operation (the UserNet stack takes its connection lock once
+// for the batch). Kernel TCP connections don't need it: net.Buffers.WriteTo
+// maps to a single writev syscall on *net.TCPConn.
+type BatchWriter interface {
+	// WriteBatch writes every buffer in order, blocking until all bytes
+	// are accepted or the connection fails.
+	WriteBatch(bufs [][]byte) (int64, error)
+}
+
+var _ BatchWriter = (*userConn)(nil)

@@ -282,33 +282,35 @@ func (c *userConn) TryRead(p []byte) (int, error) {
 	return 0, nil
 }
 
-// Write implements net.Conn. It blocks until all of p is accepted, the peer
-// stops reading, or the deadline expires.
-func (c *userConn) Write(p []byte) (int, error) {
-	Spin(c.net.OpCost)
-	h := c.out
-	var dl time.Time
+// armWriteTimer returns the current write deadline and, when one is set, a
+// timer that wakes blocked writers at expiry (nil timer when no deadline).
+// The expired result reports a deadline already in the past.
+func (c *userConn) armWriteTimer(h *half) (dl time.Time, timer *time.Timer, expired bool) {
 	c.dlMu.Lock()
 	dl = c.writeDeadline
 	c.dlMu.Unlock()
-	var timer *time.Timer
-	if !dl.IsZero() {
-		d := time.Until(dl)
-		if d <= 0 {
-			return 0, ErrTimeout
-		}
-		timer = time.AfterFunc(d, func() {
-			h.mu.Lock()
-			h.canWrite.Broadcast()
-			h.mu.Unlock()
-		})
-		defer timer.Stop()
+	if dl.IsZero() {
+		return dl, nil, false
 	}
+	d := time.Until(dl)
+	if d <= 0 {
+		return dl, nil, true
+	}
+	timer = time.AfterFunc(d, func() {
+		h.mu.Lock()
+		h.canWrite.Broadcast()
+		h.mu.Unlock()
+	})
+	return dl, timer, false
+}
+
+// writeLocked copies p into h's ring, blocking on canWrite when full and
+// running the readable callback (without the lock) as bytes land. h.mu must
+// be held on entry and is held on return.
+func writeLocked(h *half, p []byte, dl time.Time) (int, error) {
 	written := 0
-	h.mu.Lock()
 	for written < len(p) {
 		if h.wclosed || h.rclosed {
-			h.mu.Unlock()
 			return written, ErrClosed
 		}
 		n, err := h.ring.Write(p[written:])
@@ -328,14 +330,58 @@ func (c *userConn) Write(p []byte) (int, error) {
 		}
 		if err == buffer.ErrRingFull || n == 0 {
 			if !dl.IsZero() && !time.Now().Before(dl) {
-				h.mu.Unlock()
 				return written, ErrTimeout
 			}
 			h.canWrite.Wait()
 		}
 	}
-	h.mu.Unlock()
 	return written, nil
+}
+
+// Write implements net.Conn. It blocks until all of p is accepted, the peer
+// stops reading, or the deadline expires.
+func (c *userConn) Write(p []byte) (int, error) {
+	Spin(c.net.OpCost)
+	h := c.out
+	dl, timer, expired := c.armWriteTimer(h)
+	if expired {
+		return 0, ErrTimeout
+	}
+	if timer != nil {
+		defer timer.Stop()
+	}
+	h.mu.Lock()
+	n, err := writeLocked(h, p, dl)
+	h.mu.Unlock()
+	return n, err
+}
+
+// WriteBatch implements netstack.BatchWriter: it writes every buffer in
+// order while holding the connection lock once for the whole batch — the
+// user-space analogue of writev. Semantics match Write (per-op cost burned
+// once, blocks until everything is accepted, honours the write deadline).
+func (c *userConn) WriteBatch(bufs [][]byte) (int64, error) {
+	Spin(c.net.OpCost)
+	h := c.out
+	dl, timer, expired := c.armWriteTimer(h)
+	if expired {
+		return 0, ErrTimeout
+	}
+	if timer != nil {
+		defer timer.Stop()
+	}
+	var total int64
+	h.mu.Lock()
+	for _, p := range bufs {
+		n, err := writeLocked(h, p, dl)
+		total += int64(n)
+		if err != nil {
+			h.mu.Unlock()
+			return total, err
+		}
+	}
+	h.mu.Unlock()
+	return total, nil
 }
 
 // Close implements net.Conn: both directions shut down, peer reads EOF.

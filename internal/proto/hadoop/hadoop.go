@@ -14,8 +14,10 @@ import (
 	"flick/internal/value"
 )
 
-// Codec is the compiled Hadoop KV grammar.
-var Codec = grammar.HadoopKVUnit().MustCompile()
+// Codec is the compiled Hadoop KV grammar. Raw capture is on (free with the
+// zero-copy decoder): pairs forwarded unmodified re-emit their wire image
+// by reference.
+var Codec = grammar.HadoopKVUnit().MustCompile(grammar.CaptureRaw())
 
 // Desc describes KV records (fields "key" and "value").
 var Desc = Codec.Desc()

@@ -79,21 +79,29 @@ var (
 )
 
 // decoder incrementally assembles one message at a time.
+//
+// Decoding is zero-copy: the header terminator is located by peeking (no
+// consumption), framing is parsed from a view of the buffered header block,
+// and once the full message is buffered it is consumed as one contiguous
+// refcounted view drawn from the queue's pooled chunks. Every byte field of
+// the record (method, uri, headers, body, _raw) is a sub-slice of that
+// view; the pooled region is released when the last task drops the record.
 type decoder struct {
 	isRequest bool
 	// header phase
 	scanned   int // resume offset for the \r\n\r\n scan
 	headerEnd int // bytes of the header block incl. terminator; 0 = unknown
 	// body phase
-	head      []byte // copied header block
 	bodyLen   int
 	keepAlive bool
+	// framebuf is reusable scratch for parsing framing of header blocks
+	// that straddle queue chunks (the non-contiguous slow path).
+	framebuf []byte
 }
 
 func (d *decoder) reset() {
 	d.scanned = 0
 	d.headerEnd = 0
-	d.head = nil
 	d.bodyLen = 0
 	d.keepAlive = false
 }
@@ -110,9 +118,15 @@ func (d *decoder) Decode(q *buffer.Queue) (value.Value, bool, error) {
 			return value.Null, false, nil
 		}
 		d.headerEnd = end + 4
-		d.head = make([]byte, d.headerEnd)
-		q.ReadFull(d.head)
-		n, ka, err := parseFraming(d.head, d.isRequest)
+		head := q.Contig(d.headerEnd)
+		if head == nil {
+			if cap(d.framebuf) < d.headerEnd {
+				d.framebuf = make([]byte, d.headerEnd)
+			}
+			head = d.framebuf[:d.headerEnd]
+			q.PeekAt(head, 0)
+		}
+		n, ka, err := parseFraming(head, d.isRequest)
 		if err != nil {
 			d.reset()
 			return value.Null, false, err
@@ -124,18 +138,18 @@ func (d *decoder) Decode(q *buffer.Queue) (value.Value, bool, error) {
 		d.bodyLen = n
 		d.keepAlive = ka
 	}
-	if q.Len() < d.bodyLen {
+	total := d.headerEnd + d.bodyLen
+	if q.Len() < total {
 		return value.Null, false, nil
 	}
-	raw := make([]byte, len(d.head)+d.bodyLen)
-	copy(raw, d.head)
-	q.ReadFull(raw[len(d.head):])
-	head := raw[:len(d.head)]
-	body := raw[len(d.head):]
+	raw, ref := q.TakeRef(total)
+	head := raw[:d.headerEnd]
+	body := raw[d.headerEnd:]
 
-	msg, err := buildRecord(head, body, d.isRequest, d.keepAlive, raw)
+	msg, err := buildRecord(head, body, d.isRequest, d.keepAlive, raw, ref)
 	d.reset()
 	if err != nil {
+		ref.Release()
 		return value.Null, false, err
 	}
 	return msg, true, nil
@@ -205,8 +219,11 @@ func parseFraming(head []byte, isRequest bool) (bodyLen int, keepAlive bool, err
 	return bodyLen, keepAlive, nil
 }
 
-// buildRecord constructs the value record for a complete message.
-func buildRecord(head, body []byte, isRequest, keepAlive bool, raw []byte) (value.Value, error) {
+// buildRecord constructs the value record for a complete message. All byte
+// fields alias raw; the record owns the caller's reference to ref and
+// releases it (recycling the pooled wire bytes) when the last holder drops
+// the message. On error the caller keeps its reference.
+func buildRecord(head, body []byte, isRequest, keepAlive bool, raw []byte, ref *buffer.Ref) (value.Value, error) {
 	start, rest := splitLine(head)
 	p1 := indexByte(start, ' ')
 	if p1 < 0 {
@@ -229,8 +246,12 @@ func buildRecord(head, body []byte, isRequest, keepAlive bool, raw []byte) (valu
 		headers = headers[:len(headers)-2]
 	}
 
+	var region value.Region
+	if ref != nil {
+		region = ref
+	}
 	if isRequest {
-		rec := RequestDesc.New()
+		rec := RequestDesc.NewOwned(region)
 		rec.L[0] = value.Bytes(a) // method
 		rec.L[1] = value.Bytes(b) // uri
 		rec.L[2] = value.Bytes(c) // version
@@ -245,7 +266,7 @@ func buildRecord(head, body []byte, isRequest, keepAlive bool, raw []byte) (valu
 	if err != nil {
 		return value.Null, fmt.Errorf("%w: status %q", ErrMalformed, b)
 	}
-	rec := ResponseDesc.New()
+	rec := ResponseDesc.NewOwned(region)
 	rec.L[0] = value.Bytes(a) // version
 	rec.L[1] = value.Int(int64(status))
 	rec.L[2] = value.Bytes(c) // reason
@@ -268,6 +289,39 @@ func (RequestFormat) Encode(dst []byte, msg value.Value) ([]byte, error) {
 func (ResponseFormat) Encode(dst []byte, msg value.Value) ([]byte, error) {
 	return encode(dst, msg, ResponseDesc)
 }
+
+// EncodeScatter implements grammar.ScatterEncoder for requests: messages
+// with an intact raw image are appended by reference into their pooled
+// region; rebuilt messages are serialised through scratch and copied.
+func (RequestFormat) EncodeScatter(sc *buffer.Scatter, scratch []byte, msg value.Value) ([]byte, error) {
+	return encodeScatter(sc, scratch, msg, RequestDesc)
+}
+
+// EncodeScatter implements grammar.ScatterEncoder for responses.
+func (ResponseFormat) EncodeScatter(sc *buffer.Scatter, scratch []byte, msg value.Value) ([]byte, error) {
+	return encodeScatter(sc, scratch, msg, ResponseDesc)
+}
+
+func encodeScatter(sc *buffer.Scatter, scratch []byte, msg value.Value, desc *value.RecordDesc) ([]byte, error) {
+	if msg.Kind != value.KindRecord || msg.R != desc {
+		return scratch, fmt.Errorf("%w: encode of %v with %s codec", ErrMalformed, msg.Kind, desc.Name)
+	}
+	if raw := msg.Field("_raw"); !raw.IsNull() {
+		sc.AppendRef(raw.B, msg.O)
+		return scratch, nil
+	}
+	out, err := encode(scratch[:0], msg, desc)
+	if err != nil {
+		return out, err
+	}
+	sc.Append(out)
+	return out, nil
+}
+
+var (
+	_ grammar.ScatterEncoder = RequestFormat{}
+	_ grammar.ScatterEncoder = ResponseFormat{}
+)
 
 func encode(dst []byte, msg value.Value, desc *value.RecordDesc) ([]byte, error) {
 	if msg.Kind != value.KindRecord || msg.R != desc {
@@ -299,9 +353,22 @@ func encode(dst []byte, msg value.Value, desc *value.RecordDesc) ([]byte, error)
 		dst = append(dst, reason...)
 	}
 	dst = append(dst, '\r', '\n')
+	// Emit the headers block minus any Content-Length line: the encoder
+	// recomputes framing from the current body, and keeping the stale line
+	// would emit two Content-Length headers (and grow the block on every
+	// decode→encode round trip instead of reaching a fixed point).
 	if h := msg.Field("headers").AsBytes(); len(h) > 0 {
-		dst = append(dst, h...)
-		dst = append(dst, '\r', '\n')
+		block := h
+		for len(block) > 0 {
+			var line []byte
+			line, block = splitLine(block)
+			name, _ := splitHeader(line)
+			if asciiEqualFold(name, []byte("content-length")) {
+				continue
+			}
+			dst = append(dst, line...)
+			dst = append(dst, '\r', '\n')
+		}
 	}
 	dst = append(dst, []byte("Content-Length: ")...)
 	dst = strconv.AppendInt(dst, int64(len(body)), 10)

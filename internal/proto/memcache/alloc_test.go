@@ -1,0 +1,64 @@
+package memcache
+
+import (
+	"testing"
+
+	"flick/internal/buffer"
+)
+
+// TestDecodeEncodeZeroAlloc is the alloc-regression gate for the Memcached
+// hot path: a binary-protocol command arriving in a pooled chunk is parsed
+// in place by the compiled grammar, forwarded through a retain/release
+// cycle, re-encoded into a pooled scatter list via the raw fast path, and
+// recycled — zero heap allocations per message in steady state.
+func TestDecodeEncodeZeroAlloc(t *testing.T) {
+	req := Request(OpGetK, []byte("key-000042"), nil)
+	wire, err := Codec.Encode(nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := buffer.NewPool(64)
+	pool.Prime(8)
+	q := buffer.NewQueue(pool)
+	dec := Codec.NewDecoder()
+	sc := buffer.NewScatter(pool)
+	var scratch []byte
+	var sink int64
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		ref := pool.GetRef(len(wire))
+		copy(ref.Bytes(), wire)
+		q.AppendRef(ref, len(wire))
+		msg, ok, derr := dec.Decode(q)
+		if derr != nil || !ok {
+			t.Fatalf("decode failed: ok=%v err=%v", ok, derr)
+		}
+		msg.Retain() // graph hop: channel retains, producer releases
+		msg.Release()
+		sink += msg.Field("opcode").AsInt()
+		scratch, derr = Codec.EncodeScatter(sc, scratch, msg)
+		if derr != nil {
+			t.Fatalf("encode failed: %v", derr)
+		}
+		msg.Release()
+		if sc.Len() != len(wire) {
+			t.Fatalf("scatter holds %d bytes, want %d", sc.Len(), len(wire))
+		}
+		sc.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("Memcached decode→encode round trip allocates %.1f/op, want 0", allocs)
+	}
+
+	s := pool.Stats()
+	if s.Oversized != 0 {
+		t.Fatalf("hot path hit the over-MaxClass fallback %d times", s.Oversized)
+	}
+	if s.Coalesced != 0 {
+		t.Fatalf("single-chunk messages coalesced %d times", s.Coalesced)
+	}
+	if s.RefGets != s.RefPuts {
+		t.Fatalf("region leak: %d handed out, %d recycled", s.RefGets, s.RefPuts)
+	}
+	_ = sink
+}

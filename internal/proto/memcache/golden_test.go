@@ -1,0 +1,162 @@
+package memcache
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flick/internal/buffer"
+	"flick/internal/value"
+)
+
+// decodeFrame parses one complete frame from raw.
+func decodeFrame(t *testing.T, raw []byte) value.Value {
+	t.Helper()
+	q := buffer.NewQueue(nil)
+	q.Append(raw)
+	msg, ok, err := Codec.NewDecoder().Decode(q)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !ok {
+		t.Fatalf("frame incomplete after %d bytes", len(raw))
+	}
+	if q.Len() != 0 {
+		t.Fatalf("%d trailing bytes after frame", q.Len())
+	}
+	return msg
+}
+
+func golden(t *testing.T, name string) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestGoldenFrames checks field-level parse results and byte-exact
+// re-encoding (both the raw fast path and the rebuilt path) against real
+// Memcached binary-protocol frames.
+func TestGoldenFrames(t *testing.T) {
+	cases := []struct {
+		file   string
+		fields map[string]int64 // integer field expectations
+		key    string
+		val    string
+		extras string
+	}{
+		{
+			file: "get_hello_request.bin",
+			fields: map[string]int64{
+				"magic_code": MagicRequest, "opcode": OpGet, "key_len": 5,
+				"extras_len": 0, "total_len": 5, "opaque": 0, "cas": 0,
+				"status_or_v_bucket": 0, "value_len": 0,
+			},
+			key: "Hello",
+		},
+		{
+			file: "get_hello_response.bin",
+			fields: map[string]int64{
+				"magic_code": MagicResponse, "opcode": OpGet, "key_len": 0,
+				"extras_len": 4, "total_len": 9, "cas": 1, "value_len": 5,
+			},
+			val:    "World",
+			extras: "\xde\xad\xbe\xef",
+		},
+		{
+			file: "set_hello_world_request.bin",
+			fields: map[string]int64{
+				"magic_code": MagicRequest, "opcode": OpSet, "key_len": 5,
+				"extras_len": 8, "total_len": 18, "opaque": 0xdecafbad, "value_len": 5,
+			},
+			key:    "Hello",
+			val:    "World",
+			extras: "\xde\xad\xbe\xef\x00\x00\x0e\x10",
+		},
+		{
+			file: "getk_request.bin",
+			fields: map[string]int64{
+				"magic_code": MagicRequest, "opcode": OpGetK, "key_len": 10,
+				"opaque": 7, "value_len": 0,
+			},
+			key: "key-000042",
+		},
+		{
+			file: "get_miss_response.bin",
+			fields: map[string]int64{
+				"magic_code": MagicResponse, "status_or_v_bucket": StatusKeyNotFound,
+				"total_len": 9, "value_len": 9,
+			},
+			val: "Not found",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			raw := golden(t, tc.file)
+			msg := decodeFrame(t, raw)
+			defer msg.Release()
+			for name, want := range tc.fields {
+				if got := msg.Field(name).AsInt(); got != want {
+					t.Errorf("%s = %d, want %d", name, got, want)
+				}
+			}
+			if got := msg.Field("key").AsString(); got != tc.key {
+				t.Errorf("key = %q, want %q", got, tc.key)
+			}
+			if got := msg.Field("value").AsString(); got != tc.val {
+				t.Errorf("value = %q, want %q", got, tc.val)
+			}
+			if got := msg.Field("extras").AsString(); got != tc.extras {
+				t.Errorf("extras = %x, want %x", got, tc.extras)
+			}
+
+			// Raw fast path: byte-exact.
+			out, err := Codec.Encode(nil, msg)
+			if err != nil {
+				t.Fatalf("encode (raw): %v", err)
+			}
+			if !bytes.Equal(out, raw) {
+				t.Errorf("raw re-encode differs:\n got %x\nwant %x", out, raw)
+			}
+
+			// Rebuilt path (raw image cleared): the grammar recomputes the
+			// length fields from current contents — still byte-exact for an
+			// unmodified frame.
+			Codec.ClearRaw(msg)
+			out, err = Codec.Encode(nil, msg)
+			if err != nil {
+				t.Fatalf("encode (rebuild): %v", err)
+			}
+			if !bytes.Equal(out, raw) {
+				t.Errorf("rebuilt re-encode differs:\n got %x\nwant %x", out, raw)
+			}
+		})
+	}
+}
+
+// TestGoldenFrameSplitDelivery re-parses a golden frame delivered one byte
+// at a time, exercising the incremental peek-phase resume.
+func TestGoldenFrameSplitDelivery(t *testing.T) {
+	raw := golden(t, "set_hello_world_request.bin")
+	q := buffer.NewQueue(nil)
+	dec := Codec.NewDecoder()
+	for i, b := range raw {
+		q.Append([]byte{b})
+		msg, ok, err := dec.Decode(q)
+		if err != nil {
+			t.Fatalf("byte %d: %v", i, err)
+		}
+		if ok != (i == len(raw)-1) {
+			t.Fatalf("byte %d: ok=%v", i, ok)
+		}
+		if ok {
+			if got := msg.Field("key").AsString(); got != "Hello" {
+				t.Fatalf("key = %q", got)
+			}
+			msg.Release()
+		}
+	}
+}

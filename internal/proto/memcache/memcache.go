@@ -27,8 +27,11 @@ const (
 	StatusKeyNotFound = 0x0001
 )
 
-// Codec is the full-fidelity compiled Memcached grammar.
-var Codec = grammar.MemcachedUnit().MustCompile()
+// Codec is the full-fidelity compiled Memcached grammar. Raw capture is on:
+// decoded commands keep a zero-copy view of their wire image, so proxying
+// an unmodified command re-emits the original pooled bytes without
+// re-serialising (and without copying, on the scatter output path).
+var Codec = grammar.MemcachedUnit().MustCompile(grammar.CaptureRaw())
 
 // Desc describes Memcached command records.
 var Desc = Codec.Desc()

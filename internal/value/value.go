@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Kind enumerates runtime value kinds.
@@ -68,6 +69,83 @@ type Value struct {
 	D    *Dict       // dict payload
 	R    *RecordDesc // record descriptor when Kind == KindRecord
 	X    any         // opaque payload (channel handles etc.)
+	O    Region      // backing region for byte views (nil: payloads owned)
+}
+
+// Region is a refcounted backing store for zero-copy byte views. Values
+// whose byte payloads alias pooled memory carry the region that keeps the
+// memory alive; the last Release recycles it. buffer.Ref and the record
+// owner below implement it.
+type Region interface {
+	// Retain adds one reference.
+	Retain()
+	// Release drops one reference, recycling the region at zero.
+	Release()
+}
+
+// Retain adds a reference to the value's backing region. Owned values (no
+// region) are unaffected. Every task that stores a value beyond the current
+// call must Retain it; channels retain on push.
+func (v Value) Retain() {
+	if v.O != nil {
+		v.O.Retain()
+	}
+}
+
+// Release drops the caller's reference to the value's backing region. After
+// Release the value's byte views must not be read: the pooled memory behind
+// them may be recycled for a new message.
+func (v Value) Release() {
+	if v.O != nil {
+		v.O.Release()
+	}
+}
+
+// Detach returns a copy of v that owns all of its byte payloads: every
+// byte-view field is copied into fresh memory and the backing region
+// dropped (the caller's reference is NOT released). Use it before storing a
+// decoded message beyond the task that is currently processing it — e.g.
+// the global dictionary detaches on Set — so cached values survive buffer
+// recycling. Values without a region are assumed owned and returned as-is;
+// for byte views extracted from a pooled record (which alias the region
+// without carrying it) use Owned.
+func Detach(v Value) Value {
+	if v.O == nil {
+		return v
+	}
+	v.O = nil
+	return deepCopyBytes(v)
+}
+
+// Owned returns a copy of v that owns every byte payload it carries,
+// copying unconditionally. Field values extracted from a pooled record
+// alias the record's region without referencing it (v.O is nil), so Detach
+// cannot tell them from owned memory; Owned is the safe choice when a
+// value of unknown provenance must outlive the message it may have come
+// from — e.g. record constructors storing argument values into a new
+// record that is emitted downstream.
+func Owned(v Value) Value {
+	v.O = nil
+	return deepCopyBytes(v)
+}
+
+// deepCopyBytes copies every byte payload reachable from v into owned
+// memory. Record field slices are copied too (pooled records recycle the
+// slice on release).
+func deepCopyBytes(v Value) Value {
+	switch v.Kind {
+	case KindBytes:
+		v.B = append([]byte(nil), v.B...)
+	case KindList, KindRecord:
+		l := make([]Value, len(v.L))
+		for i := range v.L {
+			f := v.L[i]
+			f.O = nil
+			l[i] = deepCopyBytes(f)
+		}
+		v.L = l
+	}
+	return v
 }
 
 // Null is the null value.
@@ -248,6 +326,7 @@ type RecordDesc struct {
 	Fields []string
 	index  map[string]int
 	once   sync.Once
+	owners sync.Pool // recycled *owner headers (NewOwned)
 }
 
 // NewRecordDesc builds a descriptor for the named record type.
@@ -273,6 +352,58 @@ func (d *RecordDesc) FieldIndex(name string) int {
 // New creates a record instance with null fields.
 func (d *RecordDesc) New() Value {
 	return Value{Kind: KindRecord, R: d, L: make([]Value, len(d.Fields))}
+}
+
+// owner is the per-message lifecycle of a pooled record: it refcounts the
+// record, recycles the field slice into the desc's freelist on the last
+// Release, and releases the backing byte region with it. A record and the
+// wire bytes its views alias therefore live and die together.
+type owner struct {
+	refs   atomic.Int32
+	region Region
+	fields []Value
+	desc   *RecordDesc
+}
+
+// Retain implements Region.
+func (o *owner) Retain() { o.refs.Add(1) }
+
+// Release implements Region. Releasing past zero panics: it means two tasks
+// both believed they held the last reference (a double free that would
+// recycle live memory).
+func (o *owner) Release() {
+	n := o.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("value: record released after refcount reached zero")
+	}
+	region := o.region
+	o.region = nil
+	for i := range o.fields {
+		o.fields[i] = Value{}
+	}
+	o.desc.owners.Put(o)
+	if region != nil {
+		region.Release()
+	}
+}
+
+// NewOwned creates a pooled record instance with one reference held by the
+// caller. The field slice is drawn from a per-desc freelist and returns to
+// it when the last reference is released; region (which may be nil) is
+// released at the same moment. This is the allocation-free decode path:
+// decoders wrap the message's pooled wire chunk and hand ownership
+// downstream with the record.
+func (d *RecordDesc) NewOwned(region Region) Value {
+	o, _ := d.owners.Get().(*owner)
+	if o == nil {
+		o = &owner{desc: d, fields: make([]Value, len(d.Fields))}
+	}
+	o.refs.Store(1)
+	o.region = region
+	return Value{Kind: KindRecord, R: d, L: o.fields, O: o}
 }
 
 // Record builds a record instance from field values in declaration order.
@@ -329,8 +460,12 @@ func (d *Dict) Get(key string) (Value, bool) {
 	return v, ok
 }
 
-// Set stores v under key.
+// Set stores v under key. The stored copy is detached from any pooled
+// backing region: dictionaries outlive the message that produced the value
+// (the router's cache serves entries long after the original wire buffer
+// has been recycled), so Set deep-copies byte views into owned memory.
 func (d *Dict) Set(key string, v Value) {
+	v = Detach(v)
 	d.mu.Lock()
 	d.m[key] = v
 	d.mu.Unlock()
