@@ -53,6 +53,7 @@ func main() {
 			}
 			res.counts[hadoop.Key(kv)] = string(hadoop.Value(kv))
 			res.pairs++
+			kv.Release() // decoded pairs reference their pooled wire chunk
 		}
 	}()
 

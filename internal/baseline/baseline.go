@@ -437,7 +437,8 @@ func (m *MoxiLike) serveClient(raw net.Conn) {
 			return
 		}
 		if !m.enqueue(moxiJob{req: req, reply: reply}) {
-			return // proxy shut down
+			req.Release() // no worker will take it
+			return        // proxy shut down
 		}
 		resp := <-reply
 		req.Release() // worker is done with the request

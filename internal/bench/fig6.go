@@ -87,9 +87,13 @@ func runFig6Cell(cfg Fig6Config, wordLen, cores int) (Fig6Point, error) {
 				defer c.Close()
 				r := hadoop.NewReader(c)
 				for {
-					if _, err := r.Read(); err != nil {
+					kv, err := r.Read()
+					if err != nil {
 						return
 					}
+					// Decoded pairs hold a reference to their pooled wire
+					// chunk; dropping it unreleased would drain the pool.
+					kv.Release()
 				}
 			}()
 		}

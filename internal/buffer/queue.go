@@ -58,7 +58,8 @@ func (q *Queue) Append(p []byte) {
 	for len(p) > 0 {
 		// Extend the final chunk if it has spare capacity. Writes land
 		// strictly beyond the chunk's current length, so views handed out
-		// over earlier bytes are unaffected.
+		// over earlier bytes are unaffected; AppendRef clips capacity, so
+		// only chunks the queue itself drew from the pool are extendable.
 		if n := len(q.chunks); n > 0 {
 			last := q.chunks[n-1]
 			if spare := cap(last) - len(last); spare > 0 {
@@ -84,13 +85,31 @@ func (q *Queue) Append(p []byte) {
 // AppendRef appends the first n bytes of r's region without copying,
 // transferring the caller's reference to the queue (callers that keep using
 // the region must Retain first). n == 0 releases r immediately.
+//
+// The ingested chunk's capacity is clipped to n so a later Append never
+// extends into the region's remaining bytes: a producer that Retained the
+// region may still own everything past the appended prefix.
 func (q *Queue) AppendRef(r *Ref, n int) {
 	if n <= 0 {
 		r.Release()
 		return
 	}
-	q.push(r.Bytes()[:n], r)
+	q.push(r.Bytes()[:n:n], r)
 	q.size += n
+}
+
+// AppendRead ingests the first n bytes of a pooled read chunk, consuming the
+// caller's reference in every case. Large reads transfer the region by
+// reference (the zero-copy path); small reads — a peer trickling short TCP
+// segments — are copied and compacted instead, so a slow consumer pins at
+// most the copied bytes rather than a near-empty pooled chunk per read.
+func (q *Queue) AppendRead(r *Ref, n int) {
+	if n > 0 && n < len(r.Bytes())/8 {
+		q.Append(r.Bytes()[:n])
+		r.Release()
+		return
+	}
+	q.AppendRef(r, n)
 }
 
 // Peek copies up to len(p) bytes from the front without consuming and

@@ -174,6 +174,58 @@ func TestQueueTakeRefPartialChunkKeepsQueueReference(t *testing.T) {
 	}
 }
 
+// TestQueueAppendNeverExtendsRefChunks pins the AppendRef capacity clip: a
+// producer that Retained the region may still own every byte past the
+// appended prefix, so a later Append must start a fresh chunk rather than
+// extend into the region's spare capacity.
+func TestQueueAppendNeverExtendsRefChunks(t *testing.T) {
+	p := NewPool(8)
+	q := NewQueue(p)
+	r := p.GetRef(64)
+	copy(r.Bytes(), "prefix--PRODUCER-OWNED-TAIL.....")
+	r.Retain() // producer keeps using the region past the prefix
+	q.AppendRef(r, 8)
+	q.Append([]byte("appended"))
+
+	if got := string(r.Bytes()[8:24]); got != "PRODUCER-OWNED-T" {
+		t.Fatalf("Append scribbled over the retained region: %q", got)
+	}
+	all := make([]byte, 16)
+	if !q.ReadFull(all) || string(all) != "prefix--appended" {
+		t.Fatalf("queue contents = %q, want %q", all, "prefix--appended")
+	}
+	r.Release()
+}
+
+// TestQueueAppendReadCompactsSmallReads pins the trickle guard: a short read
+// is copied and its chunk released immediately instead of pinning the whole
+// pooled region until consumed, while a bulk read still transfers the region
+// by reference.
+func TestQueueAppendReadCompactsSmallReads(t *testing.T) {
+	p := NewPool(8)
+	q := NewQueue(p)
+
+	small := p.GetRef(64)
+	copy(small.Bytes(), "tiny")
+	q.AppendRead(small, 4) // 4 < 64/8: copied and released
+	if p.Stats().RefPuts != 1 {
+		t.Fatalf("small-read chunk not released (refPuts=%d)", p.Stats().RefPuts)
+	}
+
+	bulk := p.GetRef(64)
+	copy(bulk.Bytes(), "0123456789abcdef")
+	q.AppendRead(bulk, 16) // 16 >= 64/8: zero-copy hand-over
+	q.Discard(4)
+	view, ref := q.TakeRef(16)
+	if ref != bulk || &view[0] != &bulk.Bytes()[0] {
+		t.Fatalf("bulk read was copied, want zero-copy alias")
+	}
+	if string(view) != "0123456789abcdef" {
+		t.Fatalf("bulk view = %q", view)
+	}
+	ref.Release()
+}
+
 func TestQueueResetReleasesChunks(t *testing.T) {
 	p := NewPool(8)
 	q := NewQueue(p)

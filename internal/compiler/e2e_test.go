@@ -196,6 +196,7 @@ func TestListing3EndToEnd(t *testing.T) {
 				return
 			}
 			got[hadoop.Key(kv)] = string(hadoop.Value(kv))
+			kv.Release()
 		}
 	}()
 

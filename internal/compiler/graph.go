@@ -390,16 +390,19 @@ func (p *Program) buildFoldt(proc *lang.ProcDecl, tmpl *core.Template,
 			fr := Frame{globals: prog.globals[procName], emit: ctx.Emit, instID: ctx.Instance().ID()}
 			key := prog.funs[order].call(&fr, []value.Value{v}).AsString()
 			if prev, ok := st.acc[key]; ok {
-				// Detach: a combine function may return v itself (or a
-				// record carrying its region), whose pooled bytes die when
-				// the runtime releases v after this activation.
-				st.acc[key] = value.Detach(prog.funs[combine].call(&fr, []value.Value{prev, v}))
+				// Own unconditionally: a combine function may return v
+				// itself, a record carrying v's region, or a nested view of
+				// v that carries no region pointer at all — in every case
+				// the pooled bytes die when the runtime releases v after
+				// this activation, and only an unconditional deep copy
+				// cannot be fooled by region-less aliases.
+				st.acc[key] = value.Owned(prog.funs[combine].call(&fr, []value.Value{prev, v}))
 			} else {
 				// The accumulator outlives this task activation, but v's
 				// byte views die with the pooled wire buffer when the
 				// runtime releases the message after Fn returns — store an
 				// owned copy.
-				st.acc[key] = value.Detach(v)
+				st.acc[key] = value.Owned(v)
 				st.order = append(st.order, key)
 			}
 		}

@@ -166,7 +166,12 @@ func (lw *lowerer) lowerAssign(x *lang.AssignStmt) (stmtFn, error) {
 		return func(fr *Frame) {
 			d := base(fr)
 			if d.Kind == value.KindDict {
-				d.D.Set(key(fr).AsString(), val(fr))
+				// Own the stored value unconditionally: the dict outlives
+				// the message, and an RHS like req.value may alias pooled
+				// wire bytes through any depth of nesting (a region pointer
+				// only marks the top level, so Set's Detach alone is not
+				// enough for hand-carved nested views).
+				d.D.Set(key(fr).AsString(), value.Owned(val(fr)))
 			}
 		}, nil
 	case *lang.FieldExpr:
@@ -176,7 +181,13 @@ func (lw *lowerer) lowerAssign(x *lang.AssignStmt) (stmtFn, error) {
 		}
 		name := tgt.Name
 		return func(fr *Frame) {
-			base(fr).SetField(name, val(fr))
+			// Own the assigned value: storing a view of message A into
+			// record B moves it across message lifetimes — B's region (if
+			// any) holds no reference to A's, so once the runtime releases
+			// A the view would read recycled pool memory. SetField also
+			// invalidates any captured "_raw" wire image, so the encoder
+			// rebuilds the mutated message instead of replaying stale bytes.
+			base(fr).SetField(name, value.Owned(val(fr)))
 		}, nil
 	}
 	return nil, fmt.Errorf("compiler: bad assignment target at %s", x.Pos)
@@ -194,6 +205,10 @@ func (lw *lowerer) lowerSend(valExpr, dstExpr lang.Expr) (stmtFn, error) {
 	return func(fr *Frame) {
 		d := dst(fr)
 		if ref, ok := d.X.(ChanRef); ok && fr.emit != nil {
+			// No copy: emitted values carry their backing region (whole
+			// pooled records via NewOwned, field/element views via
+			// value.Borrow in the access lowerings), and Chan.Push retains
+			// that region for the downstream consumer.
 			fr.emit(ref.Out, val(fr))
 		}
 	}, nil
@@ -263,7 +278,9 @@ func (lw *lowerer) lowerExpr(e lang.Expr) (exprFn, error) {
 				if i < 0 || i >= int64(len(b.L)) {
 					return value.Null
 				}
-				return b.L[i]
+				// Elements of a region-backed list (e.g. a list field of a
+				// pooled message) alias that region; carry it on the view.
+				return value.Borrow(b.L[i], b.O)
 			}
 			return value.Null
 		}, nil
@@ -444,7 +461,10 @@ func (lw *lowerer) lowerIter(x *lang.CallExpr) (exprFn, error) {
 			xs := list(fr)
 			out := make([]value.Value, len(xs.L))
 			for i, el := range xs.L {
-				out[i] = prog.funs[fname].call(fr, []value.Value{el})
+				// Detach per element: a body returning a region-backed view
+				// would leave the result list with elements whose lifetime
+				// the list's (nil) region cannot express.
+				out[i] = value.Detach(prog.funs[fname].call(fr, []value.Value{value.Borrow(el, xs.O)}))
 			}
 			return value.List(out...)
 		}, nil
@@ -457,11 +477,13 @@ func (lw *lowerer) lowerIter(x *lang.CallExpr) (exprFn, error) {
 			xs := list(fr)
 			var out []value.Value
 			for _, el := range xs.L {
-				if prog.funs[fname].call(fr, []value.Value{el}).AsBool() {
+				if prog.funs[fname].call(fr, []value.Value{value.Borrow(el, xs.O)}).AsBool() {
 					out = append(out, el)
 				}
 			}
-			return value.List(out...)
+			// Passed-through elements still alias the source list's region;
+			// the result list borrows it so escapes stay tracked.
+			return value.Borrow(value.List(out...), xs.O)
 		}, nil
 	default: // fold
 		acc, err := lw.lowerExpr(x.Args[1])
@@ -474,8 +496,9 @@ func (lw *lowerer) lowerIter(x *lang.CallExpr) (exprFn, error) {
 		}
 		return func(fr *Frame) value.Value {
 			a := acc(fr)
-			for _, el := range list(fr).L {
-				a = prog.funs[fname].call(fr, []value.Value{a, el})
+			xs := list(fr)
+			for _, el := range xs.L {
+				a = prog.funs[fname].call(fr, []value.Value{a, value.Borrow(el, xs.O)})
 			}
 			return a
 		}, nil

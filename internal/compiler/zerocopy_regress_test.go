@@ -162,10 +162,152 @@ func TestConstructorDetachesPooledViews(t *testing.T) {
 	}
 }
 
+// cacheFieldSource stores a FIELD of the pooled input message into a global
+// dict and mutates a record field from another message's field — the two
+// escape paths where a view crosses its message's lifetime via assignment.
+const cacheFieldSource = `
+type request: record
+    uri : string
+    keep_alive : integer
+
+type response: record
+    status : integer
+    body : string
+
+proc cached: (request/response client)
+    global seen := empty_dict
+    | client => remember(seen) => client
+
+fun remember: (seen: ref dict<string*string>, req: request) -> (response)
+    seen[req.uri] := req.uri
+    response(200, req.uri)
+
+fun retag: (req: request, resp: response) -> (response)
+    resp.body := req.uri
+    resp
+`
+
+func compileCacheField(t *testing.T) *Program {
+	t.Helper()
+	prog, err := Compile(cacheFieldSource, Config{
+		ChannelCodecs: map[string]PortCodec{
+			"client": {Decode: phttp.RequestFormat{}, Encode: phttp.ResponseFormat{}},
+		},
+		Codecs: map[string]CodecPair{
+			"request":  {Decode: phttp.RequestFormat{}, Encode: phttp.RequestFormat{}},
+			"response": {Decode: phttp.ResponseFormat{}, Encode: phttp.ResponseFormat{}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// pooledRequest builds a request record whose uri field is a raw view into
+// a pooled region, exactly as a zero-copy decoder would.
+func pooledRequest(pool *buffer.Pool, uri string) value.Value {
+	ref := pool.GetRef(64)
+	copy(ref.Bytes(), uri)
+	req := phttp.RequestDesc.NewOwned(ref)
+	req.SetField("uri", value.Bytes(ref.Bytes()[:len(uri)]))
+	return req
+}
+
+// TestDictAssignOwnsFieldView regression-tests the review's use-after-free:
+// `seen[req.uri] := req.uri` must deep-copy the field view into the dict —
+// after the runtime releases the message and the pool recycles its buffer,
+// the cached entry must still read the original bytes.
+func TestDictAssignOwnsFieldView(t *testing.T) {
+	prog := compileCacheField(t)
+	pool := buffer.NewPool(4)
+	const uri = "/pooled-uri-0001"
+	req := pooledRequest(pool, uri)
+
+	fr := Frame{globals: prog.globals["cached"]}
+	cache := prog.globals["cached"][0]
+	prog.funs["remember"].call(&fr, []value.Value{cache, req})
+
+	req.Release()
+	next := pool.GetRef(64) // LIFO reuse of the request's recycled buffer
+	copy(next.Bytes(), "/XXXXXX-clobber!")
+	defer next.Release()
+
+	got, ok := cache.D.Get(uri)
+	if !ok {
+		t.Fatal("cached entry missing")
+	}
+	if got.AsString() != uri {
+		t.Fatalf("cached value = %q, want %q (dict entry aliases recycled wire memory)", got.AsString(), uri)
+	}
+}
+
+// TestSetFieldOwnsCrossMessageView regression-tests the field-assignment
+// escape: `resp.body := req.uri` moves a view of message A into record B,
+// which must survive A's release and buffer recycling.
+func TestSetFieldOwnsCrossMessageView(t *testing.T) {
+	prog := compileCacheField(t)
+	pool := buffer.NewPool(4)
+	const uri = "/pooled-uri-0002"
+	req := pooledRequest(pool, uri)
+	resp := phttp.ResponseDesc.New()
+	resp.SetField("status", value.Int(200))
+	resp.SetField("_raw", value.Bytes([]byte("HTTP/1.1 200 OK\r\n\r\nstale")))
+
+	fr := Frame{globals: prog.globals["cached"]}
+	out := prog.funs["retag"].call(&fr, []value.Value{req, resp})
+
+	req.Release()
+	next := pool.GetRef(64)
+	copy(next.Bytes(), "/XXXXXX-clobber!")
+	defer next.Release()
+
+	if got := out.Field("body").AsString(); got != uri {
+		t.Fatalf("resp.body = %q, want %q (assigned field aliases recycled wire memory)", got, uri)
+	}
+	// Mutation must invalidate the captured wire image: the encoder's raw
+	// fast path would otherwise emit the pre-mutation bytes verbatim.
+	if !out.Field("_raw").IsNull() {
+		t.Fatal("field assignment left the captured _raw image intact; encoder would emit stale wire bytes")
+	}
+}
+
+// TestChanRetainsEmittedFieldView regression-tests the send path: a field
+// view emitted downstream carries its record's region (value.Field attaches
+// it), so Chan.Push's Retain keeps the pooled bytes alive after the producer
+// releases the message, and the consumer's Release recycles them.
+func TestChanRetainsEmittedFieldView(t *testing.T) {
+	pool := buffer.NewPool(4)
+	ref := pool.GetRef(64)
+	copy(ref.Bytes(), "precious payload")
+	desc := value.NewRecordDesc("t.chanrec", "data")
+	rec := desc.NewOwned(ref)
+	rec.L[0] = value.Bytes(ref.Bytes()[:16])
+
+	ch := core.NewChan(8)
+	ch.Push(rec.Field("data")) // producer emits a view of its message
+	rec.Release()              // runtime drops the message after the task
+
+	if pool.Stats().RefPuts != 0 {
+		t.Fatal("region recycled while the channel still held the view")
+	}
+	v, ok, _ := ch.Pop()
+	if !ok {
+		t.Fatal("queued view lost")
+	}
+	if got := v.AsString(); got != "precious payload" {
+		t.Fatalf("queued view = %q (channel did not retain the region)", got)
+	}
+	v.Release()
+	if pool.Stats().RefPuts != 1 {
+		t.Fatalf("refPuts = %d, want 1 (consumer release must recycle)", pool.Stats().RefPuts)
+	}
+}
+
 // TestOwnedCopiesAliasedViews pins value.Owned's contract at the unit
-// level: a field view extracted from a pooled record (which carries no
-// region pointer of its own) must be deep-copied, surviving recycling of
-// the region it aliased.
+// level: a byte view carved from a pooled record's region without a region
+// pointer of its own (raw slot access, not Field) must be deep-copied,
+// surviving recycling of the region it aliased.
 func TestOwnedCopiesAliasedViews(t *testing.T) {
 	pool := buffer.NewPool(4)
 	ref := pool.GetRef(64)
@@ -174,7 +316,7 @@ func TestOwnedCopiesAliasedViews(t *testing.T) {
 	rec := desc.NewOwned(ref)
 	rec.L[0] = value.Bytes(ref.Bytes()[:16])
 
-	view := rec.Field("data") // aliases the region, v.O == nil
+	view := rec.L[0] // raw slot access: aliases the region, v.O == nil
 	owned := value.Owned(view)
 	rec.Release() // region recycles
 
@@ -189,4 +331,44 @@ func TestOwnedCopiesAliasedViews(t *testing.T) {
 		t.Fatalf("raw view unexpectedly stable; hazard setup broken")
 	}
 	next.Release()
+}
+
+// TestFieldViewCarriesRegion pins the provenance rule the zero-copy escape
+// paths rely on: Field attaches the record's region to byte-carrying views
+// (a borrowed reference), so Detach — and therefore Dict.Set — copies them
+// before the pooled bytes can recycle, while scalar fields stay region-less.
+func TestFieldViewCarriesRegion(t *testing.T) {
+	pool := buffer.NewPool(4)
+	ref := pool.GetRef(64)
+	copy(ref.Bytes(), "precious payload")
+	desc := value.NewRecordDesc("t.rec", "data", "n")
+	rec := desc.NewOwned(ref)
+	rec.L[0] = value.Bytes(ref.Bytes()[:16])
+	rec.L[1] = value.Int(7)
+
+	view := rec.Field("data")
+	if view.O == nil {
+		t.Fatal("field view carries no region: Detach/Push cannot see its provenance")
+	}
+	if scalar := rec.Field("n"); scalar.O != nil {
+		t.Fatal("scalar field should not borrow the region")
+	}
+
+	// Dict.Set detaches on store; with provenance attached the cached entry
+	// must survive the record's release and the region's recycling.
+	d := value.NewDict()
+	d.D.Set("k", view)
+	detached := value.Detach(view)
+	rec.Release()
+
+	next := pool.GetRef(64)
+	copy(next.Bytes(), "clobbered-------")
+	defer next.Release()
+
+	if got, _ := d.D.Get("k"); got.AsString() != "precious payload" {
+		t.Fatalf("dict entry reads recycled memory: %q", got.AsString())
+	}
+	if got := detached.AsString(); got != "precious payload" {
+		t.Fatalf("detached view reads recycled memory: %q", got)
+	}
 }

@@ -301,15 +301,16 @@ func (inst *Instance) Start() {
 // pump bridges a kernel (blocking) connection into the task world: it
 // blocks on Read and schedules the input task as bytes arrive. This is the
 // kernel-stack analogue of mTCP's event loop (one goroutine per connection
-// instead of one epoll event). Each read lands in a fresh pooled chunk that
-// is handed to the byte queue by reference — the bytes are never copied
-// again between here and the decoded message views.
+// instead of one epoll event). Bulk reads land in a fresh pooled chunk that
+// is handed to the byte queue by reference — no copy between the socket and
+// the decoded message views; short reads are compacted instead so a
+// trickling peer cannot pin a near-empty chunk per segment.
 func (inst *Instance) pump(st *inputState, task *Task) {
 	for {
 		ref := buffer.Global.GetRef(readChunk)
 		n, err := st.conn.Read(ref.Bytes())
 		st.mu.Lock()
-		st.q.AppendRef(ref, n) // releases ref when n == 0
+		st.q.AppendRead(ref, n) // small reads compact, large ones hand over the ref
 		if err != nil {
 			st.eof = true
 		}
@@ -409,7 +410,7 @@ func (inst *Instance) runInput(ctx *ExecCtx, n *Node) RunResult {
 			// a pooled chunk appended by reference (zero copy).
 			ref := buffer.Global.GetRef(readChunk)
 			nread, rerr := st.conn.(netstack.Readable).TryRead(ref.Bytes())
-			st.q.AppendRef(ref, nread) // releases ref when nread == 0
+			st.q.AppendRead(ref, nread) // small reads compact, large ones hand over the ref
 			if nread > 0 {
 				st.mu.Unlock()
 				continue

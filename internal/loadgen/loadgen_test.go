@@ -152,6 +152,7 @@ func TestRunMapper(t *testing.T) {
 			}
 			s.pairs++
 			s.bytes += int64(len(hadoop.Key(kv)) + len(hadoop.Value(kv)) + 8)
+			kv.Release()
 		}
 	}()
 

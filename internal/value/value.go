@@ -107,8 +107,10 @@ func (v Value) Release() {
 // decoded message beyond the task that is currently processing it — e.g.
 // the global dictionary detaches on Set — so cached values survive buffer
 // recycling. Values without a region are assumed owned and returned as-is;
-// for byte views extracted from a pooled record (which alias the region
-// without carrying it) use Owned.
+// Field and the compiler's indexing paths attach the container's region to
+// extracted views (see Borrow), so views of pooled records are detected.
+// For a byte view carved out by hand (raw v.L[i] access, manual sub-slicing
+// of pooled bytes) that carries no region, use Owned.
 func Detach(v Value) Value {
 	if v.O == nil {
 		return v
@@ -118,12 +120,13 @@ func Detach(v Value) Value {
 }
 
 // Owned returns a copy of v that owns every byte payload it carries,
-// copying unconditionally. Field values extracted from a pooled record
-// alias the record's region without referencing it (v.O is nil), so Detach
-// cannot tell them from owned memory; Owned is the safe choice when a
-// value of unknown provenance must outlive the message it may have come
-// from — e.g. record constructors storing argument values into a new
-// record that is emitted downstream.
+// copying unconditionally. A byte view carved from pooled memory without a
+// region pointer (raw v.L[i] access, nested list elements) aliases memory
+// Detach cannot tell from owned, so Owned is the safe choice when a value
+// of unknown provenance must outlive the message it may have come from —
+// e.g. record constructors storing argument values into a new record that
+// is emitted downstream, or field assignments that move a view from one
+// message into another.
 func Owned(v Value) Value {
 	v.O = nil
 	return deepCopyBytes(v)
@@ -414,6 +417,13 @@ func (d *RecordDesc) Record(fields ...Value) Value {
 }
 
 // Field returns the named field of a record value (Null when absent).
+//
+// A byte-carrying field of a pooled record is a view into the record's
+// backing region, so the returned value carries that region as a borrowed
+// reference (no Retain): every escape mechanism — Chan.Push retaining on
+// enqueue, Dict.Set detaching on store, Detach copying before caching —
+// then sees the provenance and keeps the bytes alive or copies them.
+// Callers using the field within the record's lifetime pay nothing.
 func (v Value) Field(name string) Value {
 	if v.Kind != KindRecord || v.R == nil {
 		return Null
@@ -422,10 +432,32 @@ func (v Value) Field(name string) Value {
 	if i < 0 || i >= len(v.L) {
 		return Null
 	}
-	return v.L[i]
+	return Borrow(v.L[i], v.O)
+}
+
+// Borrow attaches region to a byte-carrying element extracted from a
+// container backed by it, unless the element already tracks its own region.
+// Scalar kinds never alias pooled memory and pass through untouched. The
+// attachment is a borrowed reference: no Retain happens, the element is
+// simply no longer mistakable for owned memory.
+func Borrow(f Value, region Region) Value {
+	if f.O == nil && region != nil {
+		switch f.Kind {
+		case KindBytes, KindList, KindRecord:
+			f.O = region
+		}
+	}
+	return f
 }
 
 // SetField assigns the named field of a record value in place.
+//
+// Mutating any field other than "_raw" also invalidates the record's
+// captured wire image (the hidden "_raw" slot kept by CaptureRaw codecs):
+// the image caches the serialisation of the other fields, and encoders
+// prefer replaying it verbatim — stale, it would silently drop the
+// mutation from the wire. Decoders populating a fresh record write slots
+// directly (v.L[i]) and are unaffected.
 func (v Value) SetField(name string, x Value) bool {
 	if v.Kind != KindRecord || v.R == nil {
 		return false
@@ -435,6 +467,11 @@ func (v Value) SetField(name string, x Value) bool {
 		return false
 	}
 	v.L[i] = x
+	if name != "_raw" {
+		if ri := v.R.FieldIndex("_raw"); ri >= 0 && ri < len(v.L) {
+			v.L[ri] = Null
+		}
+	}
 	return true
 }
 
