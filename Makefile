@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke fuzz-smoke ci
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-churn fuzz-smoke ci
 
 all: build test
 
@@ -25,13 +25,18 @@ test:
 
 race:
 	$(GO) test -race ./internal/core/... ./internal/buffer/... \
-		./internal/proto/... ./internal/loadgen/...
+		./internal/proto/... ./internal/loadgen/... ./internal/upstream/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
 bench-smoke:
 	$(GO) test -bench=BenchmarkSchedulerScaling -benchtime=100x -run='^$$' .
+
+# Connection-churn smoke: shared upstream pool vs per-client dials, small
+# parameters (also run by the CI bench-smoke job).
+bench-churn:
+	$(GO) run ./cmd/flickbench -quick churn
 
 # Short-budget native fuzzing of every protocol decoder plus the grammar
 # round-trip (go test -fuzz accepts one target per invocation). The
@@ -44,4 +49,4 @@ fuzz-smoke:
 	$(GO) test ./internal/proto/hadoop -run='^$$' -fuzz=FuzzHadoopDecode -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/grammar -run='^$$' -fuzz=FuzzGrammarRoundTrip -fuzztime=$(FUZZTIME)
 
-ci: build vet fmt-check test race bench-smoke fuzz-smoke
+ci: build vet fmt-check test race bench-smoke bench-churn fuzz-smoke

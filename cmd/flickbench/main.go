@@ -7,10 +7,12 @@
 //	flickbench fig6          Hadoop aggregator core scaling
 //	flickbench fig7          scheduling-policy fairness
 //	flickbench schedscale    scheduler worker-count scaling sweep
+//	flickbench churn         connection churn: shared upstream pool vs per-client dials
 //	flickbench ablations     design-choice ablations
 //	flickbench all           everything above
 //
-// -quick shrinks every experiment for a fast sanity pass.
+// -quick shrinks every experiment for a fast sanity pass;
+// -no-upstream-pool makes fig4/fig5 dial backends per client (ablation).
 package main
 
 import (
@@ -28,6 +30,7 @@ func main() {
 		quick   = flag.Bool("quick", false, "small parameters for a fast pass")
 		dur     = flag.Duration("duration", 2*time.Second, "duration per measured cell")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "FLICK worker threads")
+		noPool  = flag.Bool("no-upstream-pool", false, "dial backends per client instead of sharing pipelined upstream connections")
 	)
 	flag.Parse()
 	cmd := flag.Arg(0)
@@ -76,11 +79,12 @@ func main() {
 	run("fig4", func() error {
 		for _, persistent := range []bool{true, false} {
 			pts, err := bench.RunFig4(bench.Fig4Config{
-				Clients:    clients,
-				Backends:   10,
-				Persistent: persistent,
-				Duration:   *dur,
-				Workers:    *workers,
+				Clients:        clients,
+				Backends:       10,
+				Persistent:     persistent,
+				Duration:       *dur,
+				Workers:        *workers,
+				NoUpstreamPool: *noPool,
 			})
 			if err != nil {
 				return err
@@ -92,10 +96,11 @@ func main() {
 
 	run("fig5", func() error {
 		pts, err := bench.RunFig5(bench.Fig5Config{
-			Cores:    cores,
-			Clients:  128,
-			Backends: 10,
-			Duration: *dur,
+			Cores:          cores,
+			Clients:        128,
+			Backends:       10,
+			Duration:       *dur,
+			NoUpstreamPool: *noPool,
 		})
 		if err != nil {
 			return err
@@ -161,6 +166,29 @@ func main() {
 		return nil
 	})
 
+	run("churn", func() error {
+		cc := bench.ChurnConfig{
+			Clients:  64,
+			Conns:    4000,
+			Backends: 4,
+			Workers:  *workers,
+		}
+		if *quick {
+			cc.Clients, cc.Conns, cc.Backends = 16, 400, 2
+		}
+		var pts []bench.ChurnPoint
+		for _, sys := range []bench.System{bench.SysFlick, bench.SysFlickMTCP} {
+			cc.System = sys
+			pair, err := bench.RunChurnPair(cc)
+			if err != nil {
+				return err
+			}
+			pts = append(pts, pair...)
+		}
+		fmt.Println(bench.ChurnTable(pts))
+		return nil
+	})
+
 	run("ablations", func() error {
 		fmt.Println(bench.TimesliceTable(bench.RunTimesliceAblation(nil, *workers)))
 		fmt.Println(bench.AffinityTable(bench.RunAffinityAblation(*workers, 128, 64)))
@@ -174,7 +202,7 @@ func main() {
 	})
 
 	switch cmd {
-	case "websrv", "fig4", "fig5", "fig6", "fig7", "schedscale", "ablations", "all":
+	case "websrv", "fig4", "fig5", "fig6", "fig7", "schedscale", "churn", "ablations", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "flickbench: unknown experiment %q\n", cmd)
 		os.Exit(2)

@@ -34,6 +34,8 @@ func main() {
 		service = flag.String("service", "web", "service: web | httplb | memcachedproxy | memcachedrouter | hadoopagg")
 		listen  = flag.String("listen", "127.0.0.1:8080", "listen address")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker threads")
+		noPool  = flag.Bool("no-upstream-pool", false, "dial backends per client instead of sharing pipelined upstream connections")
+		upSize  = flag.Int("upstream-pool-size", 0, "shared upstream sockets per backend (0: default)")
 	)
 	flag.Var(&backends, "backend", "backend address (repeatable)")
 	flag.Parse()
@@ -60,6 +62,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	svc.NoUpstreamPool = *noPool
+	svc.UpstreamPoolSize = *upSize
 
 	p := core.NewPlatform(core.Config{Workers: *workers})
 	defer p.Close()
@@ -71,9 +75,16 @@ func main() {
 	fmt.Printf("flickrun: %s serving on %s (%d workers, %d tasks per graph)\n",
 		svc.Name, deployed.Addr(), *workers, len(svc.Graph.Template.Nodes()))
 
+	if m := deployed.Upstreams(); m != nil {
+		fmt.Println("flickrun: shared upstream pool enabled (disable with -no-upstream-pool)")
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
+	if m := deployed.Upstreams(); m != nil {
+		fmt.Printf("\nflickrun: upstream pool: %d sockets, %s\n", m.Conns(), m.Counters())
+	}
 	fmt.Println("\nflickrun: shutting down")
 }
 

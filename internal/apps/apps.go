@@ -19,6 +19,7 @@ import (
 	"flick/internal/proto/hadoop"
 	phttp "flick/internal/proto/http"
 	"flick/internal/proto/memcache"
+	"flick/internal/upstream"
 	"flick/internal/value"
 )
 
@@ -100,6 +101,17 @@ type Service struct {
 	Program *compiler.Program
 	// Graph is the compiled process graph.
 	Graph *compiler.ProcGraph
+	// NoUpstreamPool disables the shared upstream connection layer for
+	// request/response services, restoring one dedicated backend socket
+	// per accepted client (the ablation the connection-churn benchmark
+	// measures against). Set before Deploy.
+	NoUpstreamPool bool
+	// UpstreamPoolSize overrides the shared-socket count per backend
+	// address (0: upstream.Config default).
+	UpstreamPoolSize int
+	// UpstreamWindow overrides the per-socket in-flight request window
+	// (0: upstream.Config default).
+	UpstreamWindow int
 	// clientChannel names the channel bound to accepted connections.
 	clientChannel string
 	// backendChannel names the channel array dialled to backends.
@@ -107,6 +119,10 @@ type Service struct {
 	dispatch       core.Dispatch
 	sharedChannel  string // Shared dispatch: accepted conns fill this array
 	outChannel     string // Shared dispatch: dialled output channel
+	// reqFramer/respFramer frame the service's backend-side protocol; both
+	// non-nil opts the service into the shared upstream layer on Deploy.
+	reqFramer  upstream.Framer
+	respFramer upstream.Framer
 }
 
 // Deploy installs the service on a platform.
@@ -139,6 +155,19 @@ func (s *Service) Deploy(p *core.Platform, listenAddr string, backendAddrs []str
 				cfg.BackendAddrs[port] = backendAddrs[i]
 			}
 		}
+		// Request/response services share pipelined upstream connections:
+		// every accepted client leases multiplexed sessions instead of
+		// dialling each backend afresh (the Shared/streaming services —
+		// the Hadoop aggregator's reducer feed — keep dedicated sockets).
+		if len(cfg.BackendAddrs) > 0 && s.reqFramer != nil && s.respFramer != nil && !s.NoUpstreamPool {
+			cfg.Upstreams = upstream.NewManager(upstream.Config{
+				Transport:      p.Transport(),
+				Size:           s.UpstreamPoolSize,
+				Window:         s.UpstreamWindow,
+				RequestFramer:  s.reqFramer,
+				ResponseFramer: s.respFramer,
+			})
+		}
 	case core.Shared:
 		cfg.SharedPorts = s.Graph.Ports[s.sharedChannel]
 		op, err := s.Graph.PortIndex(s.outChannel)
@@ -155,11 +184,15 @@ func (s *Service) Deploy(p *core.Platform, listenAddr string, backendAddrs []str
 
 // HTTPLoadBalancer compiles the §6.1 HTTP load balancer for n backends.
 func HTTPLoadBalancer(n int) (*Service, error) {
+	// The backend side encodes through PersistentRequestFormat: forwarding
+	// a client's "Connection: close" verbatim would let one client tear
+	// down a pooled upstream socket under every other client multiplexed
+	// onto it, so the hop-by-hop header is rewritten to keep-alive.
 	prog, err := compiler.Compile(lang.ListingHTTPLB, compiler.Config{
 		ArraySizes: map[string]int{"backends": n},
 		ChannelCodecs: map[string]compiler.PortCodec{
 			"client":   {Decode: phttp.RequestFormat{}, Encode: phttp.ResponseFormat{}},
-			"backends": {Decode: phttp.ResponseFormat{}, Encode: phttp.RequestFormat{}},
+			"backends": {Decode: phttp.ResponseFormat{}, Encode: phttp.PersistentRequestFormat{}},
 		},
 		Codecs: map[string]compiler.CodecPair{
 			"request": {Decode: phttp.RequestFormat{}, Encode: phttp.RequestFormat{}},
@@ -179,6 +212,8 @@ func HTTPLoadBalancer(n int) (*Service, error) {
 		clientChannel:  "client",
 		backendChannel: "backends",
 		dispatch:       core.PerConnection,
+		reqFramer:      phttp.FrameRequestLen,
+		respFramer:     phttp.FrameResponseLen,
 	}, nil
 }
 
@@ -230,6 +265,8 @@ func MemcachedProxy(n int) (*Service, error) {
 		clientChannel:  "client",
 		backendChannel: "backends",
 		dispatch:       core.PerConnection,
+		reqFramer:      memcache.FrameRequestLen,
+		respFramer:     memcache.FrameLen,
 	}, nil
 }
 
@@ -253,6 +290,11 @@ func MemcachedRouter(n int) (*Service, error) {
 		clientChannel:  "client",
 		backendChannel: "backends",
 		dispatch:       core.PerConnection,
+		// The router's synthesised cmd grammar shares the Memcached binary
+		// header layout (total body length at bytes 8..11), so the same
+		// framers serve it.
+		reqFramer:  memcache.FrameRequestLen,
+		respFramer: memcache.FrameLen,
 	}, nil
 }
 

@@ -1,0 +1,257 @@
+package apps
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"flick/internal/backend"
+	"flick/internal/buffer"
+	"flick/internal/core"
+	"flick/internal/netstack"
+	"flick/internal/proto/memcache"
+)
+
+// driveShortLivedClients churns C short-lived clients through the proxy:
+// each dials, issues one GETK for its own key, captures the raw response
+// bytes, and disconnects. Responses are returned keyed by client index.
+func driveShortLivedClients(t *testing.T, u *netstack.UserNet, addr string, clients int) [][]byte {
+	t.Helper()
+	out := make([][]byte, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			raw, err := u.Dial(addr)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer raw.Close()
+			wire, err := memcache.Codec.Encode(nil, memcache.Request(memcache.OpGetK, []byte(fmt.Sprintf("churn-key-%03d", i)), nil))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if _, err := raw.Write(wire); err != nil {
+				errs[i] = err
+				return
+			}
+			raw.SetReadDeadline(time.Now().Add(10 * time.Second))
+			// Read one complete binary-protocol frame (24-byte header +
+			// body length at bytes 8..11).
+			resp := make([]byte, 0, 256)
+			buf := make([]byte, 4096)
+			for {
+				n, err := raw.Read(buf)
+				if n > 0 {
+					resp = append(resp, buf[:n]...)
+				}
+				if len(resp) >= 24 {
+					body := int(uint32(resp[8])<<24 | uint32(resp[9])<<16 | uint32(resp[10])<<8 | uint32(resp[11]))
+					if len(resp) >= 24+body {
+						out[i] = resp[:24+body]
+						return
+					}
+				}
+				if err != nil {
+					errs[i] = fmt.Errorf("short response (%d bytes): %w", len(resp), err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	return out
+}
+
+// TestProxyUpstreamPoolBoundsBackendConns is the PR's acceptance gate: the
+// memcached proxy under C=32 short-lived clients over B=4 backends must
+// hold backend-side accepted connections to pool-size × B (not C × B), and
+// answer byte-identically to the per-client-dial ablation.
+func TestProxyUpstreamPoolBoundsBackendConns(t *testing.T) {
+	const (
+		clients  = 32
+		backends = 4
+		poolSize = 2
+	)
+	run := func(t *testing.T, noPool bool) (responses [][]byte, accepts uint64) {
+		u := netstack.NewUserNet()
+		p := core.NewPlatform(core.Config{Workers: 4, Transport: u})
+		defer p.Close()
+		kv := map[string]string{}
+		for i := 0; i < clients; i++ {
+			kv[fmt.Sprintf("churn-key-%03d", i)] = fmt.Sprintf("value-for-%03d", i)
+		}
+		var srvs []*backend.MemcachedServer
+		addrs := make([]string, backends)
+		for b := 0; b < backends; b++ {
+			srv, err := backend.NewMemcachedServer(u, fmt.Sprintf("shard:%d", b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv.Preload(kv)
+			defer srv.Close()
+			srvs = append(srvs, srv)
+			addrs[b] = srv.Addr()
+		}
+		mp, err := MemcachedProxy(backends)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp.NoUpstreamPool = noPool
+		mp.UpstreamPoolSize = poolSize
+		svc, err := mp.Deploy(p, "proxy:churn", addrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer svc.Close()
+
+		responses = driveShortLivedClients(t, u, "proxy:churn", clients)
+		// Accept loops may still be draining backlogs (a client only waits
+		// for the shard its key hashes to); settle before snapshotting.
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			var cur uint64
+			for _, srv := range srvs {
+				cur += srv.Accepts()
+			}
+			if cur == accepts || time.Now().After(deadline) {
+				accepts = cur
+				break
+			}
+			accepts = cur
+			time.Sleep(10 * time.Millisecond)
+		}
+		if noPool && svc.Upstreams() != nil {
+			t.Fatal("ablation deployed with an upstream manager")
+		}
+		if !noPool {
+			if svc.Upstreams() == nil {
+				t.Fatal("pooled deployment has no upstream manager")
+			}
+			if conns := svc.Upstreams().Conns(); conns > poolSize*backends {
+				t.Fatalf("upstream holds %d sockets, want <= %d", conns, poolSize*backends)
+			}
+		}
+		return responses, accepts
+	}
+
+	pooled, pooledAccepts := run(t, false)
+	ablated, ablatedAccepts := run(t, true)
+
+	if pooledAccepts > uint64(poolSize*backends) {
+		t.Fatalf("pooled proxy opened %d backend connections, want <= pool×B = %d",
+			pooledAccepts, poolSize*backends)
+	}
+	if ablatedAccepts != uint64(clients*backends) {
+		t.Fatalf("ablation opened %d backend connections, want C×B = %d",
+			ablatedAccepts, clients*backends)
+	}
+	for i := range pooled {
+		if !bytes.Equal(pooled[i], ablated[i]) {
+			t.Fatalf("client %d responses diverge:\npooled:  %q\nablated: %q",
+				i, pooled[i], ablated[i])
+		}
+	}
+}
+
+// TestProxyBackendMidStreamCloseBalancesRefs pins the backend failure path
+// end to end: a backend that dies mid-stream propagates EOF through the
+// proxy (the client observes the failure promptly) and every pooled buffer
+// reference handed out along the way is recycled.
+func TestProxyBackendMidStreamCloseBalancesRefs(t *testing.T) {
+	u := netstack.NewUserNet()
+	p := core.NewPlatform(core.Config{Workers: 2, Transport: u})
+	defer p.Close()
+	// A backend that answers exactly one command per connection, then dies
+	// mid-stream (MemcachedServer.Close would let live conns drain, which
+	// is the graceful path — this pins the abrupt one).
+	l, err := u.Listen("shard:ref0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			raw, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(raw net.Conn) {
+				bc := memcache.NewConn(raw)
+				req, err := bc.Receive()
+				if err == nil {
+					bc.Send(memcache.Response(req, memcache.StatusOK, req.Field("key").AsBytes(), []byte("v")))
+					req.Release()
+				}
+				// Swallow the second command, then die with it unanswered.
+				if req2, err := bc.Receive(); err == nil {
+					req2.Release()
+				}
+				bc.Close()
+			}(raw)
+		}
+	}()
+	mp, err := MemcachedProxy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := mp.Deploy(p, "proxy:ref", []string{"shard:ref0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	before := buffer.Global.Stats()
+
+	// A healthy round trip first, so the shared socket carries real state.
+	raw, err := u.Dial("proxy:ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := memcache.NewConn(raw)
+	resp, err := c.RoundTrip(memcache.Request(memcache.OpGet, []byte("first"), nil))
+	if err != nil {
+		t.Fatalf("healthy round trip: %v", err)
+	}
+	resp.Release() // recycle the response's pooled wire bytes
+
+	// The backend dies once it has served one command; the next request is
+	// stranded in flight on the shared socket.
+	if err := c.Send(memcache.Request(memcache.OpGet, []byte("doomed"), nil)); err != nil {
+		t.Fatal(err)
+	}
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Receive(); err == nil {
+		t.Fatal("response produced by a closed backend")
+	}
+	c.Close()
+	svc.Close()
+	p.Close()
+
+	// Every region handed out since the baseline must be recycled once the
+	// instances drain back to the pool.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		after := buffer.Global.Stats()
+		if after.RefGets-before.RefGets == after.RefPuts-before.RefPuts {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pooled refs leaked on backend failure: +%d gets, +%d puts",
+				after.RefGets-before.RefGets, after.RefPuts-before.RefPuts)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -26,6 +26,7 @@ type HTTPServer struct {
 	payload  []byte
 	cost     time.Duration
 	requests metrics.Counter
+	accepts  metrics.Counter
 	closed   atomic.Bool
 	wg       sync.WaitGroup
 }
@@ -61,6 +62,11 @@ func (s *HTTPServer) Addr() string { return s.listener.Addr().String() }
 // Requests returns the number of requests served.
 func (s *HTTPServer) Requests() uint64 { return s.requests.Value() }
 
+// Accepts returns the number of connections accepted — the quantity the
+// shared upstream connection layer bounds (pool size instead of one per
+// client).
+func (s *HTTPServer) Accepts() uint64 { return s.accepts.Value() }
+
 // Close stops the server.
 func (s *HTTPServer) Close() {
 	if s.closed.CompareAndSwap(false, true) {
@@ -76,6 +82,7 @@ func (s *HTTPServer) acceptLoop() {
 		if err != nil {
 			return
 		}
+		s.accepts.Inc()
 		go s.serve(conn)
 	}
 }
@@ -121,6 +128,7 @@ type MemcachedServer struct {
 	mu       sync.RWMutex
 	store    map[string][]byte
 	requests metrics.Counter
+	accepts  metrics.Counter
 	closed   atomic.Bool
 	wg       sync.WaitGroup
 }
@@ -142,6 +150,11 @@ func (s *MemcachedServer) Addr() string { return s.listener.Addr().String() }
 
 // Requests returns the number of commands processed.
 func (s *MemcachedServer) Requests() uint64 { return s.requests.Value() }
+
+// Accepts returns the number of connections accepted — the quantity the
+// shared upstream connection layer bounds (pool size instead of one per
+// client).
+func (s *MemcachedServer) Accepts() uint64 { return s.accepts.Value() }
 
 // Preload inserts key/value pairs directly (benchmark setup).
 func (s *MemcachedServer) Preload(kv map[string]string) {
@@ -167,6 +180,7 @@ func (s *MemcachedServer) acceptLoop() {
 		if err != nil {
 			return
 		}
+		s.accepts.Inc()
 		go s.serve(conn)
 	}
 }

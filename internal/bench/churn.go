@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"flick/internal/apps"
+	"flick/internal/backend"
+	"flick/internal/core"
+	"flick/internal/loadgen"
+	"flick/internal/metrics"
+	"flick/internal/proto/memcache"
+)
+
+// ChurnConfig parameterises the connection-churn experiment: C concurrent
+// short-lived clients churn through Conns total connections against the
+// Memcached proxy over B backends, each connection performing a single GET.
+// This is the workload where per-client backend dialling hurts most — every
+// accepted client pays B upstream TCP set-ups — and where the shared
+// upstream connection layer collapses the upstream socket count from C×B
+// to pool×B.
+type ChurnConfig struct {
+	System         System
+	Clients        int // concurrent short-lived clients (C)
+	Conns          int // total connections churned through
+	Backends       int // memcached shards (B)
+	Keys           int // key-space size
+	PoolSize       int // upstream sockets per backend (0: default)
+	NoUpstreamPool bool
+	Workers        int
+}
+
+// ChurnPoint is one measured configuration.
+type ChurnPoint struct {
+	System   System
+	Pooled   bool
+	Clients  int
+	Conns    int
+	Backends int
+	// Throughput is completed connections (= requests) per second.
+	Throughput float64
+	// SetupMean/SetupP99 summarise per-connection time to first response
+	// (dial + request + response — the end-to-end connection set-up cost).
+	SetupMean time.Duration
+	SetupP99  time.Duration
+	Errors    uint64
+	// BackendConns counts connections accepted across all backends: C×B
+	// under per-client dialling, bounded by pool×B with shared upstreams.
+	BackendConns uint64
+	// UpstreamConns is the layer's live shared-socket count (0 when
+	// disabled).
+	UpstreamConns int
+	// Upstream is the layer's counter snapshot (empty when disabled).
+	Upstream metrics.CounterSet
+}
+
+// RunChurn measures one connection-churn configuration.
+func RunChurn(cfg ChurnConfig) (ChurnPoint, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 32
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 1000
+	}
+	if cfg.Backends <= 0 {
+		cfg.Backends = 4
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 1000
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.System == "" {
+		cfg.System = SysFlick
+	}
+	tr := transportFor(cfg.System)
+
+	var cleanup []func()
+	closeAll := func() {
+		for i := len(cleanup) - 1; i >= 0; i-- {
+			cleanup[i]()
+		}
+	}
+	kv := loadgen.PreloadKeys(cfg.Keys, 32)
+	srvs := make([]*backend.MemcachedServer, cfg.Backends)
+	addrs := make([]string, cfg.Backends)
+	for i := range addrs {
+		s, err := backend.NewMemcachedServer(tr, listenAddr(tr, fmt.Sprintf("churn-shard:%d", i)))
+		if err != nil {
+			closeAll()
+			return ChurnPoint{}, err
+		}
+		s.Preload(kv)
+		srvs[i] = s
+		addrs[i] = s.Addr()
+		cleanup = append(cleanup, s.Close)
+	}
+
+	p := core.NewPlatform(core.Config{Workers: cfg.Workers, Transport: tr})
+	mp, err := apps.MemcachedProxy(cfg.Backends)
+	if err != nil {
+		p.Close()
+		closeAll()
+		return ChurnPoint{}, err
+	}
+	mp.NoUpstreamPool = cfg.NoUpstreamPool
+	mp.UpstreamPoolSize = cfg.PoolSize
+	svc, err := mp.Deploy(p, listenAddr(tr, "churn-proxy:11211"), addrs)
+	if err != nil {
+		p.Close()
+		closeAll()
+		return ChurnPoint{}, err
+	}
+	svc.Pool().Prime(cfg.Clients)
+	cleanup = append(cleanup, func() { svc.Close(); p.Close() })
+	addr := svc.Addr()
+
+	var (
+		hist metrics.Histogram
+		errs metrics.Counter
+		wg   sync.WaitGroup
+	)
+	start := time.Now()
+	per := cfg.Conns / cfg.Clients
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			key := []byte(loadgen.Key(c % cfg.Keys))
+			for i := 0; i < per; i++ {
+				t0 := time.Now()
+				if err := churnOnce(tr.Dial, addr, key); err != nil {
+					errs.Inc()
+					continue
+				}
+				hist.Record(time.Since(t0))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	pt := ChurnPoint{
+		System:   cfg.System,
+		Pooled:   !cfg.NoUpstreamPool,
+		Clients:  cfg.Clients,
+		Conns:    cfg.Clients * per,
+		Backends: cfg.Backends,
+		Errors:   errs.Value(),
+	}
+	if elapsed > 0 {
+		pt.Throughput = float64(hist.Count()) / elapsed.Seconds()
+	}
+	snap := hist.Snapshot()
+	pt.SetupMean, pt.SetupP99 = snap.Mean, snap.P99
+	pt.BackendConns = settledAccepts(srvs)
+	if m := svc.Upstreams(); m != nil {
+		pt.UpstreamConns = m.Conns()
+		pt.Upstream = m.Counters()
+	}
+	closeAll()
+	return pt, nil
+}
+
+// settledAccepts sums backend-side accepted connections once the count is
+// stable: accept loops may still be draining their backlogs when the last
+// client's round trip completes (a client only waits for the shard its key
+// hashes to, not for every backend dial to be accepted).
+func settledAccepts(srvs []*backend.MemcachedServer) uint64 {
+	var prev uint64
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var cur uint64
+		for _, s := range srvs {
+			cur += s.Accepts()
+		}
+		if cur == prev || time.Now().After(deadline) {
+			return cur
+		}
+		prev = cur
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// churnOnce performs one short-lived client connection: dial, one GET, read
+// the response, disconnect.
+func churnOnce(dial func(string) (net.Conn, error), addr string, key []byte) error {
+	raw, err := dial(addr)
+	if err != nil {
+		return err
+	}
+	defer raw.Close()
+	c := memcache.NewConn(raw)
+	raw.SetReadDeadline(time.Now().Add(10 * time.Second))
+	resp, err := c.RoundTrip(memcache.Request(memcache.OpGet, key, nil))
+	if err != nil {
+		return err
+	}
+	resp.Release()
+	return nil
+}
+
+// RunChurnPair measures the pooled configuration and the per-client-dial
+// ablation back to back (one binary, same parameters).
+func RunChurnPair(cfg ChurnConfig) ([]ChurnPoint, error) {
+	var out []ChurnPoint
+	for _, noPool := range []bool{false, true} {
+		c := cfg
+		c.NoUpstreamPool = noPool
+		pt, err := RunChurn(c)
+		if err != nil {
+			return out, fmt.Errorf("bench: churn (noPool=%v): %w", noPool, err)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// ChurnTable renders the experiment.
+func ChurnTable(points []ChurnPoint) *Table {
+	t := &Table{
+		Title: "Connection churn — shared upstream pool vs per-client dials",
+		Columns: []string{"system", "upstreams", "clients", "backends", "conns",
+			"conn/s", "setup-mean", "setup-p99", "errors", "be-conns", "up-socks", "upstream"},
+		Notes: []string{
+			"be-conns: connections accepted backend-side (C×B per-client-dial, pool×B shared)",
+			"setup: dial → first response, the per-connection set-up cost the pool amortises",
+		},
+	}
+	for _, p := range points {
+		mode := "shared"
+		if !p.Pooled {
+			mode = "per-client"
+		}
+		t.Add(string(p.System), mode, fmt.Sprint(p.Clients), fmt.Sprint(p.Backends),
+			fmt.Sprint(p.Conns), fmtReqs(p.Throughput), fmtDur(p.SetupMean),
+			fmtDur(p.SetupP99), fmt.Sprint(p.Errors), fmt.Sprint(p.BackendConns),
+			fmt.Sprint(p.UpstreamConns), fmtUpstream(p.Upstream))
+	}
+	return t
+}
+
+// fmtUpstream renders the upstream layer's counters compactly.
+func fmtUpstream(cs metrics.CounterSet) string {
+	if cs.Len() == 0 {
+		return "-"
+	}
+	dials, _ := cs.Get("dials")
+	reuse, _ := cs.Get("reuse")
+	redials, _ := cs.Get("redials")
+	ff, _ := cs.Get("failfast")
+	return fmt.Sprintf("dials=%d reuse=%d redial=%d ff=%d", dials, reuse, redials, ff)
+}
+
+// upstreamCounters snapshots a service's upstream-layer counters (empty
+// set when the service is nil or dials per connection).
+func upstreamCounters(svc *core.Service) metrics.CounterSet {
+	if svc == nil || svc.Upstreams() == nil {
+		return metrics.CounterSet{}
+	}
+	return svc.Upstreams().Counters()
+}

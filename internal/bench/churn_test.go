@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestChurnSmoke runs the connection-churn experiment small, over the
+// user-space stack, and asserts the headline claim: shared upstreams bound
+// backend-side connections at pool×B while the ablation pays C×B, with no
+// errors either way.
+func TestChurnSmoke(t *testing.T) {
+	const (
+		clients  = 8
+		conns    = 64
+		backends = 2
+		poolSize = 2
+	)
+	pts, err := RunChurnPair(ChurnConfig{
+		System:   SysFlickMTCP,
+		Clients:  clients,
+		Conns:    conns,
+		Backends: backends,
+		PoolSize: poolSize,
+		Workers:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	pooled, ablated := pts[0], pts[1]
+	if !pooled.Pooled || ablated.Pooled {
+		t.Fatalf("point order: %+v", pts)
+	}
+	for _, p := range pts {
+		if p.Errors != 0 {
+			t.Fatalf("%+v: %d errors", p, p.Errors)
+		}
+		if p.Throughput == 0 {
+			t.Fatalf("%+v: no throughput", p)
+		}
+	}
+	if pooled.BackendConns > uint64(poolSize*backends) {
+		t.Fatalf("pooled backend conns = %d, want <= %d", pooled.BackendConns, poolSize*backends)
+	}
+	if ablated.BackendConns != uint64(ablated.Conns*backends) {
+		t.Fatalf("ablated backend conns = %d, want C×B = %d",
+			ablated.BackendConns, ablated.Conns*backends)
+	}
+	if pooled.UpstreamConns == 0 || pooled.Upstream.Len() == 0 {
+		t.Fatalf("pooled point carries no upstream telemetry: %+v", pooled)
+	}
+	if reuse, _ := pooled.Upstream.Get("reuse"); reuse == 0 {
+		t.Fatalf("no lease reuse recorded under churn: %s", pooled.Upstream)
+	}
+	// The table renders the upstream column for regression visibility.
+	tab := ChurnTable(pts)
+	found := false
+	for _, c := range tab.Columns {
+		if c == "upstream" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("churn table missing upstream column: %v", tab.Columns)
+	}
+}

@@ -23,6 +23,8 @@ type Fig4Config struct {
 	Duration   time.Duration
 	Workers    int // FLICK worker threads / Nginx workers
 	Payload    int // response body bytes (paper: 137)
+	// NoUpstreamPool restores per-client backend dialling (ablation).
+	NoUpstreamPool bool
 }
 
 // Fig4Point is one measured cell.
@@ -39,6 +41,9 @@ type Fig4Point struct {
 	AllocsPerOp float64
 	// Pool is the buffer-pool counter delta over the measurement window.
 	Pool metrics.CounterSet
+	// Upstream is the shared-upstream-layer counter delta (empty for
+	// baselines and the per-client-dial ablation).
+	Upstream metrics.CounterSet
 }
 
 // RunFig4 measures the HTTP load balancer for every system×concurrency.
@@ -74,6 +79,7 @@ func RunFig4(cfg Fig4Config) ([]Fig4Point, error) {
 // lbTestbed is a constructed load-balancer deployment.
 type lbTestbed struct {
 	addr    string
+	svc     *core.Service // nil for baselines
 	cleanup []func()
 }
 
@@ -105,6 +111,7 @@ func buildLBTestbed(cfg Fig4Config, sys System, tr netstack.Transport) (*lbTestb
 			tb.close()
 			return nil, err
 		}
+		lb.NoUpstreamPool = cfg.NoUpstreamPool
 		svc, err := lb.Deploy(p, listenAddr(tr, "lb:80"), addrs)
 		if err != nil {
 			p.Close()
@@ -113,6 +120,7 @@ func buildLBTestbed(cfg Fig4Config, sys System, tr netstack.Transport) (*lbTestb
 		}
 		svc.Pool().Prime(64)
 		tb.addr = svc.Addr()
+		tb.svc = svc
 		tb.cleanup = append(tb.cleanup, func() { svc.Close(); p.Close() })
 	case SysApache:
 		px, err := baseline.NewApacheLike(tr, listenAddr(tr, "lb:80"), addrs)
@@ -146,6 +154,7 @@ func runFig4Cell(cfg Fig4Config, sys System, clients int) (Fig4Point, error) {
 	defer tb.close()
 
 	pool0 := buffer.Global.Counters()
+	up0 := upstreamCounters(tb.svc)
 	allocs0 := heapAllocs()
 	res := loadgen.RunHTTP(loadgen.HTTPConfig{
 		Transport:  tr,
@@ -164,6 +173,7 @@ func runFig4Cell(cfg Fig4Config, sys System, clients int) (Fig4Point, error) {
 		Errors:      res.Errors,
 		AllocsPerOp: allocsPerOp(allocs1-allocs0, res.Requests),
 		Pool:        buffer.Global.Counters().Sub(pool0),
+		Upstream:    upstreamCounters(tb.svc).Sub(up0),
 	}, nil
 }
 
@@ -178,17 +188,18 @@ func Fig4Table(points []Fig4Point, persistent bool) *Table {
 		notes = []string{
 			"paper shape: FLICK-kernel BELOW Apache/Nginx (no backend connection reuse);",
 			"FLICK mTCP ≈2.5× Nginx and ≈2.1× Apache; FLICK variants keep the lowest latency",
+			"the shared upstream pool adds the reuse the paper's FLICK lacked: compare -no-upstream-pool",
 		}
 	}
 	t := &Table{
 		Title:   "HTTP load balancer — Figure " + panel,
-		Columns: []string{"system", "clients", "req/s", "mean-lat", "p99-lat", "errors", "allocs/req", "pool"},
+		Columns: []string{"system", "clients", "req/s", "mean-lat", "p99-lat", "errors", "allocs/req", "pool", "upstream"},
 		Notes:   notes,
 	}
 	for _, p := range points {
 		t.Add(string(p.System), fmt.Sprint(p.Clients), fmtReqs(p.Throughput),
 			fmtDur(p.MeanLatency), fmtDur(p.P99Latency), fmt.Sprint(p.Errors),
-			fmtAllocs(p.AllocsPerOp), fmtPool(p.Pool))
+			fmtAllocs(p.AllocsPerOp), fmtPool(p.Pool), fmtUpstream(p.Upstream))
 	}
 	return t
 }

@@ -21,6 +21,8 @@ type Fig5Config struct {
 	Backends int   // memcached shards (paper: 10)
 	Keys     int   // key-space size
 	Duration time.Duration
+	// NoUpstreamPool restores per-client backend dialling (ablation).
+	NoUpstreamPool bool
 }
 
 // Fig5Point is one measured cell.
@@ -36,6 +38,9 @@ type Fig5Point struct {
 	AllocsPerOp float64
 	// Pool is the buffer-pool counter delta over the measurement window.
 	Pool metrics.CounterSet
+	// Upstream is the shared-upstream-layer counter delta (empty for Moxi
+	// and the per-client-dial ablation).
+	Upstream metrics.CounterSet
 }
 
 // RunFig5 measures the Memcached proxy across core counts.
@@ -95,6 +100,7 @@ func runFig5Cell(cfg Fig5Config, sys System, cores int) (Fig5Point, error) {
 	}
 
 	var addr string
+	var svcUnderTest *core.Service
 	switch sys {
 	case SysFlick, SysFlickMTCP:
 		p := core.NewPlatform(core.Config{Workers: cores, Transport: tr})
@@ -104,6 +110,7 @@ func runFig5Cell(cfg Fig5Config, sys System, cores int) (Fig5Point, error) {
 			closeAll()
 			return Fig5Point{}, err
 		}
+		mp.NoUpstreamPool = cfg.NoUpstreamPool
 		svc, err := mp.Deploy(p, listenAddr(tr, "proxy:11211"), addrs)
 		if err != nil {
 			p.Close()
@@ -112,6 +119,7 @@ func runFig5Cell(cfg Fig5Config, sys System, cores int) (Fig5Point, error) {
 		}
 		svc.Pool().Prime(cfg.Clients)
 		addr = svc.Addr()
+		svcUnderTest = svc
 		cleanup = append(cleanup, func() { svc.Close(); p.Close() })
 	case SysMoxi:
 		m, err := baseline.NewMoxiLike(tr, listenAddr(tr, "proxy:11211"), addrs, cores)
@@ -128,6 +136,7 @@ func runFig5Cell(cfg Fig5Config, sys System, cores int) (Fig5Point, error) {
 	defer closeAll()
 
 	pool0 := buffer.Global.Counters()
+	up0 := upstreamCounters(svcUnderTest)
 	allocs0 := heapAllocs()
 	res := loadgen.RunMemcache(loadgen.MemcacheConfig{
 		Transport: tr,
@@ -146,6 +155,7 @@ func runFig5Cell(cfg Fig5Config, sys System, cores int) (Fig5Point, error) {
 		Errors:      res.Errors,
 		AllocsPerOp: allocsPerOp(allocs1-allocs0, res.Requests),
 		Pool:        buffer.Global.Counters().Sub(pool0),
+		Upstream:    upstreamCounters(svcUnderTest).Sub(up0),
 	}, nil
 }
 
@@ -153,7 +163,7 @@ func runFig5Cell(cfg Fig5Config, sys System, cores int) (Fig5Point, error) {
 func Fig5Table(points []Fig5Point) *Table {
 	t := &Table{
 		Title:   "Memcached proxy vs CPU cores — Figure 5",
-		Columns: []string{"system", "cores", "req/s", "mean-lat", "p99-lat", "errors", "allocs/req", "pool"},
+		Columns: []string{"system", "cores", "req/s", "mean-lat", "p99-lat", "errors", "allocs/req", "pool", "upstream"},
 		Notes: []string{
 			"paper shape: FLICK-kernel peaks 126k req/s @8 cores; FLICK mTCP 198k @16;",
 			"Moxi peaks 82k @4 cores then degrades (threads contend on shared structures)",
@@ -162,7 +172,7 @@ func Fig5Table(points []Fig5Point) *Table {
 	for _, p := range points {
 		t.Add(string(p.System), fmt.Sprint(p.Cores), fmtReqs(p.Throughput),
 			fmtDur(p.MeanLatency), fmtDur(p.P99Latency), fmt.Sprint(p.Errors),
-			fmtAllocs(p.AllocsPerOp), fmtPool(p.Pool))
+			fmtAllocs(p.AllocsPerOp), fmtPool(p.Pool), fmtUpstream(p.Upstream))
 	}
 	return t
 }

@@ -43,7 +43,9 @@ func (q *Queue) push(c []byte, r *Ref) {
 // explicit copy-down (rather than re-slicing) keeps the backing arrays
 // anchored, so append never migrates to a fresh allocation in steady state.
 func (q *Queue) dropFront() {
-	q.refs[0].Release()
+	if r := q.refs[0]; r != nil {
+		r.Release()
+	}
 	n := len(q.chunks)
 	copy(q.chunks, q.chunks[1:])
 	copy(q.refs, q.refs[1:])
@@ -96,6 +98,76 @@ func (q *Queue) AppendRef(r *Ref, n int) {
 	}
 	q.push(r.Bytes()[:n:n], r)
 	q.size += n
+}
+
+// AppendView appends view v without copying, transferring the caller's
+// reference to region r. r may be a mid-region sub-slice owner (a message
+// view produced by TakeRef) or nil for memory the queue does not own — the
+// caller then guarantees v outlives its residence in the queue. Chunks with
+// a nil region cannot be handed out by TakeRef's zero-copy fast path (there
+// is no reference to transfer); TakeRef coalesces them into pooled memory
+// instead.
+func (q *Queue) AppendView(v []byte, r *Ref) {
+	if len(v) == 0 {
+		if r != nil {
+			r.Release()
+		}
+		return
+	}
+	q.push(v[:len(v):len(v)], r)
+	q.size += len(v)
+}
+
+// DrainTo moves every buffered chunk to dst by reference — views and their
+// region references transfer wholesale, no byte is copied — and leaves q
+// empty. It reports the number of bytes moved. This is the zero-copy
+// hand-over between staging queues: an upstream session's demultiplexed
+// response views move into an input task's parse queue in O(chunks).
+func (q *Queue) DrainTo(dst *Queue) int {
+	moved := q.size
+	for i, c := range q.chunks {
+		if i == 0 {
+			c = c[q.off:]
+		}
+		r := q.refs[i]
+		if len(c) == 0 {
+			if r != nil {
+				r.Release()
+			}
+		} else {
+			dst.push(c, r)
+			dst.size += len(c)
+		}
+		q.chunks[i], q.refs[i] = nil, nil
+	}
+	q.chunks = q.chunks[:0]
+	q.refs = q.refs[:0]
+	q.off, q.size = 0, 0
+	return moved
+}
+
+// AppendViews appends views covering the first n buffered bytes to dst
+// without copying or consuming, and returns the extended slice. The views
+// are valid until those bytes are consumed; vectored writers may use them
+// as an iovec list (net.Buffers-style callers may re-slice the returned
+// elements freely — the queue's own chunk headers are untouched).
+func (q *Queue) AppendViews(dst [][]byte, n int) [][]byte {
+	off := q.off
+	for _, c := range q.chunks {
+		if n <= 0 {
+			break
+		}
+		src := c[off:]
+		off = 0
+		if len(src) > n {
+			src = src[:n]
+		}
+		if len(src) > 0 {
+			dst = append(dst, src)
+			n -= len(src)
+		}
+	}
+	return dst
 }
 
 // AppendRead ingests the first n bytes of a pooled read chunk, consuming the
@@ -187,16 +259,19 @@ func (q *Queue) TakeRef(n int) ([]byte, *Ref) {
 		return nil, nil
 	}
 	if c := q.chunks[0]; len(c)-q.off >= n {
-		view := c[q.off : q.off+n]
-		r := q.refs[0]
-		r.Retain()
-		q.off += n
-		q.size -= n
-		if q.off == len(c) {
-			q.dropFront()
+		if r := q.refs[0]; r != nil {
+			view := c[q.off : q.off+n]
+			r.Retain()
+			q.off += n
+			q.size -= n
+			if q.off == len(c) {
+				q.dropFront()
+			}
+			q.pool.views.Add(1)
+			return view, r
 		}
-		q.pool.views.Add(1)
-		return view, r
+		// Region-less chunk (AppendView with a nil ref): there is no
+		// reference to hand out, so fall through to the coalesce path.
 	}
 	r := q.pool.GetRef(n)
 	q.PeekAt(r.Bytes(), 0)
@@ -270,7 +345,9 @@ func (q *Queue) IndexByte(b byte, from int) int {
 // Reset drops all buffered bytes, releasing every chunk reference.
 func (q *Queue) Reset() {
 	for i := range q.chunks {
-		q.refs[i].Release()
+		if r := q.refs[i]; r != nil {
+			r.Release()
+		}
 		q.chunks[i], q.refs[i] = nil, nil
 	}
 	q.chunks = q.chunks[:0]

@@ -1,0 +1,124 @@
+package buffer
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestQueueAppendViewTransfersRef pins AppendView's ownership contract: the
+// caller's reference transfers to the queue, a TakeRef over the view region
+// retains it, and draining the queue releases everything — refgets/refputs
+// balance.
+func TestQueueAppendViewTransfersRef(t *testing.T) {
+	pool := NewPool(16)
+	q := NewQueue(pool)
+	ref := pool.GetRef(8)
+	copy(ref.Bytes(), "responseX")
+	view := ref.Bytes()[2:6] // a mid-region sub-view, as TakeRef produces
+	q.AppendView(view, ref)  // reference transferred
+	if q.Len() != 4 {
+		t.Fatalf("len = %d, want 4", q.Len())
+	}
+	got, r2 := q.TakeRef(4)
+	if string(got) != "spon" {
+		t.Fatalf("TakeRef = %q", got)
+	}
+	r2.Release()
+	if s := pool.Stats(); s.RefGets != s.RefPuts {
+		t.Fatalf("region leak: %d handed out, %d recycled", s.RefGets, s.RefPuts)
+	}
+}
+
+// TestQueueAppendViewNilRegion pins the region-less staging path: nil-ref
+// views buffer and consume normally, and TakeRef falls back to coalescing
+// (there is no reference to hand out) instead of aliasing foreign memory.
+func TestQueueAppendViewNilRegion(t *testing.T) {
+	pool := NewPool(16)
+	q := NewQueue(pool)
+	q.AppendView([]byte("abcdef"), nil)
+	q.AppendView(nil, nil) // no-op
+	if q.Len() != 6 {
+		t.Fatalf("len = %d, want 6", q.Len())
+	}
+	before := pool.Stats()
+	view, ref := q.TakeRef(4)
+	if string(view) != "abcd" || ref == nil {
+		t.Fatalf("TakeRef = %q, ref %v", view, ref)
+	}
+	after := pool.Stats()
+	if after.Coalesced != before.Coalesced+1 {
+		t.Fatal("nil-region chunk was not coalesced into owned memory")
+	}
+	ref.Release()
+	var p [2]byte
+	if !q.ReadFull(p[:]) || string(p[:]) != "ef" {
+		t.Fatalf("tail = %q", p)
+	}
+	q.Reset()
+	if s := pool.Stats(); s.RefGets != s.RefPuts {
+		t.Fatalf("region leak: %d handed out, %d recycled", s.RefGets, s.RefPuts)
+	}
+}
+
+// TestQueueDrainTo pins the zero-copy queue hand-over: chunks and their
+// references move wholesale, a partially consumed front chunk moves as its
+// unread suffix, and the source is left empty and reusable.
+func TestQueueDrainTo(t *testing.T) {
+	pool := NewPool(16)
+	src, dst := NewQueue(pool), NewQueue(pool)
+	ref := pool.GetRef(10)
+	copy(ref.Bytes(), "0123456789")
+	src.AppendRef(ref, 10)
+	src.Append([]byte("abc"))
+	src.Discard(2) // partial front consumption
+	if n := src.DrainTo(dst); n != 11 {
+		t.Fatalf("moved %d bytes, want 11", n)
+	}
+	if src.Len() != 0 {
+		t.Fatalf("source still holds %d bytes", src.Len())
+	}
+	p := make([]byte, 11)
+	if !dst.ReadFull(p) || !bytes.Equal(p, []byte("23456789abc")) {
+		t.Fatalf("drained bytes = %q", p)
+	}
+	// Source stays usable after the drain.
+	src.Append([]byte("xy"))
+	q := make([]byte, 2)
+	if !src.ReadFull(q) || string(q) != "xy" {
+		t.Fatalf("source unusable after drain: %q", q)
+	}
+	dst.Reset()
+	src.Reset()
+	if s := pool.Stats(); s.RefGets != s.RefPuts {
+		t.Fatalf("region leak: %d handed out, %d recycled", s.RefGets, s.RefPuts)
+	}
+}
+
+// TestQueueAppendViews pins the iovec view: the returned slices cover
+// exactly the first n bytes across chunk boundaries without consuming.
+func TestQueueAppendViews(t *testing.T) {
+	q := NewQueue(NewPool(16))
+	q.AppendView([]byte("hello "), nil)
+	q.AppendView([]byte("world"), nil)
+	q.Discard(1)
+	views := q.AppendViews(nil, 8)
+	var flat []byte
+	for _, v := range views {
+		flat = append(flat, v...)
+	}
+	if string(flat) != "ello wor" {
+		t.Fatalf("views = %q", flat)
+	}
+	if q.Len() != 10 {
+		t.Fatal("AppendViews consumed bytes")
+	}
+	if got := q.AppendViews(nil, 100); func() int {
+		n := 0
+		for _, v := range got {
+			n += len(v)
+		}
+		return n
+	}() != 10 {
+		t.Fatal("over-asking must clamp to buffered bytes")
+	}
+}

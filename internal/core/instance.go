@@ -70,6 +70,7 @@ const readChunk = 32 << 10
 // accumulate in a pooled scatter list — raw-captured messages as zero-copy
 // references into their region — and leave in batched vectored writes.
 type outputState struct {
+	inst *Instance
 	conn net.Conn
 	sc   *buffer.Scatter
 	wbuf []byte // rebuild-path encode scratch
@@ -170,7 +171,7 @@ func (inst *Instance) initRuntime() {
 		case NodeOutput:
 			st := inst.outputRT[n.ID]
 			if st == nil {
-				st = &outputState{sc: buffer.NewScatter(nil)}
+				st = &outputState{inst: inst, sc: buffer.NewScatter(nil)}
 				inst.outputRT[n.ID] = st
 			}
 			st.sc.Reset()
@@ -406,11 +407,21 @@ func (inst *Instance) runInput(ctx *ExecCtx, n *Node) RunResult {
 			return inst.finishInput(st, out)
 		}
 		if st.evt {
-			// Event-driven: pull bytes non-blockingly from the stack into
-			// a pooled chunk appended by reference (zero copy).
-			ref := buffer.Global.GetRef(readChunk)
-			nread, rerr := st.conn.(netstack.Readable).TryRead(ref.Bytes())
-			st.q.AppendRead(ref, nread) // small reads compact, large ones hand over the ref
+			// Event-driven: pull bytes non-blockingly from the stack. A
+			// RefReader (upstream session) moves its already-pooled views
+			// into the parse queue by reference; other stacks read into a
+			// pooled chunk appended by reference (zero copy either way).
+			var (
+				nread int
+				rerr  error
+			)
+			if rr, ok := st.conn.(netstack.RefReader); ok {
+				nread, rerr = rr.TryReadRefs(st.q)
+			} else {
+				ref := buffer.Global.GetRef(readChunk)
+				nread, rerr = st.conn.(netstack.Readable).TryRead(ref.Bytes())
+				st.q.AppendRead(ref, nread) // small reads compact, large ones hand over the ref
+			}
 			if nread > 0 {
 				st.mu.Unlock()
 				continue
@@ -563,8 +574,13 @@ func (st *outputState) encode(codec grammar.WireFormat, v value.Value) {
 //
 // A write error may leave a message half-sent (a batch can fail between —
 // or inside — iovecs), so continuing on this connection would emit bytes
-// the peer cannot frame; the only safe recovery is dropping it. The close
-// propagates as EOF and the instance tears down through the normal path.
+// the peer cannot frame; the only safe recovery is dropping it. For a
+// primary-port output (the client-facing side of proxy-style graphs) the
+// instance additionally begins shutdown at once: without it the graph
+// lingers half-dead — inputs still parsing a client that can no longer be
+// answered — until the peer happens to hang up, pinning the instance and
+// its pooled buffers. Non-primary drops still propagate as EOF through the
+// normal teardown path.
 func (st *outputState) flush() {
 	if st.conn == nil {
 		st.sc.Reset()
@@ -573,6 +589,9 @@ func (st *outputState) flush() {
 	if _, err := st.sc.WriteTo(st.conn); err != nil {
 		st.conn.Close()
 		st.conn = nil
+		if st.port >= 0 && st.inst.tmpl.ports[st.port].Primary {
+			st.inst.beginShutdown()
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"flick/internal/netstack"
+	"flick/internal/upstream"
 )
 
 // Platform hosts FLICK programs: it owns the shared scheduler and the
@@ -112,6 +113,14 @@ type ServiceConfig struct {
 	PoolSize int
 	// DisablePool forces fresh construction per connection (ablation).
 	DisablePool bool
+	// Upstreams, when set, replaces per-connection backend dials with
+	// leases from the shared upstream connection layer: every BackendAddrs
+	// port binds a multiplexed virtual connection instead of a fresh
+	// socket, so the service holds O(pool×backends) upstream sockets
+	// instead of O(clients×backends). The service owns the manager and
+	// closes it on Service.Close. Nil keeps per-connection dialling (the
+	// ablation baseline).
+	Upstreams *upstream.Manager
 }
 
 // Service is a deployed program: a listener plus the graph dispatcher.
@@ -158,7 +167,10 @@ func (s *Service) Addr() string { return s.listener.Addr().String() }
 // Pool returns the service's graph pool (stats, priming).
 func (s *Service) Pool() *GraphPool { return s.pool }
 
-// Close stops accepting and aborts live instances.
+// Close stops accepting and aborts live instances: the Shared accumulator
+// and every still-running PerConnection graph are shut down, so a
+// subsequent Platform.Close never stops the scheduler under live graphs.
+// The service's upstream layer (when bound) closes with it.
 func (s *Service) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -167,12 +179,27 @@ func (s *Service) Close() {
 	}
 	s.closed = true
 	shared := s.shared
+	s.shared = nil
+	live := make([]*Instance, 0, len(s.live))
+	for inst := range s.live {
+		live = append(live, inst)
+	}
 	s.mu.Unlock()
 	s.listener.Close()
 	if shared != nil {
 		shared.Close()
 	}
+	for _, inst := range live {
+		inst.Close()
+	}
+	if s.cfg.Upstreams != nil {
+		s.cfg.Upstreams.Close()
+	}
 }
+
+// Upstreams returns the service's shared upstream connection layer (nil
+// when the service dials backends per connection).
+func (s *Service) Upstreams() *upstream.Manager { return s.cfg.Upstreams }
 
 // DumpLive renders every unfinished instance's runtime state (diagnostics).
 func (s *Service) DumpLive() []string {
@@ -228,28 +255,65 @@ func (s *Service) dispatch(conn net.Conn) error {
 
 func (s *Service) dispatchPerConn(conn net.Conn) error {
 	inst := s.pool.Get()
-	s.mu.Lock()
-	s.live[inst] = struct{}{}
-	s.mu.Unlock()
-	inst.SetOnFinish(func(i *Instance) {
-		s.mu.Lock()
-		delete(s.live, i)
-		s.mu.Unlock()
-		s.pool.Put(i)
-	})
 	inst.Bind(s.cfg.ClientPort, conn)
-	// Dial backends ("The graph dispatcher also creates new output channel
-	// connections to forward processed traffic").
+	// Connect backends ("The graph dispatcher also creates new output
+	// channel connections to forward processed traffic") — by leasing a
+	// multiplexed session from the shared upstream layer when bound, by
+	// dialling a dedicated socket otherwise.
 	for port, addr := range s.cfg.BackendAddrs {
-		bc, err := s.platform.transport.Dial(addr)
+		bc, err := s.dialBackend(addr)
 		if err != nil {
-			inst.Close()
+			s.releaseUnstarted(inst)
 			return fmt.Errorf("core: dial backend %s: %w", addr, err)
 		}
 		inst.Bind(port, bc)
 	}
+	// Publish into the live set only once fully bound: Service.Close reads
+	// inst.conns (via Instance.Close) for everything it finds in s.live,
+	// so a half-bound instance must not be visible there.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.releaseUnstarted(inst)
+		return fmt.Errorf("core: service closed")
+	}
+	s.live[inst] = struct{}{}
+	s.mu.Unlock()
+	inst.SetOnFinish(func(i *Instance) {
+		s.mu.Lock()
+		closed := s.closed
+		delete(s.live, i)
+		s.mu.Unlock()
+		// A closing service drops finished instances instead of recycling:
+		// Service.Close may still hold this instance in its teardown
+		// snapshot, and Put's Reset must never race that teardown.
+		if !closed {
+			s.pool.Put(i)
+		}
+	})
 	inst.Start()
 	return nil
+}
+
+// dialBackend resolves one backend connection for a dispatch.
+func (s *Service) dialBackend(addr string) (net.Conn, error) {
+	if s.cfg.Upstreams != nil {
+		return s.cfg.Upstreams.Lease(addr)
+	}
+	return s.platform.transport.Dial(addr)
+}
+
+// releaseUnstarted returns an instance whose dispatch failed before Start
+// to the pool. The instance's tasks never ran, so the onFinish path will
+// never fire on its own: close the connections bound so far, drop the
+// instance from the live set and recycle it explicitly.
+func (s *Service) releaseUnstarted(inst *Instance) {
+	s.mu.Lock()
+	delete(s.live, inst)
+	s.mu.Unlock()
+	inst.SetOnFinish(nil)
+	inst.Close() // closes bound conns; task wakeups stay gated by active
+	s.pool.Put(inst)
 }
 
 func (s *Service) dispatchShared(conn net.Conn) error {

@@ -295,6 +295,9 @@ func appendKey(dst []byte, n int) []byte {
 	return append(dst, tmp[i:]...)
 }
 
+// Key renders the i-th key of the preloaded key space ("key-%06d").
+func Key(i int) string { return string(appendKey(nil, i)) }
+
 // PreloadKeys returns the key/value set the Memcached backends are primed
 // with so load-run GETs hit.
 func PreloadKeys(keys int, valueSize int) map[string]string {

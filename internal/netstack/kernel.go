@@ -2,6 +2,8 @@ package netstack
 
 import (
 	"net"
+
+	"flick/internal/buffer"
 )
 
 // KernelTCP is the operating-system TCP stack. Benchmarks use it on loopback
@@ -37,6 +39,17 @@ type Readable interface {
 }
 
 var _ Readable = (*userConn)(nil)
+
+// RefReader is implemented by connections that can hand buffered inbound
+// bytes to a byte queue by reference: already-pooled views move into the
+// caller's queue without copying (upstream sessions deliver demultiplexed
+// response views this way). Implementations also implement Readable; the
+// platform's event-driven input path prefers RefReader when present.
+type RefReader interface {
+	// TryReadRefs moves all currently buffered bytes into q, reporting the
+	// byte count; (0, nil) means "would block", errors end the stream.
+	TryReadRefs(q *buffer.Queue) (int, error)
+}
 
 // BatchWriter is implemented by connections that accept a whole scatter
 // list in one operation (the UserNet stack takes its connection lock once

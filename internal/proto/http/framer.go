@@ -1,0 +1,77 @@
+package http
+
+import (
+	"fmt"
+
+	"flick/internal/buffer"
+)
+
+// FrameRequestLen reports the wire length of the HTTP/1.1 request starting
+// at buffered offset from in q, without consuming any byte: header block
+// through the \r\n\r\n terminator plus the Content-Length body. It returns
+// 0 when the buffered bytes are still a prefix, and an error when they
+// cannot frame (oversized headers or body, chunked transfer encoding —
+// which cannot be pipelined — or a malformed Content-Length). The shared
+// upstream connection layer uses it to count requests multiplexed onto a
+// backend socket, so it also rejects methods whose responses cannot be
+// framed by Content-Length alone: HEAD (the header describes a body that
+// is never sent) and CONNECT (the stream stops being HTTP). The writing
+// session fails; its client loses only its own connection.
+func FrameRequestLen(q *buffer.Queue, from int) (int, error) {
+	n, err := frameLen(q, from, true)
+	if err == nil && n > 0 {
+		var method [8]byte
+		got := q.PeekAt(method[:], from)
+		if hasTokenPrefix(method[:got], "HEAD") || hasTokenPrefix(method[:got], "CONNECT") {
+			return 0, fmt.Errorf("http: %s requests cannot be multiplexed (response not length-delimited)",
+				string(method[:indexByte(method[:got], ' ')]))
+		}
+	}
+	return n, err
+}
+
+// hasTokenPrefix reports whether b starts with the token followed by a
+// space (method matching on the start line).
+func hasTokenPrefix(b []byte, token string) bool {
+	if len(b) < len(token)+1 || b[len(token)] != ' ' {
+		return false
+	}
+	return string(b[:len(token)]) == token
+}
+
+// FrameResponseLen is FrameRequestLen for responses: the demultiplexer
+// splits a pipelined backend byte stream into per-request response views
+// with it. Responses framed by connection close (no Content-Length) decode
+// as zero-length bodies — a pipelined upstream requires length-delimited
+// responses, which the repository's backends always produce. Known
+// limitation (see ROADMAP): a 304 carrying the entity's Content-Length
+// without a body would over-read; origins that emit those need
+// request-aware framing.
+func FrameResponseLen(q *buffer.Queue, from int) (int, error) {
+	return frameLen(q, from, false)
+}
+
+func frameLen(q *buffer.Queue, from int, isRequest bool) (int, error) {
+	scanned := from
+	end, found := scanCRLFCRLF(q, &scanned)
+	if !found {
+		if q.Len()-from > MaxHeaderBytes {
+			return 0, fmt.Errorf("%w: headers exceed %d bytes", ErrTooLarge, MaxHeaderBytes)
+		}
+		return 0, nil
+	}
+	headLen := end + 4 - from
+	// Peek the header block through pooled scratch; the framer is stateless
+	// so the copy is bounded by MaxHeaderBytes and leaves no garbage.
+	ref := buffer.Global.GetRef(headLen)
+	q.PeekAt(ref.Bytes(), from)
+	bodyLen, _, err := parseFraming(ref.Bytes(), isRequest)
+	ref.Release()
+	if err != nil {
+		return 0, err
+	}
+	if bodyLen > MaxBodyBytes {
+		return 0, fmt.Errorf("%w: body of %d bytes", ErrTooLarge, bodyLen)
+	}
+	return headLen + bodyLen, nil
+}

@@ -1,0 +1,71 @@
+package http
+
+import (
+	"testing"
+
+	"flick/internal/buffer"
+)
+
+func TestFrameRequestLenMatchesDecoder(t *testing.T) {
+	q := buffer.NewQueue(nil)
+	wire := BuildRequest(nil, "POST", "/submit", "example.com", true, []byte("payload-bytes"))
+	half := len(wire) / 2
+	q.Append(wire[:half])
+	if n, err := FrameRequestLen(q, 0); n != 0 && n != len(wire) || err != nil {
+		// A prefix may already reveal the full length once headers are
+		// complete; it must never mis-frame or error.
+		t.Fatalf("prefix framing: n=%d err=%v", n, err)
+	}
+	q.Append(wire[half:])
+	q.Append(wire)
+	n, err := FrameRequestLen(q, 0)
+	if err != nil || n != len(wire) {
+		t.Fatalf("FrameRequestLen = %d, %v; want %d", n, err, len(wire))
+	}
+	if n2, err := FrameRequestLen(q, n); err != nil || n2 != len(wire) {
+		t.Fatalf("FrameRequestLen at offset = %d, %v; want %d", n2, err, len(wire))
+	}
+	before := q.Len()
+	msg, ok, derr := RequestFormat{}.NewDecoder().Decode(q)
+	if derr != nil || !ok {
+		t.Fatalf("decode: ok=%v err=%v", ok, derr)
+	}
+	if consumed := before - q.Len(); consumed != n {
+		t.Fatalf("decoder consumed %d, framer said %d", consumed, n)
+	}
+	msg.Release()
+}
+
+func TestFrameResponseLen(t *testing.T) {
+	q := buffer.NewQueue(nil)
+	wire := BuildResponse(nil, 200, "OK", true, []byte("hello body"))
+	q.Append(wire)
+	n, err := FrameResponseLen(q, 0)
+	if err != nil || n != len(wire) {
+		t.Fatalf("FrameResponseLen = %d, %v; want %d", n, err, len(wire))
+	}
+}
+
+// TestFrameRequestLenRejectsUnframeableMethods pins the multiplexing
+// safety rule: HEAD responses carry a Content-Length describing a body
+// that never arrives, and CONNECT turns the stream into a tunnel — either
+// would desynchronise the shared socket's response framing for every
+// client on it.
+func TestFrameRequestLenRejectsUnframeableMethods(t *testing.T) {
+	for _, start := range []string{
+		"HEAD /index.html HTTP/1.1\r\nHost: h\r\n\r\n",
+		"CONNECT example.com:443 HTTP/1.1\r\nHost: h\r\n\r\n",
+	} {
+		q := buffer.NewQueue(nil)
+		q.Append([]byte(start))
+		if _, err := FrameRequestLen(q, 0); err == nil {
+			t.Fatalf("%q accepted by the request framer", start[:12])
+		}
+	}
+	// Chunked requests cannot be pipelined either.
+	q := buffer.NewQueue(nil)
+	q.Append([]byte("POST /up HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"))
+	if _, err := FrameRequestLen(q, 0); err == nil {
+		t.Fatal("chunked request accepted by the request framer")
+	}
+}

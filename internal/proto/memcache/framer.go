@@ -1,0 +1,67 @@
+package memcache
+
+import (
+	"fmt"
+
+	"flick/internal/buffer"
+	"flick/internal/grammar"
+)
+
+// headerLen is the fixed binary-protocol header size; the total body length
+// (extras + key + value) sits at bytes 8..11, big-endian.
+const headerLen = 24
+
+// FrameLen reports the wire length of the binary-protocol message starting
+// at buffered offset from in q, without consuming any byte. It returns 0
+// when too few bytes are buffered to know, and an error when the bytes
+// cannot begin a message (bad magic, oversized body). Both requests and
+// responses share this framing; the shared upstream connection layer uses
+// it to demultiplex the pipelined response stream.
+func FrameLen(q *buffer.Queue, from int) (int, error) {
+	n, _, err := frameLen(q, from)
+	return n, err
+}
+
+// FrameRequestLen is FrameLen for the request direction of a shared
+// upstream socket, where FIFO correlation requires every request to
+// produce exactly one response. Quiet opcodes (GetQ, GetKQ, SetQ, ...)
+// respond conditionally or not at all — multiplexing one would misroute
+// every later response on the socket to the wrong client — so they are
+// rejected here (the writing session fails; its client loses only its own
+// connection, exactly as if the backend had dropped it).
+func FrameRequestLen(q *buffer.Queue, from int) (int, error) {
+	n, opcode, err := frameLen(q, from)
+	if err == nil && n > 0 && quietOpcode(opcode) {
+		return 0, fmt.Errorf("memcache: quiet opcode 0x%02x cannot be multiplexed (no 1:1 response)", opcode)
+	}
+	return n, err
+}
+
+func frameLen(q *buffer.Queue, from int) (n int, opcode byte, err error) {
+	if q.Len()-from < 12 {
+		return 0, 0, nil
+	}
+	var hdr [12]byte
+	q.PeekAt(hdr[:], from)
+	if hdr[0] != MagicRequest && hdr[0] != MagicResponse {
+		return 0, 0, fmt.Errorf("memcache: bad magic 0x%02x", hdr[0])
+	}
+	body := int(uint32(hdr[8])<<24 | uint32(hdr[9])<<16 | uint32(hdr[10])<<8 | uint32(hdr[11]))
+	if body > grammar.DefaultMaxMessage {
+		return 0, 0, fmt.Errorf("memcache: body of %d bytes too large", body)
+	}
+	return headerLen + body, hdr[1], nil
+}
+
+// quietOpcode reports whether op is one of the binary protocol's quiet
+// variants, which suppress (success) responses.
+func quietOpcode(op byte) bool {
+	switch op {
+	case 0x09, 0x0d, // GetQ, GetKQ
+		0x11, 0x12, 0x13, 0x14, 0x15, 0x16, // SetQ..DecrementQ
+		0x17, 0x18, 0x19, 0x1a, // QuitQ, FlushQ, AppendQ, PrependQ
+		0x1e, 0x24: // GATQ, GATKQ
+		return true
+	}
+	return false
+}

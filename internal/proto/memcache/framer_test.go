@@ -1,0 +1,78 @@
+package memcache
+
+import (
+	"testing"
+
+	"flick/internal/buffer"
+)
+
+func TestFrameLenMatchesCodec(t *testing.T) {
+	q := buffer.NewQueue(nil)
+	wire, err := Codec.Encode(nil, Request(OpGetK, []byte("some-key"), []byte("some-value")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Append([]byte{wire[0]}) // trickle: framer must wait for 12 bytes
+	if n, err := FrameLen(q, 0); n != 0 || err != nil {
+		t.Fatalf("partial header framed: n=%d err=%v", n, err)
+	}
+	q.Append(wire[1:])
+	q.Append(wire) // a second message behind it
+	n, err := FrameLen(q, 0)
+	if err != nil || n != len(wire) {
+		t.Fatalf("FrameLen = %d, %v; want %d", n, err, len(wire))
+	}
+	// Framing at a non-zero offset sees the second message.
+	n2, err := FrameLen(q, n)
+	if err != nil || n2 != len(wire) {
+		t.Fatalf("FrameLen at offset = %d, %v; want %d", n2, err, len(wire))
+	}
+	// The frame length is exactly what the decoder consumes.
+	before := q.Len()
+	msg, ok, derr := Codec.NewDecoder().Decode(q)
+	if derr != nil || !ok {
+		t.Fatalf("decode: ok=%v err=%v", ok, derr)
+	}
+	if consumed := before - q.Len(); consumed != n {
+		t.Fatalf("decoder consumed %d, framer said %d", consumed, n)
+	}
+	msg.Release()
+}
+
+func TestFrameLenRejectsBadMagic(t *testing.T) {
+	q := buffer.NewQueue(nil)
+	q.Append([]byte("GET /index.html HTTP/1.1\r\n\r\n"))
+	if _, err := FrameLen(q, 0); err == nil {
+		t.Fatal("non-memcached bytes framed without error")
+	}
+}
+
+// TestFrameRequestLenRejectsQuietOpcodes pins the multiplexing safety rule:
+// quiet opcodes produce no (or conditional) responses, which would skew
+// FIFO correlation for every client sharing the socket, so the request
+// framer refuses them.
+func TestFrameRequestLenRejectsQuietOpcodes(t *testing.T) {
+	for _, op := range []byte{0x09, 0x0d, 0x11, 0x19, 0x1e, 0x24} { // GetQ, GetKQ, SetQ, AppendQ, GATQ, GATKQ
+		q := buffer.NewQueue(nil)
+		wire, err := Codec.Encode(nil, Request(op, []byte("k"), nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.Append(wire)
+		if _, err := FrameRequestLen(q, 0); err == nil {
+			t.Fatalf("quiet opcode 0x%02x accepted by the request framer", op)
+		}
+		// The response direction still frames it (a server echoing the
+		// opcode in a response header must not kill the socket).
+		if n, err := FrameLen(q, 0); err != nil || n != len(wire) {
+			t.Fatalf("FrameLen on quiet opcode: n=%d err=%v", n, err)
+		}
+	}
+	// Normal opcodes pass the request framer.
+	q := buffer.NewQueue(nil)
+	wire, _ := Codec.Encode(nil, Request(OpGet, []byte("k"), nil))
+	q.Append(wire)
+	if n, err := FrameRequestLen(q, 0); err != nil || n != len(wire) {
+		t.Fatalf("OpGet rejected: n=%d err=%v", n, err)
+	}
+}

@@ -1,0 +1,562 @@
+// Package upstream is the shared upstream connection layer: per-backend
+// pools of persistent, pipelined connections that many client task graphs
+// multiplex over, replacing the per-client backend dial of the naive graph
+// dispatcher ("creates new output channel connections to forward processed
+// traffic", §5).
+//
+// A Manager owns one pool per backend address. Each pool holds up to Size
+// long-lived sockets; Lease hands out a lightweight virtual connection (a
+// Session — net.Conn-shaped, so instance binding is untouched at the type
+// level) pinned to one of them. Requests from all sessions of a socket are
+// framed, counted into a FIFO, and written through a single serialised
+// writer; the demultiplexer frames the pipelined response stream and routes
+// each response view to the session at the FIFO head. This matches the
+// FIFO request/response discipline of memcached-binary and HTTP/1.1
+// backends, which answer a connection's requests in arrival order.
+//
+// The data path is zero-copy end to end: backend bytes land in pooled
+// refcounted chunks, each response becomes a retained sub-view
+// (Queue.TakeRef), and views ride buffer.Queue hand-overs (AppendView /
+// DrainTo) into the leasing instance's parse queue without a copy.
+//
+// Failure handling: dialling is lazy (a pool socket is established on the
+// lease that needs it), a failed dial opens a doubling backoff window
+// during which leases fail fast, and a mid-stream socket failure EOFs every
+// session multiplexed on it — exactly what a dedicated backend connection
+// dying looks like, so instance teardown is unchanged.
+package upstream
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flick/internal/buffer"
+	"flick/internal/metrics"
+	"flick/internal/netstack"
+)
+
+// Framer computes the wire length of the protocol message beginning at
+// buffered offset from in q, without consuming any byte. It returns 0 when
+// more bytes are needed and an error when the bytes cannot begin a message.
+// Framers must be stateless (the layer calls them at arbitrary offsets on
+// both directions of a stream). See memcache.FrameLen and
+// http.FrameRequestLen / http.FrameResponseLen.
+type Framer func(q *buffer.Queue, from int) (int, error)
+
+// Errors.
+var (
+	// ErrDown fails a lease fast while the backend's redial backoff window
+	// is open.
+	ErrDown = errors.New("upstream: backend down (failing fast in backoff)")
+	// ErrUnsolicited breaks a shared connection whose backend produced a
+	// response with no matching request (FIFO correlation impossible).
+	ErrUnsolicited = errors.New("upstream: response without matching request")
+	// errManagerClosed fails the sessions of a closed manager.
+	errManagerClosed = errors.New("upstream: manager closed")
+)
+
+// readChunk is the pooled read-buffer size for shared-socket reads.
+const readChunk = 32 << 10
+
+// Config parameterises a Manager.
+type Config struct {
+	// Transport dials backend sockets.
+	Transport netstack.Transport
+	// Pool supplies data-path buffers (buffer.Global when nil).
+	Pool *buffer.Pool
+	// Size is the shared-socket count per backend address (default 2).
+	Size int
+	// Window bounds in-flight (unanswered) requests per shared socket;
+	// writers block when it is full (default 128).
+	Window int
+	// RequestFramer frames outgoing requests (FIFO accounting).
+	RequestFramer Framer
+	// ResponseFramer frames the inbound response stream (demultiplexing).
+	ResponseFramer Framer
+	// Backoff is the initial redial backoff after a failed dial (default
+	// 50ms); it doubles per consecutive failure up to MaxBackoff (default
+	// 2s) and resets on success.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+}
+
+// Manager is the shared upstream connection layer for one service: a pool
+// of pipelined sockets per backend address, leased out as Sessions.
+type Manager struct {
+	cfg  Config
+	bufs *buffer.Pool
+
+	mu     sync.Mutex
+	pools  map[string]*pool
+	closed atomic.Bool
+
+	dials    metrics.Counter // sockets established
+	reuse    metrics.Counter // leases served by an already-live socket
+	redials  metrics.Counter // sockets re-established after a failure
+	failfast metrics.Counter // leases rejected during backoff
+	inflight atomic.Int64    // current unanswered requests (gauge)
+}
+
+// NewManager creates a manager. RequestFramer and ResponseFramer are
+// required; the zero values of the remaining fields select defaults.
+func NewManager(cfg Config) *Manager {
+	if cfg.Transport == nil {
+		cfg.Transport = netstack.KernelTCP{}
+	}
+	if cfg.Pool == nil {
+		cfg.Pool = buffer.Global
+	}
+	if cfg.Size <= 0 {
+		cfg.Size = 2
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 128
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 50 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 2 * time.Second
+	}
+	if cfg.RequestFramer == nil || cfg.ResponseFramer == nil {
+		panic("upstream: NewManager requires request and response framers")
+	}
+	return &Manager{cfg: cfg, bufs: cfg.Pool, pools: map[string]*pool{}}
+}
+
+// Lease returns a virtual connection to addr, multiplexed onto one of the
+// address's shared sockets (established lazily). It fails fast while the
+// address is in redial backoff.
+func (m *Manager) Lease(addr string) (*Session, error) {
+	if m.closed.Load() {
+		return nil, errManagerClosed
+	}
+	m.mu.Lock()
+	p := m.pools[addr]
+	if p == nil {
+		p = newPool(m, addr)
+		m.pools[addr] = p
+	}
+	m.mu.Unlock()
+	return p.lease()
+}
+
+// Counters snapshots the layer's counters: dials, reuse, inflight (gauge),
+// redials, failfast.
+func (m *Manager) Counters() metrics.CounterSet {
+	inflight := m.inflight.Load()
+	if inflight < 0 {
+		inflight = 0
+	}
+	return metrics.NewCounterSet(
+		"dials", m.dials.Value(),
+		"reuse", m.reuse.Value(),
+		"inflight", uint64(inflight),
+		"redials", m.redials.Value(),
+		"failfast", m.failfast.Value(),
+	)
+}
+
+// Conns reports the number of live shared sockets across all pools — the
+// quantity the connection-churn benchmark compares against C×B per-client
+// dialling.
+func (m *Manager) Conns() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	live := 0
+	for _, p := range m.pools {
+		p.mu.Lock()
+		for _, c := range p.slots {
+			if c != nil && !c.isBroken() {
+				live++
+			}
+		}
+		p.mu.Unlock()
+	}
+	return live
+}
+
+// Close tears the layer down: every shared socket is closed and every live
+// session observes EOF. Subsequent leases fail.
+func (m *Manager) Close() {
+	if !m.closed.CompareAndSwap(false, true) {
+		return
+	}
+	m.mu.Lock()
+	var conns []*conn
+	for _, p := range m.pools {
+		p.mu.Lock()
+		for _, c := range p.slots {
+			if c != nil {
+				conns = append(conns, c)
+			}
+		}
+		p.mu.Unlock()
+	}
+	m.mu.Unlock()
+	for _, c := range conns {
+		c.fail(errManagerClosed)
+	}
+}
+
+// pool is the shared-socket set for one backend address.
+type pool struct {
+	m    *Manager
+	addr string
+
+	mu        sync.Mutex
+	cond      *sync.Cond // wakes leases waiting out another lease's dial
+	slots     []*conn
+	dialing   []bool        // a lease is dialling this slot (outside p.mu)
+	slotUp    []bool        // slot ever held a socket: its next dial is a redial
+	rr        int           // round-robin lease cursor
+	backoff   time.Duration // current redial backoff (0: healthy)
+	downUntil time.Time     // fail-fast gate
+}
+
+func newPool(m *Manager, addr string) *pool {
+	p := &pool{
+		m:       m,
+		addr:    addr,
+		slots:   make([]*conn, m.cfg.Size),
+		dialing: make([]bool, m.cfg.Size),
+		slotUp:  make([]bool, m.cfg.Size),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// lease binds a fresh session to the next slot's socket, dialling it if the
+// slot is empty or its previous socket died. The dial itself runs OUTSIDE
+// p.mu — a blackholed backend (SYNs dropped, OS connect timeout) must not
+// block leases that can reuse a live socket in another slot, nor
+// Manager.Conns/Close; concurrent leases needing the same slot either fall
+// back to any live socket or wait out the in-flight dial.
+func (p *pool) lease() (*Session, error) {
+	p.mu.Lock()
+	for {
+		slot := p.rr % len(p.slots)
+		p.rr++
+		c := p.slots[slot]
+		if c != nil && !c.isBroken() {
+			p.mu.Unlock()
+			p.m.reuse.Inc()
+			return c.newSession(), nil
+		}
+		if !p.dialing[slot] {
+			if time.Now().Before(p.downUntil) {
+				// Backoff window open: any live socket in another slot
+				// still serves leases; fail fast only with none at all.
+				if alt := p.anyLive(); alt != nil {
+					p.mu.Unlock()
+					p.m.reuse.Inc()
+					return alt.newSession(), nil
+				}
+				p.mu.Unlock()
+				p.m.failfast.Inc()
+				return nil, fmt.Errorf("%w: %s for %v", ErrDown, p.addr, time.Until(p.downUntil).Round(time.Millisecond))
+			}
+			return p.dialSlot(slot)
+		}
+		// Another lease is dialling this slot: any live socket will do.
+		if alt := p.anyLive(); alt != nil {
+			p.mu.Unlock()
+			p.m.reuse.Inc()
+			return alt.newSession(), nil
+		}
+		p.cond.Wait() // no socket anywhere: wait for the dial, re-evaluate
+	}
+}
+
+// anyLive returns a live socket from any slot (nil when none). p.mu held.
+func (p *pool) anyLive() *conn {
+	for _, c := range p.slots {
+		if c != nil && !c.isBroken() {
+			return c
+		}
+	}
+	return nil
+}
+
+// dialSlot establishes slot's socket (the caller checked the backoff
+// gate). p.mu must be held; it is released across the dial and the
+// function returns with it released.
+func (p *pool) dialSlot(slot int) (*Session, error) {
+	p.dialing[slot] = true
+	p.mu.Unlock()
+	raw, err := p.m.cfg.Transport.Dial(p.addr)
+	p.mu.Lock()
+	p.dialing[slot] = false
+	p.cond.Broadcast()
+	if err != nil {
+		if p.backoff == 0 {
+			p.backoff = p.m.cfg.Backoff
+		} else if p.backoff *= 2; p.backoff > p.m.cfg.MaxBackoff {
+			p.backoff = p.m.cfg.MaxBackoff
+		}
+		p.downUntil = time.Now().Add(p.backoff)
+		p.mu.Unlock()
+		return nil, fmt.Errorf("upstream: dial %s: %w", p.addr, err)
+	}
+	p.backoff = 0
+	p.downUntil = time.Time{}
+	p.m.dials.Inc()
+	if p.slotUp[slot] {
+		p.m.redials.Inc()
+	}
+	p.slotUp[slot] = true
+	c := newConn(p, raw)
+	p.slots[slot] = c
+	// Publish-then-check: Manager.Close sets the flag before sweeping the
+	// slots, so either its sweep sees this conn or this check sees the
+	// flag — a socket can never outlive a closed manager.
+	closed := p.m.closed.Load()
+	p.mu.Unlock()
+	c.start()
+	if closed {
+		c.fail(errManagerClosed)
+		return nil, errManagerClosed
+	}
+	return c.newSession(), nil
+}
+
+// conn is one shared pipelined socket plus its FIFO correlation state.
+type conn struct {
+	p   *pool
+	m   *Manager
+	raw net.Conn
+	evt bool // event-driven demux (netstack.Readable) vs pump goroutine
+
+	// wmu serialises socket writes. It is held across FIFO reservation AND
+	// the write itself, so FIFO order always matches socket byte order.
+	wmu sync.Mutex
+
+	mu       sync.Mutex // fifo ring, window accounting, session set, broken
+	cond     *sync.Cond // window space / failure wakeup
+	fifo     []*Session // ring: one entry per in-flight request
+	fhead    int
+	fcount   int
+	window   int
+	sessions map[*Session]struct{}
+	broken   bool
+
+	dmu sync.Mutex    // demux ingest (event callback vs EOF callback races)
+	rq  *buffer.Queue // inbound byte stream awaiting framing
+}
+
+func newConn(p *pool, raw net.Conn) *conn {
+	c := &conn{
+		p:        p,
+		m:        p.m,
+		raw:      raw,
+		window:   p.m.cfg.Window,
+		sessions: map[*Session]struct{}{},
+		rq:       buffer.NewQueue(p.m.bufs),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// start arms the demultiplexer: event-driven off the stack's readable
+// callback where the transport supports it (no goroutine at all), a pump
+// goroutine for blocking kernel sockets — per shared socket, not per
+// client, which is the point.
+func (c *conn) start() {
+	if r, ok := c.raw.(netstack.Readable); ok {
+		c.evt = true
+		r.SetReadableCallback(c.ingest)
+	} else {
+		go c.pump()
+	}
+}
+
+func (c *conn) isBroken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken
+}
+
+// ingest is the event-driven demux step: drain the stack's buffer into
+// pooled chunks and deliver every complete response.
+func (c *conn) ingest() {
+	c.dmu.Lock()
+	if c.isBroken() {
+		c.dmu.Unlock()
+		return
+	}
+	r := c.raw.(netstack.Readable)
+	for {
+		ref := c.m.bufs.GetRef(readChunk)
+		n, err := r.TryRead(ref.Bytes())
+		c.rq.AppendRead(ref, n) // consumes the ref in every case
+		if n > 0 {
+			if derr := c.deliver(); derr != nil {
+				c.dmu.Unlock()
+				c.fail(derr)
+				return
+			}
+			continue
+		}
+		if err != nil {
+			c.dmu.Unlock()
+			c.fail(err)
+			return
+		}
+		c.dmu.Unlock()
+		return
+	}
+}
+
+// pump is the blocking-read demux loop for kernel sockets.
+func (c *conn) pump() {
+	for {
+		ref := c.m.bufs.GetRef(readChunk)
+		n, err := c.raw.Read(ref.Bytes())
+		c.dmu.Lock()
+		if c.isBroken() {
+			c.dmu.Unlock()
+			ref.Release()
+			return
+		}
+		c.rq.AppendRead(ref, n)
+		derr := c.deliver()
+		c.dmu.Unlock()
+		if derr == nil {
+			derr = err
+		}
+		if derr != nil {
+			c.fail(derr)
+			return
+		}
+	}
+}
+
+// deliver frames complete responses off the inbound stream and hands each
+// one — as a retained zero-copy view — to the session at the FIFO head.
+// c.dmu must be held.
+func (c *conn) deliver() error {
+	for {
+		n, err := c.m.cfg.ResponseFramer(c.rq, 0)
+		if err != nil {
+			return err
+		}
+		if n == 0 || c.rq.Len() < n {
+			return nil
+		}
+		view, ref := c.rq.TakeRef(n)
+		c.mu.Lock()
+		s := c.popWaiter()
+		if s != nil {
+			c.m.inflight.Add(-1) // under c.mu: fail() subtracts fcount here too
+		}
+		c.cond.Signal()
+		c.mu.Unlock()
+		if s == nil {
+			ref.Release()
+			return ErrUnsolicited
+		}
+		s.deliver(view, ref)
+	}
+}
+
+// pushWaiter appends one in-flight entry. c.mu must be held.
+func (c *conn) pushWaiter(s *Session) {
+	if c.fcount == len(c.fifo) {
+		grown := make([]*Session, max(16, 2*len(c.fifo)))
+		for i := 0; i < c.fcount; i++ {
+			grown[i] = c.fifo[(c.fhead+i)%len(c.fifo)]
+		}
+		c.fifo = grown
+		c.fhead = 0
+	}
+	c.fifo[(c.fhead+c.fcount)%len(c.fifo)] = s
+	c.fcount++
+}
+
+// popWaiter removes the FIFO head (nil when empty). c.mu must be held.
+func (c *conn) popWaiter() *Session {
+	if c.fcount == 0 {
+		return nil
+	}
+	s := c.fifo[c.fhead]
+	c.fifo[c.fhead] = nil
+	c.fhead = (c.fhead + 1) % len(c.fifo)
+	c.fcount--
+	return s
+}
+
+// writeRaw performs one vectored write on the shared socket. c.wmu must be
+// held.
+func (c *conn) writeRaw(bufs [][]byte) (int64, error) {
+	if bw, ok := c.raw.(netstack.BatchWriter); ok {
+		return bw.WriteBatch(bufs)
+	}
+	nb := net.Buffers(bufs)
+	return nb.WriteTo(c.raw)
+}
+
+// fail breaks the shared socket: in-flight FIFO entries are dropped, every
+// session multiplexed on the socket observes EOF, buffered bytes recycle,
+// and the pool slot is left for the next lease to re-dial (with backoff
+// bookkeeping handled at dial time).
+func (c *conn) fail(err error) {
+	c.mu.Lock()
+	if c.broken {
+		c.mu.Unlock()
+		return
+	}
+	c.broken = true
+	sessions := make([]*Session, 0, len(c.sessions))
+	for s := range c.sessions {
+		sessions = append(sessions, s)
+	}
+	if c.fcount > 0 {
+		c.m.inflight.Add(-int64(c.fcount))
+	}
+	for c.fcount > 0 {
+		c.popWaiter()
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	if c.evt {
+		c.raw.(netstack.Readable).SetReadableCallback(nil)
+	}
+	c.raw.Close()
+	c.dmu.Lock()
+	c.rq.Reset()
+	c.dmu.Unlock()
+	for _, s := range sessions {
+		s.deliverEOF()
+	}
+	_ = err // the failure surfaces to sessions as EOF; err is for debuggers
+}
+
+// newSession attaches a fresh virtual connection to the socket.
+func (c *conn) newSession() *Session {
+	s := newSession(c)
+	c.mu.Lock()
+	broken := c.broken
+	if !broken {
+		c.sessions[s] = struct{}{}
+	}
+	c.mu.Unlock()
+	if broken {
+		// The socket died between lease and attach: the session is born at
+		// EOF, exactly as if its dedicated backend connection had dropped.
+		s.deliverEOF()
+	}
+	return s
+}
+
+// removeSession detaches a closed session and wakes writers (a blocked
+// writer must observe the close).
+func (c *conn) removeSession(s *Session) {
+	c.mu.Lock()
+	delete(c.sessions, s)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
