@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-churn fuzz-smoke ci
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-churn bench-rebalance check-docs fuzz-smoke ci
 
 all: build test
 
@@ -25,7 +25,8 @@ test:
 
 race:
 	$(GO) test -race ./internal/core/... ./internal/buffer/... \
-		./internal/proto/... ./internal/loadgen/... ./internal/upstream/...
+		./internal/proto/... ./internal/loadgen/... ./internal/upstream/... \
+		./internal/backend/... ./internal/apps/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
@@ -38,6 +39,18 @@ bench-smoke:
 bench-churn:
 	$(GO) run ./cmd/flickbench -quick churn
 
+# Live-topology smoke: consistent-hash ring vs mod-B across a B→B+1
+# scale-out under load (also run by the CI bench-smoke job).
+bench-rebalance:
+	$(GO) run ./cmd/flickbench -quick rebalance
+
+# Documentation gate: every relative markdown link resolves and every
+# exported identifier in the data-path packages has a doc comment.
+DOC_PKGS = internal/upstream,internal/backend,internal/buffer,internal/core,internal/apps,internal/bench,internal/metrics,internal/proto/memcache,internal/proto/http,internal/tools/docscheck
+
+check-docs:
+	$(GO) run ./internal/tools/docscheck -pkgs $(DOC_PKGS) README.md docs/ARCHITECTURE.md
+
 # Short-budget native fuzzing of every protocol decoder plus the grammar
 # round-trip (go test -fuzz accepts one target per invocation). The
 # checked-in corpora under testdata/fuzz/ run on every plain `make test` too.
@@ -49,4 +62,4 @@ fuzz-smoke:
 	$(GO) test ./internal/proto/hadoop -run='^$$' -fuzz=FuzzHadoopDecode -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/grammar -run='^$$' -fuzz=FuzzGrammarRoundTrip -fuzztime=$(FUZZTIME)
 
-ci: build vet fmt-check test race bench-smoke bench-churn fuzz-smoke
+ci: build vet fmt-check check-docs test race bench-smoke bench-churn bench-rebalance fuzz-smoke

@@ -8,6 +8,7 @@
 //	flickbench fig7          scheduling-policy fairness
 //	flickbench schedscale    scheduler worker-count scaling sweep
 //	flickbench churn         connection churn: shared upstream pool vs per-client dials
+//	flickbench rebalance     live B→B+1 scale-out: consistent-hash ring vs mod-B
 //	flickbench ablations     design-choice ablations
 //	flickbench all           everything above
 //
@@ -166,6 +167,30 @@ func main() {
 		return nil
 	})
 
+	run("rebalance", func() error {
+		rc := bench.RebalanceConfig{
+			Clients:  16,
+			Backends: 4,
+			Keys:     2000,
+			Duration: *dur * 2,
+			Workers:  *workers,
+		}
+		if *quick {
+			rc.Clients, rc.Keys, rc.Duration = 8, 500, 800*time.Millisecond
+		}
+		var pts []bench.RebalancePoint
+		for _, sys := range []bench.System{bench.SysFlick, bench.SysFlickMTCP} {
+			rc.System = sys
+			pair, err := bench.RunRebalancePair(rc)
+			if err != nil {
+				return err
+			}
+			pts = append(pts, pair...)
+		}
+		fmt.Println(bench.RebalanceTable(pts))
+		return nil
+	})
+
 	run("churn", func() error {
 		cc := bench.ChurnConfig{
 			Clients:  64,
@@ -202,7 +227,7 @@ func main() {
 	})
 
 	switch cmd {
-	case "websrv", "fig4", "fig5", "fig6", "fig7", "schedscale", "churn", "ablations", "all":
+	case "websrv", "fig4", "fig5", "fig6", "fig7", "schedscale", "churn", "rebalance", "ablations", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "flickbench: unknown experiment %q\n", cmd)
 		os.Exit(2)

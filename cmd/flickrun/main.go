@@ -5,15 +5,29 @@
 //	flickrun -service httplb -listen 127.0.0.1:8080 -backend 127.0.0.1:9001 -backend 127.0.0.1:9002
 //	flickrun -service memcachedproxy -listen 127.0.0.1:11211 -backend 127.0.0.1:11212
 //
+// Live backend topology: with -live-topology the backend set can change
+// while serving. Write one backend address per line to the -topology-file
+// and send SIGHUP; the process rebuilds the consistent-hash ring and
+// applies it without dropping a connection:
+//
+//	flickrun -service memcachedproxy -live-topology -max-backends 8 \
+//	    -topology-file backends.txt -probe-interval 250ms \
+//	    -backend 127.0.0.1:11212 -backend 127.0.0.1:11213
+//	# later: edit backends.txt, then
+//	kill -HUP $(pidof flickrun)
+//
 // The process serves until interrupted.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
+	"syscall"
 
 	"flick/internal/apps"
 	"flick/internal/core"
@@ -36,9 +50,18 @@ func main() {
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker threads")
 		noPool  = flag.Bool("no-upstream-pool", false, "dial backends per client instead of sharing pipelined upstream connections")
 		upSize  = flag.Int("upstream-pool-size", 0, "shared upstream sockets per backend (0: default)")
+		liveTop = flag.Bool("live-topology", false, "route via a consistent-hash ring and accept SIGHUP topology updates")
+		maxBack = flag.Int("max-backends", 0, "channel-array capacity for -live-topology (0: current backend count)")
+		topFile = flag.String("topology-file", "", "file with one backend address per line, re-read on SIGHUP")
+		probeIv = flag.Duration("probe-interval", 0, "proactive upstream health-probe period (0: disabled)")
 	)
 	flag.Var(&backends, "backend", "backend address (repeatable)")
 	flag.Parse()
+
+	capacity := len(backends)
+	if *liveTop && *maxBack > capacity {
+		capacity = *maxBack
+	}
 
 	var (
 		svc *apps.Service
@@ -48,11 +71,11 @@ func main() {
 	case "web":
 		svc, err = apps.StaticWebServer()
 	case "httplb":
-		svc, err = apps.HTTPLoadBalancer(len(backends))
+		svc, err = apps.HTTPLoadBalancer(capacity)
 	case "memcachedproxy":
-		svc, err = apps.MemcachedProxy(len(backends))
+		svc, err = apps.MemcachedProxy(capacity)
 	case "memcachedrouter":
-		svc, err = apps.MemcachedRouter(len(backends))
+		svc, err = apps.MemcachedRouter(capacity)
 	case "hadoopagg":
 		svc, err = apps.HadoopAggregator(8)
 	default:
@@ -64,6 +87,8 @@ func main() {
 	}
 	svc.NoUpstreamPool = *noPool
 	svc.UpstreamPoolSize = *upSize
+	svc.LiveTopology = *liveTop
+	svc.ProbeInterval = *probeIv
 
 	p := core.NewPlatform(core.Config{Workers: *workers})
 	defer p.Close()
@@ -77,15 +102,79 @@ func main() {
 
 	if m := deployed.Upstreams(); m != nil {
 		fmt.Println("flickrun: shared upstream pool enabled (disable with -no-upstream-pool)")
+		if *probeIv > 0 {
+			fmt.Printf("flickrun: health probes every %v\n", *probeIv)
+		}
+	}
+	if *liveTop {
+		fmt.Printf("flickrun: live topology: %d/%d backends bound; SIGHUP re-reads %s\n",
+			len(backends), capacity, topologySource(*topFile))
 	}
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt)
-	<-sig
+	if *liveTop {
+		signal.Notify(sig, syscall.SIGHUP)
+	}
+	for s := range sig {
+		if s != syscall.SIGHUP {
+			break
+		}
+		addrs, rerr := readTopology(*topFile)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "flickrun: SIGHUP: %v\n", rerr)
+			continue
+		}
+		if uerr := svc.UpdateBackends(deployed, addrs); uerr != nil {
+			fmt.Fprintf(os.Stderr, "flickrun: SIGHUP: %v\n", uerr)
+			continue
+		}
+		fmt.Printf("flickrun: topology updated: %d backends %v\n", len(addrs), addrs)
+		if m := deployed.Upstreams(); m != nil {
+			fmt.Printf("flickrun: upstream: %d sockets, %s\n", m.Conns(), m.Counters())
+		}
+	}
 	if m := deployed.Upstreams(); m != nil {
 		fmt.Printf("\nflickrun: upstream pool: %d sockets, %s\n", m.Conns(), m.Counters())
 	}
 	fmt.Println("\nflickrun: shutting down")
+}
+
+// topologySource names where SIGHUP reads the backend list from.
+func topologySource(file string) string {
+	if file == "" {
+		return "nothing (-topology-file not set)"
+	}
+	return file
+}
+
+// readTopology loads one backend address per line; blank lines and
+// #-comments are skipped.
+func readTopology(file string) ([]string, error) {
+	if file == "" {
+		return nil, fmt.Errorf("no -topology-file configured")
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var addrs []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		addrs = append(addrs, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("%s lists no backends", file)
+	}
+	return addrs, nil
 }
 
 func fatal(err error) {

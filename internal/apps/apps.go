@@ -1,18 +1,10 @@
-// Package apps packages the paper's three application-specific network
-// services (§2.1, §6.1) as deployable units: each bundles the FLICK source,
-// the compilation configuration (codec bindings, array sizes) and the
-// platform service configuration, so benchmarks and examples deploy them
-// with one call.
-//
-// A fourth service, the static web server (§6.3's first experiment), is the
-// HTTP load balancer variant that answers requests itself instead of
-// forwarding ("We also implement a variant of the HTTP load balancer that
-// does not use backend servers but which returns a fixed response").
 package apps
 
 import (
 	"fmt"
+	"time"
 
+	"flick/internal/backend"
 	"flick/internal/compiler"
 	"flick/internal/core"
 	"flick/internal/lang"
@@ -112,6 +104,27 @@ type Service struct {
 	// UpstreamWindow overrides the per-socket in-flight request window
 	// (0: upstream.Config default).
 	UpstreamWindow int
+	// LiveTopology opts the service into a live backend set: keys route
+	// through a consistent-hash ring (backend.Ring) instead of
+	// hash-mod-B, Deploy accepts fewer backend addresses than the
+	// compiled channel-array capacity (spare ports stay unbound until a
+	// scale-out), and the deployed service accepts
+	// Service.UpdateBackends / apps UpdateBackends while serving. Set
+	// before Deploy.
+	LiveTopology bool
+	// TopologyVNodes overrides the ring's virtual-node count per backend
+	// (0: backend.DefaultVNodes).
+	TopologyVNodes int
+	// ModTopology selects the hash-mod-B ablation router for a
+	// LiveTopology service: the live-update plumbing stays, but a
+	// topology change reshuffles nearly the whole key space — the
+	// baseline `flickbench rebalance` measures the ring against.
+	ModTopology bool
+	// ProbeInterval enables proactive upstream health probes at the
+	// given period (0: disabled). Probing needs the shared upstream
+	// layer and a service protocol with a no-op request (all
+	// request/response services here have one).
+	ProbeInterval time.Duration
 	// clientChannel names the channel bound to accepted connections.
 	clientChannel string
 	// backendChannel names the channel array dialled to backends.
@@ -123,6 +136,8 @@ type Service struct {
 	// non-nil opts the service into the shared upstream layer on Deploy.
 	reqFramer  upstream.Framer
 	respFramer upstream.Framer
+	// probe is the protocol's no-op request for upstream health probing.
+	probe []byte
 }
 
 // Deploy installs the service on a platform.
@@ -146,27 +161,48 @@ func (s *Service) Deploy(p *core.Platform, listenAddr string, backendAddrs []str
 		cfg.ClientPort = cp
 		if s.backendChannel != "" {
 			ports := s.Graph.Ports[s.backendChannel]
-			if len(backendAddrs) != len(ports) {
-				return nil, fmt.Errorf("apps: %s needs %d backend addresses, got %d",
-					s.Name, len(ports), len(backendAddrs))
-			}
-			cfg.BackendAddrs = map[int]string{}
-			for i, port := range ports {
-				cfg.BackendAddrs[port] = backendAddrs[i]
+			if s.LiveTopology {
+				// Live topology: the compiled array size is capacity, not
+				// census — deploy with any current count from 1 up to it
+				// and grow/shrink later with UpdateBackends.
+				if len(backendAddrs) == 0 {
+					return nil, fmt.Errorf("apps: %s needs at least one backend to start (grow later with UpdateBackends)", s.Name)
+				}
+				if len(backendAddrs) > len(ports) {
+					return nil, fmt.Errorf("apps: %s compiled for at most %d backends, got %d",
+						s.Name, len(ports), len(backendAddrs))
+				}
+				cfg.BackendPorts = ports
+				cfg.Topology = s.topology(backendAddrs)
+			} else {
+				if len(backendAddrs) != len(ports) {
+					return nil, fmt.Errorf("apps: %s needs %d backend addresses, got %d",
+						s.Name, len(ports), len(backendAddrs))
+				}
+				cfg.BackendAddrs = map[int]string{}
+				for i, port := range ports {
+					cfg.BackendAddrs[port] = backendAddrs[i]
+				}
 			}
 		}
 		// Request/response services share pipelined upstream connections:
 		// every accepted client leases multiplexed sessions instead of
 		// dialling each backend afresh (the Shared/streaming services —
 		// the Hadoop aggregator's reducer feed — keep dedicated sockets).
-		if len(cfg.BackendAddrs) > 0 && s.reqFramer != nil && s.respFramer != nil && !s.NoUpstreamPool {
-			cfg.Upstreams = upstream.NewManager(upstream.Config{
+		hasBackends := len(cfg.BackendAddrs) > 0 || (cfg.Topology != nil && len(cfg.BackendPorts) > 0)
+		if hasBackends && s.reqFramer != nil && s.respFramer != nil && !s.NoUpstreamPool {
+			ucfg := upstream.Config{
 				Transport:      p.Transport(),
 				Size:           s.UpstreamPoolSize,
 				Window:         s.UpstreamWindow,
 				RequestFramer:  s.reqFramer,
 				ResponseFramer: s.respFramer,
-			})
+			}
+			if s.ProbeInterval > 0 && len(s.probe) > 0 {
+				ucfg.Probe = s.probe
+				ucfg.ProbeInterval = s.ProbeInterval
+			}
+			cfg.Upstreams = upstream.NewManager(ucfg)
 		}
 	case core.Shared:
 		cfg.SharedPorts = s.Graph.Ports[s.sharedChannel]
@@ -179,7 +215,35 @@ func (s *Service) Deploy(p *core.Platform, listenAddr string, backendAddrs []str
 		}
 		cfg.BackendAddrs = map[int]string{op: backendAddrs[0]}
 	}
-	return p.Deploy(cfg)
+	svc, err := p.Deploy(cfg)
+	if err != nil && cfg.Upstreams != nil {
+		// The manager was started for this deploy (with probing, its
+		// timer goroutine is already running); a failed deploy must not
+		// leak it.
+		cfg.Upstreams.Close()
+	}
+	return svc, err
+}
+
+// topology builds the service's router over addrs per its options.
+func (s *Service) topology(addrs []string) core.Topology {
+	if s.ModTopology {
+		return backend.NewModTable(addrs)
+	}
+	return backend.NewRing(addrs, s.TopologyVNodes)
+}
+
+// UpdateBackends applies a new backend address list to a deployed
+// LiveTopology service: it builds the router matching the service's
+// topology options (ring or mod ablation) and swaps it in on the live
+// core.Service. Growing the set is a non-event — new connections route
+// through the new ring, running graphs finish on the sockets they hold;
+// shrinking additionally drains the removed backends' upstream pools.
+func (s *Service) UpdateBackends(deployed *core.Service, addrs []string) error {
+	if !s.LiveTopology {
+		return fmt.Errorf("apps: %s was not deployed with LiveTopology", s.Name)
+	}
+	return deployed.UpdateBackends(s.topology(addrs))
 }
 
 // HTTPLoadBalancer compiles the §6.1 HTTP load balancer for n backends.
@@ -214,6 +278,7 @@ func HTTPLoadBalancer(n int) (*Service, error) {
 		dispatch:       core.PerConnection,
 		reqFramer:      phttp.FrameRequestLen,
 		respFramer:     phttp.FrameResponseLen,
+		probe:          phttp.ProbeRequest(),
 	}, nil
 }
 
@@ -267,6 +332,7 @@ func MemcachedProxy(n int) (*Service, error) {
 		dispatch:       core.PerConnection,
 		reqFramer:      memcache.FrameRequestLen,
 		respFramer:     memcache.FrameLen,
+		probe:          memcache.ProbeRequest(),
 	}, nil
 }
 
@@ -295,6 +361,7 @@ func MemcachedRouter(n int) (*Service, error) {
 		// framers serve it.
 		reqFramer:  memcache.FrameRequestLen,
 		respFramer: memcache.FrameLen,
+		probe:      memcache.ProbeRequest(),
 	}, nil
 }
 

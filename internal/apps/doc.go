@@ -1,0 +1,37 @@
+// Package apps packages the paper's three application-specific network
+// services (§2.1, §6.1) as deployable units: each bundles the FLICK source,
+// the compilation configuration (codec bindings, array sizes) and the
+// platform service configuration, so benchmarks and examples deploy them
+// with one call.
+//
+// A fourth service, the static web server (§6.3's first experiment), is the
+// HTTP load balancer variant that answers requests itself instead of
+// forwarding ("We also implement a variant of the HTTP load balancer that
+// does not use backend servers but which returns a fixed response").
+//
+// # Deployment options
+//
+// A Service carries the knobs the benchmarks ablate: NoUpstreamPool
+// (dedicated backend sockets per client instead of the shared pipelined
+// pool), UpstreamPoolSize/UpstreamWindow, and the live-topology set —
+// LiveTopology (consistent-hash ring routing with hot UpdateBackends,
+// where the compiled channel-array size is capacity rather than census),
+// TopologyVNodes, ModTopology (the hash-mod-B ablation) and ProbeInterval
+// (proactive upstream health probes using the service protocol's no-op
+// request).
+//
+// # Ownership
+//
+// The services themselves run entirely on the platform's zero-copy path;
+// nothing in this package holds message views beyond a task activation.
+// Test and example clients that call memcache.Conn.RoundTrip/Receive own
+// the returned responses and must Release them (see the memcache package
+// note on ownership).
+//
+// # Counters
+//
+// Deployed services expose their layers' counters: the upstream layer via
+// core.Service.Upstreams().Counters() (dials, reuse, inflight, redials,
+// failfast, probes, drained), the scheduler via Platform counters, and
+// the buffer pool via buffer.Pool.Counters.
+package apps

@@ -1,9 +1,3 @@
-// Package backend provides the origin servers behind the middleboxes under
-// test: a static HTTP server (the paper's Apache web servers behind the
-// load balancer) and a Memcached server speaking the binary protocol (the
-// backends behind the proxy). Both are deliberately simple goroutine-per-
-// connection servers — they play the role of the paper's dedicated backend
-// machines, not of the system under test — and run on either transport.
 package backend
 
 import (
@@ -221,6 +215,9 @@ func (s *MemcachedServer) handle(req value.Value) value.Value {
 			return memcache.Response(req, memcache.StatusKeyNotFound, []byte(key), nil)
 		}
 		return memcache.Response(req, memcache.StatusOK, []byte(key), val)
+	case memcache.OpNoop:
+		// Health probes round-trip Noop; answer OK with an empty body.
+		return memcache.Response(req, memcache.StatusOK, nil, nil)
 	default:
 		return memcache.Response(req, memcache.StatusKeyNotFound, nil, nil)
 	}

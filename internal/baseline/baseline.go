@@ -441,12 +441,12 @@ func (m *MoxiLike) serveClient(raw net.Conn) {
 			return        // proxy shut down
 		}
 		resp := <-reply
-		req.Release() // worker is done with the request
 		if resp.IsNull() {
+			req.Release() // worker is done with the request
 			return
 		}
 		err = c.Send(resp)
-		resp.Release()
+		memcache.ReleaseAll(req, resp) // both retain pooled wire bytes
 		if err != nil {
 			return
 		}

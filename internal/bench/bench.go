@@ -1,17 +1,3 @@
-// Package bench regenerates every table and figure of the paper's
-// evaluation (§6): the static web-server comparison, Figure 4 (HTTP load
-// balancer), Figure 5 (Memcached proxy core scaling), Figure 6 (Hadoop
-// aggregator core scaling), Figure 7 (scheduling-policy fairness), plus the
-// ablation studies DESIGN.md calls out. Each runner builds the complete
-// testbed in-process — middlebox under test, origin servers and client
-// fleet — over the transport that matches the measured configuration
-// (kernel loopback for "FLICK"/baselines, the user-space stack for
-// "FLICK mTCP").
-//
-// Absolute numbers are not comparable to the paper's 16-core Xeon testbed
-// with 10 GbE; the reproduction targets the figures' shapes (who wins, by
-// roughly what factor, where peaks and crossovers fall). EXPERIMENTS.md
-// records paper-vs-measured values for every experiment.
 package bench
 
 import (

@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flick/internal/apps"
+	"flick/internal/backend"
+	"flick/internal/core"
+	"flick/internal/loadgen"
+	"flick/internal/metrics"
+	"flick/internal/proto/memcache"
+)
+
+// RebalanceConfig parameterises the live scale-out experiment: C
+// reconnecting clients GET uniformly over the key space against the
+// Memcached proxy while the backend set grows B→B+1 mid-run through
+// Service.UpdateBackends. Measured per topology (consistent-hash ring vs
+// the hash-mod-B ablation): the fraction of the key space the update
+// remaps, request errors across the update (the headline: zero), and how
+// quickly the new backend picks up traffic.
+type RebalanceConfig struct {
+	System        System
+	Clients       int           // concurrent reconnecting clients (C)
+	Backends      int           // initial backend count (B); scales to B+1
+	Keys          int           // key-space size
+	ReqsPerConn   int           // GETs per client connection (reconnect after)
+	Duration      time.Duration // total load window; the update fires at the midpoint
+	Workers       int
+	Mod           bool          // hash-mod-B ablation instead of the ring
+	ProbeInterval time.Duration // upstream health probes (0: off)
+}
+
+// RebalancePoint is one measured topology.
+type RebalancePoint struct {
+	System   System
+	Ring     bool
+	Backends int // initial B (scaled out to B+1)
+	// MovedFrac is the fraction of the key space the B→B+1 update remaps
+	// (computed over the benchmark's exact key set with the service's own
+	// routers — backend.KeyHash matches the language's hash builtin).
+	MovedFrac float64
+	// Requests/Errors count completed GETs and failures across the whole
+	// window, including the live update.
+	Requests uint64
+	Errors   uint64
+	// NewBackendReqs is the request count the added backend served after
+	// the update — nonzero means traffic really moved.
+	NewBackendReqs uint64
+	Throughput     float64
+	// Upstream is the shared layer's counter snapshot (probes, drained,
+	// redials... — empty when the layer is disabled).
+	Upstream metrics.CounterSet
+}
+
+// RunRebalance measures one live B→B+1 scale-out.
+func RunRebalance(cfg RebalanceConfig) (RebalancePoint, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 16
+	}
+	if cfg.Backends <= 0 {
+		cfg.Backends = 4
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 2000
+	}
+	if cfg.ReqsPerConn <= 0 {
+		cfg.ReqsPerConn = 8
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.System == "" {
+		cfg.System = SysFlick
+	}
+	tr := transportFor(cfg.System)
+	total := cfg.Backends + 1
+
+	var cleanup []func()
+	closeAll := func() {
+		for i := len(cleanup) - 1; i >= 0; i-- {
+			cleanup[i]()
+		}
+	}
+	kv := loadgen.PreloadKeys(cfg.Keys, 32)
+	keys := make([][]byte, cfg.Keys)
+	for i := range keys {
+		keys[i] = []byte(loadgen.Key(i))
+	}
+	srvs := make([]*backend.MemcachedServer, total)
+	addrs := make([]string, total)
+	for i := range addrs {
+		s, err := backend.NewMemcachedServer(tr, listenAddr(tr, fmt.Sprintf("rebal-shard:%d", i)))
+		if err != nil {
+			closeAll()
+			return RebalancePoint{}, err
+		}
+		s.Preload(kv)
+		srvs[i] = s
+		addrs[i] = s.Addr()
+		cleanup = append(cleanup, s.Close)
+	}
+
+	p := core.NewPlatform(core.Config{Workers: cfg.Workers, Transport: tr})
+	mp, err := apps.MemcachedProxy(total) // capacity B+1, deployed with B
+	if err != nil {
+		p.Close()
+		closeAll()
+		return RebalancePoint{}, err
+	}
+	mp.LiveTopology = true
+	mp.ModTopology = cfg.Mod
+	mp.ProbeInterval = cfg.ProbeInterval
+	svc, err := mp.Deploy(p, listenAddr(tr, "rebal-proxy:11211"), addrs[:cfg.Backends])
+	if err != nil {
+		p.Close()
+		closeAll()
+		return RebalancePoint{}, err
+	}
+	svc.Pool().Prime(cfg.Clients)
+	cleanup = append(cleanup, func() { svc.Close(); p.Close() })
+	proxyAddr := svc.Addr()
+
+	var (
+		reqs metrics.Counter
+		errs metrics.Counter
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			i := c * 911 // stagger key cursors across clients
+			for !stop.Load() {
+				done, err := rebalanceConn(tr.Dial, proxyAddr, keys, &i, cfg.ReqsPerConn, &stop)
+				reqs.Add(uint64(done)) // count completed GETs, not batches
+				if err != nil {
+					errs.Inc()
+				}
+			}
+		}(c)
+	}
+
+	// Load runs against B; at the midpoint the topology grows to B+1 live.
+	time.Sleep(cfg.Duration / 2)
+	newBase := srvs[total-1].Requests()
+	if err := mp.UpdateBackends(svc, addrs); err != nil {
+		stop.Store(true)
+		wg.Wait()
+		closeAll()
+		return RebalancePoint{}, err
+	}
+	time.Sleep(cfg.Duration / 2)
+	stop.Store(true)
+	wg.Wait()
+
+	pt := RebalancePoint{
+		System:         cfg.System,
+		Ring:           !cfg.Mod,
+		Backends:       cfg.Backends,
+		Requests:       reqs.Value(),
+		Errors:         errs.Value(),
+		NewBackendReqs: srvs[total-1].Requests() - newBase,
+		Throughput:     float64(reqs.Value()) / cfg.Duration.Seconds(),
+		Upstream:       upstreamCounters(svc),
+	}
+	// The analytic remap cost over the exact key set, using the same
+	// router construction the service itself deploys.
+	if cfg.Mod {
+		pt.MovedFrac = backend.MovedFraction(
+			backend.NewModTable(addrs[:cfg.Backends]), backend.NewModTable(addrs), keys)
+	} else {
+		pt.MovedFrac = backend.MovedFraction(
+			backend.NewRing(addrs[:cfg.Backends], 0), backend.NewRing(addrs, 0), keys)
+	}
+	closeAll()
+	return pt, nil
+}
+
+// rebalanceConn is one client connection's life: dial, up to n GETs over
+// the shared key space, disconnect (so later connections route through
+// whatever topology is current). It returns how many GETs completed —
+// the caller counts those, so a connection stopped mid-batch or failed
+// after a partial batch is accounted exactly.
+func rebalanceConn(dial func(string) (net.Conn, error), addr string,
+	keys [][]byte, cursor *int, n int, stop *atomic.Bool) (int, error) {
+	raw, err := dial(addr)
+	if err != nil {
+		return 0, err
+	}
+	defer raw.Close()
+	c := memcache.NewConn(raw)
+	raw.SetReadDeadline(time.Now().Add(10 * time.Second))
+	for i := 0; i < n; i++ {
+		key := keys[*cursor%len(keys)]
+		*cursor++
+		resp, err := c.RoundTrip(memcache.Request(memcache.OpGet, key, nil))
+		if err != nil {
+			return i, err
+		}
+		ok := memcache.Status(resp) == memcache.StatusOK
+		resp.Release() // responses retain pooled wire bytes
+		if !ok {
+			return i, fmt.Errorf("bench: GET %s: miss", key)
+		}
+		if stop.Load() {
+			return i + 1, nil
+		}
+	}
+	return n, nil
+}
+
+// RunRebalancePair measures the ring and the mod-B ablation back to back.
+func RunRebalancePair(cfg RebalanceConfig) ([]RebalancePoint, error) {
+	var out []RebalancePoint
+	for _, mod := range []bool{false, true} {
+		c := cfg
+		c.Mod = mod
+		pt, err := RunRebalance(c)
+		if err != nil {
+			return out, fmt.Errorf("bench: rebalance (mod=%v): %w", mod, err)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// RebalanceTable renders the experiment.
+func RebalanceTable(points []RebalancePoint) *Table {
+	t := &Table{
+		Title: "Live rebalance — consistent-hash ring vs mod-B on a B→B+1 scale-out",
+		Columns: []string{"system", "topology", "backends", "keys-moved", "req/s",
+			"requests", "errors", "new-be-reqs", "upstream"},
+		Notes: []string{
+			"keys-moved: fraction of the key space the topology update remaps (analytic, exact key set)",
+			"errors must be 0: running graphs finish on their original sockets while new connections re-route",
+			"new-be-reqs: requests the added backend served after the live update",
+		},
+	}
+	for _, p := range points {
+		topo := "ring"
+		if !p.Ring {
+			topo = "mod-B"
+		}
+		t.Add(string(p.System), topo, fmt.Sprintf("%d→%d", p.Backends, p.Backends+1),
+			fmt.Sprintf("%.1f%%", 100*p.MovedFrac), fmtReqs(p.Throughput),
+			fmt.Sprint(p.Requests), fmt.Sprint(p.Errors), fmt.Sprint(p.NewBackendReqs),
+			fmtUpstream(p.Upstream))
+	}
+	return t
+}

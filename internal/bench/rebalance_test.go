@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRebalanceSmoke runs the live scale-out experiment with small
+// parameters and gates the tentpole's acceptance numbers: the ring moves
+// ≤25% of the key space on a 4→5 scale-out where mod-B moves most of it,
+// zero request errors occur during the live update, and the added backend
+// takes traffic.
+func TestRebalanceSmoke(t *testing.T) {
+	pts, err := RunRebalancePair(RebalanceConfig{
+		System:      SysFlick,
+		Clients:     8,
+		Backends:    4,
+		Keys:        500,
+		ReqsPerConn: 4,
+		Duration:    600 * time.Millisecond,
+		Workers:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	ring, mod := pts[0], pts[1]
+	if !ring.Ring || mod.Ring {
+		t.Fatal("pair order: want ring first, mod second")
+	}
+	if ring.MovedFrac > 0.25 {
+		t.Fatalf("ring moved %.1f%% of keys on 4→5, want ≤ 25%%", 100*ring.MovedFrac)
+	}
+	if mod.MovedFrac < 0.6 {
+		t.Fatalf("mod-B moved only %.1f%% of keys on 4→5, expected ~80%%", 100*mod.MovedFrac)
+	}
+	for _, p := range pts {
+		if p.Errors != 0 {
+			t.Fatalf("topology=%v: %d request errors during live scale-out, want 0", p.Ring, p.Errors)
+		}
+		if p.Requests == 0 {
+			t.Fatalf("topology=%v: no requests completed", p.Ring)
+		}
+		if p.NewBackendReqs == 0 {
+			t.Fatalf("topology=%v: added backend served no traffic after the update", p.Ring)
+		}
+	}
+	t.Log(RebalanceTable(pts).String())
+}

@@ -1,11 +1,3 @@
-// Package buffer provides pooled byte buffers, ring buffers and chunked byte
-// queues used throughout the FLICK runtime.
-//
-// The FLICK platform promises allocation-free steady-state operation: all
-// buffers that carry network payloads are drawn from pre-allocated pools
-// (§5 of the paper: "All buffers are drawn from a pre-allocated pool to avoid
-// dynamic memory allocation"). This package is that pool, plus the two byte
-// containers built on top of it.
 package buffer
 
 import (

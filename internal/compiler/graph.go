@@ -293,6 +293,7 @@ func (p *Program) buildPipeNode(proc *lang.ProcDecl, tmpl *core.Template,
 			globals: prog.globals[procName],
 			emit:    ctx.Emit,
 			instID:  ctx.Instance().ID(),
+			route:   ctx.Instance().Router(),
 		}
 		cur := v
 		for _, st := range stages {
@@ -387,7 +388,8 @@ func (p *Program) buildFoldt(proc *lang.ProcDecl, tmpl *core.Template,
 		}
 		n.Fn = func(ctx *core.NodeCtx, v value.Value, _ int) {
 			st := ctx.State.(*foldtState)
-			fr := Frame{globals: prog.globals[procName], emit: ctx.Emit, instID: ctx.Instance().ID()}
+			fr := Frame{globals: prog.globals[procName], emit: ctx.Emit,
+				instID: ctx.Instance().ID(), route: ctx.Instance().Router()}
 			key := prog.funs[order].call(&fr, []value.Value{v}).AsString()
 			if prev, ok := st.acc[key]; ok {
 				// Own unconditionally: a combine function may return v

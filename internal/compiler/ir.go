@@ -27,8 +27,14 @@ type Frame struct {
 	globals []value.Value // shared per deployed program
 	emit    func(out int, v value.Value)
 	instID  int64
-	ret     value.Value
-	retSet  bool
+	// route, when non-nil, is the instance's backend-topology router
+	// (core.Instance.Router): the `hash(k) mod len(backends)` idiom routes
+	// through it (consistent-hash ring) instead of plain modulo, so a
+	// live backend change moves ~1/(B+1) of the key space. Nil preserves
+	// mod-B over the compiled channel-array capacity.
+	route  func(hash int64) int
+	ret    value.Value
+	retSet bool
 }
 
 // exprFn evaluates an expression.
@@ -52,6 +58,7 @@ func (f *compiledFun) call(parent *Frame, args []value.Value) value.Value {
 		globals: parent.globals,
 		emit:    parent.emit,
 		instID:  parent.instID,
+		route:   parent.route,
 	}
 	copy(fr.locals, args)
 	for _, s := range f.body {
@@ -68,6 +75,18 @@ type ChanRef struct {
 
 // chanRefValue wraps a ChanRef as a value.
 func chanRefValue(out int) value.Value { return value.Opaque(ChanRef{Out: out}) }
+
+// isChanList reports whether v is a channel-array value (a list of
+// ChanRefs) — the shape `len(backends)` sees in both pipeline-stage
+// arguments (compile-time chanEnv constants) and function bodies (the
+// array passed as an argument).
+func isChanList(v value.Value) bool {
+	if v.Kind != value.KindList || len(v.L) == 0 {
+		return false
+	}
+	_, ok := v.L[0].X.(ChanRef)
+	return ok
+}
 
 // --- builtin implementations ---
 

@@ -305,6 +305,13 @@ func (lw *lowerer) lowerExpr(e lang.Expr) (exprFn, error) {
 }
 
 func (lw *lowerer) lowerBinary(x *lang.BinaryExpr) (exprFn, error) {
+	if x.Op == lang.TokMod {
+		if fn, ok, err := lw.lowerRoutedMod(x); err != nil {
+			return nil, err
+		} else if ok {
+			return fn, nil
+		}
+	}
 	l, err := lw.lowerExpr(x.L)
 	if err != nil {
 		return nil, err
@@ -352,6 +359,66 @@ func (lw *lowerer) lowerBinary(x *lang.BinaryExpr) (exprFn, error) {
 		}, nil
 	}
 	return nil, fmt.Errorf("compiler: unsupported operator at %s", x.Pos)
+}
+
+// lowerRoutedMod recognises the backend-selection idioms
+//
+//	hash(key) mod len(backends)          (proxy, router: per-key)
+//	instance_id() mod len(backends)      (HTTP LB: per-connection)
+//
+// and lowers them through the instance's topology router when one is
+// installed (Frame.route — set by the graph dispatcher from
+// core.Instance.Router). With a consistent-hash ring as router, a live
+// backend add/remove moves only ~1/(B+1) of the key space; without a
+// router (fixed topology, or the mod-B ablation's ModTable) routing is
+// byte-for-byte the old behaviour. The channel-array check happens at
+// run time on the len() argument's value — the array reaches function
+// bodies as an ordinary parameter, so only the runtime shape (a list of
+// ChanRefs) identifies it — which keeps `hash(x) mod len(some_string)`
+// on the plain modulo path.
+func (lw *lowerer) lowerRoutedMod(x *lang.BinaryExpr) (exprFn, bool, error) {
+	shadowed := func(name string) bool {
+		// Record constructors and user functions shadow builtins in call
+		// position; leave those to the generic path.
+		if _, isCtor := lw.prog.descs[name]; isCtor {
+			return true
+		}
+		_, isFun := lw.prog.funDecls[name]
+		return isFun
+	}
+	var seed exprFn // produces the value the router maps to a backend
+	switch hcall, ok := x.L.(*lang.CallExpr); {
+	case ok && hcall.Name == "hash" && len(hcall.Args) == 1 && !shadowed("hash"):
+		arg, err := lw.lowerExpr(hcall.Args[0])
+		if err != nil {
+			return nil, false, err
+		}
+		seed = func(fr *Frame) value.Value { return value.Int(hashValue(arg(fr))) }
+	case ok && hcall.Name == "instance_id" && len(hcall.Args) == 0 && !shadowed("instance_id"):
+		seed = func(fr *Frame) value.Value { return value.Int(fr.instID) }
+	default:
+		return nil, false, nil
+	}
+	lcall, ok := x.R.(*lang.CallExpr)
+	if !ok || lcall.Name != "len" || len(lcall.Args) != 1 || shadowed("len") {
+		return nil, false, nil
+	}
+	larg, err := lw.lowerExpr(lcall.Args[0])
+	if err != nil {
+		return nil, false, err
+	}
+	return func(fr *Frame) value.Value {
+		h := seed(fr).AsInt()
+		xs := larg(fr)
+		if fr.route != nil && isChanList(xs) {
+			return value.Int(int64(fr.route(h)))
+		}
+		n := lenValue(xs)
+		if n == 0 {
+			return value.Int(0)
+		}
+		return value.Int(h % n)
+	}, true, nil
 }
 
 func (lw *lowerer) lowerCall(x *lang.CallExpr) (exprFn, error) {

@@ -1,0 +1,52 @@
+package compiler
+
+import (
+	"testing"
+
+	"flick/internal/backend"
+	"flick/internal/value"
+)
+
+// TestKeyHashMatchesHashBuiltin pins the contract the topology layer
+// depends on: backend.KeyHash (used by rings, benches and the rebalance
+// analysis) computes exactly the language's hash builtin over byte
+// content, so an analysis of "where will this key route" agrees with what
+// the compiled program does.
+func TestKeyHashMatchesHashBuiltin(t *testing.T) {
+	for _, s := range []string{"", "a", "key", "topo-key-0042", "churn-key-007", "Ω≈ç√"} {
+		want := backend.KeyHash([]byte(s))
+		if got := hashValue(value.Str(s)); got != want {
+			t.Fatalf("hashValue(Str(%q)) = %d, backend.KeyHash = %d", s, got, want)
+		}
+		if got := hashValue(value.Bytes([]byte(s))); got != want {
+			t.Fatalf("hashValue(Bytes(%q)) = %d, backend.KeyHash = %d", s, got, want)
+		}
+	}
+}
+
+// TestRoutedModFallsBackWithoutRouter: a frame with no topology router
+// evaluates `hash(k) mod len(xs)` as plain modulo, for channel arrays and
+// ordinary values alike.
+func TestRoutedModFallsBackWithoutRouter(t *testing.T) {
+	src := `
+type doc: record
+    text : string
+
+fun pick: (d: doc) -> (integer)
+    hash(d.text) mod len(d.text)
+`
+	prog, err := Compile(src, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := prog.Desc("doc").New()
+	doc.SetField("text", value.Str("hello"))
+	got, err := prog.CallFunction("pick", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := hashValue(value.Str("hello")) % 5
+	if got.AsInt() != want {
+		t.Fatalf("pick = %d, want %d", got.AsInt(), want)
+	}
+}

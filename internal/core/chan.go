@@ -1,9 +1,3 @@
-// Package core implements the FLICK platform's task-graph runtime (§5 of
-// the paper): values flow through bounded task channels between
-// cooperatively scheduled tasks; graphs are built from templates, pooled,
-// and bound to network connections by the application and graph
-// dispatchers; a fixed pool of worker threads executes runnable tasks with
-// per-worker FIFO queues, task→worker affinity and work stealing.
 package core
 
 import (

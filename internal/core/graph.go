@@ -18,6 +18,7 @@ const (
 	NodeOutput
 )
 
+// String names the node kind for diagnostics and debug dumps.
 func (k NodeKind) String() string {
 	switch k {
 	case NodeInput:

@@ -30,7 +30,12 @@ type Instance struct {
 	outputRT []*outputState // by node ID (outputs only)
 	compRT   []*computeState
 
-	conns     []net.Conn // by port index
+	conns []net.Conn // by port index
+	// router is the backend-topology router snapshot bound with this
+	// dispatch (nil: fixed topology, plain mod-B routing). Like conns it
+	// is written between pool Get and Start and read by task bodies after
+	// Start, so it needs no extra synchronisation; Reset clears it.
+	router    func(hash int64) int
 	id        int64
 	liveTasks atomic.Int32
 	shutdown  atomic.Bool
@@ -216,6 +221,7 @@ func (inst *Instance) Reset() {
 	for i := range inst.conns {
 		inst.conns[i] = nil
 	}
+	inst.router = nil
 	inst.initRuntime()
 }
 
@@ -253,6 +259,15 @@ func (inst *Instance) DebugString() string {
 	}
 	return sb.String()
 }
+
+// SetRouter installs the backend-topology router for this binding (the
+// key→backend-index mapping compiled `hash(k) mod len(backends)`
+// expressions consult). Call before Start, alongside Bind; Reset clears it.
+func (inst *Instance) SetRouter(route func(hash int64) int) { inst.router = route }
+
+// Router returns the binding's topology router (nil when the instance
+// routes by plain modulo over the compiled channel-array capacity).
+func (inst *Instance) Router() func(hash int64) int { return inst.router }
 
 // Bind attaches a connection to a port. Call before Start.
 func (inst *Instance) Bind(port int, conn net.Conn) {

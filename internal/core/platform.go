@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"flick/internal/netstack"
 	"flick/internal/upstream"
@@ -106,6 +107,17 @@ type ServiceConfig struct {
 	// activated. Ports absent from the map (and != ClientPort) stay
 	// unbound unless Shared dispatch assigns them.
 	BackendAddrs map[int]string
+	// BackendPorts lists, in channel-array element order, the port
+	// indices available to a live Topology (PerConnection mode). Its
+	// length is the compiled capacity: the topology may hold at most this
+	// many backends, and ports beyond the current backend count stay
+	// unbound until a scale-out.
+	BackendPorts []int
+	// Topology, when set, replaces the fixed BackendAddrs map with a live
+	// backend set: each dispatch binds the current address list to
+	// BackendPorts in order and routes keys through Topology.Route (see
+	// Service.UpdateBackends for changing it while serving).
+	Topology Topology
 	// SharedPorts lists, for Shared dispatch, the port indices assigned
 	// to successive accepted connections (in order).
 	SharedPorts []int
@@ -129,6 +141,12 @@ type Service struct {
 	platform *Platform
 	listener net.Listener
 	pool     *GraphPool
+
+	// topo holds the live backend Topology (as a topoBox; see
+	// topology.go). Dispatches snapshot it once; UpdateBackends swaps it
+	// under topoMu so the upstream SetBackends + Store pair is atomic.
+	topo   atomic.Value
+	topoMu sync.Mutex
 
 	mu      sync.Mutex
 	shared  *Instance // Shared dispatch accumulator
@@ -154,6 +172,10 @@ func (p *Platform) Deploy(cfg ServiceConfig) (*Service, error) {
 		live:     map[*Instance]struct{}{},
 	}
 	s.pool.Disabled = cfg.DisablePool
+	if err := s.installTopology(&cfg); err != nil {
+		l.Close()
+		return nil, err
+	}
 	p.mu.Lock()
 	p.services = append(p.services, s)
 	p.mu.Unlock()
@@ -259,14 +281,11 @@ func (s *Service) dispatchPerConn(conn net.Conn) error {
 	// Connect backends ("The graph dispatcher also creates new output
 	// channel connections to forward processed traffic") — by leasing a
 	// multiplexed session from the shared upstream layer when bound, by
-	// dialling a dedicated socket otherwise.
-	for port, addr := range s.cfg.BackendAddrs {
-		bc, err := s.dialBackend(addr)
-		if err != nil {
-			s.releaseUnstarted(inst)
-			return fmt.Errorf("core: dial backend %s: %w", addr, err)
-		}
-		inst.Bind(port, bc)
+	// dialling a dedicated socket otherwise; with a live Topology the
+	// current snapshot picks the addresses and the routing function.
+	if err := s.bindBackends(inst); err != nil {
+		s.releaseUnstarted(inst)
+		return err
 	}
 	// Publish into the live set only once fully bound: Service.Close reads
 	// inst.conns (via Instance.Close) for everything it finds in s.live,

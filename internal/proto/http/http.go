@@ -485,7 +485,18 @@ func containsToken(hay, needle []byte) bool {
 	return false
 }
 
-// BuildRequest renders a simple GET/POST request (load-generator helper).
+// ProbeRequest returns the wire bytes of a body-less `OPTIONS *` request —
+// the lightweight liveness probe the shared upstream layer round-trips
+// against HTTP backends (upstream.Config.Probe). OPTIONS responses are
+// Content-Length framed, so FrameRequestLen/FrameResponseLen handle it
+// like any pooled request (unlike HEAD, whose response framing lies).
+func ProbeRequest() []byte {
+	return BuildRequest(nil, "OPTIONS", "*", "probe", true, nil)
+}
+
+// BuildRequest appends a complete HTTP/1.1 request (start line, Host,
+// Connection and Content-Length headers, body) to dst and returns it —
+// the raw-bytes twin of RequestFormat.Encode for clients and tests.
 func BuildRequest(dst []byte, method, uri, host string, keepAlive bool, body []byte) []byte {
 	dst = append(dst, method...)
 	dst = append(dst, ' ')

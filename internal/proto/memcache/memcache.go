@@ -3,6 +3,17 @@
 // used by the backend server, the Moxi-like baseline and the load
 // generators. The FLICK data path itself uses the grammar codec directly
 // inside input/output tasks.
+//
+// # Ownership of received messages
+//
+// Messages returned by Conn.Receive, Conn.RoundTrip and ReadMessage are
+// zero-copy views over pooled wire bytes: every byte field (key, value,
+// _raw) aliases the refcounted region the network bytes landed in. Callers
+// MUST call Release on each received message once done with it — or hand
+// the batch to ReleaseAll — otherwise the pooled region never recycles and
+// ref-balance assertions (refgets == refputs) fail. Bytes that must
+// outlive the message belong in an owned copy (value.Owned / Detach)
+// taken before the Release.
 package memcache
 
 import (
@@ -22,10 +33,24 @@ const (
 	OpGet         = grammar.MemcachedOpGet
 	OpSet         = grammar.MemcachedOpSet
 	OpGetK        = grammar.MemcachedOpGetK
+	// OpNoop is the binary-protocol no-op: a 24-byte header in, a 24-byte
+	// header out. The upstream layer's health probes use it.
+	OpNoop = 0x0a
 
 	StatusOK          = 0x0000
 	StatusKeyNotFound = 0x0001
 )
+
+// ProbeRequest returns the wire bytes of one Noop request — the
+// lightweight liveness probe the shared upstream layer round-trips against
+// memcached backends (upstream.Config.Probe). Noop is not a quiet opcode,
+// so FrameRequestLen accepts it and FIFO correlation holds.
+func ProbeRequest() []byte {
+	req := make([]byte, 24)
+	req[0] = MagicRequest
+	req[1] = OpNoop
+	return req
+}
 
 // Codec is the full-fidelity compiled Memcached grammar. Raw capture is on:
 // decoded commands keep a zero-copy view of their wire image, so proxying
@@ -98,7 +123,9 @@ func (c *Conn) Send(msg value.Value) error {
 	return err
 }
 
-// Receive blocks until one complete message arrives.
+// Receive blocks until one complete message arrives. The message retains
+// pooled wire bytes — the caller must Release it (see the package note on
+// ownership).
 func (c *Conn) Receive() (value.Value, error) {
 	for {
 		if msg, ok, err := c.dec.Decode(c.q); err != nil {
@@ -117,12 +144,25 @@ func (c *Conn) Receive() (value.Value, error) {
 	}
 }
 
-// RoundTrip sends a request and waits for its response.
+// RoundTrip sends a request and waits for its response. The response
+// retains pooled wire bytes — the caller must Release it (see the package
+// note on ownership).
 func (c *Conn) RoundTrip(req value.Value) (value.Value, error) {
 	if err := c.Send(req); err != nil {
 		return value.Null, err
 	}
 	return c.Receive()
+}
+
+// ReleaseAll releases every message in msgs, skipping Null values — the
+// one-liner for callers that accumulated several pooled responses (see the
+// package note on ownership).
+func ReleaseAll(msgs ...value.Value) {
+	for _, m := range msgs {
+		if m.Kind != value.KindNull {
+			m.Release()
+		}
+	}
 }
 
 // Close closes the underlying connection.

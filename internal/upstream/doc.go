@@ -1,0 +1,61 @@
+// Package upstream is the shared upstream connection layer: per-backend
+// pools of persistent, pipelined connections that many client task graphs
+// multiplex over, replacing the per-client backend dial of the naive graph
+// dispatcher ("creates new output channel connections to forward processed
+// traffic", §5).
+//
+// A Manager owns one pool per backend address. Each pool holds up to Size
+// long-lived sockets; Lease hands out a lightweight virtual connection (a
+// Session — net.Conn-shaped, so instance binding is untouched at the type
+// level) pinned to one of them. Requests from all sessions of a socket are
+// framed, counted into a FIFO, and written through a single serialised
+// writer; the demultiplexer frames the pipelined response stream and routes
+// each response view to the session at the FIFO head. This matches the
+// FIFO request/response discipline of memcached-binary and HTTP/1.1
+// backends, which answer a connection's requests in arrival order.
+//
+// # Zero-copy / ownership invariants
+//
+// The data path is zero-copy end to end: backend bytes land in pooled
+// refcounted chunks (buffer.Ref), each complete response becomes a
+// retained sub-view (Queue.TakeRef), and views ride buffer.Queue
+// hand-overs (AppendView / DrainTo) into the leasing instance's parse
+// queue without a copy. Ownership of a delivered view passes to the
+// session's inbound queue and from there, by reference, to the consumer;
+// a session closed before delivery drops (Releases) the view itself, so
+// every region's refcount balances whether or not its response was read.
+// Writes stage caller memory by reference only within the locked write
+// call; a trailing partial request is copied into pooled memory the
+// session owns (compactTail) before the lock is released.
+//
+// # Failure handling and topology
+//
+// Dialling is lazy (a pool socket is established by the lease that needs
+// it), a failed dial opens a doubling backoff window during which leases
+// fail fast, and a mid-stream socket failure EOFs every session
+// multiplexed on it — exactly what a dedicated backend connection dying
+// looks like, so instance teardown is unchanged. Two extensions make the
+// backend set dynamic:
+//
+//   - Health probes (Config.Probe / ProbeInterval): a manager timer
+//     re-dials empty or broken slots in the background and round-trips a
+//     protocol no-op (memcache.ProbeRequest, http.ProbeRequest), closing
+//     fail-fast windows — and pre-warming new backends — before a client
+//     lease pays for the discovery.
+//   - Live topology (SetBackends): pools are created for added addresses
+//     and retired for removed ones. A retired pool refuses new leases
+//     (ErrRetired) while in-flight sessions finish on their original
+//     socket; each drained socket closes as its last session detaches.
+//
+// # Counters
+//
+// Manager.Counters exposes the layer as a metrics.CounterSet:
+//
+//	dials     sockets established (bounded by pool size × backends)
+//	reuse     leases served by an already-live socket
+//	inflight  unanswered pipelined requests right now (gauge)
+//	redials   sockets re-established after a failure
+//	failfast  leases rejected during a backoff window
+//	probes    successful background probe round trips
+//	drained   sockets closed by topology drain
+package upstream

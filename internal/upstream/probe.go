@@ -1,0 +1,188 @@
+package upstream
+
+import (
+	"time"
+)
+
+// SetBackends reconciles the manager's pool set with a new backend
+// topology. Pools are created for added addresses — making them probe
+// targets at once, so their sockets are pre-established before the first
+// lease — and retired for removed ones: a retired pool refuses new
+// leases, while sessions already leased keep using their socket until
+// they close (an in-flight request always completes on the socket it was
+// written to). Each retired socket closes as its last session detaches,
+// counted by the drained counter.
+//
+// After the first call the manager is topology-managed: leases to
+// addresses outside the current set fail with ErrRetired instead of
+// lazily dialling a backend the topology no longer owns.
+func (m *Manager) SetBackends(addrs []string) {
+	if m.closed.Load() {
+		return
+	}
+	want := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		want[a] = true
+	}
+	m.mu.Lock()
+	m.want = want
+	var retired []*pool
+	for a, p := range m.pools {
+		if !want[a] {
+			retired = append(retired, p)
+			delete(m.pools, a)
+			// Track until its last socket closes: Manager.Close must be
+			// able to sweep a pool that is gone from the address map but
+			// still owns draining sockets.
+			m.draining[p] = struct{}{}
+		}
+	}
+	for a := range want {
+		if m.pools[a] == nil {
+			m.pools[a] = newPool(m, a)
+		}
+	}
+	m.mu.Unlock()
+	for _, p := range retired {
+		p.retire()
+		m.reapDrained(p)
+	}
+}
+
+// reapDrained drops a retired pool from the draining set once no live
+// socket remains — and none can appear: a slot with a dial in flight
+// counts as live (the dial may still install a socket; its own retired
+// re-check will fail it and call back here).
+func (m *Manager) reapDrained(p *pool) {
+	p.mu.Lock()
+	done := true
+	for i, c := range p.slots {
+		if p.dialing[i] || (c != nil && !c.isBroken()) {
+			done = false
+			break
+		}
+	}
+	p.mu.Unlock()
+	if !done {
+		return
+	}
+	m.mu.Lock()
+	delete(m.draining, p)
+	m.mu.Unlock()
+}
+
+// retire marks the pool draining and closes any socket that already has no
+// sessions; the rest drain as their sessions detach (conn.maybeDrain).
+func (p *pool) retire() {
+	p.mu.Lock()
+	p.retired = true
+	conns := make([]*conn, 0, len(p.slots))
+	for _, c := range p.slots {
+		if c != nil {
+			conns = append(conns, c)
+		}
+	}
+	p.cond.Broadcast() // leases waiting out a dial must observe retirement
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.maybeDrain()
+	}
+}
+
+// probeLoop drives background health probing (Config.Probe): each tick,
+// every empty or broken pool slot is dialled and round-tripped. A
+// successful probe repairs the slot in place — the dial resets the pool's
+// backoff, so the fail-fast window closes — and leaves the socket live
+// for the next lease; probes therefore double as connection pre-warming
+// for freshly added backends. Probe dials deliberately ignore the backoff
+// gate: the gate exists so clients never wait on a dead backend's connect
+// timeout, and the probe goroutine is exactly the place where that wait
+// is free.
+func (m *Manager) probeLoop() {
+	t := time.NewTicker(m.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-t.C:
+			m.probeAll()
+		}
+	}
+}
+
+// probeAll sweeps every pool once. Pools probe concurrently (one
+// goroutine each, never overlapping per pool): a single blackholed
+// backend spending its OS connect timeout must not head-of-line block
+// the probing — and pre-warming — of every other backend.
+func (m *Manager) probeAll() {
+	m.mu.Lock()
+	pools := make([]*pool, 0, len(m.pools))
+	for _, p := range m.pools {
+		pools = append(pools, p)
+	}
+	m.mu.Unlock()
+	for _, p := range pools {
+		if m.closed.Load() {
+			return
+		}
+		p.mu.Lock()
+		busy := p.probing || p.retired
+		if !busy {
+			p.probing = true
+		}
+		p.mu.Unlock()
+		if busy {
+			continue // last tick's sweep of this pool is still running
+		}
+		go func(p *pool) {
+			for slot := range p.slots {
+				p.probeSlot(slot)
+			}
+			p.mu.Lock()
+			p.probing = false
+			p.mu.Unlock()
+		}(p)
+	}
+}
+
+// probeSlot re-establishes one dead slot and verifies the backend answers.
+func (p *pool) probeSlot(slot int) {
+	p.mu.Lock()
+	if p.retired || p.dialing[slot] {
+		p.mu.Unlock()
+		return
+	}
+	if c := p.slots[slot]; c != nil && !c.isBroken() {
+		p.mu.Unlock()
+		return
+	}
+	// dialSlot releases p.mu; on failure it re-arms the backoff window so
+	// leases keep failing fast until a later probe succeeds.
+	s, err := p.dialSlot(slot)
+	if err != nil {
+		return
+	}
+	if err := p.m.probeSession(s); err != nil {
+		// Connected but not answering: break the socket so no lease lands
+		// on a half-dead backend; the next probe tick re-dials.
+		s.c.fail(err)
+		s.Close()
+		return
+	}
+	p.m.probes.Inc()
+	s.Close()
+}
+
+// probeSession round-trips the configured no-op request on a fresh
+// session. Any framed response counts as alive — the probe checks
+// liveness, not semantics.
+func (m *Manager) probeSession(s *Session) error {
+	if _, err := s.Write(m.cfg.Probe); err != nil {
+		return err
+	}
+	s.SetReadDeadline(time.Now().Add(m.cfg.ProbeTimeout))
+	var buf [256]byte
+	_, err := s.Read(buf[:])
+	return err
+}

@@ -1,29 +1,3 @@
-// Package upstream is the shared upstream connection layer: per-backend
-// pools of persistent, pipelined connections that many client task graphs
-// multiplex over, replacing the per-client backend dial of the naive graph
-// dispatcher ("creates new output channel connections to forward processed
-// traffic", §5).
-//
-// A Manager owns one pool per backend address. Each pool holds up to Size
-// long-lived sockets; Lease hands out a lightweight virtual connection (a
-// Session — net.Conn-shaped, so instance binding is untouched at the type
-// level) pinned to one of them. Requests from all sessions of a socket are
-// framed, counted into a FIFO, and written through a single serialised
-// writer; the demultiplexer frames the pipelined response stream and routes
-// each response view to the session at the FIFO head. This matches the
-// FIFO request/response discipline of memcached-binary and HTTP/1.1
-// backends, which answer a connection's requests in arrival order.
-//
-// The data path is zero-copy end to end: backend bytes land in pooled
-// refcounted chunks, each response becomes a retained sub-view
-// (Queue.TakeRef), and views ride buffer.Queue hand-overs (AppendView /
-// DrainTo) into the leasing instance's parse queue without a copy.
-//
-// Failure handling: dialling is lazy (a pool socket is established on the
-// lease that needs it), a failed dial opens a doubling backoff window
-// during which leases fail fast, and a mid-stream socket failure EOFs every
-// session multiplexed on it — exactly what a dedicated backend connection
-// dying looks like, so instance teardown is unchanged.
 package upstream
 
 import (
@@ -55,6 +29,10 @@ var (
 	// ErrUnsolicited breaks a shared connection whose backend produced a
 	// response with no matching request (FIFO correlation impossible).
 	ErrUnsolicited = errors.New("upstream: response without matching request")
+	// ErrRetired fails a lease to a backend address that a topology
+	// update removed: its pool is draining (or gone) and must not pick up
+	// new work.
+	ErrRetired = errors.New("upstream: backend removed from topology")
 	// errManagerClosed fails the sessions of a closed manager.
 	errManagerClosed = errors.New("upstream: manager closed")
 )
@@ -82,6 +60,20 @@ type Config struct {
 	// 2s) and resets on success.
 	Backoff    time.Duration
 	MaxBackoff time.Duration
+	// Probe, when non-empty, holds the wire bytes of one protocol-level
+	// no-op request (memcache.ProbeRequest, http.ProbeRequest) and turns
+	// on proactive health probing: every ProbeInterval the manager dials
+	// empty or broken pool slots in the background and round-trips the
+	// probe, so dead sockets re-establish — and fail-fast backoff windows
+	// close — before any client lease pays for the discovery. The probe
+	// request must satisfy RequestFramer (exactly one framed request with
+	// exactly one response).
+	Probe []byte
+	// ProbeInterval is the probe timer period (default 250ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round trip (default 1s); a backend
+	// that accepts the dial but does not answer is marked broken.
+	ProbeTimeout time.Duration
 }
 
 // Manager is the shared upstream connection layer for one service: a pool
@@ -90,14 +82,26 @@ type Manager struct {
 	cfg  Config
 	bufs *buffer.Pool
 
-	mu     sync.Mutex
-	pools  map[string]*pool
-	closed atomic.Bool
+	mu    sync.Mutex
+	pools map[string]*pool
+	// want is the topology-managed address set (nil until SetBackends is
+	// first called): with it set, leases to addresses outside the set are
+	// refused instead of lazily resurrecting a drained pool.
+	want map[string]bool
+	// draining holds retired pools that may still own live sockets
+	// (sessions finishing on them): Close must sweep these too — a socket
+	// must never outlive a closed manager. Pools leave the set once every
+	// socket is gone (reapDrained).
+	draining map[*pool]struct{}
+	closed   atomic.Bool
+	done     chan struct{} // stops the probe loop
 
 	dials    metrics.Counter // sockets established
 	reuse    metrics.Counter // leases served by an already-live socket
 	redials  metrics.Counter // sockets re-established after a failure
 	failfast metrics.Counter // leases rejected during backoff
+	probes   metrics.Counter // successful background probe round trips
+	drained  metrics.Counter // sockets closed by topology drain
 	inflight atomic.Int64    // current unanswered requests (gauge)
 }
 
@@ -122,10 +126,21 @@ func NewManager(cfg Config) *Manager {
 	if cfg.MaxBackoff <= 0 {
 		cfg.MaxBackoff = 2 * time.Second
 	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 250 * time.Millisecond
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = time.Second
+	}
 	if cfg.RequestFramer == nil || cfg.ResponseFramer == nil {
 		panic("upstream: NewManager requires request and response framers")
 	}
-	return &Manager{cfg: cfg, bufs: cfg.Pool, pools: map[string]*pool{}}
+	m := &Manager{cfg: cfg, bufs: cfg.Pool, pools: map[string]*pool{},
+		draining: map[*pool]struct{}{}, done: make(chan struct{})}
+	if len(cfg.Probe) > 0 {
+		go m.probeLoop()
+	}
+	return m
 }
 
 // Lease returns a virtual connection to addr, multiplexed onto one of the
@@ -138,6 +153,13 @@ func (m *Manager) Lease(addr string) (*Session, error) {
 	m.mu.Lock()
 	p := m.pools[addr]
 	if p == nil {
+		// Under topology management, an address outside the current set
+		// must not lazily resurrect a drained pool: the lease raced an
+		// UpdateBackends that removed its backend.
+		if m.want != nil && !m.want[addr] {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("%w: %s", ErrRetired, addr)
+		}
 		p = newPool(m, addr)
 		m.pools[addr] = p
 	}
@@ -146,7 +168,7 @@ func (m *Manager) Lease(addr string) (*Session, error) {
 }
 
 // Counters snapshots the layer's counters: dials, reuse, inflight (gauge),
-// redials, failfast.
+// redials, failfast, probes, drained.
 func (m *Manager) Counters() metrics.CounterSet {
 	inflight := m.inflight.Load()
 	if inflight < 0 {
@@ -158,6 +180,8 @@ func (m *Manager) Counters() metrics.CounterSet {
 		"inflight", uint64(inflight),
 		"redials", m.redials.Value(),
 		"failfast", m.failfast.Value(),
+		"probes", m.probes.Value(),
+		"drained", m.drained.Value(),
 	)
 }
 
@@ -186,9 +210,17 @@ func (m *Manager) Close() {
 	if !m.closed.CompareAndSwap(false, true) {
 		return
 	}
+	close(m.done)
 	m.mu.Lock()
-	var conns []*conn
+	sweep := make([]*pool, 0, len(m.pools)+len(m.draining))
 	for _, p := range m.pools {
+		sweep = append(sweep, p)
+	}
+	for p := range m.draining { // retired pools may still hold live sockets
+		sweep = append(sweep, p)
+	}
+	var conns []*conn
+	for _, p := range sweep {
 		p.mu.Lock()
 		for _, c := range p.slots {
 			if c != nil {
@@ -216,6 +248,8 @@ type pool struct {
 	rr        int           // round-robin lease cursor
 	backoff   time.Duration // current redial backoff (0: healthy)
 	downUntil time.Time     // fail-fast gate
+	retired   bool          // topology removed this backend: drain, no new leases
+	probing   bool          // a probe sweep of this pool is in flight
 }
 
 func newPool(m *Manager, addr string) *pool {
@@ -239,6 +273,10 @@ func newPool(m *Manager, addr string) *pool {
 func (p *pool) lease() (*Session, error) {
 	p.mu.Lock()
 	for {
+		if p.retired {
+			p.mu.Unlock()
+			return nil, fmt.Errorf("%w: %s", ErrRetired, p.addr)
+		}
 		slot := p.rr % len(p.slots)
 		p.rr++
 		c := p.slots[slot]
@@ -313,13 +351,22 @@ func (p *pool) dialSlot(slot int) (*Session, error) {
 	p.slots[slot] = c
 	// Publish-then-check: Manager.Close sets the flag before sweeping the
 	// slots, so either its sweep sees this conn or this check sees the
-	// flag — a socket can never outlive a closed manager.
+	// flag — a socket can never outlive a closed manager. Retirement gets
+	// the same treatment: a SetBackends that raced this dial (retire ran
+	// while p.mu was released) must not receive a live socket on a pool
+	// nothing tracks any more.
 	closed := p.m.closed.Load()
+	retired := p.retired
 	p.mu.Unlock()
 	c.start()
 	if closed {
 		c.fail(errManagerClosed)
 		return nil, errManagerClosed
+	}
+	if retired {
+		c.fail(ErrRetired)
+		p.m.reapDrained(p)
+		return nil, fmt.Errorf("%w: %s", ErrRetired, p.addr)
 	}
 	return c.newSession(), nil
 }
@@ -343,6 +390,7 @@ type conn struct {
 	window   int
 	sessions map[*Session]struct{}
 	broken   bool
+	draining bool // topology drain claimed this socket's close
 
 	dmu sync.Mutex    // demux ingest (event callback vs EOF callback races)
 	rq  *buffer.Queue // inbound byte stream awaiting framing
@@ -553,10 +601,36 @@ func (c *conn) newSession() *Session {
 }
 
 // removeSession detaches a closed session and wakes writers (a blocked
-// writer must observe the close).
+// writer must observe the close). On a retired pool the socket drains:
+// the last session's detach closes it.
 func (c *conn) removeSession(s *Session) {
 	c.mu.Lock()
 	delete(c.sessions, s)
 	c.cond.Broadcast()
 	c.mu.Unlock()
+	c.maybeDrain()
+}
+
+// maybeDrain closes the socket of a retired pool once no session is
+// multiplexed on it — the drain endpoint of a topology removal: in-flight
+// leases completed on their original socket, nothing new can attach
+// (lease refuses retired pools), so the socket's life is over.
+func (c *conn) maybeDrain() {
+	c.p.mu.Lock()
+	retired := c.p.retired
+	c.p.mu.Unlock()
+	if !retired {
+		return
+	}
+	c.mu.Lock()
+	drain := !c.broken && !c.draining && len(c.sessions) == 0
+	if drain {
+		c.draining = true // claim the close: concurrent detaches count once
+	}
+	c.mu.Unlock()
+	if drain {
+		c.m.drained.Inc()
+		c.fail(ErrRetired)
+		c.m.reapDrained(c.p)
+	}
 }
