@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-churn bench-rebalance check-docs fuzz-smoke ci
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-churn bench-rebalance bench-shard check-docs fuzz-smoke ci
 
 all: build test
 
@@ -44,12 +44,19 @@ bench-churn:
 bench-rebalance:
 	$(GO) run ./cmd/flickbench -quick rebalance
 
-# Documentation gate: every relative markdown link resolves and every
-# exported identifier in the data-path packages has a doc comment.
+# Upstream-sharding microbenchmark: leased-session round trips with one
+# pool shard per core vs one shared pool — the write-lock contention the
+# per-worker sharding removes (also run by the CI bench-smoke job).
+bench-shard:
+	$(GO) test ./internal/upstream -bench=BenchmarkUpstreamShardScaling -benchtime=500x -run='^$$'
+
+# Documentation gate: every relative markdown link (and intra-doc
+# anchor) resolves and every exported identifier in the data-path
+# packages has a doc comment.
 DOC_PKGS = internal/upstream,internal/backend,internal/buffer,internal/core,internal/apps,internal/bench,internal/metrics,internal/proto/memcache,internal/proto/http,internal/tools/docscheck
 
 check-docs:
-	$(GO) run ./internal/tools/docscheck -pkgs $(DOC_PKGS) README.md docs/ARCHITECTURE.md
+	$(GO) run ./internal/tools/docscheck -pkgs $(DOC_PKGS) README.md docs/ARCHITECTURE.md docs/PERFORMANCE.md
 
 # Short-budget native fuzzing of every protocol decoder plus the grammar
 # round-trip (go test -fuzz accepts one target per invocation). The
@@ -62,4 +69,4 @@ fuzz-smoke:
 	$(GO) test ./internal/proto/hadoop -run='^$$' -fuzz=FuzzHadoopDecode -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/grammar -run='^$$' -fuzz=FuzzGrammarRoundTrip -fuzztime=$(FUZZTIME)
 
-ci: build vet fmt-check check-docs test race bench-smoke bench-churn bench-rebalance fuzz-smoke
+ci: build vet fmt-check check-docs test race bench-smoke bench-churn bench-rebalance bench-shard fuzz-smoke

@@ -32,6 +32,7 @@ func main() {
 		dur     = flag.Duration("duration", 2*time.Second, "duration per measured cell")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "FLICK worker threads")
 		noPool  = flag.Bool("no-upstream-pool", false, "dial backends per client instead of sharing pipelined upstream connections")
+		upShard = flag.Int("upstream-shards", 0, "upstream pool shards for fig4/fig5 (0: one per worker; 1: single shared pool)")
 	)
 	flag.Parse()
 	cmd := flag.Arg(0)
@@ -86,6 +87,7 @@ func main() {
 				Duration:       *dur,
 				Workers:        *workers,
 				NoUpstreamPool: *noPool,
+				UpstreamShards: *upShard,
 			})
 			if err != nil {
 				return err
@@ -102,6 +104,7 @@ func main() {
 			Backends:       10,
 			Duration:       *dur,
 			NoUpstreamPool: *noPool,
+			UpstreamShards: *upShard,
 		})
 		if err != nil {
 			return err
@@ -204,11 +207,11 @@ func main() {
 		var pts []bench.ChurnPoint
 		for _, sys := range []bench.System{bench.SysFlick, bench.SysFlickMTCP} {
 			cc.System = sys
-			pair, err := bench.RunChurnPair(cc)
+			rows, err := bench.RunChurnSweep(cc)
 			if err != nil {
 				return err
 			}
-			pts = append(pts, pair...)
+			pts = append(pts, rows...)
 		}
 		fmt.Println(bench.ChurnTable(pts))
 		return nil

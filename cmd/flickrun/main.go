@@ -49,7 +49,8 @@ func main() {
 		listen  = flag.String("listen", "127.0.0.1:8080", "listen address")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker threads")
 		noPool  = flag.Bool("no-upstream-pool", false, "dial backends per client instead of sharing pipelined upstream connections")
-		upSize  = flag.Int("upstream-pool-size", 0, "shared upstream sockets per backend (0: default)")
+		upSize  = flag.Int("upstream-pool-size", 0, "shared upstream sockets per backend per shard (0: default)")
+		upShard = flag.Int("upstream-shards", 0, "upstream pool shards (0: one per worker; 1: single shared pool)")
 		liveTop = flag.Bool("live-topology", false, "route via a consistent-hash ring and accept SIGHUP topology updates")
 		maxBack = flag.Int("max-backends", 0, "channel-array capacity for -live-topology (0: current backend count)")
 		topFile = flag.String("topology-file", "", "file with one backend address per line, re-read on SIGHUP")
@@ -87,6 +88,7 @@ func main() {
 	}
 	svc.NoUpstreamPool = *noPool
 	svc.UpstreamPoolSize = *upSize
+	svc.UpstreamShards = *upShard
 	svc.LiveTopology = *liveTop
 	svc.ProbeInterval = *probeIv
 
@@ -101,7 +103,8 @@ func main() {
 		svc.Name, deployed.Addr(), *workers, len(svc.Graph.Template.Nodes()))
 
 	if m := deployed.Upstreams(); m != nil {
-		fmt.Println("flickrun: shared upstream pool enabled (disable with -no-upstream-pool)")
+		fmt.Printf("flickrun: shared upstream pool enabled, %d shard(s) (disable with -no-upstream-pool; -upstream-shards 1 unshards)\n",
+			m.Shards())
 		if *probeIv > 0 {
 			fmt.Printf("flickrun: health probes every %v\n", *probeIv)
 		}

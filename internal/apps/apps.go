@@ -99,8 +99,15 @@ type Service struct {
 	// measures against). Set before Deploy.
 	NoUpstreamPool bool
 	// UpstreamPoolSize overrides the shared-socket count per backend
-	// address (0: upstream.Config default).
+	// address per shard (0: upstream.Config default).
 	UpstreamPoolSize int
+	// UpstreamShards sets the upstream layer's pool shard count. 0 (the
+	// default) shards one pool set per platform scheduler worker, so the
+	// backend write path of a task graph never takes a lock contended by
+	// another core; 1 restores the single shared pool (the ablation
+	// `flickbench churn` measures against); any other value is used
+	// verbatim. Set before Deploy.
+	UpstreamShards int
 	// UpstreamWindow overrides the per-socket in-flight request window
 	// (0: upstream.Config default).
 	UpstreamWindow int
@@ -191,9 +198,16 @@ func (s *Service) Deploy(p *core.Platform, listenAddr string, backendAddrs []str
 		// the Hadoop aggregator's reducer feed — keep dedicated sockets).
 		hasBackends := len(cfg.BackendAddrs) > 0 || (cfg.Topology != nil && len(cfg.BackendPorts) > 0)
 		if hasBackends && s.reqFramer != nil && s.respFramer != nil && !s.NoUpstreamPool {
+			shards := s.UpstreamShards
+			if shards <= 0 {
+				// Default: one pool shard per scheduler worker, so each
+				// graph's backend writes stay on the leasing worker's core.
+				shards = p.Scheduler().Workers()
+			}
 			ucfg := upstream.Config{
 				Transport:      p.Transport(),
 				Size:           s.UpstreamPoolSize,
+				Shards:         shards,
 				Window:         s.UpstreamWindow,
 				RequestFramer:  s.reqFramer,
 				ResponseFramer: s.respFramer,

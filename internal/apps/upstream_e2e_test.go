@@ -75,19 +75,23 @@ func driveShortLivedClients(t *testing.T, u *netstack.UserNet, addr string, clie
 	return out
 }
 
-// TestProxyUpstreamPoolBoundsBackendConns is the PR's acceptance gate: the
-// memcached proxy under C=32 short-lived clients over B=4 backends must
-// hold backend-side accepted connections to pool-size × B (not C × B), and
-// answer byte-identically to the per-client-dial ablation.
+// TestProxyUpstreamPoolBoundsBackendConns is the shared-upstream
+// acceptance gate: the memcached proxy under C=32 short-lived clients
+// over B=4 backends must hold backend-side accepted connections to
+// pool-size × shards × B (not C × B) — pool×B exactly for the unsharded
+// pool, which this test pins explicitly — and answer byte-identically in
+// all three configurations (per-worker sharded, single shared pool,
+// per-client dials).
 func TestProxyUpstreamPoolBoundsBackendConns(t *testing.T) {
 	const (
 		clients  = 32
 		backends = 4
 		poolSize = 2
+		workers  = 4
 	)
-	run := func(t *testing.T, noPool bool) (responses [][]byte, accepts uint64) {
+	run := func(t *testing.T, noPool bool, shards int) (responses [][]byte, accepts uint64) {
 		u := netstack.NewUserNet()
-		p := core.NewPlatform(core.Config{Workers: 4, Transport: u})
+		p := core.NewPlatform(core.Config{Workers: workers, Transport: u})
 		defer p.Close()
 		kv := map[string]string{}
 		for i := 0; i < clients; i++ {
@@ -111,6 +115,7 @@ func TestProxyUpstreamPoolBoundsBackendConns(t *testing.T) {
 		}
 		mp.NoUpstreamPool = noPool
 		mp.UpstreamPoolSize = poolSize
+		mp.UpstreamShards = shards
 		svc, err := mp.Deploy(p, "proxy:churn", addrs)
 		if err != nil {
 			t.Fatal(err)
@@ -140,19 +145,29 @@ func TestProxyUpstreamPoolBoundsBackendConns(t *testing.T) {
 			if svc.Upstreams() == nil {
 				t.Fatal("pooled deployment has no upstream manager")
 			}
-			if conns := svc.Upstreams().Conns(); conns > poolSize*backends {
-				t.Fatalf("upstream holds %d sockets, want <= %d", conns, poolSize*backends)
+			if got := svc.Upstreams().Shards(); got != shards {
+				t.Fatalf("manager has %d shards, want %d", got, shards)
+			}
+			if conns := svc.Upstreams().Conns(); conns > poolSize*shards*backends {
+				t.Fatalf("upstream holds %d sockets, want <= %d", conns, poolSize*shards*backends)
 			}
 		}
 		return responses, accepts
 	}
 
-	pooled, pooledAccepts := run(t, false)
-	ablated, ablatedAccepts := run(t, true)
+	sharded, shardedAccepts := run(t, false, workers)
+	pooled, pooledAccepts := run(t, false, 1)
+	ablated, ablatedAccepts := run(t, true, 1)
 
 	if pooledAccepts > uint64(poolSize*backends) {
 		t.Fatalf("pooled proxy opened %d backend connections, want <= pool×B = %d",
 			pooledAccepts, poolSize*backends)
+	}
+	// Sharded pools hold one socket set per worker, so the bound scales
+	// with the core count — still independent of the client count C.
+	if shardedAccepts > uint64(poolSize*workers*backends) {
+		t.Fatalf("sharded proxy opened %d backend connections, want <= pool×shards×B = %d",
+			shardedAccepts, poolSize*workers*backends)
 	}
 	if ablatedAccepts != uint64(clients*backends) {
 		t.Fatalf("ablation opened %d backend connections, want C×B = %d",
@@ -162,6 +177,10 @@ func TestProxyUpstreamPoolBoundsBackendConns(t *testing.T) {
 		if !bytes.Equal(pooled[i], ablated[i]) {
 			t.Fatalf("client %d responses diverge:\npooled:  %q\nablated: %q",
 				i, pooled[i], ablated[i])
+		}
+		if !bytes.Equal(sharded[i], pooled[i]) {
+			t.Fatalf("client %d responses diverge:\nsharded: %q\nshared:  %q",
+				i, sharded[i], pooled[i])
 		}
 	}
 }

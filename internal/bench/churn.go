@@ -22,12 +22,18 @@ import (
 // upstream connection layer collapses the upstream socket count from C×B
 // to pool×B.
 type ChurnConfig struct {
-	System         System
-	Clients        int // concurrent short-lived clients (C)
-	Conns          int // total connections churned through
-	Backends       int // memcached shards (B)
-	Keys           int // key-space size
-	PoolSize       int // upstream sockets per backend (0: default)
+	System   System
+	Clients  int // concurrent short-lived clients (C)
+	Conns    int // total connections churned through
+	Backends int // memcached shards (B)
+	Keys     int // key-space size
+	PoolSize int // upstream sockets per backend per shard (0: default)
+	// UpstreamShards is the upstream pool shard count, with the same zero
+	// value as everywhere else (apps.Service, Fig4Config, Fig5Config,
+	// -upstream-shards): 0 shards one pool set per scheduler worker; 1 is
+	// the single shared pool (RunChurnPair's and RunChurnSweep's baseline
+	// rows pass 1 explicitly).
+	UpstreamShards int
 	NoUpstreamPool bool
 	Workers        int
 }
@@ -36,6 +42,7 @@ type ChurnConfig struct {
 type ChurnPoint struct {
 	System   System
 	Pooled   bool
+	Shards   int // upstream pool shards (0 when the pool is disabled)
 	Clients  int
 	Conns    int
 	Backends int
@@ -108,6 +115,7 @@ func RunChurn(cfg ChurnConfig) (ChurnPoint, error) {
 	}
 	mp.NoUpstreamPool = cfg.NoUpstreamPool
 	mp.UpstreamPoolSize = cfg.PoolSize
+	mp.UpstreamShards = cfg.UpstreamShards
 	svc, err := mp.Deploy(p, listenAddr(tr, "churn-proxy:11211"), addrs)
 	if err != nil {
 		p.Close()
@@ -158,6 +166,7 @@ func RunChurn(cfg ChurnConfig) (ChurnPoint, error) {
 	pt.SetupMean, pt.SetupP99 = snap.Mean, snap.P99
 	pt.BackendConns = settledAccepts(srvs)
 	if m := svc.Upstreams(); m != nil {
+		pt.Shards = m.Shards()
 		pt.UpstreamConns = m.Conns()
 		pt.Upstream = m.Counters()
 	}
@@ -204,12 +213,18 @@ func churnOnce(dial func(string) (net.Conn, error), addr string, key []byte) err
 }
 
 // RunChurnPair measures the pooled configuration and the per-client-dial
-// ablation back to back (one binary, same parameters).
+// ablation back to back (one binary, same parameters). The pooled row
+// pins the single shared pool (shards=1) unless cfg.UpstreamShards says
+// otherwise — the pool×B socket bound this pair historically gates only
+// holds unsharded.
 func RunChurnPair(cfg ChurnConfig) ([]ChurnPoint, error) {
 	var out []ChurnPoint
 	for _, noPool := range []bool{false, true} {
 		c := cfg
 		c.NoUpstreamPool = noPool
+		if c.UpstreamShards <= 0 {
+			c.UpstreamShards = 1
+		}
 		pt, err := RunChurn(c)
 		if err != nil {
 			return out, fmt.Errorf("bench: churn (noPool=%v): %w", noPool, err)
@@ -219,23 +234,58 @@ func RunChurnPair(cfg ChurnConfig) ([]ChurnPoint, error) {
 	return out, nil
 }
 
+// RunChurnSweep measures the three upstream configurations back to back:
+// per-worker sharded pools (one shard per scheduler worker), the single
+// shared pool, and the per-client-dial ablation. The sharded-vs-shared
+// delta is the per-worker-sharding claim: same socket discipline, but the
+// write path of each worker's graphs stops contending on one FIFO lock.
+func RunChurnSweep(cfg ChurnConfig) ([]ChurnPoint, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4 // RunChurn's default
+	}
+	rows := []struct {
+		name   string
+		shards int
+		noPool bool
+	}{
+		{"sharded", workers, false},
+		{"shared", 1, false},
+		{"per-client", 0, true},
+	}
+	var out []ChurnPoint
+	for _, r := range rows {
+		c := cfg
+		c.UpstreamShards = r.shards
+		c.NoUpstreamPool = r.noPool
+		pt, err := RunChurn(c)
+		if err != nil {
+			return out, fmt.Errorf("bench: churn (%s): %w", r.name, err)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
 // ChurnTable renders the experiment.
 func ChurnTable(points []ChurnPoint) *Table {
 	t := &Table{
-		Title: "Connection churn — shared upstream pool vs per-client dials",
-		Columns: []string{"system", "upstreams", "clients", "backends", "conns",
+		Title: "Connection churn — sharded / shared upstream pools vs per-client dials",
+		Columns: []string{"system", "upstreams", "shards", "clients", "backends", "conns",
 			"conn/s", "setup-mean", "setup-p99", "errors", "be-conns", "up-socks", "upstream"},
 		Notes: []string{
-			"be-conns: connections accepted backend-side (C×B per-client-dial, pool×B shared)",
+			"be-conns: connections accepted backend-side (C×B per-client-dial, pool×shards×B pooled)",
 			"setup: dial → first response, the per-connection set-up cost the pool amortises",
+			"shardhits/shardsteals: leases served by the caller's own shard vs borrowed from a sibling",
 		},
 	}
 	for _, p := range points {
-		mode := "shared"
+		mode := "pooled"
+		shards := fmt.Sprint(p.Shards)
 		if !p.Pooled {
-			mode = "per-client"
+			mode, shards = "per-client", "-"
 		}
-		t.Add(string(p.System), mode, fmt.Sprint(p.Clients), fmt.Sprint(p.Backends),
+		t.Add(string(p.System), mode, shards, fmt.Sprint(p.Clients), fmt.Sprint(p.Backends),
 			fmt.Sprint(p.Conns), fmtReqs(p.Throughput), fmtDur(p.SetupMean),
 			fmtDur(p.SetupP99), fmt.Sprint(p.Errors), fmt.Sprint(p.BackendConns),
 			fmt.Sprint(p.UpstreamConns), fmtUpstream(p.Upstream))
@@ -252,7 +302,10 @@ func fmtUpstream(cs metrics.CounterSet) string {
 	reuse, _ := cs.Get("reuse")
 	redials, _ := cs.Get("redials")
 	ff, _ := cs.Get("failfast")
-	return fmt.Sprintf("dials=%d reuse=%d redial=%d ff=%d", dials, reuse, redials, ff)
+	hits, _ := cs.Get("shardhits")
+	steals, _ := cs.Get("shardsteals")
+	return fmt.Sprintf("dials=%d reuse=%d redial=%d ff=%d hits=%d steals=%d",
+		dials, reuse, redials, ff, hits, steals)
 }
 
 // upstreamCounters snapshots a service's upstream-layer counters (empty

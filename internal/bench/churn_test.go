@@ -66,3 +66,58 @@ func TestChurnSmoke(t *testing.T) {
 		t.Fatalf("churn table missing upstream column: %v", tab.Columns)
 	}
 }
+
+// TestChurnSweepSmoke runs the three-way sweep (per-worker sharded /
+// single shared pool / per-client dials) small and asserts the sharded
+// row's contract: no errors, socket count bounded by pool×shards×B, every
+// lease accounted to a shard (shardhits + shardsteals = leases served).
+func TestChurnSweepSmoke(t *testing.T) {
+	const (
+		clients  = 8
+		conns    = 64
+		backends = 2
+		poolSize = 1
+		workers  = 2
+	)
+	pts, err := RunChurnSweep(ChurnConfig{
+		System:   SysFlickMTCP,
+		Clients:  clients,
+		Conns:    conns,
+		Backends: backends,
+		PoolSize: poolSize,
+		Workers:  workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points, want 3 (sharded, shared, per-client)", len(pts))
+	}
+	sharded, shared, ablated := pts[0], pts[1], pts[2]
+	if sharded.Shards != workers || shared.Shards != 1 || ablated.Pooled {
+		t.Fatalf("row order/config: %+v", pts)
+	}
+	for _, p := range pts {
+		if p.Errors != 0 {
+			t.Fatalf("%+v: %d errors", p, p.Errors)
+		}
+		if p.Throughput == 0 {
+			t.Fatalf("%+v: no throughput", p)
+		}
+	}
+	if sharded.BackendConns > uint64(poolSize*workers*backends) {
+		t.Fatalf("sharded backend conns = %d, want <= pool×shards×B = %d",
+			sharded.BackendConns, poolSize*workers*backends)
+	}
+	hits, _ := sharded.Upstream.Get("shardhits")
+	steals, _ := sharded.Upstream.Get("shardsteals")
+	if hits == 0 {
+		t.Fatalf("sharded run recorded no shardhits: %s", sharded.Upstream)
+	}
+	if steals != 0 {
+		t.Fatalf("healthy backends should need no shardsteals, got %d: %s", steals, sharded.Upstream)
+	}
+	if h, _ := shared.Upstream.Get("shardhits"); h == 0 {
+		t.Fatalf("shared-pool run recorded no shardhits: %s", shared.Upstream)
+	}
+}

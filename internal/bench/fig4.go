@@ -25,6 +25,9 @@ type Fig4Config struct {
 	Payload    int // response body bytes (paper: 137)
 	// NoUpstreamPool restores per-client backend dialling (ablation).
 	NoUpstreamPool bool
+	// UpstreamShards overrides the upstream pool shard count (0: one
+	// shard per worker; 1: the single shared pool).
+	UpstreamShards int
 }
 
 // Fig4Point is one measured cell.
@@ -112,6 +115,7 @@ func buildLBTestbed(cfg Fig4Config, sys System, tr netstack.Transport) (*lbTestb
 			return nil, err
 		}
 		lb.NoUpstreamPool = cfg.NoUpstreamPool
+		lb.UpstreamShards = cfg.UpstreamShards
 		svc, err := lb.Deploy(p, listenAddr(tr, "lb:80"), addrs)
 		if err != nil {
 			p.Close()

@@ -23,6 +23,9 @@ type Fig5Config struct {
 	Duration time.Duration
 	// NoUpstreamPool restores per-client backend dialling (ablation).
 	NoUpstreamPool bool
+	// UpstreamShards overrides the upstream pool shard count (0: one
+	// shard per worker; 1: the single shared pool).
+	UpstreamShards int
 }
 
 // Fig5Point is one measured cell.
@@ -111,6 +114,7 @@ func runFig5Cell(cfg Fig5Config, sys System, cores int) (Fig5Point, error) {
 			return Fig5Point{}, err
 		}
 		mp.NoUpstreamPool = cfg.NoUpstreamPool
+		mp.UpstreamShards = cfg.UpstreamShards
 		svc, err := mp.Deploy(p, listenAddr(tr, "proxy:11211"), addrs)
 		if err != nil {
 			p.Close()

@@ -269,6 +269,24 @@ func (inst *Instance) SetRouter(route func(hash int64) int) { inst.router = rout
 // routes by plain modulo over the compiled channel-array capacity).
 func (inst *Instance) Router() func(hash int64) int { return inst.router }
 
+// PortHomeWorker returns the home scheduler worker of the task that
+// writes port's connection — the port's output node's task (the input
+// node's for read-only ports). This is the worker identity the graph
+// dispatcher hands to upstream.Manager.LeaseOn: the session leased for a
+// backend port is written by exactly that task (runOutput → flush), so
+// leasing from its home worker's shard keeps the framing/FIFO/writev path
+// free of cross-core lock contention (stolen activations excepted).
+func (inst *Instance) PortHomeWorker(port int) int {
+	p := inst.tmpl.ports[port]
+	if p.Out >= 0 {
+		return inst.tasks[p.Out].home
+	}
+	if p.In >= 0 {
+		return inst.tasks[p.In].home
+	}
+	return 0
+}
+
 // Bind attaches a connection to a port. Call before Start.
 func (inst *Instance) Bind(port int, conn net.Conn) {
 	inst.conns[port] = conn

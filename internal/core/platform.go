@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -128,10 +129,14 @@ type ServiceConfig struct {
 	// Upstreams, when set, replaces per-connection backend dials with
 	// leases from the shared upstream connection layer: every BackendAddrs
 	// port binds a multiplexed virtual connection instead of a fresh
-	// socket, so the service holds O(pool×backends) upstream sockets
-	// instead of O(clients×backends). The service owns the manager and
-	// closes it on Service.Close. Nil keeps per-connection dialling (the
-	// ablation baseline).
+	// socket, so the service holds O(pool×shards×backends) upstream
+	// sockets instead of O(clients×backends). With a sharded manager
+	// (upstream.Config.Shards > 1) each port's lease comes from the shard
+	// of the scheduler worker that will write it — the home worker of the
+	// port's output task (Instance.PortHomeWorker) — so the backend write
+	// path never takes a lock contended by another core. The service owns
+	// the manager and closes it on Service.Close. Nil keeps
+	// per-connection dialling (the ablation baseline).
 	Upstreams *upstream.Manager
 }
 
@@ -284,8 +289,27 @@ func (s *Service) dispatchPerConn(conn net.Conn) error {
 	// dialling a dedicated socket otherwise; with a live Topology the
 	// current snapshot picks the addresses and the routing function.
 	if err := s.bindBackends(inst); err != nil {
-		s.releaseUnstarted(inst)
-		return err
+		// Scale-in race: this dispatch snapshotted a topology just as
+		// UpdateBackends retired one of its backends, so the lease found
+		// the pool already draining. The fresh snapshot no longer lists
+		// that backend — rebind against it once instead of dropping the
+		// client connection.
+		if errors.Is(err, upstream.ErrRetired) {
+			s.unbindBackends(inst)
+			// Serialise with the in-flight UpdateBackends before
+			// re-snapshotting: its SetBackends (which retired our lease)
+			// runs before its topology Store, both under topoMu — passing
+			// through the mutex guarantees the Store has landed and the
+			// retry binds the genuinely fresh snapshot.
+			s.topoMu.Lock()
+			//nolint:staticcheck // empty section: a memory barrier, not a region
+			s.topoMu.Unlock()
+			err = s.bindBackends(inst)
+		}
+		if err != nil {
+			s.releaseUnstarted(inst)
+			return err
+		}
 	}
 	// Publish into the live set only once fully bound: Service.Close reads
 	// inst.conns (via Instance.Close) for everything it finds in s.live,
@@ -314,12 +338,29 @@ func (s *Service) dispatchPerConn(conn net.Conn) error {
 	return nil
 }
 
-// dialBackend resolves one backend connection for a dispatch.
-func (s *Service) dialBackend(addr string) (net.Conn, error) {
+// dialBackend resolves one backend connection for a dispatch. worker is
+// the home scheduler worker of the task that will write the connection:
+// a sharded upstream manager leases from that worker's shard, keeping the
+// write path — framing, FIFO reservation, vectored write — core-local.
+func (s *Service) dialBackend(addr string, worker int) (net.Conn, error) {
 	if s.cfg.Upstreams != nil {
-		return s.cfg.Upstreams.Lease(addr)
+		return s.cfg.Upstreams.LeaseOn(addr, worker)
 	}
 	return s.platform.transport.Dial(addr)
+}
+
+// unbindBackends closes and clears every backend connection bound so far
+// (the client port is untouched), returning the instance to a state where
+// bindBackends can run again — the retry path of the scale-in dispatch
+// race.
+func (s *Service) unbindBackends(inst *Instance) {
+	for port, c := range inst.conns {
+		if c == nil || port == s.cfg.ClientPort {
+			continue
+		}
+		c.Close()
+		inst.Bind(port, nil)
+	}
 }
 
 // releaseUnstarted returns an instance whose dispatch failed before Start

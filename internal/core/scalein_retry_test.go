@@ -1,0 +1,151 @@
+package core
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"flick/internal/buffer"
+	"flick/internal/netstack"
+	"flick/internal/upstream"
+)
+
+// lineFramer frames newline-terminated messages (the test protocol of the
+// proxy template's lineCodec).
+func lineFramer(q *buffer.Queue, from int) (int, error) {
+	n := q.Len()
+	var b [1]byte
+	for i := from; i < n; i++ {
+		q.PeekAt(b[:], i)
+		if b[0] == '\n' {
+			return i - from + 1, nil
+		}
+	}
+	return 0, nil
+}
+
+// lineEchoBackend echoes every byte back (one line in, the same line out).
+func lineEchoBackend(t *testing.T, u *netstack.UserNet, addr string) net.Listener {
+	t.Helper()
+	l, err := u.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 4096)
+				for {
+					n, err := c.Read(buf)
+					if n > 0 {
+						if _, werr := c.Write(buf[:n]); werr != nil {
+							return
+						}
+					}
+					if err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	return l
+}
+
+// staticTopo is a fixed single-backend Topology.
+type staticTopo struct{ addrs []string }
+
+func (s staticTopo) Backends() []string { return s.addrs }
+func (s staticTopo) Route(int64) int    { return 0 }
+
+// TestDispatchRetriesRetiredLeaseAgainstFreshSnapshot pins the scale-in
+// dispatch race deterministically (ROADMAP: a dispatch that snapshots the
+// old topology just as a backend is removed has its lease refused with
+// ErrRetired and used to drop the client connection). The test freezes a
+// live service exactly in the middle of an UpdateBackends — the upstream
+// SetBackends has retired the old backend, the topology Store has not yet
+// landed (topoMu held) — then connects a client. The dispatch is
+// guaranteed to snapshot the stale topology, lease the retired backend
+// and fail; the retry must wait out the update (topoMu barrier) and bind
+// the fresh snapshot, so the client is served by the new backend instead
+// of being dropped.
+func TestDispatchRetriesRetiredLeaseAgainstFreshSnapshot(t *testing.T) {
+	u := netstack.NewUserNet()
+	p := startPlatform(t, u)
+	defer lineEchoBackend(t, u, "ret:a").Close()
+	defer lineEchoBackend(t, u, "ret:b").Close()
+
+	mgr := upstream.NewManager(upstream.Config{
+		Transport:      u,
+		Shards:         2,
+		RequestFramer:  lineFramer,
+		ResponseFramer: lineFramer,
+	})
+	svc, err := p.Deploy(ServiceConfig{
+		Name:         "retry-proxy",
+		ListenAddr:   "retry:1",
+		Template:     proxyTemplate(t),
+		Dispatch:     PerConnection,
+		ClientPort:   0,
+		BackendPorts: []int{1},
+		Topology:     staticTopo{[]string{"ret:a"}},
+		Upstreams:    mgr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// Freeze an UpdateBackends mid-flight: backend a is retired in the
+	// upstream layer, but the service still routes and binds the stale
+	// topology until the Store below lands.
+	svc.topoMu.Lock()
+	mgr.SetBackends([]string{"ret:b"})
+
+	type result struct {
+		line string
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		conn, err := u.Dial("retry:1")
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer conn.Close()
+		if _, err := conn.Write([]byte("ping\n")); err != nil {
+			done <- result{err: err}
+			return
+		}
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		buf := make([]byte, 64)
+		n, err := conn.Read(buf)
+		done <- result{line: string(buf[:n]), err: err}
+	}()
+
+	// Give the dispatch time to snapshot the stale topology, fail its
+	// lease with ErrRetired and park on the retry's topoMu barrier, then
+	// complete the update.
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case r := <-done:
+		t.Fatalf("client finished before the topology update completed: %+v", r)
+	default:
+	}
+	svc.topo.Store(topoBox{staticTopo{[]string{"ret:b"}}})
+	svc.topoMu.Unlock()
+
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("client dropped across the scale-in dispatch race: %v", r.err)
+	}
+	if r.line != "ping\n" {
+		t.Fatalf("client got %q, want %q", r.line, "ping\n")
+	}
+}

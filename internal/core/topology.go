@@ -112,21 +112,24 @@ func (s *Service) installTopology(cfg *ServiceConfig) error {
 // against the current topology snapshot when the service has one (the
 // addresses bind BackendPorts in order, spare ports stay unbound, and the
 // instance routes through the snapshot), against the fixed BackendAddrs
-// map otherwise.
+// map otherwise. Each port's connection is resolved for the worker that
+// will write it (Instance.PortHomeWorker), so a sharded upstream manager
+// hands out sessions whose write lock stays on that worker's core.
 func (s *Service) bindBackends(inst *Instance) error {
 	if t := s.Topology(); t != nil {
 		for i, addr := range t.Backends() {
-			bc, err := s.dialBackend(addr)
+			port := s.cfg.BackendPorts[i]
+			bc, err := s.dialBackend(addr, inst.PortHomeWorker(port))
 			if err != nil {
 				return fmt.Errorf("core: dial backend %s: %w", addr, err)
 			}
-			inst.Bind(s.cfg.BackendPorts[i], bc)
+			inst.Bind(port, bc)
 		}
 		inst.SetRouter(t.Route)
 		return nil
 	}
 	for port, addr := range s.cfg.BackendAddrs {
-		bc, err := s.dialBackend(addr)
+		bc, err := s.dialBackend(addr, inst.PortHomeWorker(port))
 		if err != nil {
 			return fmt.Errorf("core: dial backend %s: %w", addr, err)
 		}

@@ -1,10 +1,14 @@
 // Command docscheck is the repository's documentation gate, run by
-// `make check-docs` and the CI docs job. It enforces two things:
+// `make check-docs` and the CI docs job. It enforces three things:
 //
 //  1. Markdown hygiene: every relative link in the given markdown files
 //     resolves to a file or directory in the repository (broken anchors to
 //     moved docs are the most common doc rot).
-//  2. Godoc coverage: every exported identifier in the listed packages has
+//  2. Anchor hygiene: every intra-doc fragment — `#section` within a file
+//     and `other.md#section` across files — resolves to a heading of the
+//     target document (GitHub slug rules), so section links cannot rot
+//     silently when headings are renamed.
+//  3. Godoc coverage: every exported identifier in the listed packages has
 //     a doc comment (the subset of revive's `exported` rule this
 //     repository cares about, without the dependency).
 //
@@ -23,10 +27,14 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"unicode"
 )
 
 // mdLink matches inline markdown links and captures the destination.
 var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// atxHeading matches one ATX heading line and captures its text.
+var atxHeading = regexp.MustCompile(`^#{1,6}\s+(.*?)\s*#*\s*$`)
 
 func main() {
 	pkgs := flag.String("pkgs", "", "comma-separated package directories to check for exported doc comments")
@@ -53,7 +61,8 @@ func main() {
 	fmt.Println("docscheck: ok")
 }
 
-// checkMarkdown verifies every relative link in file resolves on disk.
+// checkMarkdown verifies every relative link in file resolves on disk and
+// every intra-doc fragment resolves to a heading of its target document.
 func checkMarkdown(file string, report func(string, ...any)) {
 	data, err := os.ReadFile(file)
 	if err != nil {
@@ -61,23 +70,94 @@ func checkMarkdown(file string, report func(string, ...any)) {
 		return
 	}
 	base := filepath.Dir(file)
-	for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+	for _, m := range mdLink.FindAllStringSubmatch(stripFences(string(data)), -1) {
 		dst := m[1]
 		switch {
 		case strings.HasPrefix(dst, "http://"), strings.HasPrefix(dst, "https://"),
-			strings.HasPrefix(dst, "mailto:"), strings.HasPrefix(dst, "#"):
-			continue // external links and intra-page anchors: not checked
+			strings.HasPrefix(dst, "mailto:"):
+			continue // external links: not checked
 		}
+		if strings.HasPrefix(dst, "#") {
+			if !anchorsOf(file)[strings.ToLower(dst[1:])] {
+				report("%s: dead anchor %q (no matching heading)", file, m[1])
+			}
+			continue
+		}
+		frag := ""
 		if i := strings.IndexByte(dst, '#'); i >= 0 {
-			dst = dst[:i] // strip the section anchor off a file link
+			dst, frag = dst[:i], dst[i+1:] // split a file link's section anchor
 		}
 		if dst == "" {
 			continue
 		}
-		if _, err := os.Stat(filepath.Join(base, dst)); err != nil {
+		target := filepath.Join(base, dst)
+		if _, err := os.Stat(target); err != nil {
 			report("%s: broken link %q", file, m[1])
+			continue
+		}
+		if frag != "" && strings.HasSuffix(dst, ".md") {
+			if !anchorsOf(target)[strings.ToLower(frag)] {
+				report("%s: dead anchor %q (no matching heading in %s)", file, m[1], dst)
+			}
 		}
 	}
+}
+
+// stripFences drops fenced code blocks: link-shaped text inside a
+// ```-fenced example is not a link, exactly as a `# comment` inside one
+// is not a heading (anchorsOf applies the same walk).
+func stripFences(data string) string {
+	var b strings.Builder
+	inFence := false
+	for _, line := range strings.Split(data, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if !inFence {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// anchorCache memoises each markdown file's heading slug set.
+var anchorCache = map[string]map[string]bool{}
+
+// anchorsOf returns the GitHub-style anchor slugs of every heading in the
+// markdown file (fenced code blocks excluded — a `# comment` inside a
+// shell snippet is not a heading).
+func anchorsOf(file string) map[string]bool {
+	if set, ok := anchorCache[file]; ok {
+		return set
+	}
+	set := map[string]bool{}
+	data, err := os.ReadFile(file)
+	if err == nil {
+		for _, line := range strings.Split(stripFences(string(data)), "\n") {
+			if m := atxHeading.FindStringSubmatch(line); m != nil {
+				set[slugify(m[1])] = true
+			}
+		}
+	}
+	anchorCache[file] = set
+	return set
+}
+
+// slugify converts one heading to its GitHub anchor: lowercase, spaces to
+// hyphens, punctuation (other than hyphens and underscores) dropped.
+func slugify(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(heading)) {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }
 
 // checkExportedDocs parses one package directory (tests excluded) and

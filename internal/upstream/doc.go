@@ -1,18 +1,23 @@
-// Package upstream is the shared upstream connection layer: per-backend
+// Package upstream is the sharded upstream connection layer: per-backend
 // pools of persistent, pipelined connections that many client task graphs
 // multiplex over, replacing the per-client backend dial of the naive graph
 // dispatcher ("creates new output channel connections to forward processed
 // traffic", §5).
 //
-// A Manager owns one pool per backend address. Each pool holds up to Size
-// long-lived sockets; Lease hands out a lightweight virtual connection (a
-// Session — net.Conn-shaped, so instance binding is untouched at the type
-// level) pinned to one of them. Requests from all sessions of a socket are
-// framed, counted into a FIFO, and written through a single serialised
-// writer; the demultiplexer frames the pipelined response stream and routes
-// each response view to the session at the FIFO head. This matches the
-// FIFO request/response discipline of memcached-binary and HTTP/1.1
-// backends, which answer a connection's requests in arrival order.
+// A Manager owns Config.Shards independent shards — one per scheduler
+// worker in the platform's default wiring — each holding one pool per
+// backend address. Each pool holds up to Size long-lived sockets; LeaseOn
+// (addr, worker) hands out a lightweight virtual connection (a Session —
+// net.Conn-shaped, so instance binding is untouched at the type level)
+// pinned to a socket of the worker's shard, so the write path of a task
+// graph never takes a lock another core holds. Requests from all sessions
+// of a socket are framed, counted into a FIFO, and written through a
+// single serialised writer; the demultiplexer frames the pipelined
+// response stream and routes each response view to the session at the
+// FIFO head. This matches the FIFO request/response discipline of
+// memcached-binary and HTTP/1.1 backends, which answer a connection's
+// requests in arrival order. A shard whose backend sockets are down
+// borrows a live sibling-shard socket before failing fast (shardsteals).
 //
 // # Zero-copy / ownership invariants
 //
@@ -41,21 +46,28 @@
 //     re-dials empty or broken slots in the background and round-trips a
 //     protocol no-op (memcache.ProbeRequest, http.ProbeRequest), closing
 //     fail-fast windows — and pre-warming new backends — before a client
-//     lease pays for the discovery.
-//   - Live topology (SetBackends): pools are created for added addresses
-//     and retired for removed ones. A retired pool refuses new leases
-//     (ErrRetired) while in-flight sessions finish on their original
-//     socket; each drained socket closes as its last session detaches.
+//     lease pays for the discovery. Probes run once per backend (through
+//     one shard's pool) and broadcast their verdict to every shard —
+//     including a verify round trip on a live socket when only a sibling
+//     shard's window is open — so probe traffic does not multiply with
+//     the shard count.
+//   - Live topology (SetBackends): per shard, pools are created for
+//     added addresses and retired for removed ones. A retired pool
+//     refuses new leases (ErrRetired) while in-flight sessions finish on
+//     their original socket; each drained socket closes as its last
+//     session detaches.
 //
 // # Counters
 //
 // Manager.Counters exposes the layer as a metrics.CounterSet:
 //
-//	dials     sockets established (bounded by pool size × backends)
-//	reuse     leases served by an already-live socket
-//	inflight  unanswered pipelined requests right now (gauge)
-//	redials   sockets re-established after a failure
-//	failfast  leases rejected during a backoff window
-//	probes    successful background probe round trips
-//	drained   sockets closed by topology drain
+//	dials        sockets established (bounded by pool size × shards × backends)
+//	reuse        leases served by an already-live socket
+//	inflight     unanswered pipelined requests right now (gauge)
+//	redials      sockets re-established after a failure
+//	failfast     leases rejected during a backoff window
+//	probes       successful background probe round trips
+//	drained      sockets closed by topology drain
+//	shardhits    leases served by the caller's own shard
+//	shardsteals  leases borrowed from a sibling shard's live socket
 package upstream

@@ -4,11 +4,11 @@ import (
 	"time"
 )
 
-// SetBackends reconciles the manager's pool set with a new backend
-// topology. Pools are created for added addresses — making them probe
-// targets at once, so their sockets are pre-established before the first
-// lease — and retired for removed ones: a retired pool refuses new
-// leases, while sessions already leased keep using their socket until
+// SetBackends reconciles every shard's pool set with a new backend
+// topology. Per shard, pools are created for added addresses — making
+// them probe targets at once, so their sockets are pre-established before
+// the first lease — and retired for removed ones: a retired pool refuses
+// new leases, while sessions already leased keep using their socket until
 // they close (an in-flight request always completes on the socket it was
 // written to). Each retired socket closes as its last session detaches,
 // counted by the drained counter.
@@ -20,40 +20,47 @@ func (m *Manager) SetBackends(addrs []string) {
 	if m.closed.Load() {
 		return
 	}
+	for _, sh := range m.shards {
+		sh.setBackends(addrs)
+	}
+}
+
+// setBackends applies the topology to one shard.
+func (sh *shard) setBackends(addrs []string) {
 	want := make(map[string]bool, len(addrs))
 	for _, a := range addrs {
 		want[a] = true
 	}
-	m.mu.Lock()
-	m.want = want
+	sh.mu.Lock()
+	sh.want = want
 	var retired []*pool
-	for a, p := range m.pools {
+	for a, p := range sh.pools {
 		if !want[a] {
 			retired = append(retired, p)
-			delete(m.pools, a)
+			delete(sh.pools, a)
 			// Track until its last socket closes: Manager.Close must be
 			// able to sweep a pool that is gone from the address map but
 			// still owns draining sockets.
-			m.draining[p] = struct{}{}
+			sh.draining[p] = struct{}{}
 		}
 	}
 	for a := range want {
-		if m.pools[a] == nil {
-			m.pools[a] = newPool(m, a)
+		if sh.pools[a] == nil {
+			sh.pools[a] = newPool(sh, a)
 		}
 	}
-	m.mu.Unlock()
+	sh.mu.Unlock()
 	for _, p := range retired {
 		p.retire()
-		m.reapDrained(p)
+		sh.reapDrained(p)
 	}
 }
 
-// reapDrained drops a retired pool from the draining set once no live
-// socket remains — and none can appear: a slot with a dial in flight
+// reapDrained drops a retired pool from the shard's draining set once no
+// live socket remains — and none can appear: a slot with a dial in flight
 // counts as live (the dial may still install a socket; its own retired
 // re-check will fail it and call back here).
-func (m *Manager) reapDrained(p *pool) {
+func (sh *shard) reapDrained(p *pool) {
 	p.mu.Lock()
 	done := true
 	for i, c := range p.slots {
@@ -66,9 +73,9 @@ func (m *Manager) reapDrained(p *pool) {
 	if !done {
 		return
 	}
-	m.mu.Lock()
-	delete(m.draining, p)
-	m.mu.Unlock()
+	sh.mu.Lock()
+	delete(sh.draining, p)
+	sh.mu.Unlock()
 }
 
 // retire marks the pool draining and closes any socket that already has no
@@ -90,7 +97,8 @@ func (p *pool) retire() {
 }
 
 // probeLoop drives background health probing (Config.Probe): each tick,
-// every empty or broken pool slot is dialled and round-tripped. A
+// every empty or broken slot of every probe target's probing pool
+// (probePool — one shard per address) is dialled and round-tripped. A
 // successful probe repairs the slot in place — the dial resets the pool's
 // backoff, so the fail-fast window closes — and leaves the socket live
 // for the next lease; probes therefore double as connection pre-warming
@@ -98,6 +106,12 @@ func (p *pool) retire() {
 // gate: the gate exists so clients never wait on a dead backend's connect
 // timeout, and the probe goroutine is exactly the place where that wait
 // is free.
+//
+// Probes run once per backend, not once per shard: one shard's pool
+// carries the probe stream and the verdict of each probe is broadcast to
+// every shard (broadcastVerdict), so a sharded manager's health traffic
+// is identical to an unsharded one's — it does not multiply with the
+// core count.
 func (m *Manager) probeLoop() {
 	t := time.NewTicker(m.cfg.ProbeInterval)
 	defer t.Stop()
@@ -111,20 +125,74 @@ func (m *Manager) probeLoop() {
 	}
 }
 
-// probeAll sweeps every pool once. Pools probe concurrently (one
-// goroutine each, never overlapping per pool): a single blackholed
-// backend spending its OS connect timeout must not head-of-line block
-// the probing — and pre-warming — of every other backend.
-func (m *Manager) probeAll() {
-	m.mu.Lock()
-	pools := make([]*pool, 0, len(m.pools))
-	for _, p := range m.pools {
-		pools = append(pools, p)
+// probeTargets returns the address set to probe: the topology want-set
+// when the manager is topology-managed, otherwise the union of every
+// shard's pool addresses (a backend first leased on shard 3 must still
+// be probed; probePool picks which shard's pool carries the probe).
+func (m *Manager) probeTargets() []string {
+	// Topology-managed: SetBackends fans one want-set to every shard, so
+	// shard 0's copy is the whole answer.
+	sh0 := m.shards[0]
+	sh0.mu.Lock()
+	if sh0.want != nil {
+		out := make([]string, 0, len(sh0.want))
+		for a := range sh0.want {
+			out = append(out, a)
+		}
+		sh0.mu.Unlock()
+		return out
 	}
-	m.mu.Unlock()
-	for _, p := range pools {
+	sh0.mu.Unlock()
+	seen := map[string]bool{}
+	var out []string
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for a := range sh.pools {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// probePool picks the one pool that carries addr's probe stream: the
+// first shard (in shard order) that already pools the address. Under
+// topology management SetBackends creates the pool in every shard, so
+// this is shard 0 — probes then double as pre-warming for new backends.
+// Without topology management, probing through a shard that already
+// pools the address keeps the probe from materialising sockets on a
+// shard no lease ever uses.
+func (m *Manager) probePool(addr string) *pool {
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		p := sh.pools[addr]
+		sh.mu.Unlock()
+		if p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+// probeAll sweeps every probe target's probing pool once. Pools probe
+// concurrently (one goroutine each, never overlapping per pool): a single
+// blackholed backend spending its OS connect timeout must not
+// head-of-line block the probing — and pre-warming — of every other
+// backend. After the slot sweep, a healthy probing pool additionally
+// verifies on behalf of degraded sibling shards (verifySiblings), so a
+// fail-fast window armed by one shard's failed dial still closes when
+// the backend recovers — while the probe stream stays one per backend.
+func (m *Manager) probeAll() {
+	for _, addr := range m.probeTargets() {
 		if m.closed.Load() {
 			return
+		}
+		p := m.probePool(addr)
+		if p == nil {
+			continue
 		}
 		p.mu.Lock()
 		busy := p.probing || p.retired
@@ -139,6 +207,7 @@ func (m *Manager) probeAll() {
 			for slot := range p.slots {
 				p.probeSlot(slot)
 			}
+			p.verifySiblings()
 			p.mu.Lock()
 			p.probing = false
 			p.mu.Unlock()
@@ -146,7 +215,72 @@ func (m *Manager) probeAll() {
 	}
 }
 
-// probeSlot re-establishes one dead slot and verifies the backend answers.
+// verifySiblings closes sibling shards' fail-fast windows when the
+// probing pool looks healthy but another shard's pool for the same
+// address is not: one probe round trip over a short-lived dedicated
+// dial confirms the backend accepts and answers, and the success verdict
+// broadcast clears every shard's window. Without it, a window armed by
+// (say) shard 3's failed dial during a backend blip would never be
+// probe-repaired while the probing shard's own sockets stayed live —
+// every shard-3 lease would cross-core-steal for the whole window, the
+// exact lock traffic sharding exists to remove.
+//
+// The verify deliberately does NOT ride an existing shared socket: its
+// response would queue FIFO behind up to Window in-flight client
+// responses (a loaded-but-alive backend would time the probe out and a
+// fail there would EOF every multiplexed client), and its write could
+// block unboundedly on a full in-flight window. A fresh socket's round
+// trip is bounded by the dial and the read deadline, and a failure
+// breaks nothing shared; no verdict is broadcast on failure — the
+// probing pool's own live sockets make the backend's state ambiguous,
+// and probeSlot owns the dead-backend verdict.
+func (p *pool) verifySiblings() {
+	if !p.m.siblingDown(p.addr, p.sh.id) {
+		return
+	}
+	raw, err := p.m.cfg.Transport.Dial(p.addr)
+	if err != nil {
+		return
+	}
+	defer raw.Close()
+	if _, err := raw.Write(p.m.cfg.Probe); err != nil {
+		return
+	}
+	raw.SetReadDeadline(time.Now().Add(p.m.cfg.ProbeTimeout))
+	var buf [256]byte
+	if _, err := raw.Read(buf[:]); err != nil {
+		return
+	}
+	p.m.probes.Inc()
+	p.m.broadcastVerdict(p.addr, true, time.Time{}, 0)
+}
+
+// siblingDown reports whether any shard other than exclude holds an open
+// fail-fast window for addr.
+func (m *Manager) siblingDown(addr string, exclude int) bool {
+	now := time.Now()
+	for _, sh := range m.shards {
+		if sh.id == exclude {
+			continue
+		}
+		sh.mu.Lock()
+		p := sh.pools[addr]
+		sh.mu.Unlock()
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		down := now.Before(p.downUntil)
+		p.mu.Unlock()
+		if down {
+			return true
+		}
+	}
+	return false
+}
+
+// probeSlot re-establishes one dead slot and verifies the backend
+// answers, then broadcasts the dial verdict to every shard.
 func (p *pool) probeSlot(slot int) {
 	p.mu.Lock()
 	if p.retired || p.dialing[slot] {
@@ -161,17 +295,50 @@ func (p *pool) probeSlot(slot int) {
 	// leases keep failing fast until a later probe succeeds.
 	s, err := p.dialSlot(slot)
 	if err != nil {
+		// The backend refused the dial: every shard's pool fails fast for
+		// the same window, so no shard pays its own discovery dial.
+		p.mu.Lock()
+		until, backoff := p.downUntil, p.backoff
+		p.mu.Unlock()
+		p.m.broadcastVerdict(p.addr, false, until, backoff)
 		return
 	}
 	if err := p.m.probeSession(s); err != nil {
 		// Connected but not answering: break the socket so no lease lands
-		// on a half-dead backend; the next probe tick re-dials.
+		// on a half-dead backend; the next probe tick re-dials. The dial
+		// itself succeeded, so no window verdict is broadcast — sibling
+		// shards' sockets to this backend break on their own read
+		// timeouts, exactly as an unsharded pool's other slots would.
 		s.c.fail(err)
 		s.Close()
 		return
 	}
 	p.m.probes.Inc()
+	p.m.broadcastVerdict(p.addr, true, time.Time{}, 0)
 	s.Close()
+}
+
+// broadcastVerdict propagates one probe's dial verdict for addr to every
+// shard's pool: up closes the fail-fast window (and resets the backoff)
+// everywhere, down extends every window to at least the probing pool's —
+// a lease on any shard then fails fast instead of re-paying the dead
+// backend's connect timeout, and recovers the moment a probe succeeds.
+func (m *Manager) broadcastVerdict(addr string, up bool, until time.Time, backoff time.Duration) {
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		p := sh.pools[addr]
+		sh.mu.Unlock()
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		if up {
+			p.backoff, p.downUntil = 0, time.Time{}
+		} else if p.downUntil.Before(until) {
+			p.backoff, p.downUntil = backoff, until
+		}
+		p.mu.Unlock()
+	}
 }
 
 // probeSession round-trips the configured no-op request on a fresh

@@ -22,7 +22,7 @@ func probeManager(u *netstack.UserNet, interval time.Duration) *Manager {
 		Backoff:       30 * time.Second,
 		MaxBackoff:    30 * time.Second,
 		Probe:         frame("ping"),
-		ProbeInterval: 5 * time.Millisecond,
+		ProbeInterval: interval,
 		ProbeTimeout:  2 * time.Second,
 	})
 }

@@ -46,8 +46,19 @@ type Config struct {
 	Transport netstack.Transport
 	// Pool supplies data-path buffers (buffer.Global when nil).
 	Pool *buffer.Pool
-	// Size is the shared-socket count per backend address (default 2).
+	// Size is the shared-socket count per backend address per shard
+	// (default 2).
 	Size int
+	// Shards is the number of independent pool shards (default 1). With
+	// Shards = N every backend address has N disjoint socket sets, one per
+	// scheduler worker: LeaseOn(addr, w) leases from shard w mod N, so the
+	// write path of a task graph pinned to one worker — framing, FIFO
+	// reservation, vectored write — never takes a lock contended by
+	// another core. Health probes still run once per backend (against
+	// shard 0) and broadcast their verdict to every shard, so probe
+	// traffic does not multiply with the core count. Shards = 1 is the
+	// single shared pool (the `flickbench churn` ablation).
+	Shards int
 	// Window bounds in-flight (unanswered) requests per shared socket;
 	// writers block when it is full (default 128).
 	Window int
@@ -76,11 +87,35 @@ type Config struct {
 	ProbeTimeout time.Duration
 }
 
-// Manager is the shared upstream connection layer for one service: a pool
-// of pipelined sockets per backend address, leased out as Sessions.
+// Manager is the shared upstream connection layer for one service: per
+// shard, a pool of pipelined sockets per backend address, leased out as
+// Sessions. Shard count and socket count per pool come from Config.
 type Manager struct {
-	cfg  Config
-	bufs *buffer.Pool
+	cfg    Config
+	bufs   *buffer.Pool
+	shards []*shard
+	closed atomic.Bool
+	done   chan struct{} // stops the probe loop
+
+	dials       metrics.Counter // sockets established
+	reuse       metrics.Counter // leases served by an already-live socket
+	redials     metrics.Counter // sockets re-established after a failure
+	failfast    metrics.Counter // leases rejected during backoff
+	probes      metrics.Counter // successful background probe round trips
+	drained     metrics.Counter // sockets closed by topology drain
+	shardhits   metrics.Counter // leases served by the caller's own shard
+	shardsteals metrics.Counter // leases served by a sibling shard's socket
+	inflight    atomic.Int64    // current unanswered requests (gauge)
+}
+
+// shard is one independent slice of the manager's pool state: its own
+// address→pool map, topology want-set and draining set, guarded by its own
+// lock. A lease routed to its home shard touches no other shard's state,
+// which is the whole point — per-worker shards keep the backend write path
+// core-local.
+type shard struct {
+	m  *Manager
+	id int
 
 	mu    sync.Mutex
 	pools map[string]*pool
@@ -93,16 +128,6 @@ type Manager struct {
 	// must never outlive a closed manager. Pools leave the set once every
 	// socket is gone (reapDrained).
 	draining map[*pool]struct{}
-	closed   atomic.Bool
-	done     chan struct{} // stops the probe loop
-
-	dials    metrics.Counter // sockets established
-	reuse    metrics.Counter // leases served by an already-live socket
-	redials  metrics.Counter // sockets re-established after a failure
-	failfast metrics.Counter // leases rejected during backoff
-	probes   metrics.Counter // successful background probe round trips
-	drained  metrics.Counter // sockets closed by topology drain
-	inflight atomic.Int64    // current unanswered requests (gauge)
 }
 
 // NewManager creates a manager. RequestFramer and ResponseFramer are
@@ -116,6 +141,9 @@ func NewManager(cfg Config) *Manager {
 	}
 	if cfg.Size <= 0 {
 		cfg.Size = 2
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
 	}
 	if cfg.Window <= 0 {
 		cfg.Window = 128
@@ -135,40 +163,109 @@ func NewManager(cfg Config) *Manager {
 	if cfg.RequestFramer == nil || cfg.ResponseFramer == nil {
 		panic("upstream: NewManager requires request and response framers")
 	}
-	m := &Manager{cfg: cfg, bufs: cfg.Pool, pools: map[string]*pool{},
-		draining: map[*pool]struct{}{}, done: make(chan struct{})}
+	m := &Manager{cfg: cfg, bufs: cfg.Pool, done: make(chan struct{})}
+	m.shards = make([]*shard, cfg.Shards)
+	for i := range m.shards {
+		m.shards[i] = &shard{m: m, id: i, pools: map[string]*pool{},
+			draining: map[*pool]struct{}{}}
+	}
 	if len(cfg.Probe) > 0 {
 		go m.probeLoop()
 	}
 	return m
 }
 
-// Lease returns a virtual connection to addr, multiplexed onto one of the
-// address's shared sockets (established lazily). It fails fast while the
-// address is in redial backoff.
-func (m *Manager) Lease(addr string) (*Session, error) {
+// Shards returns the configured shard count.
+func (m *Manager) Shards() int { return len(m.shards) }
+
+// Lease returns a virtual connection to addr from shard 0. Callers that
+// know which scheduler worker will write the session should use LeaseOn.
+func (m *Manager) Lease(addr string) (*Session, error) { return m.LeaseOn(addr, 0) }
+
+// LeaseOn returns a virtual connection to addr, multiplexed onto one of
+// the shared sockets of worker's shard (worker mod Shards; sockets are
+// established lazily). While the home shard cannot serve — its backend
+// sockets are down and the redial backoff window is open — the lease
+// falls back to a live socket in a sibling shard (counted as a
+// shardsteal) before failing fast.
+func (m *Manager) LeaseOn(addr string, worker int) (*Session, error) {
 	if m.closed.Load() {
 		return nil, errManagerClosed
 	}
-	m.mu.Lock()
-	p := m.pools[addr]
+	if worker < 0 {
+		worker = 0
+	}
+	sh := m.shards[worker%len(m.shards)]
+	s, err := sh.lease(addr)
+	if err == nil {
+		m.shardhits.Inc()
+		return s, nil
+	}
+	// Own shard down (open backoff window or a failed dial): a live socket
+	// in a sibling shard still reaches the backend — correctness prefers a
+	// cross-core lock over a refused lease. Retirement and manager close
+	// are global verdicts, never stolen around.
+	if len(m.shards) > 1 && !errors.Is(err, ErrRetired) && !errors.Is(err, errManagerClosed) {
+		if s := m.stealLive(addr, sh.id); s != nil {
+			m.shardsteals.Inc()
+			return s, nil
+		}
+	}
+	// Only now is the lease actually refused; a backoff-window refusal no
+	// sibling could absorb is the fail-fast the counter documents.
+	if errors.Is(err, ErrDown) {
+		m.failfast.Inc()
+	}
+	return nil, err
+}
+
+// lease resolves addr to this shard's pool (creating it when the topology
+// allows) and leases from it.
+func (sh *shard) lease(addr string) (*Session, error) {
+	sh.mu.Lock()
+	p := sh.pools[addr]
 	if p == nil {
 		// Under topology management, an address outside the current set
 		// must not lazily resurrect a drained pool: the lease raced an
 		// UpdateBackends that removed its backend.
-		if m.want != nil && !m.want[addr] {
-			m.mu.Unlock()
+		if sh.want != nil && !sh.want[addr] {
+			sh.mu.Unlock()
 			return nil, fmt.Errorf("%w: %s", ErrRetired, addr)
 		}
-		p = newPool(m, addr)
-		m.pools[addr] = p
+		p = newPool(sh, addr)
+		sh.pools[addr] = p
 	}
-	m.mu.Unlock()
+	sh.mu.Unlock()
 	return p.lease()
 }
 
+// stealLive finds a live socket for addr in any shard but exclude and
+// attaches a session to it (nil when no shard has one).
+func (m *Manager) stealLive(addr string, exclude int) *Session {
+	for off := 1; off < len(m.shards); off++ {
+		sh := m.shards[(exclude+off)%len(m.shards)]
+		sh.mu.Lock()
+		p := sh.pools[addr]
+		sh.mu.Unlock()
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		var c *conn
+		if !p.retired {
+			c = p.anyLive()
+		}
+		p.mu.Unlock()
+		if c != nil {
+			m.reuse.Inc()
+			return c.newSession()
+		}
+	}
+	return nil
+}
+
 // Counters snapshots the layer's counters: dials, reuse, inflight (gauge),
-// redials, failfast, probes, drained.
+// redials, failfast, probes, drained, shardhits, shardsteals.
 func (m *Manager) Counters() metrics.CounterSet {
 	inflight := m.inflight.Load()
 	if inflight < 0 {
@@ -182,62 +279,77 @@ func (m *Manager) Counters() metrics.CounterSet {
 		"failfast", m.failfast.Value(),
 		"probes", m.probes.Value(),
 		"drained", m.drained.Value(),
+		"shardhits", m.shardhits.Value(),
+		"shardsteals", m.shardsteals.Value(),
 	)
 }
 
-// Conns reports the number of live shared sockets across all pools — the
-// quantity the connection-churn benchmark compares against C×B per-client
-// dialling.
+// Conns reports the number of live shared sockets across all shards and
+// pools — including the sockets of retired pools still draining (open OS
+// sockets are open OS sockets) — the quantity the connection-churn
+// benchmark compares against C×B per-client dialling.
 func (m *Manager) Conns() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	live := 0
-	for _, p := range m.pools {
-		p.mu.Lock()
-		for _, c := range p.slots {
-			if c != nil && !c.isBroken() {
-				live++
-			}
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		sweep := make([]*pool, 0, len(sh.pools)+len(sh.draining))
+		for _, p := range sh.pools {
+			sweep = append(sweep, p)
 		}
-		p.mu.Unlock()
+		for p := range sh.draining {
+			sweep = append(sweep, p)
+		}
+		for _, p := range sweep {
+			p.mu.Lock()
+			for _, c := range p.slots {
+				if c != nil && !c.isBroken() {
+					live++
+				}
+			}
+			p.mu.Unlock()
+		}
+		sh.mu.Unlock()
 	}
 	return live
 }
 
-// Close tears the layer down: every shared socket is closed and every live
-// session observes EOF. Subsequent leases fail.
+// Close tears the layer down: every shared socket in every shard is closed
+// and every live session observes EOF. Subsequent leases fail.
 func (m *Manager) Close() {
 	if !m.closed.CompareAndSwap(false, true) {
 		return
 	}
 	close(m.done)
-	m.mu.Lock()
-	sweep := make([]*pool, 0, len(m.pools)+len(m.draining))
-	for _, p := range m.pools {
-		sweep = append(sweep, p)
-	}
-	for p := range m.draining { // retired pools may still hold live sockets
-		sweep = append(sweep, p)
-	}
 	var conns []*conn
-	for _, p := range sweep {
-		p.mu.Lock()
-		for _, c := range p.slots {
-			if c != nil {
-				conns = append(conns, c)
-			}
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		sweep := make([]*pool, 0, len(sh.pools)+len(sh.draining))
+		for _, p := range sh.pools {
+			sweep = append(sweep, p)
 		}
-		p.mu.Unlock()
+		for p := range sh.draining { // retired pools may still hold live sockets
+			sweep = append(sweep, p)
+		}
+		for _, p := range sweep {
+			p.mu.Lock()
+			for _, c := range p.slots {
+				if c != nil {
+					conns = append(conns, c)
+				}
+			}
+			p.mu.Unlock()
+		}
+		sh.mu.Unlock()
 	}
-	m.mu.Unlock()
 	for _, c := range conns {
 		c.fail(errManagerClosed)
 	}
 }
 
-// pool is the shared-socket set for one backend address.
+// pool is the shared-socket set for one backend address within one shard.
 type pool struct {
 	m    *Manager
+	sh   *shard
 	addr string
 
 	mu        sync.Mutex
@@ -252,13 +364,14 @@ type pool struct {
 	probing   bool          // a probe sweep of this pool is in flight
 }
 
-func newPool(m *Manager, addr string) *pool {
+func newPool(sh *shard, addr string) *pool {
 	p := &pool{
-		m:       m,
+		m:       sh.m,
+		sh:      sh,
 		addr:    addr,
-		slots:   make([]*conn, m.cfg.Size),
-		dialing: make([]bool, m.cfg.Size),
-		slotUp:  make([]bool, m.cfg.Size),
+		slots:   make([]*conn, sh.m.cfg.Size),
+		dialing: make([]bool, sh.m.cfg.Size),
+		slotUp:  make([]bool, sh.m.cfg.Size),
 	}
 	p.cond = sync.NewCond(&p.mu)
 	return p
@@ -295,7 +408,9 @@ func (p *pool) lease() (*Session, error) {
 					return alt.newSession(), nil
 				}
 				p.mu.Unlock()
-				p.m.failfast.Inc()
+				// The caller (LeaseOn) counts failfast: a lease that a
+				// sibling shard's socket ends up serving was never
+				// actually refused.
 				return nil, fmt.Errorf("%w: %s for %v", ErrDown, p.addr, time.Until(p.downUntil).Round(time.Millisecond))
 			}
 			return p.dialSlot(slot)
@@ -337,7 +452,15 @@ func (p *pool) dialSlot(slot int) (*Session, error) {
 			p.backoff = p.m.cfg.MaxBackoff
 		}
 		p.downUntil = time.Now().Add(p.backoff)
+		retired := p.retired
 		p.mu.Unlock()
+		if retired {
+			// A retire that ran during the dial skipped this pool in its
+			// reap (the in-flight dial counted as potentially-live);
+			// nothing was installed, so re-check now or the pool sits in
+			// the shard's draining set until Manager.Close.
+			p.sh.reapDrained(p)
+		}
 		return nil, fmt.Errorf("upstream: dial %s: %w", p.addr, err)
 	}
 	p.backoff = 0
@@ -365,7 +488,7 @@ func (p *pool) dialSlot(slot int) (*Session, error) {
 	}
 	if retired {
 		c.fail(ErrRetired)
-		p.m.reapDrained(p)
+		p.sh.reapDrained(p)
 		return nil, fmt.Errorf("%w: %s", ErrRetired, p.addr)
 	}
 	return c.newSession(), nil
@@ -623,7 +746,8 @@ func (c *conn) maybeDrain() {
 		return
 	}
 	c.mu.Lock()
-	drain := !c.broken && !c.draining && len(c.sessions) == 0
+	broken := c.broken
+	drain := !broken && !c.draining && len(c.sessions) == 0
 	if drain {
 		c.draining = true // claim the close: concurrent detaches count once
 	}
@@ -631,6 +755,12 @@ func (c *conn) maybeDrain() {
 	if drain {
 		c.m.drained.Inc()
 		c.fail(ErrRetired)
-		c.m.reapDrained(c.p)
+	}
+	if drain || broken {
+		// A socket that broke on its own mid-drain (backend died before
+		// the last session detached) ends the pool's life just as a
+		// counted drain does: without this re-check the pool would sit in
+		// the shard's draining set until Manager.Close.
+		c.p.sh.reapDrained(c.p)
 	}
 }

@@ -40,7 +40,7 @@ func frame(payload string) []byte {
 }
 
 // readFrame reads one complete frame off a blocking net.Conn.
-func readFrame(t *testing.T, c net.Conn, timeout time.Duration) string {
+func readFrame(t testing.TB, c net.Conn, timeout time.Duration) string {
 	t.Helper()
 	c.SetReadDeadline(time.Now().Add(timeout))
 	var h [4]byte
@@ -55,7 +55,7 @@ func readFrame(t *testing.T, c net.Conn, timeout time.Duration) string {
 }
 
 // echoServer answers every frame with its payload, in arrival order.
-func echoServer(t *testing.T, u *netstack.UserNet, addr string) net.Listener {
+func echoServer(t testing.TB, u *netstack.UserNet, addr string) net.Listener {
 	t.Helper()
 	l, err := u.Listen(addr)
 	if err != nil {
