@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-churn bench-rebalance bench-shard check-docs fuzz-smoke ci
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-churn bench-rebalance bench-shard admin-smoke check-docs fuzz-smoke ci
 
 all: build test
 
@@ -26,7 +26,8 @@ test:
 race:
 	$(GO) test -race ./internal/core/... ./internal/buffer/... \
 		./internal/proto/... ./internal/loadgen/... ./internal/upstream/... \
-		./internal/backend/... ./internal/apps/...
+		./internal/backend/... ./internal/apps/... \
+		./internal/topology/... ./internal/admin/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
@@ -40,9 +41,19 @@ bench-churn:
 	$(GO) run ./cmd/flickbench -quick churn
 
 # Live-topology smoke: consistent-hash ring vs mod-B across a B→B+1
-# scale-out under load (also run by the CI bench-smoke job).
+# scale-out under load, plus the hot-key skew pair whose max-load column
+# separates the plain ring from the bounded-load ring (also run by the
+# CI bench-smoke job).
 bench-rebalance:
 	$(GO) run ./cmd/flickbench -quick rebalance
+
+# Control-plane smoke: start flickrun with the admin API, exercise
+# /healthz, /counters and a PUT /topology scale-out over HTTP, and
+# assert the change is visible in GET /topology (also run by the CI
+# admin-smoke step). Backends are fake addresses — upstream dials are
+# lazy, so the control plane works without live backends.
+admin-smoke:
+	./scripts/admin_smoke.sh
 
 # Upstream-sharding microbenchmark: leased-session round trips with one
 # pool shard per core vs one shared pool — the write-lock contention the
@@ -53,7 +64,7 @@ bench-shard:
 # Documentation gate: every relative markdown link (and intra-doc
 # anchor) resolves and every exported identifier in the data-path
 # packages has a doc comment.
-DOC_PKGS = internal/upstream,internal/backend,internal/buffer,internal/core,internal/apps,internal/bench,internal/metrics,internal/proto/memcache,internal/proto/http,internal/tools/docscheck
+DOC_PKGS = internal/upstream,internal/backend,internal/buffer,internal/core,internal/apps,internal/bench,internal/metrics,internal/admin,internal/topology,internal/proto/memcache,internal/proto/http,internal/tools/docscheck
 
 check-docs:
 	$(GO) run ./internal/tools/docscheck -pkgs $(DOC_PKGS) README.md docs/ARCHITECTURE.md docs/PERFORMANCE.md
@@ -69,4 +80,4 @@ fuzz-smoke:
 	$(GO) test ./internal/proto/hadoop -run='^$$' -fuzz=FuzzHadoopDecode -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/grammar -run='^$$' -fuzz=FuzzGrammarRoundTrip -fuzztime=$(FUZZTIME)
 
-ci: build vet fmt-check check-docs test race bench-smoke bench-churn bench-rebalance bench-shard fuzz-smoke
+ci: build vet fmt-check check-docs test race bench-smoke bench-churn bench-rebalance bench-shard admin-smoke fuzz-smoke

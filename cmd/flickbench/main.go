@@ -190,6 +190,14 @@ func main() {
 			}
 			pts = append(pts, pair...)
 		}
+		// Hot-key skew: plain ring vs bounded-load ring (the max-load
+		// column is where they separate).
+		rc.System = bench.SysFlick
+		skew, err := bench.RunRebalanceSkewPair(rc)
+		if err != nil {
+			return err
+		}
+		pts = append(pts, skew...)
 		fmt.Println(bench.RebalanceTable(pts))
 		return nil
 	})

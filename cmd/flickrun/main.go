@@ -6,31 +6,46 @@
 //	flickrun -service memcachedproxy -listen 127.0.0.1:11211 -backend 127.0.0.1:11212
 //
 // Live backend topology: with -live-topology the backend set can change
-// while serving. Write one backend address per line to the -topology-file
-// and send SIGHUP; the process rebuilds the consistent-hash ring and
-// applies it without dropping a connection:
+// while serving. Every update path converges on the same drain-correct
+// transition:
+//
+//   - File + SIGHUP: write "addr" or "addr weight" lines to the
+//     -topology-file and send SIGHUP; the process re-reads the file and
+//     rebuilds the ring without dropping a connection.
+//   - Admin API: with -admin-addr, PUT /topology installs a JSON backend
+//     list over HTTP (and GET /topology, /counters, /healthz inspect the
+//     live state). See ARCHITECTURE.md's control-plane section.
+//   - HTTP poll: -topology-poll-url follows another instance's admin
+//     GET /topology, so a fleet tracks one source of truth.
+//
+// Example:
 //
 //	flickrun -service memcachedproxy -live-topology -max-backends 8 \
 //	    -topology-file backends.txt -probe-interval 250ms \
+//	    -admin-addr 127.0.0.1:7070 \
 //	    -backend 127.0.0.1:11212 -backend 127.0.0.1:11213
 //	# later: edit backends.txt, then
 //	kill -HUP $(pidof flickrun)
+//	# or over HTTP:
+//	curl -X PUT -d '{"backends":["127.0.0.1:11212",{"addr":"127.0.0.1:11214","weight":2}]}' \
+//	    http://127.0.0.1:7070/topology
 //
 // The process serves until interrupted.
 package main
 
 import (
-	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"runtime"
-	"strings"
 	"syscall"
+	"time"
 
 	"flick/internal/apps"
 	"flick/internal/core"
+	"flick/internal/topology"
 )
 
 type backendList []string
@@ -51,10 +66,14 @@ func main() {
 		noPool  = flag.Bool("no-upstream-pool", false, "dial backends per client instead of sharing pipelined upstream connections")
 		upSize  = flag.Int("upstream-pool-size", 0, "shared upstream sockets per backend per shard (0: default)")
 		upShard = flag.Int("upstream-shards", 0, "upstream pool shards (0: one per worker; 1: single shared pool)")
-		liveTop = flag.Bool("live-topology", false, "route via a consistent-hash ring and accept SIGHUP topology updates")
+		liveTop = flag.Bool("live-topology", false, "route via a consistent-hash ring and accept topology updates while serving")
 		maxBack = flag.Int("max-backends", 0, "channel-array capacity for -live-topology (0: current backend count)")
-		topFile = flag.String("topology-file", "", "file with one backend address per line, re-read on SIGHUP")
+		topFile = flag.String("topology-file", "", "topology file (\"addr\" or \"addr weight\" per line), re-read on SIGHUP")
+		pollURL = flag.String("topology-poll-url", "", "follow another instance's admin GET /topology at this URL")
+		pollIv  = flag.Duration("topology-poll-interval", 2*time.Second, "poll period for -topology-poll-url")
 		probeIv = flag.Duration("probe-interval", 0, "proactive upstream health-probe period (0: disabled)")
+		adminAd = flag.String("admin-addr", "", "serve the admin HTTP API (GET/PUT /topology, /counters, /healthz) on this address")
+		loadC   = flag.Float64("bounded-load-c", 0, "bounded-load factor c for ring routing (0: plain ring; try 1.25)")
 	)
 	flag.Var(&backends, "backend", "backend address (repeatable)")
 	flag.Parse()
@@ -86,11 +105,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	svc.NoUpstreamPool = *noPool
-	svc.UpstreamPoolSize = *upSize
-	svc.UpstreamShards = *upShard
-	svc.LiveTopology = *liveTop
-	svc.ProbeInterval = *probeIv
+	svc.Upstream = apps.UpstreamOptions{
+		Disable:       *noPool,
+		PoolSize:      *upSize,
+		Shards:        *upShard,
+		ProbeInterval: *probeIv,
+	}
+	svc.Topology = apps.TopologyOptions{
+		Live:         *liveTop,
+		BoundedLoadC: *loadC,
+	}
 
 	p := core.NewPlatform(core.Config{Workers: *workers})
 	defer p.Close()
@@ -109,78 +133,81 @@ func main() {
 			fmt.Printf("flickrun: health probes every %v\n", *probeIv)
 		}
 	}
-	if *liveTop {
-		fmt.Printf("flickrun: live topology: %d/%d backends bound; SIGHUP re-reads %s\n",
-			len(backends), capacity, topologySource(*topFile))
+
+	ctl := apps.NewControl(svc, deployed, p)
+	if *adminAd != "" {
+		srv, aerr := ctl.ServeAdmin(*adminAd)
+		if aerr != nil {
+			fatal(aerr)
+		}
+		defer srv.Close()
+		fmt.Printf("flickrun: admin API on http://%s (GET/PUT /topology, GET /counters, GET /healthz)\n", srv.Addr())
 	}
 
-	sig := make(chan os.Signal, 2)
-	signal.Notify(sig, os.Interrupt)
-	if *liveTop {
-		signal.Notify(sig, syscall.SIGHUP)
-	}
-	for s := range sig {
-		if s != syscall.SIGHUP {
-			break
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	notify := func(list []topology.Backend, uerr error) {
+		if uerr != nil {
+			fmt.Fprintf(os.Stderr, "flickrun: topology update: %v\n", uerr)
+			return
 		}
-		addrs, rerr := readTopology(*topFile)
-		if rerr != nil {
-			fmt.Fprintf(os.Stderr, "flickrun: SIGHUP: %v\n", rerr)
-			continue
-		}
-		if uerr := svc.UpdateBackends(deployed, addrs); uerr != nil {
-			fmt.Fprintf(os.Stderr, "flickrun: SIGHUP: %v\n", uerr)
-			continue
-		}
-		fmt.Printf("flickrun: topology updated: %d backends %v\n", len(addrs), addrs)
+		fmt.Printf("flickrun: topology updated: %d backends %v\n", len(list), topology.Addrs(list))
 		if m := deployed.Upstreams(); m != nil {
 			fmt.Printf("flickrun: upstream: %d sockets, %s\n", m.Conns(), m.Counters())
 		}
 	}
+	onSourceError := func(serr error) {
+		fmt.Fprintf(os.Stderr, "flickrun: topology source: %v\n", serr)
+	}
+
+	if *liveTop {
+		// SIGHUP → File source trigger: the legacy re-read-on-signal
+		// behaviour as a thin adapter over the one update path.
+		if *topFile != "" {
+			hup := make(chan os.Signal, 1)
+			signal.Notify(hup, syscall.SIGHUP)
+			trigger := make(chan struct{}, 1)
+			go func() {
+				for range hup {
+					select {
+					case trigger <- struct{}{}:
+					default:
+					}
+				}
+			}()
+			src := topology.File{Path: *topFile, Trigger: trigger, OnError: onSourceError}
+			go func() {
+				if ferr := ctl.Follow(ctx, src, notify); ferr != nil {
+					fmt.Fprintf(os.Stderr, "flickrun: topology file source: %v\n", ferr)
+				}
+			}()
+			fmt.Printf("flickrun: live topology: %d/%d backends bound; SIGHUP re-reads %s\n",
+				len(backends), capacity, *topFile)
+		} else {
+			fmt.Printf("flickrun: live topology: %d/%d backends bound (no -topology-file; update via admin PUT /topology)\n",
+				len(backends), capacity)
+		}
+		if *pollURL != "" {
+			src := topology.Poll{URL: *pollURL, Interval: *pollIv, OnError: onSourceError}
+			go func() {
+				if ferr := ctl.Follow(ctx, src, notify); ferr != nil {
+					fmt.Fprintf(os.Stderr, "flickrun: topology poll source: %v\n", ferr)
+				}
+			}()
+			fmt.Printf("flickrun: following topology at %s every %v\n", *pollURL, *pollIv)
+		}
+	}
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
 	if m := deployed.Upstreams(); m != nil {
 		fmt.Printf("\nflickrun: upstream pool: %d sockets, %s\n", m.Conns(), m.Counters())
 	}
 	fmt.Println("\nflickrun: shutting down")
 }
 
-// topologySource names where SIGHUP reads the backend list from.
-func topologySource(file string) string {
-	if file == "" {
-		return "nothing (-topology-file not set)"
-	}
-	return file
-}
-
-// readTopology loads one backend address per line; blank lines and
-// #-comments are skipped.
-func readTopology(file string) ([]string, error) {
-	if file == "" {
-		return nil, fmt.Errorf("no -topology-file configured")
-	}
-	f, err := os.Open(file)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	var addrs []string
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		addrs = append(addrs, line)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if len(addrs) == 0 {
-		return nil, fmt.Errorf("%s lists no backends", file)
-	}
-	return addrs, nil
-}
-
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "flickrun:", err)
+	fmt.Fprintf(os.Stderr, "flickrun: %v\n", err)
 	os.Exit(1)
 }

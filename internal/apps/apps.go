@@ -11,6 +11,7 @@ import (
 	"flick/internal/proto/hadoop"
 	phttp "flick/internal/proto/http"
 	"flick/internal/proto/memcache"
+	"flick/internal/topology"
 	"flick/internal/upstream"
 	"flick/internal/value"
 )
@@ -85,6 +86,66 @@ fun respond: (req: request) -> (response)
     response(200, "Hello from FLICK! This payload is sized to mimic the paper's 137-byte static object for the web-server test.")
 `
 
+// UpstreamOptions groups the shared-upstream-layer knobs of a Service.
+// The zero value selects the defaults every knob had as a flat field:
+// pool enabled, upstream.Config sizing, one shard per scheduler worker,
+// probing off.
+type UpstreamOptions struct {
+	// Disable turns off the shared upstream connection layer for
+	// request/response services, restoring one dedicated backend socket
+	// per accepted client (the ablation the connection-churn benchmark
+	// measures against). Set before Deploy.
+	Disable bool
+	// PoolSize overrides the shared-socket count per backend address per
+	// shard (0: upstream.Config default).
+	PoolSize int
+	// Shards sets the upstream layer's pool shard count. 0 (the
+	// default) shards one pool set per platform scheduler worker, so the
+	// backend write path of a task graph never takes a lock contended by
+	// another core; 1 restores the single shared pool (the ablation
+	// `flickbench churn` measures against); any other value is used
+	// verbatim. Set before Deploy.
+	Shards int
+	// Window overrides the per-socket in-flight request window
+	// (0: upstream.Config default).
+	Window int
+	// ProbeInterval enables proactive upstream health probes at the
+	// given period (0: disabled). Probing needs the shared upstream
+	// layer and a service protocol with a no-op request (all
+	// request/response services here have one).
+	ProbeInterval time.Duration
+}
+
+// TopologyOptions groups the live-backend-topology knobs of a Service.
+// The zero value is the static deployment every knob's flat-field zero
+// selected: fixed backend census, hash-mod-B off the compiled array.
+type TopologyOptions struct {
+	// Live opts the service into a live backend set: keys route
+	// through a consistent-hash ring (backend.Ring) instead of
+	// hash-mod-B, Deploy accepts fewer backend addresses than the
+	// compiled channel-array capacity (spare ports stay unbound until a
+	// scale-out), and the deployed service accepts
+	// Service.UpdateBackends / apps UpdateBackends while serving. Set
+	// before Deploy.
+	Live bool
+	// VNodes overrides the ring's virtual-node count per backend
+	// (0: backend.DefaultVNodes).
+	VNodes int
+	// Mod selects the hash-mod-B ablation router for a Live service:
+	// the live-update plumbing stays, but a topology change reshuffles
+	// nearly the whole key space — the baseline `flickbench rebalance`
+	// measures the ring against.
+	Mod bool
+	// BoundedLoadC, when > 0, routes through a bounded-load ring
+	// (backend.BoundedRing) with load factor c: a key's hash owner is
+	// skipped while its in-flight share exceeds c× its fair share, the
+	// walk settling on the next ring successor with headroom. Requires
+	// the shared upstream layer (its per-address in-flight gauge is the
+	// load signal); without it the plain ring is used. 1.25 is a good
+	// first value (see PERFORMANCE.md).
+	BoundedLoadC float64
+}
+
 // Service is a ready-to-deploy FLICK application.
 type Service struct {
 	// Name identifies the service.
@@ -93,45 +154,10 @@ type Service struct {
 	Program *compiler.Program
 	// Graph is the compiled process graph.
 	Graph *compiler.ProcGraph
-	// NoUpstreamPool disables the shared upstream connection layer for
-	// request/response services, restoring one dedicated backend socket
-	// per accepted client (the ablation the connection-churn benchmark
-	// measures against). Set before Deploy.
-	NoUpstreamPool bool
-	// UpstreamPoolSize overrides the shared-socket count per backend
-	// address per shard (0: upstream.Config default).
-	UpstreamPoolSize int
-	// UpstreamShards sets the upstream layer's pool shard count. 0 (the
-	// default) shards one pool set per platform scheduler worker, so the
-	// backend write path of a task graph never takes a lock contended by
-	// another core; 1 restores the single shared pool (the ablation
-	// `flickbench churn` measures against); any other value is used
-	// verbatim. Set before Deploy.
-	UpstreamShards int
-	// UpstreamWindow overrides the per-socket in-flight request window
-	// (0: upstream.Config default).
-	UpstreamWindow int
-	// LiveTopology opts the service into a live backend set: keys route
-	// through a consistent-hash ring (backend.Ring) instead of
-	// hash-mod-B, Deploy accepts fewer backend addresses than the
-	// compiled channel-array capacity (spare ports stay unbound until a
-	// scale-out), and the deployed service accepts
-	// Service.UpdateBackends / apps UpdateBackends while serving. Set
-	// before Deploy.
-	LiveTopology bool
-	// TopologyVNodes overrides the ring's virtual-node count per backend
-	// (0: backend.DefaultVNodes).
-	TopologyVNodes int
-	// ModTopology selects the hash-mod-B ablation router for a
-	// LiveTopology service: the live-update plumbing stays, but a
-	// topology change reshuffles nearly the whole key space — the
-	// baseline `flickbench rebalance` measures the ring against.
-	ModTopology bool
-	// ProbeInterval enables proactive upstream health probes at the
-	// given period (0: disabled). Probing needs the shared upstream
-	// layer and a service protocol with a no-op request (all
-	// request/response services here have one).
-	ProbeInterval time.Duration
+	// Upstream configures the shared upstream connection layer.
+	Upstream UpstreamOptions
+	// Topology configures live backend topology and routing.
+	Topology TopologyOptions
 	// clientChannel names the channel bound to accepted connections.
 	clientChannel string
 	// backendChannel names the channel array dialled to backends.
@@ -166,9 +192,10 @@ func (s *Service) Deploy(p *core.Platform, listenAddr string, backendAddrs []str
 			return nil, err
 		}
 		cfg.ClientPort = cp
+		var liveAddrs []string
 		if s.backendChannel != "" {
 			ports := s.Graph.Ports[s.backendChannel]
-			if s.LiveTopology {
+			if s.Topology.Live {
 				// Live topology: the compiled array size is capacity, not
 				// census — deploy with any current count from 1 up to it
 				// and grow/shrink later with UpdateBackends.
@@ -180,7 +207,7 @@ func (s *Service) Deploy(p *core.Platform, listenAddr string, backendAddrs []str
 						s.Name, len(ports), len(backendAddrs))
 				}
 				cfg.BackendPorts = ports
-				cfg.Topology = s.topology(backendAddrs)
+				liveAddrs = backendAddrs
 			} else {
 				if len(backendAddrs) != len(ports) {
 					return nil, fmt.Errorf("apps: %s needs %d backend addresses, got %d",
@@ -196,9 +223,9 @@ func (s *Service) Deploy(p *core.Platform, listenAddr string, backendAddrs []str
 		// every accepted client leases multiplexed sessions instead of
 		// dialling each backend afresh (the Shared/streaming services —
 		// the Hadoop aggregator's reducer feed — keep dedicated sockets).
-		hasBackends := len(cfg.BackendAddrs) > 0 || (cfg.Topology != nil && len(cfg.BackendPorts) > 0)
-		if hasBackends && s.reqFramer != nil && s.respFramer != nil && !s.NoUpstreamPool {
-			shards := s.UpstreamShards
+		hasBackends := len(cfg.BackendAddrs) > 0 || len(liveAddrs) > 0
+		if hasBackends && s.reqFramer != nil && s.respFramer != nil && !s.Upstream.Disable {
+			shards := s.Upstream.Shards
 			if shards <= 0 {
 				// Default: one pool shard per scheduler worker, so each
 				// graph's backend writes stay on the leasing worker's core.
@@ -206,17 +233,22 @@ func (s *Service) Deploy(p *core.Platform, listenAddr string, backendAddrs []str
 			}
 			ucfg := upstream.Config{
 				Transport:      p.Transport(),
-				Size:           s.UpstreamPoolSize,
+				Size:           s.Upstream.PoolSize,
 				Shards:         shards,
-				Window:         s.UpstreamWindow,
+				Window:         s.Upstream.Window,
 				RequestFramer:  s.reqFramer,
 				ResponseFramer: s.respFramer,
 			}
-			if s.ProbeInterval > 0 && len(s.probe) > 0 {
+			if s.Upstream.ProbeInterval > 0 && len(s.probe) > 0 {
 				ucfg.Probe = s.probe
-				ucfg.ProbeInterval = s.ProbeInterval
+				ucfg.ProbeInterval = s.Upstream.ProbeInterval
 			}
 			cfg.Upstreams = upstream.NewManager(ucfg)
+		}
+		// The router is built after the upstream manager so bounded-load
+		// routing can consume the manager's per-address in-flight gauge.
+		if liveAddrs != nil {
+			cfg.Topology = s.router(liveAddrs, nil, cfg.Upstreams)
 		}
 	case core.Shared:
 		cfg.SharedPorts = s.Graph.Ports[s.sharedChannel]
@@ -239,25 +271,47 @@ func (s *Service) Deploy(p *core.Platform, listenAddr string, backendAddrs []str
 	return svc, err
 }
 
-// topology builds the service's router over addrs per its options.
-func (s *Service) topology(addrs []string) core.Topology {
-	if s.ModTopology {
+// router builds the service's routing topology over addrs per its
+// options: hash-mod-B ablation, plain ring, weighted ring, or — when
+// BoundedLoadC is set and an upstream manager supplies the in-flight
+// gauge — a weighted bounded-load ring. weights nil means uniform.
+func (s *Service) router(addrs []string, weights []int, m *upstream.Manager) core.Topology {
+	if s.Topology.Mod {
 		return backend.NewModTable(addrs)
 	}
-	return backend.NewRing(addrs, s.TopologyVNodes)
+	ring := backend.NewWeightedRing(addrs, weights, s.Topology.VNodes)
+	if s.Topology.BoundedLoadC > 0 && m != nil {
+		return backend.NewBoundedRing(ring, s.Topology.BoundedLoadC, m.InflightFor)
+	}
+	return ring
 }
 
-// UpdateBackends applies a new backend address list to a deployed
-// LiveTopology service: it builds the router matching the service's
-// topology options (ring or mod ablation) and swaps it in on the live
-// core.Service. Growing the set is a non-event — new connections route
-// through the new ring, running graphs finish on the sockets they hold;
-// shrinking additionally drains the removed backends' upstream pools.
+// UpdateBackends applies a new backend address list (uniform weights) to
+// a deployed live-topology service: it builds the router matching the
+// service's topology options (ring or mod ablation) and swaps it in on
+// the live core.Service. Growing the set is a non-event — new connections
+// route through the new ring, running graphs finish on the sockets they
+// hold; shrinking additionally drains the removed backends' upstream
+// pools.
 func (s *Service) UpdateBackends(deployed *core.Service, addrs []string) error {
-	if !s.LiveTopology {
-		return fmt.Errorf("apps: %s was not deployed with LiveTopology", s.Name)
+	if !s.Topology.Live {
+		return fmt.Errorf("apps: %s was not deployed with a live topology", s.Name)
 	}
-	return deployed.UpdateBackends(s.topology(addrs))
+	return deployed.UpdateBackends(s.router(addrs, nil, deployed.Upstreams()))
+}
+
+// UpdateWeighted applies a weighted backend list to a deployed
+// live-topology service — the admin API's PUT /topology path and the
+// weighted file format land here. Weight 0 keeps a backend listed but
+// drains its share of the key space.
+func (s *Service) UpdateWeighted(deployed *core.Service, list []topology.Backend) error {
+	if !s.Topology.Live {
+		return fmt.Errorf("apps: %s was not deployed with a live topology", s.Name)
+	}
+	if err := topology.Validate(list); err != nil {
+		return err
+	}
+	return deployed.UpdateBackends(s.router(topology.Addrs(list), topology.Weights(list), deployed.Upstreams()))
 }
 
 // HTTPLoadBalancer compiles the §6.1 HTTP load balancer for n backends.

@@ -1,0 +1,145 @@
+package apps
+
+import (
+	"context"
+	"sync"
+
+	"flick/internal/admin"
+	"flick/internal/backend"
+	"flick/internal/buffer"
+	"flick/internal/core"
+	"flick/internal/metrics"
+	"flick/internal/topology"
+)
+
+// Control is a deployed service's control plane: the one object every
+// topology-update path converges on. The admin API's PUT /topology, a
+// topology.Source feed (file re-read on SIGHUP, HTTP poll) and direct
+// calls all land in Apply, which serialises updates and drives the
+// drain-correct Service.UpdateBackends transition; View and Counters
+// snapshot the live state the admin API serves.
+type Control struct {
+	svc      *Service
+	deployed *core.Service
+	reg      *metrics.Registry
+
+	mu       sync.Mutex // serialises Apply (topology transitions are ordered)
+	applied  metrics.Counter
+	rejected metrics.Counter
+}
+
+// NewControl builds the control plane for a deployed service, registering
+// the platform's counter sets — scheduler, buffer pool, upstream layer
+// (when the service has one) and the control plane's own — in the
+// registry /counters serves.
+func NewControl(svc *Service, deployed *core.Service, p *core.Platform) *Control {
+	c := &Control{svc: svc, deployed: deployed, reg: metrics.NewRegistry()}
+	c.reg.Register("sched", func() metrics.CounterSet {
+		return p.Scheduler().Stats().Metrics()
+	})
+	c.reg.Register("pool", buffer.Global.Counters)
+	if m := deployed.Upstreams(); m != nil {
+		c.reg.Register("upstream", m.Counters)
+	}
+	c.reg.Register("control", func() metrics.CounterSet {
+		return metrics.NewCounterSet(
+			"applied", c.applied.Value(),
+			"rejected", c.rejected.Value(),
+		)
+	})
+	return c
+}
+
+// Registry exposes the counter registry (e.g. to register service-specific
+// sets before serving the admin API).
+func (c *Control) Registry() *metrics.Registry { return c.reg }
+
+// Apply implements admin.Controller: it validates and installs a weighted
+// backend topology through Service.UpdateWeighted, serialising concurrent
+// updates so topology transitions are totally ordered.
+func (c *Control) Apply(list []topology.Backend) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.svc.UpdateWeighted(c.deployed, list); err != nil {
+		c.rejected.Inc()
+		return err
+	}
+	c.applied.Inc()
+	return nil
+}
+
+// Counters implements admin.Controller: every registered counter set in
+// registration order.
+func (c *Control) Counters() []metrics.Named { return c.reg.Snapshot() }
+
+// View implements admin.Controller: a snapshot of the installed routing
+// topology — addresses, weights, ring shares — joined with the upstream
+// layer's live per-backend health verdicts and in-flight gauges.
+func (c *Control) View() admin.TopologyView {
+	v := admin.TopologyView{Capacity: c.deployed.BackendCapacity()}
+	t := c.deployed.Topology()
+	var (
+		addrs   []string
+		weights []int
+		shares  []float64
+	)
+	switch r := t.(type) {
+	case *backend.BoundedRing:
+		v.Router = "bounded-ring"
+		v.BoundedLoadC = r.C()
+		addrs, weights, shares = r.Backends(), r.Ring().Weights(), r.Shares()
+	case *backend.Ring:
+		v.Router = "ring"
+		addrs, weights, shares = r.Backends(), r.Weights(), r.Shares()
+	case nil:
+		v.Router = "static"
+		return v
+	default: // *backend.ModTable and any other plain Topology
+		v.Router = "mod"
+		addrs = t.Backends()
+		weights = make([]int, len(addrs))
+		shares = make([]float64, len(addrs))
+		for i := range addrs {
+			weights[i] = 1
+			shares[i] = 1 / float64(len(addrs))
+		}
+	}
+	m := c.deployed.Upstreams()
+	for i, a := range addrs {
+		row := admin.BackendView{Addr: a, Weight: weights[i], Share: shares[i]}
+		if m != nil {
+			row.Health = m.HealthFor(a)
+			row.Inflight = m.InflightFor(a)
+		} else {
+			row.Health = "unmanaged" // per-connection dialling: no pool to ask
+		}
+		v.Backends = append(v.Backends, row)
+	}
+	return v
+}
+
+// Follow applies every topology a Source emits until the source closes or
+// ctx is cancelled. Apply failures do not stop the feed (the last good
+// topology stays installed); notify — when non-nil — observes every
+// emission with the outcome of its application.
+func (c *Control) Follow(ctx context.Context, src topology.Source, notify func([]topology.Backend, error)) error {
+	ch, err := src.Watch(ctx)
+	if err != nil {
+		return err
+	}
+	for list := range ch {
+		err := c.Apply(list)
+		if notify != nil {
+			notify(list, err)
+		}
+	}
+	return nil
+}
+
+// ServeAdmin starts the admin HTTP listener on addr, fronting this
+// control plane. The caller owns the returned server's lifetime.
+func (c *Control) ServeAdmin(addr string) (*admin.Server, error) {
+	return admin.Start(addr, c)
+}
+
+var _ admin.Controller = (*Control)(nil)

@@ -11,14 +11,25 @@
 //
 // # Deployment options
 //
-// A Service carries the knobs the benchmarks ablate: NoUpstreamPool
+// A Service carries the knobs the benchmarks ablate, grouped into two
+// nested option structs whose zero values are the defaults. Upstream
+// (UpstreamOptions) configures the shared connection layer: Disable
 // (dedicated backend sockets per client instead of the shared pipelined
-// pool), UpstreamPoolSize/UpstreamWindow, and the live-topology set —
-// LiveTopology (consistent-hash ring routing with hot UpdateBackends,
-// where the compiled channel-array size is capacity rather than census),
-// TopologyVNodes, ModTopology (the hash-mod-B ablation) and ProbeInterval
-// (proactive upstream health probes using the service protocol's no-op
-// request).
+// pool), PoolSize/Window/Shards sizing, and ProbeInterval (proactive
+// upstream health probes using the service protocol's no-op request).
+// Topology (TopologyOptions) configures routing: Live (consistent-hash
+// ring routing with hot UpdateBackends, where the compiled channel-array
+// size is capacity rather than census), VNodes, Mod (the hash-mod-B
+// ablation) and BoundedLoadC (consistent hashing with bounded loads over
+// the upstream layer's in-flight gauge).
+//
+// # Control plane
+//
+// Control wraps a deployed live-topology service in its control plane:
+// Apply is the single update path every topology source converges on
+// (admin PUT /topology, SIGHUP file re-reads and HTTP polling via
+// topology.Source + Follow), View/Counters snapshot the state the admin
+// HTTP API (internal/admin, ServeAdmin) serves.
 //
 // # Ownership
 //

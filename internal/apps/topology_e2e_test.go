@@ -54,8 +54,8 @@ func newTopologyTestbed(t *testing.T, nTotal, nInitial, nKeys int, mod bool) *to
 	if err != nil {
 		t.Fatal(err)
 	}
-	mp.LiveTopology = true
-	mp.ModTopology = mod
+	mp.Topology.Live = true
+	mp.Topology.Mod = mod
 	tb.mp = mp
 	svc, err := mp.Deploy(tb.p, "topo-proxy:1", tb.addrs[:nInitial])
 	if err != nil {
@@ -253,7 +253,7 @@ func TestHTTPLBLiveTopologyNoBlackhole(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lb.LiveTopology = true
+	lb.Topology.Live = true
 	svc, err := lb.Deploy(p, "lb-topo:80", addrs)
 	if err != nil {
 		t.Fatal(err)

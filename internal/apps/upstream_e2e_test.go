@@ -113,9 +113,9 @@ func TestProxyUpstreamPoolBoundsBackendConns(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		mp.NoUpstreamPool = noPool
-		mp.UpstreamPoolSize = poolSize
-		mp.UpstreamShards = shards
+		mp.Upstream.Disable = noPool
+		mp.Upstream.PoolSize = poolSize
+		mp.Upstream.Shards = shards
 		svc, err := mp.Deploy(p, "proxy:churn", addrs)
 		if err != nil {
 			t.Fatal(err)

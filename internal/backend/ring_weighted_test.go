@@ -1,0 +1,179 @@
+package backend
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWeightedRingUnweightedIdentical pins the compatibility contract: a
+// weighted ring with nil weights (or all-1 weights) routes every key
+// exactly as NewRing does, so MovedFraction between them is zero.
+func TestWeightedRingUnweightedIdentical(t *testing.T) {
+	keys := testKeys(10000)
+	addrs := testAddrs(5)
+	plain := NewRing(addrs, 0)
+	for _, weights := range [][]int{nil, {1, 1, 1, 1, 1}} {
+		w := NewWeightedRing(addrs, weights, 0)
+		if moved := MovedFraction(plain, w, keys); moved != 0 {
+			t.Fatalf("weights %v moved %.2f%% of keys vs NewRing, want 0", weights, 100*moved)
+		}
+		for _, k := range keys[:500] {
+			h := KeyHash(k)
+			if plain.Route(h) != w.Route(h) {
+				t.Fatalf("weights %v: Route(%q) diverges from NewRing", weights, k)
+			}
+		}
+	}
+}
+
+// TestWeightedRingShareProportional is the weighted-routing property test:
+// over a large uniform key space, each backend's routed share is
+// proportional to its weight within tolerance, and Shares() (the analytic
+// arc measure the admin API reports) agrees with the empirical count.
+func TestWeightedRingShareProportional(t *testing.T) {
+	keys := testKeys(40000)
+	addrs := testAddrs(4)
+	weights := []int{1, 2, 3, 2}
+	r := NewWeightedRing(addrs, weights, 0)
+
+	counts := make([]float64, len(addrs))
+	for _, k := range keys {
+		counts[r.Route(KeyHash(k))]++
+	}
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	shares := r.Shares()
+	sum := 0.0
+	for i, w := range weights {
+		ideal := float64(w) / float64(total)
+		got := counts[i] / float64(len(keys))
+		if got < ideal*0.75 || got > ideal*1.25 {
+			t.Fatalf("backend %d (weight %d): routed share %.3f, want %.3f ±25%%", i, w, got, ideal)
+		}
+		if math.Abs(shares[i]-got) > 0.02 {
+			t.Fatalf("backend %d: Shares() says %.3f but %.3f of keys routed there", i, shares[i], got)
+		}
+		sum += shares[i]
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("Shares() sum to %v, want 1", sum)
+	}
+}
+
+// TestWeightedRingZeroWeightDrains: a weight-0 backend stays in the
+// address list but receives no keys — the drain weight.
+func TestWeightedRingZeroWeightDrains(t *testing.T) {
+	keys := testKeys(5000)
+	addrs := testAddrs(3)
+	r := NewWeightedRing(addrs, []int{1, 0, 1}, 0)
+	for _, k := range keys {
+		if r.Route(KeyHash(k)) == 1 {
+			t.Fatalf("key %q routed to the weight-0 backend", k)
+		}
+	}
+	if s := r.Shares(); s[1] != 0 {
+		t.Fatalf("weight-0 backend owns share %v, want 0", s[1])
+	}
+	// All-zero weights must fall back to uniform, never route nowhere.
+	u := NewWeightedRing(addrs, []int{0, 0, 0}, 0)
+	counts := make([]int, 3)
+	for _, k := range keys {
+		counts[u.Route(KeyHash(k))]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("all-zero-weight fallback left backend %d unrouted", i)
+		}
+	}
+}
+
+// TestBoundedRingMaxLoadInvariant is the bounded-load property test: with
+// every routing decision incrementing the chosen backend's in-flight count
+// (pure arrivals — the worst case), no decision may land on a backend
+// whose post-assignment load exceeds ⌈c·(total+1)/B⌉, total counted
+// before the assignment. Run against a heavily skewed stream (one hot key
+// dominating) where the plain ring concentrates most load on one backend.
+func TestBoundedRingMaxLoadInvariant(t *testing.T) {
+	addrs := testAddrs(4)
+	keys := testKeys(2000)
+	const c = 1.25
+	loads := make(map[string]int64, len(addrs))
+	ring := NewRing(addrs, 0)
+	br := NewBoundedRing(ring, c, func(addr string) int64 { return loads[addr] })
+
+	var total int64
+	for i := 0; i < 8000; i++ {
+		key := keys[0] // hot key
+		if i%3 == 0 {
+			key = keys[i%len(keys)]
+		}
+		idx := br.Route(KeyHash(key))
+		bound := int64(math.Ceil(c * float64(total+1) / float64(len(addrs))))
+		loads[addrs[idx]]++
+		total++
+		if l := loads[addrs[idx]]; l > bound {
+			t.Fatalf("step %d: backend %d at load %d exceeds bound ⌈c·(total+1)/B⌉ = %d", i, idx, l, bound)
+		}
+	}
+	// The hot backend must actually have spilled: under pure hot-key
+	// arrivals a plain ring would put ~2/3 of the load on one backend.
+	var maxLoad int64
+	for _, l := range loads {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	mean := float64(total) / float64(len(addrs))
+	if f := float64(maxLoad) / mean; f > c+0.05 {
+		t.Fatalf("steady-state max load %.2f× mean, want ≤ c=%v", f, c)
+	}
+}
+
+// TestBoundedRingWeightedThreshold: thresholds scale with weight — a
+// weight-2 backend absorbs about twice the in-flight load of weight-1
+// peers before spilling, and a weight-0 backend absorbs nothing even when
+// every other backend is saturated.
+func TestBoundedRingWeightedThreshold(t *testing.T) {
+	addrs := testAddrs(3)
+	keys := testKeys(1000)
+	loads := make(map[string]int64, len(addrs))
+	ring := NewWeightedRing(addrs, []int{1, 2, 0}, 0)
+	br := NewBoundedRing(ring, 1.25, func(addr string) int64 { return loads[addr] })
+	for i := 0; i < 6000; i++ {
+		idx := br.Route(KeyHash(keys[i%len(keys)]))
+		loads[addrs[idx]]++
+	}
+	if l := loads[addrs[2]]; l != 0 {
+		t.Fatalf("weight-0 backend absorbed %d requests under bounded overflow, want 0", l)
+	}
+	ratio := float64(loads[addrs[1]]) / float64(loads[addrs[0]])
+	if ratio < 1.5 || ratio > 2.7 {
+		t.Fatalf("weight-2/weight-1 load ratio %.2f, want ≈2", ratio)
+	}
+}
+
+// TestBoundedRingIdleRoutesLikeRing: with zero load everywhere (and with a
+// nil load function), bounded routing is byte-identical to the plain ring,
+// so enabling the bound on an idle service moves no keys.
+func TestBoundedRingIdleRoutesLikeRing(t *testing.T) {
+	addrs := testAddrs(5)
+	keys := testKeys(5000)
+	ring := NewRing(addrs, 0)
+	idle := NewBoundedRing(ring, 1.25, func(string) int64 { return 0 })
+	noload := NewBoundedRing(ring, 1.25, nil)
+	for _, k := range keys {
+		h := KeyHash(k)
+		want := ring.Route(h)
+		if got := idle.Route(h); got != want {
+			t.Fatalf("idle bounded ring diverges from plain ring on %q", k)
+		}
+		if got := noload.Route(h); got != want {
+			t.Fatalf("nil-load bounded ring diverges from plain ring on %q", k)
+		}
+	}
+	if MovedFraction(ring, idle, keys) != 0 {
+		t.Fatal("idle bounded ring moved keys")
+	}
+}

@@ -113,9 +113,9 @@ func RunChurn(cfg ChurnConfig) (ChurnPoint, error) {
 		closeAll()
 		return ChurnPoint{}, err
 	}
-	mp.NoUpstreamPool = cfg.NoUpstreamPool
-	mp.UpstreamPoolSize = cfg.PoolSize
-	mp.UpstreamShards = cfg.UpstreamShards
+	mp.Upstream.Disable = cfg.NoUpstreamPool
+	mp.Upstream.PoolSize = cfg.PoolSize
+	mp.Upstream.Shards = cfg.UpstreamShards
 	svc, err := mp.Deploy(p, listenAddr(tr, "churn-proxy:11211"), addrs)
 	if err != nil {
 		p.Close()

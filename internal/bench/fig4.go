@@ -114,8 +114,8 @@ func buildLBTestbed(cfg Fig4Config, sys System, tr netstack.Transport) (*lbTestb
 			tb.close()
 			return nil, err
 		}
-		lb.NoUpstreamPool = cfg.NoUpstreamPool
-		lb.UpstreamShards = cfg.UpstreamShards
+		lb.Upstream.Disable = cfg.NoUpstreamPool
+		lb.Upstream.Shards = cfg.UpstreamShards
 		svc, err := lb.Deploy(p, listenAddr(tr, "lb:80"), addrs)
 		if err != nil {
 			p.Close()

@@ -113,8 +113,8 @@ func runFig5Cell(cfg Fig5Config, sys System, cores int) (Fig5Point, error) {
 			closeAll()
 			return Fig5Point{}, err
 		}
-		mp.NoUpstreamPool = cfg.NoUpstreamPool
-		mp.UpstreamShards = cfg.UpstreamShards
+		mp.Upstream.Disable = cfg.NoUpstreamPool
+		mp.Upstream.Shards = cfg.UpstreamShards
 		svc, err := mp.Deploy(p, listenAddr(tr, "proxy:11211"), addrs)
 		if err != nil {
 			p.Close()

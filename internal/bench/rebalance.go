@@ -32,6 +32,15 @@ type RebalanceConfig struct {
 	Workers       int
 	Mod           bool          // hash-mod-B ablation instead of the ring
 	ProbeInterval time.Duration // upstream health probes (0: off)
+	// HotKeyFrac skews the workload: roughly this fraction of GETs hit one
+	// hot key (0: uniform). Skew is what separates the bounded-load ring
+	// from the plain ring — a plain ring concentrates the hot key's whole
+	// stream on its hash owner.
+	HotKeyFrac float64
+	// BoundedLoadC, when > 0, routes through the bounded-load ring with
+	// load factor c instead of the plain ring (see
+	// apps.TopologyOptions.BoundedLoadC).
+	BoundedLoadC float64
 }
 
 // RebalancePoint is one measured topology.
@@ -51,6 +60,13 @@ type RebalancePoint struct {
 	// the update — nonzero means traffic really moved.
 	NewBackendReqs uint64
 	Throughput     float64
+	// Bounded records whether the bounded-load ring routed this run.
+	Bounded bool
+	// MaxLoad is the hottest initial backend's served-request count as a
+	// multiple of the initial backends' mean — the skew the bounded-load
+	// ring exists to cap (≈1 is perfectly balanced; a hot-key workload
+	// drives a plain ring's value toward B·hotfrac).
+	MaxLoad float64
 	// Upstream is the shared layer's counter snapshot (probes, drained,
 	// redials... — empty when the layer is disabled).
 	Upstream metrics.CounterSet
@@ -114,9 +130,10 @@ func RunRebalance(cfg RebalanceConfig) (RebalancePoint, error) {
 		closeAll()
 		return RebalancePoint{}, err
 	}
-	mp.LiveTopology = true
-	mp.ModTopology = cfg.Mod
-	mp.ProbeInterval = cfg.ProbeInterval
+	mp.Topology.Live = true
+	mp.Topology.Mod = cfg.Mod
+	mp.Topology.BoundedLoadC = cfg.BoundedLoadC
+	mp.Upstream.ProbeInterval = cfg.ProbeInterval
 	svc, err := mp.Deploy(p, listenAddr(tr, "rebal-proxy:11211"), addrs[:cfg.Backends])
 	if err != nil {
 		p.Close()
@@ -126,6 +143,21 @@ func RunRebalance(cfg RebalanceConfig) (RebalancePoint, error) {
 	svc.Pool().Prime(cfg.Clients)
 	cleanup = append(cleanup, func() { svc.Close(); p.Close() })
 	proxyAddr := svc.Addr()
+
+	// hotEvery turns the skew fraction into a deterministic cadence: every
+	// hotEvery-th GET hits keys[0].
+	hotEvery := 0
+	if cfg.HotKeyFrac > 0 {
+		hotEvery = int(1 / cfg.HotKeyFrac)
+		if hotEvery < 1 {
+			hotEvery = 1
+		}
+	}
+	// Per-backend served-request baselines for the max-load column.
+	base := make([]uint64, total)
+	for i, s := range srvs {
+		base[i] = s.Requests()
+	}
 
 	var (
 		reqs metrics.Counter
@@ -139,7 +171,7 @@ func RunRebalance(cfg RebalanceConfig) (RebalancePoint, error) {
 			defer wg.Done()
 			i := c * 911 // stagger key cursors across clients
 			for !stop.Load() {
-				done, err := rebalanceConn(tr.Dial, proxyAddr, keys, &i, cfg.ReqsPerConn, &stop)
+				done, err := rebalanceConn(tr.Dial, proxyAddr, keys, &i, cfg.ReqsPerConn, hotEvery, &stop)
 				reqs.Add(uint64(done)) // count completed GETs, not batches
 				if err != nil {
 					errs.Inc()
@@ -169,7 +201,22 @@ func RunRebalance(cfg RebalanceConfig) (RebalancePoint, error) {
 		Errors:         errs.Value(),
 		NewBackendReqs: srvs[total-1].Requests() - newBase,
 		Throughput:     float64(reqs.Value()) / cfg.Duration.Seconds(),
+		Bounded:        cfg.BoundedLoadC > 0 && !cfg.Mod,
 		Upstream:       upstreamCounters(svc),
+	}
+	// Max-load over the initial backends (the added backend only serves
+	// half the window; excluding it keeps plain and bounded runs
+	// comparable).
+	var maxServed, sumServed uint64
+	for i := 0; i < cfg.Backends; i++ {
+		served := srvs[i].Requests() - base[i]
+		sumServed += served
+		if served > maxServed {
+			maxServed = served
+		}
+	}
+	if sumServed > 0 {
+		pt.MaxLoad = float64(maxServed) * float64(cfg.Backends) / float64(sumServed)
 	}
 	// The analytic remap cost over the exact key set, using the same
 	// router construction the service itself deploys.
@@ -190,7 +237,7 @@ func RunRebalance(cfg RebalanceConfig) (RebalancePoint, error) {
 // the caller counts those, so a connection stopped mid-batch or failed
 // after a partial batch is accounted exactly.
 func rebalanceConn(dial func(string) (net.Conn, error), addr string,
-	keys [][]byte, cursor *int, n int, stop *atomic.Bool) (int, error) {
+	keys [][]byte, cursor *int, n, hotEvery int, stop *atomic.Bool) (int, error) {
 	raw, err := dial(addr)
 	if err != nil {
 		return 0, err
@@ -200,6 +247,9 @@ func rebalanceConn(dial func(string) (net.Conn, error), addr string,
 	raw.SetReadDeadline(time.Now().Add(10 * time.Second))
 	for i := 0; i < n; i++ {
 		key := keys[*cursor%len(keys)]
+		if hotEvery > 0 && *cursor%hotEvery == 0 {
+			key = keys[0] // the hot key
+		}
 		*cursor++
 		resp, err := c.RoundTrip(memcache.Request(memcache.OpGet, key, nil))
 		if err != nil {
@@ -232,25 +282,53 @@ func RunRebalancePair(cfg RebalanceConfig) ([]RebalancePoint, error) {
 	return out, nil
 }
 
+// RunRebalanceSkewPair measures the plain ring against the bounded-load
+// ring under a hot-key workload: same scale-out, same skew, the only
+// difference being whether the hash owner's in-flight excess spills to
+// ring successors. The acceptance gate is that the bounded run's max-load
+// lands strictly below the plain run's.
+func RunRebalanceSkewPair(cfg RebalanceConfig) ([]RebalancePoint, error) {
+	if cfg.HotKeyFrac <= 0 {
+		cfg.HotKeyFrac = 0.5
+	}
+	cfg.Mod = false
+	var out []RebalancePoint
+	for _, c := range []float64{0, backend.DefaultBoundedLoadC} {
+		run := cfg
+		run.BoundedLoadC = c
+		pt, err := RunRebalance(run)
+		if err != nil {
+			return out, fmt.Errorf("bench: rebalance skew (c=%v): %w", c, err)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
 // RebalanceTable renders the experiment.
 func RebalanceTable(points []RebalancePoint) *Table {
 	t := &Table{
 		Title: "Live rebalance — consistent-hash ring vs mod-B on a B→B+1 scale-out",
-		Columns: []string{"system", "topology", "backends", "keys-moved", "req/s",
+		Columns: []string{"system", "topology", "backends", "keys-moved", "max-load", "req/s",
 			"requests", "errors", "new-be-reqs", "upstream"},
 		Notes: []string{
 			"keys-moved: fraction of the key space the topology update remaps (analytic, exact key set)",
+			"max-load: hottest initial backend's served requests over the initial backends' mean (1.00 = balanced)",
 			"errors must be 0: running graphs finish on their original sockets while new connections re-route",
 			"new-be-reqs: requests the added backend served after the live update",
 		},
 	}
 	for _, p := range points {
 		topo := "ring"
-		if !p.Ring {
+		switch {
+		case !p.Ring:
 			topo = "mod-B"
+		case p.Bounded:
+			topo = "ring+bound"
 		}
 		t.Add(string(p.System), topo, fmt.Sprintf("%d→%d", p.Backends, p.Backends+1),
-			fmt.Sprintf("%.1f%%", 100*p.MovedFrac), fmtReqs(p.Throughput),
+			fmt.Sprintf("%.1f%%", 100*p.MovedFrac), fmt.Sprintf("%.2f", p.MaxLoad),
+			fmtReqs(p.Throughput),
 			fmt.Sprint(p.Requests), fmt.Sprint(p.Errors), fmt.Sprint(p.NewBackendReqs),
 			fmtUpstream(p.Upstream))
 	}

@@ -228,6 +228,12 @@ func (s *Service) Close() {
 // when the service dials backends per connection).
 func (s *Service) Upstreams() *upstream.Manager { return s.cfg.Upstreams }
 
+// BackendCapacity returns the compiled channel-array capacity: the
+// maximum backend count a topology update can install
+// (len(ServiceConfig.BackendPorts)). Updates beyond it fail with
+// ErrCapacity.
+func (s *Service) BackendCapacity() int { return len(s.cfg.BackendPorts) }
+
 // DumpLive renders every unfinished instance's runtime state (diagnostics).
 func (s *Service) DumpLive() []string {
 	s.mu.Lock()

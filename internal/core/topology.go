@@ -1,6 +1,17 @@
 package core
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCapacity rejects a topology update holding more backends than the
+// compiled graph's channel-array capacity (len(ServiceConfig.BackendPorts)).
+// Scaling beyond the capacity requires recompiling the service with a
+// larger array; control surfaces (the admin API) match this sentinel with
+// errors.Is to distinguish "resize your deployment" (HTTP 409) from
+// malformed input (400).
+var ErrCapacity = errors.New("core: topology exceeds compiled backend capacity")
 
 // Topology is a live backend set for a PerConnection service: an ordered
 // address list plus a stable key→index mapping over it. backend.Ring (a
@@ -65,8 +76,8 @@ func (s *Service) UpdateBackends(t Topology) error {
 		return fmt.Errorf("core: topology must hold at least one backend")
 	}
 	if len(addrs) > len(s.cfg.BackendPorts) {
-		return fmt.Errorf("core: topology holds %d backends but the compiled graph has %d backend ports",
-			len(addrs), len(s.cfg.BackendPorts))
+		return fmt.Errorf("%w: topology holds %d backends but the compiled graph has %d backend ports",
+			ErrCapacity, len(addrs), len(s.cfg.BackendPorts))
 	}
 	// Order matters twice over. The upstream layer must know the new
 	// address set BEFORE any dispatch can snapshot the new topology — a

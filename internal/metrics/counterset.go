@@ -1,8 +1,12 @@
 package metrics
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // CounterSet is an ordered set of named counter readings: a point-in-time
@@ -93,4 +97,112 @@ func (cs CounterSet) String() string {
 		fmt.Fprintf(&b, "%s=%d", n, cs.values[i])
 	}
 	return b.String()
+}
+
+// MarshalJSON renders the set as one JSON object whose keys appear in
+// counter insertion order — the same order String uses, so the admin
+// API's /counters payload and the benchmark text dumps are two renderings
+// of one representation. (encoding/json would sort a map's keys; the
+// object is built by hand to keep the order.)
+func (cs CounterSet) MarshalJSON() ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteByte('{')
+	for i, n := range cs.names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		name, err := json.Marshal(n)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(name)
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatUint(cs.values[i], 10))
+	}
+	b.WriteByte('}')
+	return b.Bytes(), nil
+}
+
+// Named couples a CounterSet snapshot with the subsystem name it was
+// registered under.
+type Named struct {
+	Name     string
+	Counters CounterSet
+}
+
+// Registry is an ordered, concurrency-safe collection of counter-set
+// sources: each subsystem registers a snapshot function once (scheduler
+// stats, buffer pool, upstream layer, control plane), and consumers —
+// the admin API's /counters endpoint, debug dumps — snapshot them all in
+// registration order. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu      sync.Mutex
+	names   []string
+	sources map[string]func() CounterSet
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{sources: map[string]func() CounterSet{}}
+}
+
+// Register adds (or replaces) the named snapshot source. Registration
+// order is preserved across snapshots; re-registering a name keeps its
+// original position.
+func (r *Registry) Register(name string, fn func() CounterSet) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.sources[name]; !ok {
+		r.names = append(r.names, name)
+	}
+	r.sources[name] = fn
+}
+
+// Snapshot calls every registered source and returns the readings in
+// registration order. Sources run outside the registry lock — a source
+// may itself take subsystem locks.
+func (r *Registry) Snapshot() []Named {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	fns := make([]func() CounterSet, len(names))
+	for i, n := range names {
+		fns[i] = r.sources[n]
+	}
+	r.mu.Unlock()
+	out := make([]Named, len(names))
+	for i, n := range names {
+		out[i] = Named{Name: n, Counters: fns[i]()}
+	}
+	return out
+}
+
+// MarshalJSON renders a snapshot of every registered set as one JSON
+// object in registration order: {"sched":{...},"pool":{...}}.
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return MarshalNamed(r.Snapshot())
+}
+
+// MarshalNamed renders named counter sets as one order-preserving JSON
+// object (the /counters wire format).
+func MarshalNamed(sets []Named) ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteByte('{')
+	for i, s := range sets {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		name, err := json.Marshal(s.Name)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(name)
+		b.WriteByte(':')
+		inner, err := s.Counters.MarshalJSON()
+		if err != nil {
+			return nil, err
+		}
+		b.Write(inner)
+	}
+	b.WriteByte('}')
+	return b.Bytes(), nil
 }

@@ -1,6 +1,9 @@
 package metrics
 
-import "testing"
+import (
+	"encoding/json"
+	"testing"
+)
 
 func TestCounterSetBasics(t *testing.T) {
 	cs := NewCounterSet("steals", 12, "parks", uint64(3), "wakeups", 0)
@@ -53,5 +56,58 @@ func TestCounterSetPanics(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+}
+
+// TestCounterSetMarshalJSON pins the wire format: one JSON object whose
+// keys appear in insertion order (deliberately non-alphabetical here),
+// not the sorted order a map marshal would produce.
+func TestCounterSetMarshalJSON(t *testing.T) {
+	cs := NewCounterSet("zeta", 3, "alpha", 12, "mid", 0)
+	raw, err := json.Marshal(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"zeta":3,"alpha":12,"mid":0}`
+	if string(raw) != want {
+		t.Fatalf("MarshalJSON = %s, want %s", raw, want)
+	}
+	// The payload is also valid JSON with the right values.
+	var back map[string]uint64
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back["alpha"] != 12 || back["zeta"] != 3 || back["mid"] != 0 {
+		t.Fatalf("round-trip values %v", back)
+	}
+	// Empty set marshals to an empty object, not null.
+	if raw, _ := json.Marshal(CounterSet{}); string(raw) != "{}" {
+		t.Fatalf("empty set = %s, want {}", raw)
+	}
+}
+
+// TestRegistrySnapshotOrder: sources snapshot in registration order,
+// re-registration keeps the original slot, and the registry's own JSON is
+// the nested order-preserving object the admin /counters endpoint serves.
+func TestRegistrySnapshotOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Register("upstream", func() CounterSet { return NewCounterSet("dials", 2) })
+	r.Register("sched", func() CounterSet { return NewCounterSet("steals", 9) })
+	r.Register("upstream", func() CounterSet { return NewCounterSet("dials", 5) })
+
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "upstream" || snap[1].Name != "sched" {
+		t.Fatalf("snapshot order %+v", snap)
+	}
+	if v, _ := snap[0].Counters.Get("dials"); v != 5 {
+		t.Fatalf("re-registered source not used: dials = %d", v)
+	}
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"upstream":{"dials":5},"sched":{"steals":9}}`
+	if string(raw) != want {
+		t.Fatalf("registry JSON = %s, want %s", raw, want)
 	}
 }

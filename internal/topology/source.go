@@ -1,0 +1,210 @@
+package topology
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+// Source is a feed of backend topologies. Watch returns a channel that
+// carries each new backend list; the channel closes when ctx is cancelled
+// or the source has nothing further to say (a static source closes after
+// its single emission). Consumers apply each received list through one
+// update path — apps.Control.Follow drives Service.UpdateBackends — so a
+// file watcher, an HTTP poller and an admin PUT all converge on the same
+// drain-correct transition.
+type Source interface {
+	Watch(ctx context.Context) (<-chan []Backend, error)
+}
+
+// Static is a Source that emits one fixed backend list and closes. It
+// exists so code paths that take a Source can also serve the "-backend
+// flags only, no live updates" configuration.
+type Static struct {
+	// Backends is the list to emit.
+	Backends []Backend
+}
+
+// Watch implements Source.
+func (s Static) Watch(ctx context.Context) (<-chan []Backend, error) {
+	ch := make(chan []Backend, 1)
+	ch <- append([]Backend(nil), s.Backends...)
+	close(ch)
+	return ch, nil
+}
+
+// File is a Source backed by a topology file in the ParseList format
+// ("addr" or "addr weight" per line). It emits the file's content once at
+// Watch time if the file is readable, then re-reads on every Trigger
+// signal — flickrun wires SIGHUP to Trigger, turning the legacy
+// re-read-on-signal behaviour into an ordinary Source. Every successful
+// trigger emits, even when the content is unchanged (the operator asked);
+// read or parse failures are reported through OnError and skip the
+// emission, leaving the last good topology in place.
+type File struct {
+	// Path is the topology file.
+	Path string
+	// Trigger signals a re-read (e.g. a SIGHUP notification channel).
+	Trigger <-chan struct{}
+	// OnError, when non-nil, observes read/parse failures (the source
+	// keeps watching).
+	OnError func(error)
+}
+
+// Watch implements Source.
+func (f File) Watch(ctx context.Context) (<-chan []Backend, error) {
+	if f.Path == "" {
+		return nil, fmt.Errorf("topology: file source needs a path")
+	}
+	ch := make(chan []Backend, 1)
+	// Initial content: the file is the source of truth when present, but a
+	// not-yet-written file is fine — the service starts from its flag-given
+	// backends and the file takes over at the first trigger.
+	if list, err := f.read(); err == nil {
+		ch <- list
+	} else if !os.IsNotExist(err) {
+		f.report(err)
+	}
+	go func() {
+		defer close(ch)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case _, ok := <-f.Trigger:
+				if !ok {
+					return
+				}
+				list, err := f.read()
+				if err != nil {
+					f.report(err)
+					continue
+				}
+				select {
+				case ch <- list:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+	return ch, nil
+}
+
+func (f File) read() ([]Backend, error) {
+	file, err := os.Open(f.Path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	list, err := ParseList(file)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", f.Path, err)
+	}
+	return list, nil
+}
+
+func (f File) report(err error) {
+	if f.OnError != nil {
+		f.OnError(err)
+	}
+}
+
+// Poll is a Source that polls an HTTP endpoint serving the DecodeJSON wire
+// format — typically another instance's admin GET /topology — and emits
+// whenever the decoded list differs from the last emission. A fleet of
+// flickruns pointed at one admin endpoint follows its topology within one
+// poll interval of a PUT.
+type Poll struct {
+	// URL is polled with GET.
+	URL string
+	// Interval between polls (default 2s).
+	Interval time.Duration
+	// Client overrides http.DefaultClient.
+	Client *http.Client
+	// OnError, when non-nil, observes fetch/decode failures (polling
+	// continues).
+	OnError func(error)
+}
+
+// maxPollBody bounds a poll response read (a topology is small; a
+// misconfigured URL pointing at a large file must not balloon memory).
+const maxPollBody = 1 << 20
+
+// Watch implements Source.
+func (p Poll) Watch(ctx context.Context) (<-chan []Backend, error) {
+	if p.URL == "" {
+		return nil, fmt.Errorf("topology: poll source needs a URL")
+	}
+	interval := p.Interval
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	client := p.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	ch := make(chan []Backend, 1)
+	go func() {
+		defer close(ch)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		var last []Backend
+		for {
+			list, err := p.fetch(ctx, client)
+			switch {
+			case err != nil:
+				if ctx.Err() != nil {
+					return
+				}
+				if p.OnError != nil {
+					p.OnError(err)
+				}
+			case !Equal(list, last):
+				last = list
+				select {
+				case ch <- list:
+				case <-ctx.Done():
+					return
+				}
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+		}
+	}()
+	return ch, nil
+}
+
+func (p Poll) fetch(ctx context.Context, client *http.Client) ([]Backend, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.URL, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxPollBody))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("topology: GET %s: %s", p.URL, resp.Status)
+	}
+	return p.decode(body)
+}
+
+func (p Poll) decode(body []byte) ([]Backend, error) {
+	list, err := DecodeJSON(body)
+	if err != nil {
+		return nil, fmt.Errorf("topology: GET %s: %w", p.URL, err)
+	}
+	return list, nil
+}

@@ -1,0 +1,194 @@
+// Package topology defines the platform's backend-topology model — a list
+// of weighted backend endpoints — and the Source abstraction that feeds
+// topology changes into a running service from one place, whatever the
+// operator's source of truth is: a flat file re-read on SIGHUP, another
+// instance's admin endpoint polled over HTTP, or a static list.
+//
+// The package is deliberately stdlib-only and imports nothing from the
+// platform: internal/apps consumes it to drive Service.UpdateBackends, and
+// internal/admin serves and accepts its wire forms, so every path from
+// "new backend list" to the live ring goes through one representation.
+package topology
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Backend is one backend endpoint with its routing weight. Weight scales
+// the backend's share of the consistent-hash ring: weight 2 owns twice the
+// key space of weight 1, and weight 0 keeps the backend listed but drains
+// it (it owns no keys). The JSON form accepts either a bare address string
+// (weight 1) or an object {"addr": ..., "weight": ...} with the weight
+// defaulting to 1 when absent.
+type Backend struct {
+	Addr   string `json:"addr"`
+	Weight int    `json:"weight"`
+}
+
+// UnmarshalJSON accepts both "host:port" (weight 1) and
+// {"addr":"host:port","weight":2} (weight 1 when the field is absent; an
+// explicit 0 drains).
+func (b *Backend) UnmarshalJSON(data []byte) error {
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, `"`) {
+		var addr string
+		if err := json.Unmarshal(data, &addr); err != nil {
+			return err
+		}
+		*b = Backend{Addr: addr, Weight: 1}
+		return nil
+	}
+	var obj struct {
+		Addr   string `json:"addr"`
+		Weight *int   `json:"weight"`
+	}
+	if err := json.Unmarshal(data, &obj); err != nil {
+		return err
+	}
+	w := 1
+	if obj.Weight != nil {
+		w = *obj.Weight
+	}
+	*b = Backend{Addr: obj.Addr, Weight: w}
+	return nil
+}
+
+// Addrs projects the address column of a backend list.
+func Addrs(list []Backend) []string {
+	out := make([]string, len(list))
+	for i, b := range list {
+		out[i] = b.Addr
+	}
+	return out
+}
+
+// Weights projects the weight column of a backend list.
+func Weights(list []Backend) []int {
+	out := make([]int, len(list))
+	for i, b := range list {
+		out[i] = b.Weight
+	}
+	return out
+}
+
+// Uniform wraps bare addresses as weight-1 backends.
+func Uniform(addrs []string) []Backend {
+	out := make([]Backend, len(addrs))
+	for i, a := range addrs {
+		out[i] = Backend{Addr: a, Weight: 1}
+	}
+	return out
+}
+
+// Equal reports whether two backend lists are identical (same addresses,
+// same weights, same order).
+func Equal(a, b []Backend) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate rejects lists no update path should apply: empty lists, empty
+// addresses, duplicate addresses, negative weights, and lists whose every
+// weight is zero (nothing would own the key space).
+func Validate(list []Backend) error {
+	if len(list) == 0 {
+		return fmt.Errorf("topology: empty backend list")
+	}
+	seen := make(map[string]bool, len(list))
+	positive := false
+	for i, b := range list {
+		if b.Addr == "" {
+			return fmt.Errorf("topology: backend %d has an empty address", i)
+		}
+		if seen[b.Addr] {
+			return fmt.Errorf("topology: duplicate backend %s", b.Addr)
+		}
+		seen[b.Addr] = true
+		if b.Weight < 0 {
+			return fmt.Errorf("topology: backend %s has negative weight %d", b.Addr, b.Weight)
+		}
+		if b.Weight > 0 {
+			positive = true
+		}
+	}
+	if !positive {
+		return fmt.Errorf("topology: every backend has weight 0 (nothing to route to)")
+	}
+	return nil
+}
+
+// ParseList reads the file topology format: one backend per line as
+// "addr" or "addr weight", with blank lines and #-comments skipped.
+func ParseList(r io.Reader) ([]Backend, error) {
+	var list []Backend
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		b := Backend{Addr: fields[0], Weight: 1}
+		switch {
+		case len(fields) == 2:
+			w, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("topology: line %d: weight %q: %v", line, fields[1], err)
+			}
+			b.Weight = w
+		case len(fields) > 2:
+			return nil, fmt.Errorf("topology: line %d: want \"addr\" or \"addr weight\", got %q", line, text)
+		}
+		list = append(list, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := Validate(list); err != nil {
+		return nil, err
+	}
+	return list, nil
+}
+
+// DecodeJSON parses the wire topology format: either a bare JSON array of
+// backends or an object with a "backends" field holding one — the shape
+// the admin API's PUT /topology accepts and its GET /topology serves, so
+// one instance's GET output is another's valid input.
+func DecodeJSON(data []byte) ([]Backend, error) {
+	trimmed := strings.TrimSpace(string(data))
+	var list []Backend
+	if strings.HasPrefix(trimmed, "[") {
+		if err := json.Unmarshal(data, &list); err != nil {
+			return nil, fmt.Errorf("topology: %v", err)
+		}
+	} else {
+		var obj struct {
+			Backends []Backend `json:"backends"`
+		}
+		if err := json.Unmarshal(data, &obj); err != nil {
+			return nil, fmt.Errorf("topology: %v", err)
+		}
+		list = obj.Backends
+	}
+	if err := Validate(list); err != nil {
+		return nil, err
+	}
+	return list, nil
+}

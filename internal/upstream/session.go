@@ -168,6 +168,7 @@ func (s *Session) writeLocked(bufs [][]byte) (int64, error) {
 			c.pushWaiter(s)
 		}
 		c.m.inflight.Add(int64(k)) // under c.mu, so fail() cannot double-count
+		c.load.Add(int64(k))
 		c.mu.Unlock()
 		s.wviews = s.wq.AppendViews(s.wviews[:0], nb)
 		_, werr := c.writeRaw(s.wviews)

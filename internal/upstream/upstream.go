@@ -106,6 +106,14 @@ type Manager struct {
 	shardhits   metrics.Counter // leases served by the caller's own shard
 	shardsteals metrics.Counter // leases served by a sibling shard's socket
 	inflight    atomic.Int64    // current unanswered requests (gauge)
+
+	// loads holds one in-flight gauge per backend address, shared by every
+	// shard's sockets to that address: the global per-backend view that
+	// bounded-load routing (backend.BoundedRing via InflightFor) consumes.
+	// Gauges are created on first use and never removed — a retired
+	// address's gauge drains to zero and costs one map entry.
+	loadMu sync.Mutex
+	loads  map[string]*atomic.Int64
 }
 
 // shard is one independent slice of the manager's pool state: its own
@@ -163,7 +171,8 @@ func NewManager(cfg Config) *Manager {
 	if cfg.RequestFramer == nil || cfg.ResponseFramer == nil {
 		panic("upstream: NewManager requires request and response framers")
 	}
-	m := &Manager{cfg: cfg, bufs: cfg.Pool, done: make(chan struct{})}
+	m := &Manager{cfg: cfg, bufs: cfg.Pool, done: make(chan struct{}),
+		loads: map[string]*atomic.Int64{}}
 	m.shards = make([]*shard, cfg.Shards)
 	for i := range m.shards {
 		m.shards[i] = &shard{m: m, id: i, pools: map[string]*pool{},
@@ -282,6 +291,77 @@ func (m *Manager) Counters() metrics.CounterSet {
 		"shardhits", m.shardhits.Value(),
 		"shardsteals", m.shardsteals.Value(),
 	)
+}
+
+// loadFor returns the per-address in-flight gauge, creating it on first
+// use.
+func (m *Manager) loadFor(addr string) *atomic.Int64 {
+	m.loadMu.Lock()
+	defer m.loadMu.Unlock()
+	g := m.loads[addr]
+	if g == nil {
+		g = new(atomic.Int64)
+		m.loads[addr] = g
+	}
+	return g
+}
+
+// InflightFor reports the current number of unanswered requests in flight
+// to addr across every shard (never negative). It satisfies
+// backend.LoadFunc: wiring it into a backend.BoundedRing gives the router
+// the live per-backend load the bounded-load bound is computed over.
+func (m *Manager) InflightFor(addr string) int64 {
+	m.loadMu.Lock()
+	g := m.loads[addr]
+	m.loadMu.Unlock()
+	if g == nil {
+		return 0
+	}
+	if v := g.Load(); v > 0 {
+		return v
+	}
+	return 0
+}
+
+// Health verdicts reported by HealthFor.
+const (
+	// HealthUp: at least one live shared socket to the backend exists.
+	HealthUp = "up"
+	// HealthDown: no live socket and at least one shard's fail-fast
+	// backoff window is open — leases are being refused.
+	HealthDown = "down"
+	// HealthIdle: no socket yet and no failure recorded (a freshly added
+	// backend before its first lease or probe).
+	HealthIdle = "idle"
+)
+
+// HealthFor reports the manager's verdict on addr: HealthUp, HealthDown
+// or HealthIdle. This is the per-backend health column the admin API's
+// /topology endpoint serves.
+func (m *Manager) HealthFor(addr string) string {
+	now := time.Now()
+	down := false
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		p := sh.pools[addr]
+		sh.mu.Unlock()
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		if !p.retired && p.anyLive() != nil {
+			p.mu.Unlock()
+			return HealthUp
+		}
+		if now.Before(p.downUntil) {
+			down = true
+		}
+		p.mu.Unlock()
+	}
+	if down {
+		return HealthDown
+	}
+	return HealthIdle
 }
 
 // Conns reports the number of live shared sockets across all shards and
@@ -496,10 +576,11 @@ func (p *pool) dialSlot(slot int) (*Session, error) {
 
 // conn is one shared pipelined socket plus its FIFO correlation state.
 type conn struct {
-	p   *pool
-	m   *Manager
-	raw net.Conn
-	evt bool // event-driven demux (netstack.Readable) vs pump goroutine
+	p    *pool
+	m    *Manager
+	raw  net.Conn
+	load *atomic.Int64 // the per-address in-flight gauge (Manager.loads)
+	evt  bool          // event-driven demux (netstack.Readable) vs pump goroutine
 
 	// wmu serialises socket writes. It is held across FIFO reservation AND
 	// the write itself, so FIFO order always matches socket byte order.
@@ -524,6 +605,7 @@ func newConn(p *pool, raw net.Conn) *conn {
 		p:        p,
 		m:        p.m,
 		raw:      raw,
+		load:     p.m.loadFor(p.addr),
 		window:   p.m.cfg.Window,
 		sessions: map[*Session]struct{}{},
 		rq:       buffer.NewQueue(p.m.bufs),
@@ -623,6 +705,7 @@ func (c *conn) deliver() error {
 		s := c.popWaiter()
 		if s != nil {
 			c.m.inflight.Add(-1) // under c.mu: fail() subtracts fcount here too
+			c.load.Add(-1)
 		}
 		c.cond.Signal()
 		c.mu.Unlock()
@@ -687,6 +770,7 @@ func (c *conn) fail(err error) {
 	}
 	if c.fcount > 0 {
 		c.m.inflight.Add(-int64(c.fcount))
+		c.load.Add(-int64(c.fcount))
 	}
 	for c.fcount > 0 {
 		c.popWaiter()

@@ -604,3 +604,89 @@ func TestConcurrentSessionsStress(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestInflightForAndHealth pins the per-address in-flight gauge (the feed
+// for bounded-load routing) and the HealthFor verdicts: the gauge rises on
+// framed writes, falls on delivered responses, and drains fully when the
+// shared socket fails with requests outstanding; health is idle before any
+// socket, up with a live socket, down inside a fail-fast window.
+func TestInflightForAndHealth(t *testing.T) {
+	u := netstack.NewUserNet()
+	defer echoServer(t, u, "be:echo").Close()
+	m := testManager(u, nil, 1, 0)
+	defer m.Close()
+
+	if h := m.HealthFor("be:echo"); h != HealthIdle {
+		t.Fatalf("health before first lease = %q, want %q", h, HealthIdle)
+	}
+	if v := m.InflightFor("be:echo"); v != 0 {
+		t.Fatalf("inflight before first lease = %d, want 0", v)
+	}
+
+	// A backend that accepts and reads but never answers keeps its request
+	// in flight indefinitely.
+	l, err := u.Listen("be:silent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	connCh := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		connCh <- c
+		io.Copy(io.Discard, c)
+	}()
+	s, err := m.Lease("be:silent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Write(frame("stuck")); err != nil {
+		t.Fatal(err)
+	}
+	if v := m.InflightFor("be:silent"); v != 1 {
+		t.Fatalf("inflight with one unanswered request = %d, want 1", v)
+	}
+	if h := m.HealthFor("be:silent"); h != HealthUp {
+		t.Fatalf("health with live socket = %q, want %q", h, HealthUp)
+	}
+
+	// A completed round trip returns the gauge to zero: deliver decrements
+	// before handing the response over, so after readFrame it is settled.
+	s2, err := m.Lease("be:echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := s2.Write(frame("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFrame(t, s2, 2*time.Second); got != "ping" {
+		t.Fatalf("echo got %q", got)
+	}
+	if v := m.InflightFor("be:echo"); v != 0 {
+		t.Fatalf("inflight after round trip = %d, want 0", v)
+	}
+
+	// Socket failure with a request outstanding drains the gauge (fail
+	// subtracts the whole FIFO count), asynchronously via the pump.
+	(<-connCh).Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for m.InflightFor("be:silent") != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("inflight stuck at %d after socket failure", m.InflightFor("be:silent"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A dead backend's failed dial opens the fail-fast window: down.
+	if _, err := m.Lease("be:dead"); err == nil {
+		t.Fatal("lease to unlistened address succeeded")
+	}
+	if h := m.HealthFor("be:dead"); h != HealthDown {
+		t.Fatalf("health inside backoff window = %q, want %q", h, HealthDown)
+	}
+}

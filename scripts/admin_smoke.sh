@@ -1,0 +1,82 @@
+#!/bin/sh
+# Control-plane smoke test: build flickrun, serve the memcached proxy
+# with the admin API enabled, and drive a scale-out entirely over HTTP.
+#
+#   1. GET /healthz answers "ok".
+#   2. GET /counters returns a JSON object with the registered sets.
+#   3. PUT /topology grows the backend set 2 -> 3.
+#   4. GET /topology shows the third backend.
+#   5. PUT /topology with more backends than -max-backends answers 409.
+#
+# Backends are fake addresses: upstream dials are lazy, so the control
+# plane is fully exercisable without live backends. Run from the repo
+# root (make admin-smoke).
+set -eu
+
+ADMIN=127.0.0.1:17070
+LISTEN=127.0.0.1:18080
+BIN=$(mktemp -d)/flickrun
+trap 'kill $PID 2>/dev/null || true; rm -rf "$(dirname "$BIN")"' EXIT INT TERM
+
+go build -o "$BIN" ./cmd/flickrun
+
+"$BIN" -service memcachedproxy -listen "$LISTEN" \
+    -live-topology -max-backends 3 -admin-addr "$ADMIN" \
+    -backend 127.0.0.1:29001 -backend 127.0.0.1:29002 &
+PID=$!
+
+# Wait for the admin listener.
+i=0
+until curl -sf "http://$ADMIN/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "admin-smoke: admin API never came up on $ADMIN" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+fail() {
+    echo "admin-smoke: $1" >&2
+    exit 1
+}
+
+# 1. /healthz
+out=$(curl -sf "http://$ADMIN/healthz")
+[ "$out" = "ok" ] || fail "/healthz said '$out', want 'ok'"
+
+# 2. /counters is a JSON object holding the registered sets.
+counters=$(curl -sf "http://$ADMIN/counters")
+case $counters in
+    *'"sched"'*'"control"'*) ;;
+    *) fail "/counters missing expected sets: $counters" ;;
+esac
+
+# 3. PUT a 3-backend topology (one weighted) through the one update path.
+code=$(curl -s -o /tmp/admin_smoke_put.$$ -w '%{http_code}' -X PUT \
+    -d '{"backends":["127.0.0.1:29001","127.0.0.1:29002",{"addr":"127.0.0.1:29003","weight":2}]}' \
+    "http://$ADMIN/topology")
+[ "$code" = "200" ] || fail "PUT /topology = $code: $(cat /tmp/admin_smoke_put.$$)"
+rm -f /tmp/admin_smoke_put.$$
+
+# 4. The change is visible in GET /topology.
+topo=$(curl -sf "http://$ADMIN/topology")
+case $topo in
+    *'127.0.0.1:29003'*) ;;
+    *) fail "PUT not visible in GET /topology: $topo" ;;
+esac
+case $topo in
+    *'"weight":2'*) ;;
+    *) fail "weight 2 not visible in GET /topology: $topo" ;;
+esac
+
+# 5. Over capacity -> 409, topology unchanged.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X PUT \
+    -d '{"backends":["a:1","b:1","c:1","d:1"]}' "http://$ADMIN/topology")
+[ "$code" = "409" ] || fail "over-capacity PUT = $code, want 409"
+topo=$(curl -sf "http://$ADMIN/topology")
+case $topo in
+    *'"a:1"'*) fail "rejected PUT changed the topology: $topo" ;;
+esac
+
+echo "admin-smoke: ok (healthz, counters, PUT 2->3, weight visible, 409 on overflow)"
