@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-churn bench-rebalance bench-shard admin-smoke check-docs fuzz-smoke ci
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-churn bench-rebalance bench-shard admin-smoke origin-smoke check-docs fuzz-smoke ci
 
 all: build test
 
@@ -55,6 +55,14 @@ bench-rebalance:
 admin-smoke:
 	./scripts/admin_smoke.sh
 
+# Wire-level origin smoke: flickrun's httplb fronts a stock net/http
+# origin (cmd/chunkedorigin) over kernel TCP; fetches of the
+# Content-Length, chunked, and conditional-304 routes through the
+# balancer must be byte-identical to direct fetches (also run by the CI
+# origin-smoke job).
+origin-smoke:
+	./scripts/origin_smoke.sh
+
 # Upstream-sharding microbenchmark: leased-session round trips with one
 # pool shard per core vs one shared pool — the write-lock contention the
 # per-worker sharding removes (also run by the CI bench-smoke job).
@@ -80,4 +88,4 @@ fuzz-smoke:
 	$(GO) test ./internal/proto/hadoop -run='^$$' -fuzz=FuzzHadoopDecode -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/grammar -run='^$$' -fuzz=FuzzGrammarRoundTrip -fuzztime=$(FUZZTIME)
 
-ci: build vet fmt-check check-docs test race bench-smoke bench-churn bench-rebalance bench-shard admin-smoke fuzz-smoke
+ci: build vet fmt-check check-docs test race bench-smoke bench-churn bench-rebalance bench-shard admin-smoke origin-smoke fuzz-smoke

@@ -1,0 +1,51 @@
+// Command chunkedorigin serves a stock net/http HTTP/1.1 origin over real
+// (kernel) TCP, for wire-level smoke testing of the middlebox data path:
+//
+//	chunkedorigin -listen 127.0.0.1:9001
+//
+// Routes (shared with the in-process bench origin):
+//
+//	/payload   Content-Length-framed body
+//	/chunked   the same body streamed as chunked transfer-encoding
+//	/cached    conditional resource; If-None-Match on its ETag answers
+//	           a bodiless 304 Not Modified
+//
+// The Date header is suppressed on every route so repeated fetches of the
+// same URI are byte-identical — front it with `flickrun -service httplb`
+// and diff fetches through the balancer against direct fetches
+// (scripts/origin_smoke.sh, make origin-smoke). The process serves until
+// interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"flick/internal/bench"
+	"flick/internal/netstack"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:9001", "listen address")
+		payload = flag.Int("payload", 137, "payload size in bytes")
+	)
+	flag.Parse()
+
+	o, err := bench.NewRealOrigin(netstack.KernelTCP{}, *listen, *payload)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chunkedorigin: %v\n", err)
+		os.Exit(1)
+	}
+	defer o.Close()
+	fmt.Printf("chunkedorigin: serving on %s (%s, %s, %s; If-None-Match %s answers 304)\n",
+		o.Addr(), bench.OriginPayloadURI, bench.OriginChunkedURI,
+		bench.OriginCachedURI, bench.OriginETag)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("\nchunkedorigin: shutting down")
+}

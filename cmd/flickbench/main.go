@@ -13,7 +13,11 @@
 //	flickbench all           everything above
 //
 // -quick shrinks every experiment for a fast sanity pass;
-// -no-upstream-pool makes fig4/fig5 dial backends per client (ablation).
+// -no-upstream-pool makes fig4/fig5 dial backends per client (ablation);
+// -real-origin fronts stock net/http origins serving chunked responses in
+// fig4 (each cell first proves byte-identical passthrough against a direct
+// fetch); -quiet-batch turns each churn connection into a GetQ/GetQ/Noop
+// quiet-get batch.
 package main
 
 import (
@@ -33,6 +37,8 @@ func main() {
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "FLICK worker threads")
 		noPool  = flag.Bool("no-upstream-pool", false, "dial backends per client instead of sharing pipelined upstream connections")
 		upShard = flag.Int("upstream-shards", 0, "upstream pool shards for fig4/fig5 (0: one per worker; 1: single shared pool)")
+		realOrg = flag.Bool("real-origin", false, "fig4: front stock net/http origins serving chunked responses (verifies byte-identical passthrough)")
+		quietB  = flag.Bool("quiet-batch", false, "churn: each connection issues a GetQ/GetQ/Noop quiet batch instead of one GET (pins backends=1)")
 	)
 	flag.Parse()
 	cmd := flag.Arg(0)
@@ -88,6 +94,7 @@ func main() {
 				Workers:        *workers,
 				NoUpstreamPool: *noPool,
 				UpstreamShards: *upShard,
+				RealOrigin:     *realOrg,
 			})
 			if err != nil {
 				return err
@@ -204,10 +211,11 @@ func main() {
 
 	run("churn", func() error {
 		cc := bench.ChurnConfig{
-			Clients:  64,
-			Conns:    4000,
-			Backends: 4,
-			Workers:  *workers,
+			Clients:    64,
+			Conns:      4000,
+			Backends:   4,
+			Workers:    *workers,
+			QuietBatch: *quietB,
 		}
 		if *quick {
 			cc.Clients, cc.Conns, cc.Backends = 16, 400, 2

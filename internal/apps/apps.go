@@ -167,8 +167,10 @@ type Service struct {
 	outChannel     string // Shared dispatch: dialled output channel
 	// reqFramer/respFramer frame the service's backend-side protocol; both
 	// non-nil opts the service into the shared upstream layer on Deploy.
-	reqFramer  upstream.Framer
-	respFramer upstream.Framer
+	// The request framer captures each request's demux context (HTTP
+	// method, memcached quiet-batch terminator) for the response framer.
+	reqFramer  upstream.RequestFramer
+	respFramer upstream.ResponseFramer
 	// probe is the protocol's no-op request for upstream health probing.
 	probe []byte
 }
@@ -399,7 +401,7 @@ func MemcachedProxy(n int) (*Service, error) {
 		backendChannel: "backends",
 		dispatch:       core.PerConnection,
 		reqFramer:      memcache.FrameRequestLen,
-		respFramer:     memcache.FrameLen,
+		respFramer:     memcache.FrameResponseLen,
 		probe:          memcache.ProbeRequest(),
 	}, nil
 }
@@ -428,7 +430,7 @@ func MemcachedRouter(n int) (*Service, error) {
 		// header layout (total body length at bytes 8..11), so the same
 		// framers serve it.
 		reqFramer:  memcache.FrameRequestLen,
-		respFramer: memcache.FrameLen,
+		respFramer: memcache.FrameResponseLen,
 		probe:      memcache.ProbeRequest(),
 	}, nil
 }

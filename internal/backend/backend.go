@@ -190,6 +190,9 @@ func (s *MemcachedServer) serve(raw net.Conn) {
 		s.requests.Inc()
 		resp := s.handle(req)
 		req.Release() // done with the request's pooled wire bytes
+		if resp.Kind == value.KindNull {
+			continue // quiet miss: the protocol says stay silent
+		}
 		if err := c.Send(resp); err != nil {
 			return
 		}
@@ -213,6 +216,16 @@ func (s *MemcachedServer) handle(req value.Value) value.Value {
 		s.mu.RUnlock()
 		if !ok {
 			return memcache.Response(req, memcache.StatusKeyNotFound, []byte(key), nil)
+		}
+		return memcache.Response(req, memcache.StatusOK, []byte(key), val)
+	case memcache.OpGetQ, memcache.OpGetKQ:
+		// Quiet gets: a hit responds, a miss says nothing — the client
+		// learns of it when the batch terminator's response arrives.
+		s.mu.RLock()
+		val, ok := s.store[key]
+		s.mu.RUnlock()
+		if !ok {
+			return value.Null
 		}
 		return memcache.Response(req, memcache.StatusOK, []byte(key), val)
 	case memcache.OpNoop:

@@ -58,6 +58,33 @@ func TestFig4Smoke(t *testing.T) {
 	}
 }
 
+// TestFig4RealOriginSmoke fronts stock net/http origins serving chunked
+// responses: the cell fails unless every origin route round-trips through
+// the load balancer byte-identical to a direct per-client dial, then the
+// measured load itself runs at the chunked route.
+func TestFig4RealOriginSmoke(t *testing.T) {
+	pts, err := RunFig4(Fig4Config{
+		Systems:    []System{SysFlickMTCP},
+		Clients:    []int{4},
+		Backends:   2,
+		Persistent: true,
+		Duration:   200 * time.Millisecond,
+		Workers:    4,
+		RealOrigin: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.Throughput <= 0 {
+			t.Fatalf("%s: zero throughput against real origin (errors=%d)", p.System, p.Errors)
+		}
+		if p.Errors != 0 {
+			t.Fatalf("%s: %d errors against real origin", p.System, p.Errors)
+		}
+	}
+}
+
 func TestFig4NonPersistentSmoke(t *testing.T) {
 	pts, err := RunFig4(Fig4Config{
 		Systems:    []System{SysFlickMTCP},

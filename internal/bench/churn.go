@@ -36,6 +36,13 @@ type ChurnConfig struct {
 	UpstreamShards int
 	NoUpstreamPool bool
 	Workers        int
+	// QuietBatch switches each churned connection from a single GET to a
+	// moxi-style quiet-get batch — GetQ (hit), GetQ (miss), Noop — which
+	// the shared upstream layer frames as ONE FIFO unit. Forces
+	// Backends=1: the sharding proxy routes each message by its own key,
+	// and a batch only stays a batch when every message lands on the same
+	// upstream socket.
+	QuietBatch bool
 }
 
 // ChurnPoint is one measured configuration.
@@ -73,6 +80,9 @@ func RunChurn(cfg ChurnConfig) (ChurnPoint, error) {
 	}
 	if cfg.Backends <= 0 {
 		cfg.Backends = 4
+	}
+	if cfg.QuietBatch {
+		cfg.Backends = 1 // see the QuietBatch doc: one socket per batch
 	}
 	if cfg.Keys <= 0 {
 		cfg.Keys = 1000
@@ -140,7 +150,13 @@ func RunChurn(cfg ChurnConfig) (ChurnPoint, error) {
 			key := []byte(loadgen.Key(c % cfg.Keys))
 			for i := 0; i < per; i++ {
 				t0 := time.Now()
-				if err := churnOnce(tr.Dial, addr, key); err != nil {
+				var err error
+				if cfg.QuietBatch {
+					err = churnOnceQuiet(tr.Dial, addr, key)
+				} else {
+					err = churnOnce(tr.Dial, addr, key)
+				}
+				if err != nil {
 					errs.Inc()
 					continue
 				}
@@ -209,6 +225,47 @@ func churnOnce(dial func(string) (net.Conn, error), addr string, key []byte) err
 		return err
 	}
 	resp.Release()
+	return nil
+}
+
+// churnOnceQuiet performs one short-lived quiet-get batch: GetQ for a
+// preloaded key (a hit that responds), GetQ for a key that does not exist
+// (a miss that stays silent), then the Noop terminator. The client is done
+// when the terminator's response arrives — one hit plus one Noop, with the
+// miss correctly absent.
+func churnOnceQuiet(dial func(string) (net.Conn, error), addr string, key []byte) error {
+	raw, err := dial(addr)
+	if err != nil {
+		return err
+	}
+	defer raw.Close()
+	c := memcache.NewConn(raw)
+	raw.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if err := c.Send(memcache.Request(memcache.OpGetQ, key, nil)); err != nil {
+		return err
+	}
+	if err := c.Send(memcache.Request(memcache.OpGetQ, []byte("churn-missing-key"), nil)); err != nil {
+		return err
+	}
+	if err := c.Send(memcache.Request(memcache.OpNoop, nil, nil)); err != nil {
+		return err
+	}
+	hits := 0
+	for {
+		resp, err := c.Receive()
+		if err != nil {
+			return err
+		}
+		op := resp.Field("opcode").AsInt()
+		resp.Release()
+		if op == memcache.OpNoop {
+			break
+		}
+		hits++
+	}
+	if hits != 1 {
+		return fmt.Errorf("quiet batch returned %d hits before the terminator, want 1", hits)
+	}
 	return nil
 }
 

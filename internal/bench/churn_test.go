@@ -67,6 +67,33 @@ func TestChurnSmoke(t *testing.T) {
 	}
 }
 
+// TestChurnQuietBatchSmoke churns connections that each issue a quiet-get
+// batch (GetQ hit, GetQ miss, Noop) through the pooled proxy: the batch
+// frames as one FIFO unit on the shared socket, the miss stays silent, and
+// nothing desyncs across the churning clients.
+func TestChurnQuietBatchSmoke(t *testing.T) {
+	pt, err := RunChurn(ChurnConfig{
+		System:     SysFlickMTCP,
+		Clients:    8,
+		Conns:      64,
+		PoolSize:   2,
+		Workers:    2,
+		QuietBatch: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Errors != 0 {
+		t.Fatalf("%d quiet-batch connections failed", pt.Errors)
+	}
+	if pt.Throughput == 0 {
+		t.Fatal("no quiet-batch throughput")
+	}
+	if pt.Backends != 1 {
+		t.Fatalf("quiet batch must pin Backends=1, got %d", pt.Backends)
+	}
+}
+
 // TestChurnSweepSmoke runs the three-way sweep (per-worker sharded /
 // single shared pool / per-client dials) small and asserts the sharded
 // row's contract: no errors, socket count bounded by pool×shards×B, every

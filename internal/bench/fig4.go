@@ -28,6 +28,12 @@ type Fig4Config struct {
 	// UpstreamShards overrides the upstream pool shard count (0: one
 	// shard per worker; 1: the single shared pool).
 	UpstreamShards int
+	// RealOrigin swaps the synthetic backends for stock net/http origins
+	// serving chunked transfer-encoding, and drives the load at the
+	// chunked route. Before measuring, every cell diffs a through-proxy
+	// fetch of each origin route (chunked, Content-Length, 304) against a
+	// direct per-client dial and fails unless they are byte-identical.
+	RealOrigin bool
 }
 
 // Fig4Point is one measured cell.
@@ -81,9 +87,10 @@ func RunFig4(cfg Fig4Config) ([]Fig4Point, error) {
 
 // lbTestbed is a constructed load-balancer deployment.
 type lbTestbed struct {
-	addr    string
-	svc     *core.Service // nil for baselines
-	cleanup []func()
+	addr       string
+	originAddr string        // one backend's own address (passthrough diff)
+	svc        *core.Service // nil for baselines
+	cleanup    []func()
 }
 
 func (tb *lbTestbed) close() {
@@ -97,14 +104,25 @@ func buildLBTestbed(cfg Fig4Config, sys System, tr netstack.Transport) (*lbTestb
 	tb := &lbTestbed{}
 	addrs := make([]string, cfg.Backends)
 	for i := range addrs {
-		s, err := backend.NewHTTPServer(tr, listenAddr(tr, fmt.Sprintf("origin:%d", i)), cfg.Payload)
-		if err != nil {
-			tb.close()
-			return nil, err
+		if cfg.RealOrigin {
+			s, err := NewRealOrigin(tr, listenAddr(tr, fmt.Sprintf("origin:%d", i)), cfg.Payload)
+			if err != nil {
+				tb.close()
+				return nil, err
+			}
+			addrs[i] = s.Addr()
+			tb.cleanup = append(tb.cleanup, s.Close)
+		} else {
+			s, err := backend.NewHTTPServer(tr, listenAddr(tr, fmt.Sprintf("origin:%d", i)), cfg.Payload)
+			if err != nil {
+				tb.close()
+				return nil, err
+			}
+			addrs[i] = s.Addr()
+			tb.cleanup = append(tb.cleanup, s.Close)
 		}
-		addrs[i] = s.Addr()
-		tb.cleanup = append(tb.cleanup, s.Close)
 	}
+	tb.originAddr = addrs[0]
 	switch sys {
 	case SysFlick, SysFlickMTCP:
 		p := core.NewPlatform(core.Config{Workers: cfg.Workers, Transport: tr})
@@ -157,12 +175,22 @@ func runFig4Cell(cfg Fig4Config, sys System, clients int) (Fig4Point, error) {
 	}
 	defer tb.close()
 
+	uri := ""
+	if cfg.RealOrigin {
+		// Chunked responses exercise the request-aware framing end to
+		// end; first prove the proxy is invisible on the wire.
+		uri = OriginChunkedURI
+		if err := VerifyPassthrough(tr, tb.addr, tb.originAddr); err != nil {
+			return Fig4Point{}, err
+		}
+	}
 	pool0 := buffer.Global.Counters()
 	up0 := upstreamCounters(tb.svc)
 	allocs0 := heapAllocs()
 	res := loadgen.RunHTTP(loadgen.HTTPConfig{
 		Transport:  tr,
 		Addr:       tb.addr,
+		URI:        uri,
 		Clients:    clients,
 		Persistent: cfg.Persistent,
 		Duration:   cfg.Duration,

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"flick/internal/buffer"
+	"flick/internal/netstack"
+	phttp "flick/internal/proto/http"
+)
+
+// RealOrigin is a stock net/http HTTP/1.1 origin — the "real application
+// server" the FLICK middlebox must be able to front. Unlike the synthetic
+// backend.HTTPServer it speaks the standard library's full HTTP/1.1:
+// chunked transfer-encoding when the handler streams, 304 Not Modified
+// with the entity's headers on a validator hit, and keep-alive connection
+// management the middlebox does not control. The Date header is
+// suppressed on every route so two fetches of the same URI are
+// byte-identical — which is what lets the passthrough check below diff a
+// through-proxy response against a direct per-client dial.
+type RealOrigin struct {
+	listener net.Listener
+	srv      *http.Server
+	payload  []byte
+}
+
+// Origin routes: a Content-Length-framed payload, a chunked stream of the
+// same payload, and a conditional resource answering 304 to its ETag.
+const (
+	OriginPayloadURI = "/payload"
+	OriginChunkedURI = "/chunked"
+	OriginCachedURI  = "/cached"
+	// OriginETag is the entity tag the cached route serves; sending it
+	// back as If-None-Match elicits the bodiless 304.
+	OriginETag = `"flick-origin-v1"`
+)
+
+// NewRealOrigin starts a net/http origin on addr over the given transport.
+func NewRealOrigin(tr netstack.Transport, addr string, payloadSize int) (*RealOrigin, error) {
+	l, err := tr.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	payload := make([]byte, payloadSize)
+	for i := range payload {
+		payload[i] = 'a' + byte(i%26)
+	}
+	o := &RealOrigin{listener: l, payload: payload}
+	mux := http.NewServeMux()
+	mux.HandleFunc(OriginPayloadURI, o.servePayload)
+	mux.HandleFunc(OriginChunkedURI, o.serveChunked)
+	mux.HandleFunc(OriginCachedURI, o.serveCached)
+	o.srv = &http.Server{Handler: mux}
+	go o.srv.Serve(l)
+	return o, nil
+}
+
+// Addr returns the bound address.
+func (o *RealOrigin) Addr() string { return o.listener.Addr().String() }
+
+// Close stops the origin.
+func (o *RealOrigin) Close() { o.srv.Close() }
+
+func (o *RealOrigin) servePayload(w http.ResponseWriter, r *http.Request) {
+	h := w.Header()
+	h["Date"] = nil // deterministic wire image
+	h.Set("Content-Length", strconv.Itoa(len(o.payload)))
+	w.Write(o.payload)
+}
+
+// serveChunked streams the payload in two flushed writes: no
+// Content-Length is ever known, so net/http frames the response with
+// chunked transfer-encoding — the framing the shared upstream layer
+// historically could not parse.
+func (o *RealOrigin) serveChunked(w http.ResponseWriter, r *http.Request) {
+	w.Header()["Date"] = nil
+	half := len(o.payload) / 2
+	w.Write(o.payload[:half])
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	w.Write(o.payload[half:])
+}
+
+// serveCached answers a validator hit with 304 Not Modified — bodiless by
+// rule — and a cold fetch with the entity.
+func (o *RealOrigin) serveCached(w http.ResponseWriter, r *http.Request) {
+	h := w.Header()
+	h["Date"] = nil
+	h.Set("ETag", OriginETag)
+	if r.Header.Get("If-None-Match") == OriginETag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h.Set("Content-Length", strconv.Itoa(len(o.payload)))
+	w.Write(o.payload)
+}
+
+// fetchRaw dials addr, issues one GET for uri (with a conditional header
+// when etag is non-empty) and returns the complete response wire bytes,
+// framed with the response framer itself — header block plus
+// Content-Length body, chunked section, or header-only for a 304.
+func fetchRaw(tr netstack.Transport, addr, uri, etag string) ([]byte, error) {
+	c, err := tr.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	req := "GET " + uri + " HTTP/1.1\r\nHost: origin\r\n"
+	if etag != "" {
+		req += "If-None-Match: " + etag + "\r\n"
+	}
+	req += "\r\n"
+	if _, err := c.Write([]byte(req)); err != nil {
+		return nil, err
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	q := buffer.NewQueue(nil)
+	rbuf := make([]byte, 16<<10)
+	for {
+		if n, err := phttp.FrameResponseLen(q, 0, 0); err != nil {
+			return nil, err
+		} else if n > 0 && q.Len() >= n {
+			out := make([]byte, n)
+			q.PeekAt(out, 0)
+			return out, nil
+		}
+		n, err := c.Read(rbuf)
+		if n > 0 {
+			q.Append(rbuf[:n])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("read %s%s: %w", addr, uri, err)
+		}
+	}
+}
+
+// VerifyPassthrough fetches every origin route once through the middlebox
+// and once directly (a per-client dial to the origin) and requires the
+// wire bytes to be identical — the zero-copy raw-passthrough contract:
+// fronting the origin must not change a byte of what it serves, chunked
+// framing and bodiless 304s included.
+func VerifyPassthrough(tr netstack.Transport, viaAddr, originAddr string) error {
+	for _, probe := range []struct{ uri, etag string }{
+		{OriginPayloadURI, ""},
+		{OriginChunkedURI, ""},
+		{OriginCachedURI, ""},
+		{OriginCachedURI, OriginETag}, // validator hit: 304, bodiless
+	} {
+		via, err := fetchRaw(tr, viaAddr, probe.uri, probe.etag)
+		if err != nil {
+			return fmt.Errorf("bench: fetch %s via middlebox: %w", probe.uri, err)
+		}
+		direct, err := fetchRaw(tr, originAddr, probe.uri, probe.etag)
+		if err != nil {
+			return fmt.Errorf("bench: fetch %s direct: %w", probe.uri, err)
+		}
+		if !bytes.Equal(via, direct) {
+			return fmt.Errorf("bench: %s not byte-identical through the middlebox:\n via    %q\n direct %q",
+				probe.uri, via, direct)
+		}
+	}
+	return nil
+}

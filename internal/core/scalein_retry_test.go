@@ -83,8 +83,8 @@ func TestDispatchRetriesRetiredLeaseAgainstFreshSnapshot(t *testing.T) {
 	mgr := upstream.NewManager(upstream.Config{
 		Transport:      u,
 		Shards:         2,
-		RequestFramer:  lineFramer,
-		ResponseFramer: lineFramer,
+		RequestFramer:  upstream.StatelessRequest(lineFramer),
+		ResponseFramer: upstream.StatelessResponse(lineFramer),
 	})
 	svc, err := p.Deploy(ServiceConfig{
 		Name:         "retry-proxy",

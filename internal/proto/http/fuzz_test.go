@@ -21,6 +21,16 @@ func FuzzHTTPDecode(f *testing.F) {
 	f.Add([]byte("HTTP/1.0 404 Not Found\r\nConnection: close\r\n\r\n"))
 	f.Add([]byte("GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"))
 	f.Add([]byte("garbage\r\n\r\nmore garbage"))
+	// Framing edge cases: smuggling guards, chunked wire, bodiless
+	// statuses and Connection token lists.
+	f.Add([]byte("POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\nhello"))
+	f.Add([]byte("POST / HTTP/1.1\r\nContent-Length: 3\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n"))
+	f.Add([]byte("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n"))
+	f.Add([]byte("HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n4;ext=1\r\nwiki\r\n0\r\nX-T: v\r\n\r\n"))
+	f.Add([]byte("HTTP/1.1 304 Not Modified\r\nContent-Length: 1234\r\nETag: \"x\"\r\n\r\n"))
+	f.Add([]byte("HTTP/1.1 204 No Content\r\n\r\n"))
+	f.Add([]byte("GET / HTTP/1.1\r\nConnection: close, TE\r\n\r\n"))
+	f.Add([]byte("HTTP/1.1 100 Continue\r\n\r\nHTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		for _, isReq := range []bool{true, false} {
 			var format grammar.WireFormat = RequestFormat{}

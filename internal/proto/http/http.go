@@ -6,9 +6,13 @@
 // produces the same value.Value records, making it interchangeable with
 // grammar-compiled codecs in input/output tasks.
 //
-// Scope matches the paper's workloads (ApacheBench-style traffic): requests
-// and responses with Content-Length or no body; chunked transfer encoding is
-// not needed by any experiment and is rejected explicitly.
+// Scope covers real HTTP/1.1 origins: Content-Length framing, chunked
+// transfer-encoding (decoded with a zero-copy fast path for single-chunk
+// bodies), status-aware bodiless responses (1xx/204/304), and the
+// request-aware framing contract the shared upstream layer needs (HEAD
+// responses carry a Content-Length for an entity that is never sent).
+// Responses framed only by connection close have no findable end on a
+// shared connection and are refused with ErrUnframeable.
 package http
 
 import (
@@ -36,7 +40,12 @@ var (
 var (
 	ErrMalformed = errors.New("http: malformed message")
 	ErrTooLarge  = errors.New("http: message too large")
-	ErrChunked   = errors.New("http: chunked transfer encoding unsupported")
+	// ErrUnframeable marks a response whose end cannot be found on a
+	// shared connection: framed only by connection close (no
+	// Content-Length, no chunked encoding) or by a protocol switch (101
+	// Switching Protocols). Delivering it would silently truncate, so the
+	// demultiplexer fails the shared socket loudly instead.
+	ErrUnframeable = errors.New("http: response not length-delimited (unframeable on a shared connection)")
 )
 
 // MaxHeaderBytes bounds the header block.
@@ -93,6 +102,7 @@ type decoder struct {
 	headerEnd int // bytes of the header block incl. terminator; 0 = unknown
 	// body phase
 	bodyLen   int
+	chunked   bool // body uses chunked transfer-encoding
 	keepAlive bool
 	// framebuf is reusable scratch for parsing framing of header blocks
 	// that straddle queue chunks (the non-contiguous slow path).
@@ -103,6 +113,7 @@ func (d *decoder) reset() {
 	d.scanned = 0
 	d.headerEnd = 0
 	d.bodyLen = 0
+	d.chunked = false
 	d.keepAlive = false
 }
 
@@ -126,17 +137,28 @@ func (d *decoder) Decode(q *buffer.Queue) (value.Value, bool, error) {
 			head = d.framebuf[:d.headerEnd]
 			q.PeekAt(head, 0)
 		}
-		n, ka, err := parseFraming(head, d.isRequest)
+		f, err := parseFraming(head, d.isRequest)
 		if err != nil {
 			d.reset()
 			return value.Null, false, err
 		}
-		if n > MaxBodyBytes {
+		if f.bodyLen > MaxBodyBytes {
 			d.reset()
-			return value.Null, false, fmt.Errorf("%w: body of %d bytes", ErrTooLarge, n)
+			return value.Null, false, fmt.Errorf("%w: body of %d bytes", ErrTooLarge, f.bodyLen)
 		}
-		d.bodyLen = n
-		d.keepAlive = ka
+		d.keepAlive = f.keepAlive
+		switch {
+		case !d.isRequest && bodilessStatus(f.status):
+			// 1xx/204/304: bodiless by rule — any Content-Length
+			// describes an entity the server never sends.
+		case f.chunked:
+			d.chunked = true
+		default:
+			d.bodyLen = f.bodyLen
+		}
+	}
+	if d.chunked {
+		return d.decodeChunked(q)
 	}
 	total := d.headerEnd + d.bodyLen
 	if q.Len() < total {
@@ -153,6 +175,91 @@ func (d *decoder) Decode(q *buffer.Queue) (value.Value, bool, error) {
 		return value.Null, false, err
 	}
 	return msg, true, nil
+}
+
+// decodeChunked completes a chunked-transfer message: the whole wire image
+// (header block + chunked section through the final CRLF) is consumed as
+// one view. A body of at most one data chunk stays zero-copy — the body
+// field sub-slices the view between the chunk-size line and its trailing
+// CRLF. A multi-chunk body is discontiguous on the wire, so the wire image
+// and the stitched-together payload are copied once into a fresh pooled
+// region; the record still carries the verbatim chunked wire in _raw, so
+// proxy forwarding stays byte-exact.
+func (d *decoder) decodeChunked(q *buffer.Queue) (value.Value, bool, error) {
+	n, dataLen, chunks, err := frameChunked(q, d.headerEnd)
+	if err != nil {
+		d.reset()
+		return value.Null, false, err
+	}
+	total := d.headerEnd + n
+	if n == 0 || q.Len() < total {
+		return value.Null, false, nil
+	}
+	raw, ref := q.TakeRef(total)
+	head := raw[:d.headerEnd]
+	var body []byte
+	switch {
+	case chunks > 1:
+		nref := buffer.Global.GetRef(total + dataLen)
+		nb := nref.Bytes()
+		copy(nb, raw)
+		dechunkInto(nb[total:total+dataLen], raw[d.headerEnd:])
+		ref.Release()
+		ref = nref
+		raw = nb[:total]
+		head = raw[:d.headerEnd]
+		body = nb[total : total+dataLen]
+	case chunks == 1:
+		_, rest := splitLine(raw[d.headerEnd:])
+		body = rest[:dataLen]
+	}
+	msg, err := buildRecord(head, body, d.isRequest, d.keepAlive, raw, ref)
+	d.reset()
+	if err != nil {
+		ref.Release()
+		return value.Null, false, err
+	}
+	return msg, true, nil
+}
+
+// dechunkInto stitches the payloads of a complete, already-validated
+// chunked section src into dst (len(dst) must equal the payload total).
+func dechunkInto(dst, src []byte) {
+	for {
+		line, rest := splitLine(src)
+		size := chunkSizeOf(line)
+		if size == 0 {
+			return
+		}
+		n := copy(dst, rest[:size])
+		dst = dst[n:]
+		src = rest[size+2:]
+	}
+}
+
+// chunkSizeOf parses the leading hex digits of a chunk-size line that
+// frameChunked has already validated.
+func chunkSizeOf(line []byte) int {
+	n := 0
+	for _, b := range line {
+		switch {
+		case b >= '0' && b <= '9':
+			n = n<<4 | int(b-'0')
+		case b >= 'a' && b <= 'f':
+			n = n<<4 | int(b-'a'+10)
+		case b >= 'A' && b <= 'F':
+			n = n<<4 | int(b-'A'+10)
+		default:
+			return n
+		}
+	}
+	return n
+}
+
+// bodilessStatus reports the response statuses RFC 7230 §3.3.3 defines as
+// never carrying a body, whatever their headers declare.
+func bodilessStatus(status int) bool {
+	return (status >= 100 && status < 200) || status == 204 || status == 304
 }
 
 // scanCRLFCRLF looks for the header terminator, resuming from *scanned.
@@ -185,11 +292,29 @@ func maxInt(a, b int) int {
 	return b
 }
 
-// parseFraming extracts Content-Length and keep-alive from a header block.
-func parseFraming(head []byte, isRequest bool) (bodyLen int, keepAlive bool, err error) {
+// framing is the message-framing summary parseFraming extracts from one
+// header block.
+type framing struct {
+	status    int  // response status code (0 for requests or unparsable lines)
+	bodyLen   int  // declared Content-Length (0 when absent)
+	hasCL     bool // an explicit Content-Length header was present
+	chunked   bool // Transfer-Encoding: chunked
+	keepAlive bool
+}
+
+// parseFraming extracts body framing and keep-alive from a header block.
+// Duplicate Content-Length headers — and Content-Length combined with
+// chunked transfer-encoding — are rejected with ErrMalformed per RFC 7230
+// §3.3.3: forwarding either is a request-smuggling vector, so a proxy must
+// refuse the message rather than pick a winner.
+func parseFraming(head []byte, isRequest bool) (framing, error) {
+	var f framing
 	// Default keep-alive per HTTP/1.1; HTTP/1.0 defaults to close.
 	line, rest := splitLine(head)
-	keepAlive = !containsToken(line, []byte("HTTP/1.0"))
+	f.keepAlive = !containsToken(line, []byte("HTTP/1.0"))
+	if !isRequest {
+		f.status = parseStatus(line)
+	}
 	for len(rest) > 0 {
 		line, rest = splitLine(rest)
 		if len(line) == 0 {
@@ -200,23 +325,57 @@ func parseFraming(head []byte, isRequest bool) (bodyLen int, keepAlive bool, err
 		case asciiEqualFold(name, []byte("content-length")):
 			n, perr := strconv.Atoi(string(trimSpace(val)))
 			if perr != nil || n < 0 {
-				return 0, false, fmt.Errorf("%w: bad content-length %q", ErrMalformed, val)
+				return framing{}, fmt.Errorf("%w: bad content-length %q", ErrMalformed, val)
 			}
-			bodyLen = n
+			if f.hasCL {
+				return framing{}, fmt.Errorf("%w: duplicate content-length", ErrMalformed)
+			}
+			f.hasCL, f.bodyLen = true, n
 		case asciiEqualFold(name, []byte("connection")):
-			v := trimSpace(val)
-			if asciiEqualFold(v, []byte("close")) {
-				keepAlive = false
-			} else if asciiEqualFold(v, []byte("keep-alive")) {
-				keepAlive = true
+			// Connection is a token list ("close, TE"): match tokens, not
+			// the whole folded value, or a close marker travelling with
+			// other options fails to disable keep-alive.
+			if containsToken(val, []byte("close")) {
+				f.keepAlive = false
+			} else if containsToken(val, []byte("keep-alive")) {
+				f.keepAlive = true
 			}
 		case asciiEqualFold(name, []byte("transfer-encoding")):
 			if containsToken(val, []byte("chunked")) {
-				return 0, false, ErrChunked
+				f.chunked = true
 			}
 		}
 	}
-	return bodyLen, keepAlive, nil
+	if f.chunked && f.hasCL {
+		return framing{}, fmt.Errorf("%w: content-length with chunked transfer-encoding", ErrMalformed)
+	}
+	return f, nil
+}
+
+// parseStatus parses the status code from a response start line (0 when
+// the line does not carry one).
+func parseStatus(line []byte) int {
+	p := indexByte(line, ' ')
+	if p < 0 {
+		return 0
+	}
+	n, digits := 0, 0
+	for _, b := range line[p+1:] {
+		if b == ' ' {
+			break
+		}
+		if b < '0' || b > '9' {
+			return 0
+		}
+		n = n*10 + int(b-'0')
+		if digits++; digits > 4 {
+			return 0
+		}
+	}
+	if digits == 0 {
+		return 0
+	}
+	return n
 }
 
 // buildRecord constructs the value record for a complete message. All byte
@@ -353,17 +512,19 @@ func encode(dst []byte, msg value.Value, desc *value.RecordDesc) ([]byte, error)
 		dst = append(dst, reason...)
 	}
 	dst = append(dst, '\r', '\n')
-	// Emit the headers block minus any Content-Length line: the encoder
-	// recomputes framing from the current body, and keeping the stale line
-	// would emit two Content-Length headers (and grow the block on every
-	// decode→encode round trip instead of reaching a fixed point).
+	// Emit the headers block minus any Content-Length or
+	// Transfer-Encoding line: the encoder Content-Length-frames the
+	// current body, so a stale Content-Length would duplicate and a stale
+	// "chunked" marker would contradict the emitted framing (the decoded
+	// body is already de-chunked).
 	if h := msg.Field("headers").AsBytes(); len(h) > 0 {
 		block := h
 		for len(block) > 0 {
 			var line []byte
 			line, block = splitLine(block)
 			name, _ := splitHeader(line)
-			if asciiEqualFold(name, []byte("content-length")) {
+			if asciiEqualFold(name, []byte("content-length")) ||
+				asciiEqualFold(name, []byte("transfer-encoding")) {
 				continue
 			}
 			dst = append(dst, line...)
@@ -466,19 +627,23 @@ func asciiEqualFold(a, b []byte) bool {
 	return true
 }
 
+// containsToken reports whether the comma- or space-separated list hay
+// contains needle as a WHOLE token, ASCII case-insensitively. Substring
+// matching would be wrong twice over: "Connection: disclosed" must not
+// read as close, and "keep-alive-ish" must not read as keep-alive.
 func containsToken(hay, needle []byte) bool {
-	if len(needle) == 0 || len(hay) < len(needle) {
+	if len(needle) == 0 {
 		return false
 	}
-	for i := 0; i+len(needle) <= len(hay); i++ {
-		ok := true
-		for j := range needle {
-			if asciiLower(hay[i+j]) != asciiLower(needle[j]) {
-				ok = false
-				break
-			}
+	for i := 0; i < len(hay); {
+		for i < len(hay) && (hay[i] == ',' || hay[i] == ' ' || hay[i] == '\t') {
+			i++
 		}
-		if ok {
+		start := i
+		for i < len(hay) && hay[i] != ',' && hay[i] != ' ' && hay[i] != '\t' {
+			i++
+		}
+		if asciiEqualFold(hay[start:i], needle) {
 			return true
 		}
 	}
@@ -489,7 +654,7 @@ func containsToken(hay, needle []byte) bool {
 // the lightweight liveness probe the shared upstream layer round-trips
 // against HTTP backends (upstream.Config.Probe). OPTIONS responses are
 // Content-Length framed, so FrameRequestLen/FrameResponseLen handle it
-// like any pooled request (unlike HEAD, whose response framing lies).
+// like any pooled request.
 func ProbeRequest() []byte {
 	return BuildRequest(nil, "OPTIONS", "*", "probe", true, nil)
 }

@@ -136,13 +136,93 @@ func TestHTTP10DefaultsToClose(t *testing.T) {
 	}
 }
 
-func TestChunkedRejected(t *testing.T) {
-	wire := []byte("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+func TestChunkedDecodeSingleChunk(t *testing.T) {
+	wire := []byte("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n")
 	q := buffer.NewQueue(nil)
 	q.Append(wire)
-	_, ok, err := RequestFormat{}.NewDecoder().Decode(q)
-	if ok || !errors.Is(err, ErrChunked) {
+	msg, ok, err := RequestFormat{}.NewDecoder().Decode(q)
+	if !ok || err != nil {
 		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if msg.Field("body").AsString() != "hello" {
+		t.Fatalf("body = %q", msg.Field("body").AsString())
+	}
+	if !bytes.Equal(msg.Field("_raw").AsBytes(), wire) {
+		t.Fatal("raw image is not the verbatim chunked wire")
+	}
+	msg.Release()
+}
+
+func TestChunkedDecodeMultiChunk(t *testing.T) {
+	wire := []byte("HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n" +
+		"5\r\nhello\r\n7\r\n, world\r\n0\r\nX-Trailer: t\r\n\r\n")
+	q := buffer.NewQueue(nil)
+	dec := ResponseFormat{}.NewDecoder()
+	// Trickle to exercise the incremental chunk scan.
+	for i := 0; i < len(wire); i += 11 {
+		end := i + 11
+		if end > len(wire) {
+			end = len(wire)
+		}
+		q.Append(wire[i:end])
+		msg, ok, err := dec.Decode(q)
+		if err != nil {
+			t.Fatalf("after %d bytes: %v", end, err)
+		}
+		if ok != (end == len(wire)) {
+			t.Fatalf("after %d bytes: ok=%v", end, ok)
+		}
+		if !ok {
+			continue
+		}
+		if msg.Field("body").AsString() != "hello, world" {
+			t.Fatalf("stitched body = %q", msg.Field("body").AsString())
+		}
+		// The raw image stays the verbatim chunked wire so proxy
+		// passthrough re-emits exactly what the origin sent.
+		if !bytes.Equal(msg.Field("_raw").AsBytes(), wire) {
+			t.Fatal("raw image is not the verbatim chunked wire")
+		}
+		msg.Release()
+	}
+}
+
+// TestDuplicateContentLengthRejected pins the RFC 7230 §3.3.3 smuggling
+// guards: conflicting length claims never pick one silently.
+func TestDuplicateContentLengthRejected(t *testing.T) {
+	for _, wire := range []string{
+		"POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\nhello",
+		"POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello",
+		"POST / HTTP/1.1\r\nContent-Length: 5\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+	} {
+		q := buffer.NewQueue(nil)
+		q.Append([]byte(wire))
+		_, ok, err := RequestFormat{}.NewDecoder().Decode(q)
+		if ok || !errors.Is(err, ErrMalformed) {
+			t.Fatalf("%q: ok=%v err=%v; want ErrMalformed", wire[:40], ok, err)
+		}
+	}
+}
+
+// TestConnectionTokenList: Connection is a comma-separated token list —
+// "close" must match as a token, not as a substring.
+func TestConnectionTokenList(t *testing.T) {
+	for wire, wantKA := range map[string]int64{
+		"GET / HTTP/1.1\r\nConnection: close, TE\r\n\r\n":      0,
+		"GET / HTTP/1.1\r\nConnection: TE ,Close\r\n\r\n":      0,
+		"GET / HTTP/1.1\r\nConnection: disclosed\r\n\r\n":      1,
+		"GET / HTTP/1.0\r\nConnection: TE, keep-alive\r\n\r\n": 1,
+		"GET / HTTP/1.0\r\nConnection: keep-alive-ish\r\n\r\n": 0,
+	} {
+		q := buffer.NewQueue(nil)
+		q.Append([]byte(wire))
+		msg, ok, err := RequestFormat{}.NewDecoder().Decode(q)
+		if !ok || err != nil {
+			t.Fatalf("%q: ok=%v err=%v", wire, ok, err)
+		}
+		if msg.Field("keep_alive").AsInt() != wantKA {
+			t.Fatalf("%q: keep_alive = %d; want %d", wire, msg.Field("keep_alive").AsInt(), wantKA)
+		}
 	}
 }
 

@@ -77,6 +77,7 @@ func encodeKeepAlive(dst []byte, msg value.Value) ([]byte, error) {
 			line, block = splitLine(block)
 			name, _ := splitHeader(line)
 			if asciiEqualFold(name, []byte("content-length")) ||
+				asciiEqualFold(name, []byte("transfer-encoding")) ||
 				asciiEqualFold(name, []byte("connection")) {
 				continue
 			}

@@ -5,36 +5,125 @@ import (
 
 	"flick/internal/buffer"
 	"flick/internal/grammar"
+	"flick/internal/upstream"
 )
 
 // headerLen is the fixed binary-protocol header size; the total body length
-// (extras + key + value) sits at bytes 8..11, big-endian.
+// (extras + key + value) sits at bytes 8..11, big-endian, and the opaque
+// the server mirrors back at bytes 12..15.
 const headerLen = 24
+
+// maxQuietBatch bounds the quiet requests accepted ahead of one
+// terminator: a client streaming GetQ without ever sending the Noop would
+// otherwise stage unbounded bytes in the session.
+const maxQuietBatch = 1024
+
+// Quiet-batch context layout (upstream.Context): bit 63 flags a batch,
+// bits 32..39 carry the terminator's opcode and bits 0..31 its opaque —
+// everything the demultiplexer needs to recognise the response that ends
+// the batch.
+const ctxQuietBatch upstream.Context = 1 << 63
+
+// batchContext packs a quiet-batch terminator into an upstream.Context.
+func batchContext(op byte, opaque uint32) upstream.Context {
+	return ctxQuietBatch | upstream.Context(op)<<32 | upstream.Context(opaque)
+}
 
 // FrameLen reports the wire length of the binary-protocol message starting
 // at buffered offset from in q, without consuming any byte. It returns 0
 // when too few bytes are buffered to know, and an error when the bytes
-// cannot begin a message (bad magic, oversized body). Both requests and
-// responses share this framing; the shared upstream connection layer uses
-// it to demultiplex the pipelined response stream.
+// cannot begin a message (bad magic, oversized body). Requests and
+// responses share this per-message framing.
 func FrameLen(q *buffer.Queue, from int) (int, error) {
 	n, _, err := frameLen(q, from)
 	return n, err
 }
 
-// FrameRequestLen is FrameLen for the request direction of a shared
-// upstream socket, where FIFO correlation requires every request to
-// produce exactly one response. Quiet opcodes (GetQ, GetKQ, SetQ, ...)
-// respond conditionally or not at all — multiplexing one would misroute
-// every later response on the socket to the wrong client — so they are
-// rejected here (the writing session fails; its client loses only its own
-// connection, exactly as if the backend had dropped it).
-func FrameRequestLen(q *buffer.Queue, from int) (int, error) {
+// FrameRequestLen frames the request direction of a shared upstream
+// socket. A non-quiet request frames alone: one FIFO slot, one response.
+// A quiet request (GetQ, GetKQ, ...) responds conditionally or not at all,
+// so it cannot occupy a FIFO slot of its own; instead the framer scans
+// forward for the moxi-style batch shape — a run of quiet requests
+// terminated by a non-quiet one (canonically Noop) — and frames the whole
+// batch as ONE unit whose upstream.Context records the terminator's opcode
+// and opaque. The demultiplexer then delivers every response through the
+// terminator's as one view (FrameResponseLen). An unterminated run stays
+// staged (returns 0) until the terminator is written; QuitQ closes the
+// backend socket and is rejected outright.
+func FrameRequestLen(q *buffer.Queue, from int) (int, upstream.Context, error) {
 	n, opcode, err := frameLen(q, from)
-	if err == nil && n > 0 && quietOpcode(opcode) {
-		return 0, fmt.Errorf("memcache: quiet opcode 0x%02x cannot be multiplexed (no 1:1 response)", opcode)
+	if err != nil || n == 0 {
+		return 0, 0, err
 	}
-	return n, err
+	if !quietOpcode(opcode) {
+		return n, 0, nil
+	}
+	if opcode == OpQuitQ {
+		return 0, 0, fmt.Errorf("memcache: QuitQ cannot be multiplexed (closes the shared socket)")
+	}
+	total := n
+	for count := 1; ; count++ {
+		if count > maxQuietBatch {
+			return 0, 0, fmt.Errorf("memcache: quiet batch exceeds %d requests without a terminator", maxQuietBatch)
+		}
+		n, opcode, err = frameLen(q, from+total)
+		if err != nil {
+			return 0, 0, err
+		}
+		if n == 0 {
+			return 0, 0, nil // terminator not buffered yet: keep staging
+		}
+		if quietOpcode(opcode) {
+			if opcode == OpQuitQ {
+				return 0, 0, fmt.Errorf("memcache: QuitQ cannot be multiplexed (closes the shared socket)")
+			}
+			total += n
+			continue
+		}
+		// Non-quiet terminator: its opaque identifies the response that
+		// ends the batch.
+		if q.Len()-(from+total) < 16 {
+			return 0, 0, nil
+		}
+		var hdr [16]byte
+		q.PeekAt(hdr[:], from+total)
+		opaque := uint32(hdr[12])<<24 | uint32(hdr[13])<<16 | uint32(hdr[14])<<8 | uint32(hdr[15])
+		return total + n, batchContext(opcode, opaque), nil
+	}
+}
+
+// FrameResponseLen frames the response direction. For an ordinary request
+// (zero context) it is per-message framing. For a quiet batch it scans
+// complete response messages until the one matching the terminator's
+// opcode and opaque, and reports the whole run — the hits of the quiet
+// requests plus the terminator's response — as one view, preserving FIFO
+// correlation for the sessions behind it.
+func FrameResponseLen(q *buffer.Queue, from int, ctx upstream.Context) (int, error) {
+	if ctx&ctxQuietBatch == 0 {
+		return FrameLen(q, from)
+	}
+	wantOp := byte(ctx >> 32)
+	wantOpaque := uint32(ctx)
+	total := 0
+	for msgs := 0; ; msgs++ {
+		if msgs > 2*maxQuietBatch {
+			return 0, fmt.Errorf("memcache: no terminator response within %d messages of a quiet batch", 2*maxQuietBatch)
+		}
+		n, opcode, err := frameLen(q, from+total)
+		if err != nil {
+			return 0, err
+		}
+		if n == 0 || q.Len()-(from+total) < n {
+			return 0, nil
+		}
+		var hdr [16]byte
+		q.PeekAt(hdr[:], from+total)
+		opaque := uint32(hdr[12])<<24 | uint32(hdr[13])<<16 | uint32(hdr[14])<<8 | uint32(hdr[15])
+		total += n
+		if opcode == wantOp && opaque == wantOpaque {
+			return total, nil
+		}
+	}
 }
 
 func frameLen(q *buffer.Queue, from int) (n int, opcode byte, err error) {
@@ -57,9 +146,9 @@ func frameLen(q *buffer.Queue, from int) (n int, opcode byte, err error) {
 // variants, which suppress (success) responses.
 func quietOpcode(op byte) bool {
 	switch op {
-	case 0x09, 0x0d, // GetQ, GetKQ
+	case OpGetQ, OpGetKQ,
 		0x11, 0x12, 0x13, 0x14, 0x15, 0x16, // SetQ..DecrementQ
-		0x17, 0x18, 0x19, 0x1a, // QuitQ, FlushQ, AppendQ, PrependQ
+		OpQuitQ, 0x18, 0x19, 0x1a, // FlushQ, AppendQ, PrependQ
 		0x1e, 0x24: // GATQ, GATKQ
 		return true
 	}

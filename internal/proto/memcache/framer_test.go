@@ -47,32 +47,108 @@ func TestFrameLenRejectsBadMagic(t *testing.T) {
 	}
 }
 
-// TestFrameRequestLenRejectsQuietOpcodes pins the multiplexing safety rule:
-// quiet opcodes produce no (or conditional) responses, which would skew
-// FIFO correlation for every client sharing the socket, so the request
-// framer refuses them.
-func TestFrameRequestLenRejectsQuietOpcodes(t *testing.T) {
-	for _, op := range []byte{0x09, 0x0d, 0x11, 0x19, 0x1e, 0x24} { // GetQ, GetKQ, SetQ, AppendQ, GATQ, GATKQ
-		q := buffer.NewQueue(nil)
-		wire, err := Codec.Encode(nil, Request(op, []byte("k"), nil))
-		if err != nil {
-			t.Fatal(err)
-		}
-		q.Append(wire)
-		if _, err := FrameRequestLen(q, 0); err == nil {
-			t.Fatalf("quiet opcode 0x%02x accepted by the request framer", op)
-		}
-		// The response direction still frames it (a server echoing the
-		// opcode in a response header must not kill the socket).
-		if n, err := FrameLen(q, 0); err != nil || n != len(wire) {
-			t.Fatalf("FrameLen on quiet opcode: n=%d err=%v", n, err)
-		}
+// reqWire builds the wire bytes of one request with the opaque field
+// patched in (header bytes 12..15, big-endian).
+func reqWire(t *testing.T, op byte, key []byte, opaque uint32) []byte {
+	t.Helper()
+	wire, err := Codec.Encode(nil, Request(op, key, nil))
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Normal opcodes pass the request framer.
+	wire[12] = byte(opaque >> 24)
+	wire[13] = byte(opaque >> 16)
+	wire[14] = byte(opaque >> 8)
+	wire[15] = byte(opaque)
+	return wire
+}
+
+func respWire(t *testing.T, op byte, val []byte, opaque uint32) []byte {
+	t.Helper()
+	wire, err := Codec.Encode(nil, Response(Request(op, nil, nil), StatusOK, nil, val))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire[12] = byte(opaque >> 24)
+	wire[13] = byte(opaque >> 16)
+	wire[14] = byte(opaque >> 8)
+	wire[15] = byte(opaque)
+	return wire
+}
+
+// TestFrameRequestLenQuietBatch pins the moxi-style quiet-get pipeline: a
+// run of GetQ/GetKQ terminated by a Noop frames as ONE unit whose context
+// records the terminator, and the response framer delivers every response
+// through the terminator's as one view.
+func TestFrameRequestLenQuietBatch(t *testing.T) {
+	g1 := reqWire(t, OpGetQ, []byte("a"), 1)
+	g2 := reqWire(t, OpGetKQ, []byte("b"), 2)
+	term := reqWire(t, OpNoop, nil, 7)
+
 	q := buffer.NewQueue(nil)
-	wire, _ := Codec.Encode(nil, Request(OpGet, []byte("k"), nil))
+	q.Append(g1)
+	// An unterminated quiet run stays staged, not rejected.
+	if n, _, err := FrameRequestLen(q, 0); n != 0 || err != nil {
+		t.Fatalf("unterminated run: n=%d err=%v; want staged", n, err)
+	}
+	q.Append(g2)
+	if n, _, err := FrameRequestLen(q, 0); n != 0 || err != nil {
+		t.Fatalf("unterminated run of two: n=%d err=%v; want staged", n, err)
+	}
+	q.Append(term)
+	total := len(g1) + len(g2) + len(term)
+	n, ctx, err := FrameRequestLen(q, 0)
+	if err != nil || n != total {
+		t.Fatalf("batch framed as %d, %v; want %d", n, err, total)
+	}
+	if ctx == 0 {
+		t.Fatal("quiet batch carries no demux context")
+	}
+
+	// Response side: a hit for one of the quiet gets, then the Noop
+	// response carrying the terminator's opaque — one view, both messages.
+	hit := respWire(t, OpGetQ, []byte("value-a"), 1)
+	noop := respWire(t, OpNoop, nil, 7)
+	rq := buffer.NewQueue(nil)
+	rq.Append(hit)
+	if n, err := FrameResponseLen(rq, 0, ctx); n != 0 || err != nil {
+		t.Fatalf("batch response framed before terminator: n=%d err=%v", n, err)
+	}
+	rq.Append(noop)
+	if n, err := FrameResponseLen(rq, 0, ctx); err != nil || n != len(hit)+len(noop) {
+		t.Fatalf("batch response = %d, %v; want %d", n, err, len(hit)+len(noop))
+	}
+	// A terminator-only batch (every quiet get missed) frames too.
+	rq2 := buffer.NewQueue(nil)
+	rq2.Append(noop)
+	if n, err := FrameResponseLen(rq2, 0, ctx); err != nil || n != len(noop) {
+		t.Fatalf("all-miss batch response = %d, %v; want %d", n, err, len(noop))
+	}
+}
+
+// TestFrameRequestLenSingles: ordinary opcodes frame one message per FIFO
+// slot with a neutral context.
+func TestFrameRequestLenSingles(t *testing.T) {
+	wire := reqWire(t, OpGet, []byte("k"), 3)
+	q := buffer.NewQueue(nil)
 	q.Append(wire)
-	if n, err := FrameRequestLen(q, 0); err != nil || n != len(wire) {
-		t.Fatalf("OpGet rejected: n=%d err=%v", n, err)
+	n, ctx, err := FrameRequestLen(q, 0)
+	if err != nil || n != len(wire) || ctx != 0 {
+		t.Fatalf("FrameRequestLen(Get) = %d, %#x, %v; want %d, 0, nil", n, ctx, err, len(wire))
+	}
+}
+
+// TestFrameRequestLenRejectsQuitQ: QuitQ closes the shared socket with no
+// response — never legal, alone or inside a quiet run.
+func TestFrameRequestLenRejectsQuitQ(t *testing.T) {
+	q := buffer.NewQueue(nil)
+	q.Append(reqWire(t, OpQuitQ, nil, 0))
+	if _, _, err := FrameRequestLen(q, 0); err == nil {
+		t.Fatal("lone QuitQ accepted by the request framer")
+	}
+	q = buffer.NewQueue(nil)
+	q.Append(reqWire(t, OpGetQ, []byte("k"), 1))
+	q.Append(reqWire(t, OpQuitQ, nil, 0))
+	if _, _, err := FrameRequestLen(q, 0); err == nil {
+		t.Fatal("QuitQ inside a quiet run accepted by the request framer")
 	}
 }

@@ -34,8 +34,18 @@ const (
 	OpSet         = grammar.MemcachedOpSet
 	OpGetK        = grammar.MemcachedOpGetK
 	// OpNoop is the binary-protocol no-op: a 24-byte header in, a 24-byte
-	// header out. The upstream layer's health probes use it.
+	// header out. The upstream layer's health probes use it, and it is
+	// the canonical terminator of a quiet-get batch.
 	OpNoop = 0x0a
+	// Quiet read opcodes: a hit responds, a miss stays silent. A run of
+	// these terminated by a non-quiet request (Noop, Get) pipelines as
+	// one FIFO batch through the shared upstream layer (moxi-style
+	// quiet-get pipelining).
+	OpGetQ  = 0x09
+	OpGetKQ = 0x0d
+	// OpQuitQ closes the connection without a response — never legal on a
+	// shared socket.
+	OpQuitQ = 0x17
 
 	StatusOK          = 0x0000
 	StatusKeyNotFound = 0x0001

@@ -28,8 +28,8 @@ func TestLeasedSessionZeroAlloc(t *testing.T) {
 		Transport:      u,
 		Pool:           pool,
 		Size:           1,
-		RequestFramer:  testFramer,
-		ResponseFramer: testFramer,
+		RequestFramer:  StatelessRequest(testFramer),
+		ResponseFramer: StatelessResponse(testFramer),
 	})
 	defer m.Close()
 	sess, err := m.Lease("be:alloc")

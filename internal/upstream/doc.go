@@ -19,6 +19,26 @@
 // requests in arrival order. A shard whose backend sockets are down
 // borrows a live sibling-shard socket before failing fast (shardsteals).
 //
+// # Request-aware framing
+//
+// Framing is a per-protocol pair, not a single length function. The
+// RequestFramer runs under the write lock and returns, besides the frame
+// length, a Context — an opaque word recording whatever the protocol
+// needs to frame the matching response (HTTP: the method class, so a
+// HEAD's 200-with-Content-Length is known to be header-only; memcached:
+// the terminator opcode and opaque of a GetQ/GetKQ quiet run, which
+// travels as ONE framed unit and one FIFO slot). Each FIFO entry carries
+// its context, and the demultiplexer passes the head entry's context to
+// the ResponseFramer, which is how bodiless statuses (204, 304 with an
+// entity Content-Length), 1xx interim responses, chunked
+// transfer-encoding, and silent quiet-get misses demultiplex correctly.
+// Protocols whose framing is request-blind adapt a plain Framer with
+// StatelessRequest / StatelessResponse. A response stream the framer
+// cannot delimit (connection-close framing, a 101 upgrade) must return an
+// error rather than a guess: the socket fails loudly and every session on
+// it EOFs, which is always recoverable — a truncated or misattributed
+// response is not.
+//
 // # Zero-copy / ownership invariants
 //
 // The data path is zero-copy end to end: backend bytes land in pooled

@@ -15,8 +15,8 @@ func probeManager(u *netstack.UserNet, interval time.Duration) *Manager {
 	return NewManager(Config{
 		Transport:      u,
 		Size:           2,
-		RequestFramer:  testFramer,
-		ResponseFramer: testFramer,
+		RequestFramer:  StatelessRequest(testFramer),
+		ResponseFramer: StatelessResponse(testFramer),
 		// A backoff far longer than the test: without probes, a failed
 		// dial would gate leases until the window expires on its own.
 		Backoff:       30 * time.Second,
@@ -123,8 +123,8 @@ func TestSetBackendsDrainsRemovedPools(t *testing.T) {
 	m := NewManager(Config{
 		Transport:      u,
 		Size:           1,
-		RequestFramer:  testFramer,
-		ResponseFramer: testFramer,
+		RequestFramer:  StatelessRequest(testFramer),
+		ResponseFramer: StatelessResponse(testFramer),
 	})
 	defer m.Close()
 	m.SetBackends([]string{"drain:a", "drain:b"})
@@ -196,8 +196,8 @@ func TestCloseSweepsDrainingPools(t *testing.T) {
 	m := NewManager(Config{
 		Transport:      u,
 		Size:           1,
-		RequestFramer:  testFramer,
-		ResponseFramer: testFramer,
+		RequestFramer:  StatelessRequest(testFramer),
+		ResponseFramer: StatelessResponse(testFramer),
 	})
 	sa, err := m.Lease("sweep:a")
 	if err != nil {
@@ -245,8 +245,8 @@ func TestProbeMarksUnresponsiveBackendBroken(t *testing.T) {
 	m := NewManager(Config{
 		Transport:      u,
 		Size:           1,
-		RequestFramer:  testFramer,
-		ResponseFramer: testFramer,
+		RequestFramer:  StatelessRequest(testFramer),
+		ResponseFramer: StatelessResponse(testFramer),
 		Probe:          frame("ping"),
 		ProbeInterval:  5 * time.Millisecond,
 		ProbeTimeout:   20 * time.Millisecond,

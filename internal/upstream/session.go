@@ -39,6 +39,7 @@ type Session struct {
 	// Write side — guarded by c.wmu (the shared socket's write lock).
 	wq     *buffer.Queue // staging: usually drained to empty per write
 	wlens  []int         // per-message lengths of the staged prefix
+	wctxs  []Context     // per-message demux contexts, parallel to wlens
 	wviews [][]byte      // reusable iovec scratch
 	one    [1][]byte     // reusable single-buffer batch for Write
 	werr   error         // sticky write-side failure
@@ -127,11 +128,13 @@ func (s *Session) writeLocked(bufs [][]byte) (int64, error) {
 		s.wq.AppendView(b, nil) // staged without copy; resolved before return
 		total += int64(len(b))
 	}
-	// Frame the staged stream into whole requests.
+	// Frame the staged stream into whole requests, capturing each one's
+	// demux context (HEAD flag, quiet-batch terminator, ...) for the FIFO.
 	s.wlens = s.wlens[:0]
+	s.wctxs = s.wctxs[:0]
 	framed := 0
 	for {
-		n, err := c.m.cfg.RequestFramer(s.wq, framed)
+		n, ctx, err := c.m.cfg.RequestFramer(s.wq, framed)
 		if err != nil {
 			s.werr = err
 			s.wq.Reset()
@@ -141,6 +144,7 @@ func (s *Session) writeLocked(bufs [][]byte) (int64, error) {
 			break
 		}
 		s.wlens = append(s.wlens, n)
+		s.wctxs = append(s.wctxs, ctx)
 		framed += n
 	}
 	// Forward, reserving window slots; a full window forwards in slices.
@@ -165,7 +169,7 @@ func (s *Session) writeLocked(bufs [][]byte) (int64, error) {
 			k++
 		}
 		for i := 0; i < k; i++ {
-			c.pushWaiter(s)
+			c.pushWaiter(s, s.wctxs[sent+i])
 		}
 		c.m.inflight.Add(int64(k)) // under c.mu, so fail() cannot double-count
 		c.load.Add(int64(k))

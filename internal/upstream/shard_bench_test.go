@@ -32,8 +32,8 @@ func benchmarkLeasedRoundTrips(b *testing.B, shards int) {
 		Pool:           pool,
 		Size:           1,
 		Shards:         shards,
-		RequestFramer:  testFramer,
-		ResponseFramer: testFramer,
+		RequestFramer:  StatelessRequest(testFramer),
+		ResponseFramer: StatelessResponse(testFramer),
 	})
 	defer m.Close()
 

@@ -20,8 +20,8 @@ func shardManager(u *netstack.UserNet, pool *buffer.Pool, shards, size int) *Man
 		Pool:           pool,
 		Size:           size,
 		Shards:         shards,
-		RequestFramer:  testFramer,
-		ResponseFramer: testFramer,
+		RequestFramer:  StatelessRequest(testFramer),
+		ResponseFramer: StatelessResponse(testFramer),
 		Backoff:        20 * time.Millisecond,
 	})
 }
@@ -314,8 +314,8 @@ func TestProbeVerdictBroadcastClosesAllShardWindows(t *testing.T) {
 		Transport:      u,
 		Size:           1,
 		Shards:         shards,
-		RequestFramer:  testFramer,
-		ResponseFramer: testFramer,
+		RequestFramer:  StatelessRequest(testFramer),
+		ResponseFramer: StatelessResponse(testFramer),
 		// A backoff far longer than the test: only the probe broadcast can
 		// close the windows in time.
 		Backoff:       30 * time.Second,
@@ -376,8 +376,8 @@ func TestProbeRepairsSiblingWindowWhileProbingShardHealthy(t *testing.T) {
 		Transport:      u,
 		Size:           1,
 		Shards:         2,
-		RequestFramer:  testFramer,
-		ResponseFramer: testFramer,
+		RequestFramer:  StatelessRequest(testFramer),
+		ResponseFramer: StatelessResponse(testFramer),
 		// A window only a probe verdict can close within the test.
 		Backoff:       30 * time.Second,
 		MaxBackoff:    30 * time.Second,
@@ -449,8 +449,8 @@ func TestProbeFailureBroadcastArmsAllShardWindows(t *testing.T) {
 		Transport:      u,
 		Size:           1,
 		Shards:         shards,
-		RequestFramer:  testFramer,
-		ResponseFramer: testFramer,
+		RequestFramer:  StatelessRequest(testFramer),
+		ResponseFramer: StatelessResponse(testFramer),
 		Backoff:        30 * time.Second,
 		MaxBackoff:     30 * time.Second,
 		Probe:          frame("ping"),

@@ -17,9 +17,53 @@ import (
 // buffered offset from in q, without consuming any byte. It returns 0 when
 // more bytes are needed and an error when the bytes cannot begin a message.
 // Framers must be stateless (the layer calls them at arbitrary offsets on
-// both directions of a stream). See memcache.FrameLen and
-// http.FrameRequestLen / http.FrameResponseLen.
+// both directions of a stream). Protocols whose response framing is
+// independent of the request (the test protocols, memcache.FrameLen) wrap
+// one with StatelessRequest / StatelessResponse; protocols where it is not
+// (HTTP: HEAD, 204/304; memcached quiet batches) implement RequestFramer /
+// ResponseFramer directly.
 type Framer func(q *buffer.Queue, from int) (int, error)
+
+// Context is the per-request demultiplexing context a RequestFramer
+// captures at write time and the layer carries through the FIFO to the
+// ResponseFramer: whatever the protocol needs to frame the response that
+// only the request knows (HTTP method, memcached quiet-batch terminator).
+// The layer never interprets it; 0 is the neutral "nothing special" value
+// every stateless protocol uses.
+type Context uint64
+
+// RequestFramer frames the outgoing request stream of a shared socket: it
+// reports the wire length of the request (or request batch) starting at
+// buffered offset from in q — 0 when more bytes are needed — plus the
+// Context the demultiplexer must use to frame its response. One framed
+// unit occupies one FIFO slot and one window unit and yields exactly one
+// delivered response view.
+type RequestFramer func(q *buffer.Queue, from int) (int, Context, error)
+
+// ResponseFramer frames the inbound response stream: it reports the wire
+// length of the response owed to the FIFO-head request whose Context is
+// ctx, starting at buffered offset from in q, without consuming any byte.
+// It returns 0 when more bytes are needed and an error when the buffered
+// bytes cannot be that response (the shared socket is then failed: every
+// session on it observes EOF rather than a misframed or truncated view).
+type ResponseFramer func(q *buffer.Queue, from int, ctx Context) (int, error)
+
+// StatelessRequest adapts a request-blind Framer to the request side of a
+// Config: every framed request carries the zero Context.
+func StatelessRequest(f Framer) RequestFramer {
+	return func(q *buffer.Queue, from int) (int, Context, error) {
+		n, err := f(q, from)
+		return n, 0, err
+	}
+}
+
+// StatelessResponse adapts a request-blind Framer to the response side of
+// a Config: the FIFO head's Context is ignored.
+func StatelessResponse(f Framer) ResponseFramer {
+	return func(q *buffer.Queue, from int, _ Context) (int, error) {
+		return f(q, from)
+	}
+}
 
 // Errors.
 var (
@@ -62,10 +106,12 @@ type Config struct {
 	// Window bounds in-flight (unanswered) requests per shared socket;
 	// writers block when it is full (default 128).
 	Window int
-	// RequestFramer frames outgoing requests (FIFO accounting).
-	RequestFramer Framer
-	// ResponseFramer frames the inbound response stream (demultiplexing).
-	ResponseFramer Framer
+	// RequestFramer frames outgoing requests (FIFO accounting) and
+	// captures each request's demux Context.
+	RequestFramer RequestFramer
+	// ResponseFramer frames the inbound response stream (demultiplexing),
+	// consulting the FIFO head's Context.
+	ResponseFramer ResponseFramer
 	// Backoff is the initial redial backoff after a failed dial (default
 	// 50ms); it doubles per consecutive failure up to MaxBackoff (default
 	// 2s) and resets on success.
@@ -588,7 +634,7 @@ type conn struct {
 
 	mu       sync.Mutex // fifo ring, window accounting, session set, broken
 	cond     *sync.Cond // window space / failure wakeup
-	fifo     []*Session // ring: one entry per in-flight request
+	fifo     []waiter   // ring: one entry per in-flight request (+ its demux context)
 	fhead    int
 	fcount   int
 	window   int
@@ -688,12 +734,34 @@ func (c *conn) pump() {
 	}
 }
 
-// deliver frames complete responses off the inbound stream and hands each
-// one — as a retained zero-copy view — to the session at the FIFO head.
-// c.dmu must be held.
+// waiter is one FIFO entry: the session owed the next response plus the
+// demux context its request's framing captured at write time.
+type waiter struct {
+	s   *Session
+	ctx Context
+}
+
+// deliver frames complete responses off the inbound stream — consulting
+// the FIFO head's request context, since the wire alone cannot frame a
+// HEAD response or a quiet-batch reply — and hands each one, as a retained
+// zero-copy view, to the session at the FIFO head. c.dmu must be held.
 func (c *conn) deliver() error {
 	for {
-		n, err := c.m.cfg.ResponseFramer(c.rq, 0)
+		if c.rq.Len() == 0 {
+			return nil
+		}
+		c.mu.Lock()
+		ctx, armed := c.peekWaiter()
+		c.mu.Unlock()
+		if !armed {
+			// Bytes with no request in flight: the writer pushes its FIFO
+			// entry before the request reaches the socket, so a response
+			// can never legitimately precede its entry. (A concurrent
+			// fail() draining the FIFO also lands here; fail is
+			// idempotent, so the redundant verdict is harmless.)
+			return ErrUnsolicited
+		}
+		n, err := c.m.cfg.ResponseFramer(c.rq, 0, ctx)
 		if err != nil {
 			return err
 		}
@@ -718,17 +786,26 @@ func (c *conn) deliver() error {
 }
 
 // pushWaiter appends one in-flight entry. c.mu must be held.
-func (c *conn) pushWaiter(s *Session) {
+func (c *conn) pushWaiter(s *Session, ctx Context) {
 	if c.fcount == len(c.fifo) {
-		grown := make([]*Session, max(16, 2*len(c.fifo)))
+		grown := make([]waiter, max(16, 2*len(c.fifo)))
 		for i := 0; i < c.fcount; i++ {
 			grown[i] = c.fifo[(c.fhead+i)%len(c.fifo)]
 		}
 		c.fifo = grown
 		c.fhead = 0
 	}
-	c.fifo[(c.fhead+c.fcount)%len(c.fifo)] = s
+	c.fifo[(c.fhead+c.fcount)%len(c.fifo)] = waiter{s: s, ctx: ctx}
 	c.fcount++
+}
+
+// peekWaiter reports the FIFO head's demux context without removing the
+// entry (false when the FIFO is empty). c.mu must be held.
+func (c *conn) peekWaiter() (Context, bool) {
+	if c.fcount == 0 {
+		return 0, false
+	}
+	return c.fifo[c.fhead].ctx, true
 }
 
 // popWaiter removes the FIFO head (nil when empty). c.mu must be held.
@@ -736,8 +813,8 @@ func (c *conn) popWaiter() *Session {
 	if c.fcount == 0 {
 		return nil
 	}
-	s := c.fifo[c.fhead]
-	c.fifo[c.fhead] = nil
+	s := c.fifo[c.fhead].s
+	c.fifo[c.fhead] = waiter{}
 	c.fhead = (c.fhead + 1) % len(c.fifo)
 	c.fcount--
 	return s

@@ -94,8 +94,8 @@ func testManager(u *netstack.UserNet, pool *buffer.Pool, size, window int) *Mana
 		Pool:           pool,
 		Size:           size,
 		Window:         window,
-		RequestFramer:  testFramer,
-		ResponseFramer: testFramer,
+		RequestFramer:  StatelessRequest(testFramer),
+		ResponseFramer: StatelessResponse(testFramer),
 		Backoff:        20 * time.Millisecond,
 	})
 }

@@ -1,0 +1,89 @@
+#!/bin/sh
+# Wire-level origin smoke test: build chunkedorigin (a stock net/http
+# HTTP/1.1 origin) and flickrun, front the origin with the FLICK HTTP
+# load balancer over kernel TCP, and prove the balancer is invisible on
+# the wire:
+#
+#   1. /payload (Content-Length) through the LB is byte-identical to a
+#      direct fetch.
+#   2. /chunked arrives with its chunked transfer-encoding intact and the
+#      raw response bytes match a direct fetch — the framing the shared
+#      upstream layer historically refused.
+#   3. /cached cold fetch matches direct (200 + ETag).
+#   4. /cached with If-None-Match answers 304 Not Modified with no body,
+#      again byte-identical to direct.
+#
+# The origin suppresses the Date header, so "byte-identical" is literal.
+# Run from the repo root (make origin-smoke).
+set -eu
+
+ORIGIN=127.0.0.1:19091
+LB=127.0.0.1:19090
+ETAG='"flick-origin-v1"'
+DIR=$(mktemp -d)
+trap 'kill $ORIGIN_PID $LB_PID 2>/dev/null || true; rm -rf "$DIR"' EXIT INT TERM
+
+go build -o "$DIR/chunkedorigin" ./cmd/chunkedorigin
+go build -o "$DIR/flickrun" ./cmd/flickrun
+
+"$DIR/chunkedorigin" -listen "$ORIGIN" &
+ORIGIN_PID=$!
+"$DIR/flickrun" -service httplb -listen "$LB" -backend "$ORIGIN" &
+LB_PID=$!
+
+fail() {
+    echo "origin-smoke: $1" >&2
+    exit 1
+}
+
+# Wait until both the origin and the balancer answer.
+for addr in "$ORIGIN" "$LB"; do
+    i=0
+    until curl -sf -o /dev/null "http://$addr/payload" 2>/dev/null; do
+        i=$((i + 1))
+        [ "$i" -ge 50 ] || { sleep 0.1; continue; }
+        fail "$addr never came up"
+    done
+done
+
+# fetch ADDR URI ETAG OUTFILE — one raw fetch (headers + undecoded body)
+# on a fresh connection; chunked framing is captured verbatim.
+fetch() {
+    if [ -n "$3" ]; then
+        curl -s --raw -H "If-None-Match: $3" -D - "http://$1$2" >"$4"
+    else
+        curl -s --raw -D - "http://$1$2" >"$4"
+    fi
+}
+
+# 1. Content-Length route: LB fetch == direct fetch, byte for byte.
+fetch "$LB" /payload "" "$DIR/payload.via"
+fetch "$ORIGIN" /payload "" "$DIR/payload.direct"
+cmp -s "$DIR/payload.via" "$DIR/payload.direct" \
+    || fail "/payload differs through the balancer"
+
+# 2. Chunked route: transfer-encoding survives the proxy and the raw
+# bytes (chunk sizes, extensions, terminator included) match direct.
+fetch "$LB" /chunked "" "$DIR/chunked.via"
+fetch "$ORIGIN" /chunked "" "$DIR/chunked.direct"
+grep -qi 'transfer-encoding: chunked' "$DIR/chunked.via" \
+    || fail "/chunked through the balancer lost its chunked framing"
+cmp -s "$DIR/chunked.via" "$DIR/chunked.direct" \
+    || fail "/chunked differs through the balancer"
+
+# 3. Conditional route, cold: 200 with the entity and its ETag.
+fetch "$LB" /cached "" "$DIR/cached.via"
+fetch "$ORIGIN" /cached "" "$DIR/cached.direct"
+grep -q 'HTTP/1.1 200' "$DIR/cached.via" || fail "/cached cold fetch not a 200"
+grep -qF "$ETAG" "$DIR/cached.via" || fail "/cached lost its ETag"
+cmp -s "$DIR/cached.via" "$DIR/cached.direct" \
+    || fail "/cached differs through the balancer"
+
+# 4. Validator hit: bodiless 304 forwarded intact.
+fetch "$LB" /cached "$ETAG" "$DIR/304.via"
+fetch "$ORIGIN" /cached "$ETAG" "$DIR/304.direct"
+grep -q 'HTTP/1.1 304' "$DIR/304.via" || fail "validator hit not a 304"
+cmp -s "$DIR/304.via" "$DIR/304.direct" \
+    || fail "304 differs through the balancer"
+
+echo "origin-smoke: ok (payload, chunked passthrough, cached 200, conditional 304 all byte-identical)"
