@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-churn bench-rebalance bench-shard admin-smoke origin-smoke check-docs fuzz-smoke ci
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-churn bench-rebalance bench-hotkey bench-shard admin-smoke origin-smoke check-docs fuzz-smoke ci
 
 all: build test
 
@@ -26,7 +26,7 @@ test:
 race:
 	$(GO) test -race ./internal/core/... ./internal/buffer/... \
 		./internal/proto/... ./internal/loadgen/... ./internal/upstream/... \
-		./internal/backend/... ./internal/apps/... \
+		./internal/backend/... ./internal/apps/... ./internal/cache/... \
 		./internal/topology/... ./internal/admin/...
 
 bench:
@@ -46,6 +46,12 @@ bench-churn:
 # CI bench-smoke job).
 bench-rebalance:
 	$(GO) run ./cmd/flickbench -quick rebalance
+
+# Hot-key response-cache smoke: the cached proxy vs the plain proxy
+# under the identical seeded 50%-hot workload — offload, hit ratio and
+# cross-arm byte-identity (also run by the CI bench-smoke job).
+bench-hotkey:
+	$(GO) run ./cmd/flickbench -quick hotkey
 
 # Control-plane smoke: start flickrun with the admin API, exercise
 # /healthz, /counters and a PUT /topology scale-out over HTTP, and
@@ -72,7 +78,7 @@ bench-shard:
 # Documentation gate: every relative markdown link (and intra-doc
 # anchor) resolves and every exported identifier in the data-path
 # packages has a doc comment.
-DOC_PKGS = internal/upstream,internal/backend,internal/buffer,internal/core,internal/apps,internal/bench,internal/metrics,internal/admin,internal/topology,internal/proto/memcache,internal/proto/http,internal/tools/docscheck
+DOC_PKGS = internal/upstream,internal/backend,internal/buffer,internal/core,internal/apps,internal/bench,internal/cache,internal/metrics,internal/admin,internal/topology,internal/proto/memcache,internal/proto/http,internal/tools/docscheck
 
 check-docs:
 	$(GO) run ./internal/tools/docscheck -pkgs $(DOC_PKGS) README.md docs/ARCHITECTURE.md docs/PERFORMANCE.md
@@ -88,4 +94,4 @@ fuzz-smoke:
 	$(GO) test ./internal/proto/hadoop -run='^$$' -fuzz=FuzzHadoopDecode -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/grammar -run='^$$' -fuzz=FuzzGrammarRoundTrip -fuzztime=$(FUZZTIME)
 
-ci: build vet fmt-check check-docs test race bench-smoke bench-churn bench-rebalance bench-shard admin-smoke origin-smoke fuzz-smoke
+ci: build vet fmt-check check-docs test race bench-smoke bench-churn bench-rebalance bench-hotkey bench-shard admin-smoke origin-smoke fuzz-smoke

@@ -9,6 +9,7 @@
 //	flickbench schedscale    scheduler worker-count scaling sweep
 //	flickbench churn         connection churn: shared upstream pool vs per-client dials
 //	flickbench rebalance     live B→B+1 scale-out: consistent-hash ring vs mod-B
+//	flickbench hotkey        hot-key sweep: cached vs plain proxy under zipfian keys
 //	flickbench ablations     design-choice ablations
 //	flickbench all           everything above
 //
@@ -233,6 +234,27 @@ func main() {
 		return nil
 	})
 
+	run("hotkey", func() error {
+		hc := bench.HotkeyConfig{
+			Cores:    *workers,
+			Clients:  32,
+			Backends: 4,
+			Keys:     4096,
+			HotShare: 0.5,
+			ZipfS:    1.3,
+			Duration: *dur,
+		}
+		if *quick {
+			hc.Clients, hc.Keys, hc.Backends = 8, 256, 2
+		}
+		pts, err := bench.RunHotkey(hc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.HotkeyTable(pts))
+		return nil
+	})
+
 	run("ablations", func() error {
 		fmt.Println(bench.TimesliceTable(bench.RunTimesliceAblation(nil, *workers)))
 		fmt.Println(bench.AffinityTable(bench.RunAffinityAblation(*workers, 128, 64)))
@@ -246,7 +268,7 @@ func main() {
 	})
 
 	switch cmd {
-	case "websrv", "fig4", "fig5", "fig6", "fig7", "schedscale", "churn", "rebalance", "ablations", "all":
+	case "websrv", "fig4", "fig5", "fig6", "fig7", "schedscale", "churn", "rebalance", "hotkey", "ablations", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "flickbench: unknown experiment %q\n", cmd)
 		os.Exit(2)

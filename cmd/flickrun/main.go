@@ -5,6 +5,11 @@
 //	flickrun -service httplb -listen 127.0.0.1:8080 -backend 127.0.0.1:9001 -backend 127.0.0.1:9002
 //	flickrun -service memcachedproxy -listen 127.0.0.1:11211 -backend 127.0.0.1:11212
 //
+// With -cache the proxy and the HTTP load balancer serve repeated reads
+// from an in-network response cache (worker-sharded, single-flight miss
+// coalescing); -cache-ttl and -cache-max-bytes bound staleness and
+// resident bytes. GET /topology reports the live hit ratio.
+//
 // Live backend topology: with -live-topology the backend set can change
 // while serving. Every update path converges on the same drain-correct
 // transition:
@@ -74,6 +79,9 @@ func main() {
 		probeIv = flag.Duration("probe-interval", 0, "proactive upstream health-probe period (0: disabled)")
 		adminAd = flag.String("admin-addr", "", "serve the admin HTTP API (GET/PUT /topology, /counters, /healthz) on this address")
 		loadC   = flag.Float64("bounded-load-c", 0, "bounded-load factor c for ring routing (0: plain ring; try 1.25)")
+		cacheOn = flag.Bool("cache", false, "enable the in-network response cache (memcachedproxy and httplb only)")
+		cacheTT = flag.Duration("cache-ttl", 0, "response cache entry TTL (0: default)")
+		cacheMB = flag.Int64("cache-max-bytes", 0, "response cache resident-byte budget (0: default)")
 	)
 	flag.Var(&backends, "backend", "backend address (repeatable)")
 	flag.Parse()
@@ -115,6 +123,11 @@ func main() {
 		Live:         *liveTop,
 		BoundedLoadC: *loadC,
 	}
+	svc.Cache = apps.CacheOptions{
+		Enable:   *cacheOn,
+		TTL:      *cacheTT,
+		MaxBytes: *cacheMB,
+	}
 
 	p := core.NewPlatform(core.Config{Workers: *workers})
 	defer p.Close()
@@ -132,6 +145,9 @@ func main() {
 		if *probeIv > 0 {
 			fmt.Printf("flickrun: health probes every %v\n", *probeIv)
 		}
+	}
+	if cc := deployed.ResponseCache(); cc != nil {
+		fmt.Println("flickrun: response cache enabled (hit ratio in admin GET /topology, counters in /counters)")
 	}
 
 	ctl := apps.NewControl(svc, deployed, p)
@@ -203,6 +219,10 @@ func main() {
 	<-sig
 	if m := deployed.Upstreams(); m != nil {
 		fmt.Printf("\nflickrun: upstream pool: %d sockets, %s\n", m.Conns(), m.Counters())
+	}
+	if cc := deployed.ResponseCache(); cc != nil {
+		fmt.Printf("\nflickrun: response cache: hit ratio %.3f, %d bytes resident, %s\n",
+			cc.HitRatio(), cc.BytesResident(), cc.Counters())
 	}
 	fmt.Println("\nflickrun: shutting down")
 }

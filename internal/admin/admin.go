@@ -43,6 +43,18 @@ type BackendView struct {
 	Inflight int64   `json:"inflight"`
 }
 
+// CacheView is GET /topology's "cache" object: the response cache's live
+// effectiveness figures (present only on services deployed with the cache
+// enabled). HitRatio is hits/(hits+misses) over the service's lifetime;
+// BytesResident is the bytes currently held by cached entries.
+type CacheView struct {
+	HitRatio      float64 `json:"hit_ratio"`
+	BytesResident int64   `json:"bytes_resident"`
+	Hits          uint64  `json:"hits"`
+	Misses        uint64  `json:"misses"`
+	Coalesced     uint64  `json:"coalesced"`
+}
+
 // TopologyView is the GET /topology response body.
 type TopologyView struct {
 	// Backends holds one row per live backend.
@@ -56,6 +68,8 @@ type TopologyView struct {
 	// BoundedLoadC is the bounded-load factor c when Router is
 	// "bounded-ring" (0 otherwise).
 	BoundedLoadC float64 `json:"bounded_load_c,omitempty"`
+	// Cache is the response cache's live state (nil when uncached).
+	Cache *CacheView `json:"cache,omitempty"`
 }
 
 // Controller is the running service the admin server fronts;

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"flick/internal/backend"
+	"flick/internal/cache"
 	"flick/internal/compiler"
 	"flick/internal/core"
 	"flick/internal/lang"
@@ -146,6 +147,21 @@ type TopologyOptions struct {
 	BoundedLoadC float64
 }
 
+// CacheOptions groups the in-network response cache knobs of a Service
+// (internal/cache). The zero value deploys uncached.
+type CacheOptions struct {
+	// Enable opts the service into the response cache: hits are served
+	// from worker-local shards without an upstream round trip, and
+	// concurrent misses for one key coalesce into a single one. Only
+	// services with a cacheable protocol adapter accept it (the
+	// memcached proxy and the HTTP load balancer).
+	Enable bool
+	// TTL bounds entry staleness (0: cache.DefaultTTL).
+	TTL time.Duration
+	// MaxBytes bounds resident response bytes (0: cache.DefaultMaxBytes).
+	MaxBytes int64
+}
+
 // Service is a ready-to-deploy FLICK application.
 type Service struct {
 	// Name identifies the service.
@@ -158,6 +174,8 @@ type Service struct {
 	Upstream UpstreamOptions
 	// Topology configures live backend topology and routing.
 	Topology TopologyOptions
+	// Cache configures the in-network response cache.
+	Cache CacheOptions
 	// clientChannel names the channel bound to accepted connections.
 	clientChannel string
 	// backendChannel names the channel array dialled to backends.
@@ -173,6 +191,9 @@ type Service struct {
 	respFramer upstream.ResponseFramer
 	// probe is the protocol's no-op request for upstream health probing.
 	probe []byte
+	// cacheProto is the service's cache protocol adapter; nil means the
+	// service cannot host the response cache.
+	cacheProto cache.Protocol
 }
 
 // Deploy installs the service on a platform.
@@ -252,6 +273,20 @@ func (s *Service) Deploy(p *core.Platform, listenAddr string, backendAddrs []str
 		if liveAddrs != nil {
 			cfg.Topology = s.router(liveAddrs, nil, cfg.Upstreams)
 		}
+		if s.Cache.Enable {
+			if s.cacheProto == nil {
+				return nil, fmt.Errorf("apps: %s has no cacheable protocol adapter", s.Name)
+			}
+			if !hasBackends {
+				return nil, fmt.Errorf("apps: %s has no backends to cache for", s.Name)
+			}
+			cfg.Cache = cache.New(cache.Config{
+				Proto:    s.cacheProto,
+				Workers:  p.Scheduler().Workers(),
+				TTL:      s.Cache.TTL,
+				MaxBytes: s.Cache.MaxBytes,
+			})
+		}
 	case core.Shared:
 		cfg.SharedPorts = s.Graph.Ports[s.sharedChannel]
 		op, err := s.Graph.PortIndex(s.outChannel)
@@ -264,11 +299,15 @@ func (s *Service) Deploy(p *core.Platform, listenAddr string, backendAddrs []str
 		cfg.BackendAddrs = map[int]string{op: backendAddrs[0]}
 	}
 	svc, err := p.Deploy(cfg)
-	if err != nil && cfg.Upstreams != nil {
-		// The manager was started for this deploy (with probing, its
-		// timer goroutine is already running); a failed deploy must not
-		// leak it.
-		cfg.Upstreams.Close()
+	if err != nil {
+		// Resources built for this deploy must not leak on failure (with
+		// probing, the manager's timer goroutine is already running).
+		if cfg.Upstreams != nil {
+			cfg.Upstreams.Close()
+		}
+		if cfg.Cache != nil {
+			cfg.Cache.Close()
+		}
 	}
 	return svc, err
 }
@@ -349,6 +388,7 @@ func HTTPLoadBalancer(n int) (*Service, error) {
 		reqFramer:      phttp.FrameRequestLen,
 		respFramer:     phttp.FrameResponseLen,
 		probe:          phttp.ProbeRequest(),
+		cacheProto:     cache.HTTPGet{},
 	}, nil
 }
 
@@ -403,6 +443,7 @@ func MemcachedProxy(n int) (*Service, error) {
 		reqFramer:      memcache.FrameRequestLen,
 		respFramer:     memcache.FrameResponseLen,
 		probe:          memcache.ProbeRequest(),
+		cacheProto:     cache.Memcached{},
 	}, nil
 }
 

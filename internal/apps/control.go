@@ -41,6 +41,9 @@ func NewControl(svc *Service, deployed *core.Service, p *core.Platform) *Control
 	if m := deployed.Upstreams(); m != nil {
 		c.reg.Register("upstream", m.Counters)
 	}
+	if cc := deployed.ResponseCache(); cc != nil {
+		c.reg.Register("cache", cc.Counters)
+	}
 	c.reg.Register("control", func() metrics.CounterSet {
 		return metrics.NewCounterSet(
 			"applied", c.applied.Value(),
@@ -77,6 +80,19 @@ func (c *Control) Counters() []metrics.Named { return c.reg.Snapshot() }
 // layer's live per-backend health verdicts and in-flight gauges.
 func (c *Control) View() admin.TopologyView {
 	v := admin.TopologyView{Capacity: c.deployed.BackendCapacity()}
+	if cc := c.deployed.ResponseCache(); cc != nil {
+		cs := cc.Counters()
+		hits, _ := cs.Get("hits")
+		misses, _ := cs.Get("misses")
+		coalesced, _ := cs.Get("coalesced")
+		v.Cache = &admin.CacheView{
+			HitRatio:      cc.HitRatio(),
+			BytesResident: cc.BytesResident(),
+			Hits:          hits,
+			Misses:        misses,
+			Coalesced:     coalesced,
+		}
+	}
 	t := c.deployed.Topology()
 	var (
 		addrs   []string

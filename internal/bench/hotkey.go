@@ -1,0 +1,305 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"flick/internal/apps"
+	"flick/internal/backend"
+	"flick/internal/core"
+	"flick/internal/loadgen"
+	"flick/internal/metrics"
+	"flick/internal/netstack"
+	"flick/internal/proto/memcache"
+	"flick/internal/value"
+)
+
+// HotkeyConfig parameterises the hot-key cache sweep: the same skewed,
+// seeded workload is driven through a cached and an uncached Memcached
+// proxy, so the two arms differ only in the response cache.
+type HotkeyConfig struct {
+	Cores    int // proxy workers
+	Clients  int // concurrent closed-loop clients
+	Backends int // memcached shards behind the proxy
+	Keys     int // key-space size
+	// HotShare is the fraction of requests on the hot set (0: 0.5 —
+	// the acceptance workload's "50%-hot" mix).
+	HotShare float64
+	// HotKeys is the hot-set size (0: 1).
+	HotKeys int
+	// ZipfS skews the cold remainder (>1 enables the zipfian tail).
+	ZipfS     float64
+	ValueSize int
+	Duration  time.Duration
+	// TTL overrides the cache TTL (0: cache.DefaultTTL).
+	TTL time.Duration
+}
+
+// HotkeyPoint is one measured arm.
+type HotkeyPoint struct {
+	Arm         string // "cached" or "plain"
+	Throughput  float64
+	MeanLatency time.Duration
+	P99Latency  time.Duration
+	Errors      uint64
+	// Requests is the client-side completed request count.
+	Requests uint64
+	// BackendReqs is the backend-side request delta over the window.
+	BackendReqs uint64
+	// Offload is Requests/BackendReqs: how many client requests each
+	// upstream round trip amortised (1.0 means every request went
+	// upstream; the plain arm sits there by construction).
+	Offload float64
+	// HitRatio is the cache's lifetime hits/(hits+misses) (0 for plain).
+	HitRatio float64
+	// Cache is the cache counter set (empty for plain).
+	Cache metrics.CounterSet
+	// Identical reports the arms returned byte-identical responses for
+	// the probe keys (set on the cached arm after both arms ran).
+	Identical bool
+}
+
+// RunHotkey measures the cached and plain arms under the identical seeded
+// hot-key workload and verifies response bytes match across arms.
+func RunHotkey(cfg HotkeyConfig) ([]HotkeyPoint, error) {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 4
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 16
+	}
+	if cfg.Backends <= 0 {
+		cfg.Backends = 4
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 1024
+	}
+	if cfg.HotShare <= 0 {
+		cfg.HotShare = 0.5
+	}
+	if cfg.HotKeys <= 0 {
+		cfg.HotKeys = 1
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 64
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	plain, plainProbes, err := runHotkeyArm(cfg, false)
+	if err != nil {
+		return nil, fmt.Errorf("bench: hotkey plain arm: %w", err)
+	}
+	cached, cachedProbes, err := runHotkeyArm(cfg, true)
+	if err != nil {
+		return []HotkeyPoint{plain}, fmt.Errorf("bench: hotkey cached arm: %w", err)
+	}
+	cached.Identical = len(plainProbes) == len(cachedProbes)
+	for i := range plainProbes {
+		if !cached.Identical || !bytes.Equal(plainProbes[i], cachedProbes[i]) {
+			cached.Identical = false
+			break
+		}
+	}
+	plain.Identical = cached.Identical
+	return []HotkeyPoint{plain, cached}, nil
+}
+
+// runHotkeyArm runs one arm and returns its point plus the raw probe
+// responses used for the cross-arm byte-identity check.
+func runHotkeyArm(cfg HotkeyConfig, useCache bool) (HotkeyPoint, [][]byte, error) {
+	tr := netstack.Transport(netstack.KernelTCP{})
+
+	var cleanup []func()
+	closeAll := func() {
+		for i := len(cleanup) - 1; i >= 0; i-- {
+			cleanup[i]()
+		}
+	}
+	kv := loadgen.PreloadKeys(cfg.Keys, cfg.ValueSize)
+	servers := make([]*backend.MemcachedServer, cfg.Backends)
+	addrs := make([]string, cfg.Backends)
+	for i := range addrs {
+		s, err := backend.NewMemcachedServer(tr, listenAddr(tr, fmt.Sprintf("shard:%d", i)))
+		if err != nil {
+			closeAll()
+			return HotkeyPoint{}, nil, err
+		}
+		s.Preload(kv)
+		servers[i] = s
+		addrs[i] = s.Addr()
+		cleanup = append(cleanup, s.Close)
+	}
+
+	p := core.NewPlatform(core.Config{Workers: cfg.Cores, Transport: tr})
+	mp, err := apps.MemcachedProxy(cfg.Backends)
+	if err != nil {
+		p.Close()
+		closeAll()
+		return HotkeyPoint{}, nil, err
+	}
+	mp.Cache = apps.CacheOptions{Enable: useCache, TTL: cfg.TTL}
+	svc, err := mp.Deploy(p, listenAddr(tr, "proxy:11211"), addrs)
+	if err != nil {
+		p.Close()
+		closeAll()
+		return HotkeyPoint{}, nil, err
+	}
+	svc.Pool().Prime(cfg.Clients)
+	cleanup = append(cleanup, func() { svc.Close(); p.Close() })
+	defer closeAll()
+
+	backend0 := backendRequests(servers)
+	res := runHotkeyClients(tr, svc.Addr(), cfg)
+	backendReqs := backendRequests(servers) - backend0
+
+	probes, err := hotkeyProbes(tr, svc.Addr(), cfg)
+	if err != nil {
+		return HotkeyPoint{}, nil, err
+	}
+	pt := HotkeyPoint{
+		Arm:         "plain",
+		Throughput:  res.Throughput(),
+		MeanLatency: res.Latency.Mean,
+		P99Latency:  res.Latency.P99,
+		Errors:      res.Errors,
+		Requests:    res.Requests,
+		BackendReqs: backendReqs,
+	}
+	if backendReqs > 0 {
+		pt.Offload = float64(res.Requests) / float64(backendReqs)
+	}
+	if cc := svc.ResponseCache(); cc != nil {
+		pt.Arm = "cached"
+		pt.HitRatio = cc.HitRatio()
+		pt.Cache = cc.Counters()
+	}
+	return pt, probes, nil
+}
+
+// runHotkeyClients drives the closed-loop client fleet: each client owns a
+// per-seed HotKeySeq, so both arms replay the identical request streams.
+func runHotkeyClients(tr netstack.Transport, addr string, cfg HotkeyConfig) loadgen.Result {
+	var (
+		hist metrics.Histogram
+		reqs metrics.Counter
+		errs metrics.Counter
+		rx   metrics.Counter
+		wg   sync.WaitGroup
+	)
+	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			seq := loadgen.NewHotKeySeq(loadgen.HotKeyConfig{
+				Seed:     seed,
+				Keys:     cfg.Keys,
+				HotShare: cfg.HotShare,
+				HotKeys:  cfg.HotKeys,
+				ZipfS:    cfg.ZipfS,
+			})
+			raw, err := tr.Dial(addr)
+			if err != nil {
+				errs.Inc()
+				return
+			}
+			mc := memcache.NewConn(raw)
+			defer mc.Close()
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				resp, err := mc.RoundTrip(memcache.Request(memcache.OpGet, seq.Next(), nil))
+				if err != nil {
+					errs.Inc()
+					return
+				}
+				if memcache.Status(resp) != memcache.StatusOK {
+					errs.Inc() // preloaded key space: every GET must hit
+				} else {
+					reqs.Inc()
+					hist.Record(time.Since(t0))
+					rx.Add(uint64(resp.Field("value").ByteLen()))
+				}
+				resp.Release()
+			}
+		}(int64(c) + 1)
+	}
+	wg.Wait()
+	return loadgen.Result{
+		Requests: reqs.Value(),
+		Errors:   errs.Value(),
+		Elapsed:  time.Since(start),
+		Latency:  hist.Snapshot(),
+		Bytes:    rx.Value(),
+	}
+}
+
+// hotkeyProbes round-trips a fixed probe set (the hot key plus two cold
+// keys, fixed opaque) and returns the raw response bytes, the material of
+// the cross-arm byte-identity acceptance check.
+func hotkeyProbes(tr netstack.Transport, addr string, cfg HotkeyConfig) ([][]byte, error) {
+	raw, err := tr.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	mc := memcache.NewConn(raw)
+	defer mc.Close()
+	idxs := []int{0, cfg.HotKeys % cfg.Keys, (cfg.Keys - 1)}
+	var out [][]byte
+	for _, idx := range idxs {
+		req := memcache.Request(memcache.OpGet, []byte(loadgen.Key(idx)), nil)
+		req.SetField("opaque", value.Int(0x5eed))
+		resp, err := mc.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, append([]byte(nil), resp.Field("_raw").AsBytes()...))
+		resp.Release()
+	}
+	return out, nil
+}
+
+// backendRequests sums the shards' served-request counters.
+func backendRequests(servers []*backend.MemcachedServer) uint64 {
+	var n uint64
+	for _, s := range servers {
+		n += s.Requests()
+	}
+	return n
+}
+
+// HotkeyTable renders the sweep.
+func HotkeyTable(points []HotkeyPoint) *Table {
+	t := &Table{
+		Title:   "Hot-key response cache — cached vs plain proxy",
+		Columns: []string{"arm", "req/s", "mean-lat", "p99-lat", "errors", "backend-reqs", "offload", "hit-ratio", "cache", "identical"},
+		Notes: []string{
+			"offload = client requests per upstream round trip (plain arm pins the 1.0 baseline)",
+			"identical = probe responses byte-identical across arms (opaque patched on hits)",
+		},
+	}
+	for _, p := range points {
+		cacheCol := "-"
+		hitCol := "-"
+		if p.Arm == "cached" {
+			cacheCol = fmtCache(p.Cache)
+			hitCol = fmt.Sprintf("%.3f", p.HitRatio)
+		}
+		t.Add(p.Arm, fmtReqs(p.Throughput), fmtDur(p.MeanLatency), fmtDur(p.P99Latency),
+			fmt.Sprint(p.Errors), fmt.Sprint(p.BackendReqs), fmt.Sprintf("%.1fx", p.Offload),
+			hitCol, cacheCol, fmt.Sprint(p.Identical))
+	}
+	return t
+}
+
+// fmtCache renders the cache counters that characterise the hit path.
+func fmtCache(cs metrics.CounterSet) string {
+	hits, _ := cs.Get("hits")
+	miss, _ := cs.Get("misses")
+	coal, _ := cs.Get("coalesced")
+	evic, _ := cs.Get("evictions")
+	return fmt.Sprintf("hits=%d miss=%d coal=%d evict=%d", hits, miss, coal, evic)
+}

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHotkeySmoke gates the cache's acceptance numbers under the 50%-hot
+// workload: the cached arm must offload the backends by at least 5x, hit
+// at least 0.8 of requests, serve byte-identical responses to the plain
+// arm, and neither arm may surface a client error.
+func TestHotkeySmoke(t *testing.T) {
+	pts, err := RunHotkey(HotkeyConfig{
+		Cores:    4,
+		Clients:  8,
+		Backends: 2,
+		Keys:     256,
+		HotShare: 0.5,
+		ZipfS:    1.3,
+		Duration: 400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Arm != "plain" || pts[1].Arm != "cached" {
+		t.Fatalf("arms = %+v", pts)
+	}
+	plain, cached := pts[0], pts[1]
+	for _, p := range pts {
+		if p.Errors != 0 {
+			t.Fatalf("%s arm: %d client errors", p.Arm, p.Errors)
+		}
+		if p.Throughput <= 0 {
+			t.Fatalf("%s arm: zero throughput", p.Arm)
+		}
+	}
+	if plain.Offload > 1.5 {
+		t.Fatalf("plain arm offload %.2fx — uncached proxy must go upstream per request", plain.Offload)
+	}
+	if cached.Offload < 5 {
+		t.Fatalf("cached arm offload %.2fx, want >= 5x (backend reqs %d / client reqs %d)",
+			cached.Offload, cached.BackendReqs, cached.Requests)
+	}
+	if cached.HitRatio < 0.8 {
+		t.Fatalf("hit ratio %.3f, want >= 0.8", cached.HitRatio)
+	}
+	if !cached.Identical {
+		t.Fatal("cached and plain arms returned different response bytes")
+	}
+	if s := HotkeyTable(pts).String(); !strings.Contains(s, "offload") {
+		t.Fatal("table rendering")
+	}
+}

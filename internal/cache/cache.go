@@ -1,0 +1,378 @@
+// Package cache is the in-network response cache of the service graphs:
+// retained zero-copy response views keyed by request key, served from
+// worker-local shards on the hit path, with single-flight coalescing of
+// concurrent misses (flight.go) and protocol adapters that decide what is
+// cacheable (memcached.go, httpget.go).
+//
+// # Design
+//
+// The cache sits between a service's client-side decode and its backend
+// dispatch: the core runtime classifies every decoded client request
+// through the service's Protocol adapter and either serves a retained
+// response view (hit), joins the key's in-flight fill (coalesced miss), or
+// forwards upstream and captures the response on its way back (leading
+// miss). One entry holds one admitted response's verbatim wire image in a
+// pooled buffer.Ref region.
+//
+// Sharding mirrors the PR-5 upstream layer: one shard per scheduler
+// worker, each holding a full replica of the key index (entries are
+// shared; maps are per shard), so a hit takes only the executing worker's
+// shard lock — uncontended against every other worker. Structural changes
+// (fill, invalidate, evict, clear) are serialised by one structure lock
+// and sweep all shards; they are miss-path events and orders of magnitude
+// rarer than hits.
+//
+// The hit path performs zero heap allocations: the key lookup runs
+// against a per-shard scratch buffer, the served view is a pooled record
+// (value.RecordDesc.NewOwned) whose only populated field is the captured
+// wire image, and the output node's scatter encoder replays that image
+// by reference (TestCacheHitZeroAlloc pins this).
+//
+// # Expiry and invalidation
+//
+// Entries carry an absolute deadline (Config.TTL, capped per entry by the
+// protocol's admission verdict, e.g. Cache-Control: max-age). Expiry is
+// lazy: an expired entry misses — and is dropped from the observing shard
+// — and the subsequent refill replaces it everywhere. Write-through
+// invalidation (memcached SET/DELETE, HTTP non-GET) removes the key's
+// entries in every variant and kills the key's in-flight fill, so a value
+// written during a fill can never be shadowed by the pre-write response:
+// the fill's followers re-dispatch their own upstream requests instead.
+package cache
+
+import (
+	"sync"
+	"time"
+
+	"flick/internal/buffer"
+	"flick/internal/metrics"
+	"flick/internal/value"
+)
+
+// Defaults and bounds.
+const (
+	// DefaultTTL bounds entry staleness when the protocol imposes none.
+	DefaultTTL = 5 * time.Second
+	// DefaultMaxBytes bounds resident response bytes.
+	DefaultMaxBytes = 64 << 20
+	// MaxEntryBytes is the admission cap per response: bulk transfers are
+	// not worth displacing a working set of small hot objects for.
+	MaxEntryBytes = 1 << 20
+)
+
+// Config configures a Cache.
+type Config struct {
+	// Proto classifies requests and responses (required).
+	Proto Protocol
+	// Workers is the shard count, normally the platform's scheduler
+	// worker count so every worker owns an uncontended shard (<=0: 1).
+	Workers int
+	// TTL is the default entry lifetime (<=0: DefaultTTL).
+	TTL time.Duration
+	// MaxBytes bounds resident response bytes; the oldest entries are
+	// evicted past it (<=0: DefaultMaxBytes).
+	MaxBytes int64
+}
+
+// entry is one admitted response: a verbatim wire image in a pooled
+// region, shared by every shard's map. Structural membership (index, order
+// list, shard maps, resident-byte gauge) changes only under Cache.fmu.
+type entry struct {
+	skey    string // variant-prefixed owned key
+	raw     []byte // response wire image (view into region)
+	region  value.Region
+	tag     uint64 // correlation tag of the stored image (memcached opaque)
+	hasTag  bool
+	expires int64 // UnixNano deadline
+
+	prev, next *entry // insertion-order eviction list
+}
+
+// shard is one worker's replica of the key index. The hit path takes only
+// its home shard's lock; kbuf is the lock-guarded scratch the prefixed
+// lookup key is assembled in (no allocation: map lookups through a
+// []byte→string conversion in index position don't copy).
+type shard struct {
+	mu   sync.Mutex
+	m    map[string]*entry
+	kbuf []byte
+}
+
+// Cache is a sharded single-flight response cache. Create with New.
+type Cache struct {
+	proto    Protocol
+	ttl      time.Duration
+	maxBytes int64
+	shards   []shard
+
+	// fmu serialises structural state: the entry index and order list,
+	// the in-flight fill table and the closed flag. Lock order is fmu →
+	// shard.mu; the hit path takes a shard lock only.
+	fmu     sync.Mutex
+	index   map[string]*entry
+	flights map[string]*Flight
+	head    *entry // oldest
+	tail    *entry // newest
+	closed  bool
+
+	resident int64 // bytes held by live entries (fmu)
+
+	hits          metrics.Counter
+	misses        metrics.Counter
+	coalesced     metrics.Counter
+	fills         metrics.Counter
+	evictions     metrics.Counter
+	invalidations metrics.Counter
+	expired       metrics.Counter
+	aborts        metrics.Counter
+
+	// now is the clock (tests override).
+	now func() int64
+}
+
+// New creates a cache.
+func New(cfg Config) *Cache {
+	if cfg.Proto == nil {
+		panic("cache: Config.Proto is required")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	ttl := cfg.TTL
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	maxBytes := cfg.MaxBytes
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	c := &Cache{
+		proto:    cfg.Proto,
+		ttl:      ttl,
+		maxBytes: maxBytes,
+		shards:   make([]shard, workers),
+		index:    map[string]*entry{},
+		flights:  map[string]*Flight{},
+		now:      func() int64 { return time.Now().UnixNano() },
+	}
+	for i := range c.shards {
+		c.shards[i].m = map[string]*entry{}
+	}
+	return c
+}
+
+// Proto returns the cache's protocol adapter.
+func (c *Cache) Proto() Protocol { return c.proto }
+
+// Get serves a hit for a ClassLookup request from worker's shard,
+// returning a self-contained response view (the caller owns one reference)
+// and whether an entry was found. The miss path (including lazy expiry) is
+// counted here; callers follow a miss with Begin.
+func (c *Cache) Get(worker int, info ReqInfo) (value.Value, bool) {
+	sh := &c.shards[worker%len(c.shards)]
+	sh.mu.Lock()
+	sh.kbuf = append(append(sh.kbuf[:0], info.Variant), info.Key...)
+	e := sh.m[string(sh.kbuf)]
+	if e == nil {
+		sh.mu.Unlock()
+		c.misses.Inc()
+		return value.Null, false
+	}
+	if c.now() > e.expires {
+		// Lazy expiry: drop from this shard only; the refill replaces the
+		// entry everywhere (remaining replicas re-expire the same way).
+		delete(sh.m, string(sh.kbuf))
+		sh.mu.Unlock()
+		c.expired.Inc()
+		c.misses.Inc()
+		return value.Null, false
+	}
+	// Build the view under the shard lock: a concurrent eviction releases
+	// the entry's region only after sweeping every shard, so holding this
+	// shard's lock keeps e.raw alive for the duration.
+	view := c.proto.MakeHit(e.raw, e.region, info.Tag, info.HasTag)
+	sh.mu.Unlock()
+	c.hits.Inc()
+	return view, true
+}
+
+// Invalidate removes key's entries (every protocol variant) and kills the
+// key's in-flight fills: their followers re-dispatch upstream, so a racing
+// fill can never reinstate the pre-write response.
+func (c *Cache) Invalidate(key []byte) {
+	if len(key) == 0 {
+		return
+	}
+	var orphans []Waiter
+	c.fmu.Lock()
+	touched := false
+	for _, v := range c.proto.Variants() {
+		skey := string(append([]byte{v}, key...))
+		if e := c.index[skey]; e != nil {
+			c.removeLocked(e)
+			touched = true
+		}
+		if f := c.flights[skey]; f != nil {
+			delete(c.flights, skey)
+			orphans = append(orphans, f.waiters...)
+			f.waiters = nil
+			touched = true
+		}
+	}
+	if touched {
+		c.invalidations.Inc()
+	}
+	c.fmu.Unlock()
+	c.abortWaiters(orphans)
+}
+
+// Clear removes every entry and kills every in-flight fill (memcached
+// flush_all; Close).
+func (c *Cache) Clear() {
+	var orphans []Waiter
+	c.fmu.Lock()
+	for c.head != nil {
+		c.removeLocked(c.head)
+	}
+	if len(c.flights) > 0 {
+		for skey, f := range c.flights {
+			delete(c.flights, skey)
+			orphans = append(orphans, f.waiters...)
+			f.waiters = nil
+		}
+	}
+	c.invalidations.Inc()
+	c.fmu.Unlock()
+	c.abortWaiters(orphans)
+}
+
+// Close clears the cache and stops admitting: subsequent Begin calls
+// return no flight (callers forward upstream untracked) and fills are
+// dropped. Close releases every retained region, restoring pool
+// ref-balance (refgets == refputs) for teardown assertions.
+func (c *Cache) Close() {
+	c.fmu.Lock()
+	c.closed = true
+	c.fmu.Unlock()
+	c.Clear()
+}
+
+// install links a filled entry (fmu held): replaces the key's previous
+// entry, replicates into every shard map, appends to the eviction order
+// and evicts the oldest entries past the byte budget.
+func (c *Cache) install(e *entry) {
+	if old := c.index[e.skey]; old != nil {
+		c.removeLocked(old)
+	}
+	c.index[e.skey] = e
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.m[e.skey] = e
+		sh.mu.Unlock()
+	}
+	e.prev = c.tail
+	if c.tail != nil {
+		c.tail.next = e
+	} else {
+		c.head = e
+	}
+	c.tail = e
+	c.resident += int64(len(e.raw))
+	for c.resident > c.maxBytes && c.head != nil && c.head != e {
+		c.removeLocked(c.head)
+		c.evictions.Inc()
+	}
+}
+
+// removeLocked unlinks an entry from the index, every shard and the order
+// list, then releases its region (fmu held). The release happens only
+// after sweeping all shard locks, so a hit holding its shard's lock can
+// never observe recycled bytes.
+func (c *Cache) removeLocked(e *entry) {
+	delete(c.index, e.skey)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		if sh.m[e.skey] == e {
+			delete(sh.m, e.skey)
+		}
+		sh.mu.Unlock()
+	}
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	c.resident -= int64(len(e.raw))
+	e.region.Release()
+}
+
+// newEntry copies a response wire image into a pooled region (fmu held by
+// the caller; the copy itself is lock-free).
+func (c *Cache) newEntry(skey string, raw []byte, ri RespInfo) *entry {
+	ref := buffer.Global.GetRef(len(raw))
+	b := ref.Bytes()[:len(raw)]
+	copy(b, raw)
+	ttl := c.ttl
+	if ri.TTL > 0 && ri.TTL < ttl {
+		ttl = ri.TTL
+	}
+	return &entry{
+		skey:    skey,
+		raw:     b,
+		region:  ref,
+		tag:     ri.Tag,
+		hasTag:  ri.HasTag,
+		expires: c.now() + int64(ttl),
+	}
+}
+
+// Counters snapshots the cache's counters (registered as "cache" in the
+// admin /counters registry; see PERFORMANCE.md for reading them).
+func (c *Cache) Counters() metrics.CounterSet {
+	return metrics.NewCounterSet(
+		"hits", c.hits.Value(),
+		"misses", c.misses.Value(),
+		"coalesced", c.coalesced.Value(),
+		"fills", c.fills.Value(),
+		"evictions", c.evictions.Value(),
+		"invalidations", c.invalidations.Value(),
+		"expired", c.expired.Value(),
+		"aborts", c.aborts.Value(),
+		"bytes", uint64(c.BytesResident()),
+	)
+}
+
+// BytesResident returns the bytes currently held by live entries.
+func (c *Cache) BytesResident() int64 {
+	c.fmu.Lock()
+	n := c.resident
+	c.fmu.Unlock()
+	return n
+}
+
+// HitRatio returns hits/(hits+misses) over the cache's lifetime (0 before
+// any lookup).
+func (c *Cache) HitRatio() float64 {
+	h, m := c.hits.Value(), c.misses.Value()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Len returns the number of live entries (tests and diagnostics).
+func (c *Cache) Len() int {
+	c.fmu.Lock()
+	n := len(c.index)
+	c.fmu.Unlock()
+	return n
+}

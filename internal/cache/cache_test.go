@@ -1,0 +1,403 @@
+package cache
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flick/internal/buffer"
+	"flick/internal/metrics"
+	"flick/internal/proto/memcache"
+	"flick/internal/value"
+)
+
+// respRaw renders one memcached GETK response wire image with the given
+// opaque, key and value.
+func respRaw(t *testing.T, opcode byte, opaque uint32, key, val string) []byte {
+	t.Helper()
+	req := memcache.Request(opcode, []byte(key), nil)
+	req.SetField("opaque", value.Int(int64(opaque)))
+	resp := memcache.Response(req, memcache.StatusOK, []byte(key), []byte(val))
+	raw, err := memcache.Codec.Encode(nil, resp)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	req.Release()
+	resp.Release()
+	return raw
+}
+
+func lookupInfo(opcode byte, key string, opaque uint32) ReqInfo {
+	return ReqInfo{
+		Class:   ClassLookup,
+		Key:     []byte(key),
+		Variant: opcode,
+		Tag:     uint64(opaque),
+		HasTag:  true,
+	}
+}
+
+// fill installs one entry by leading and resolving a flight.
+func fill(t *testing.T, c *Cache, opcode byte, key string, opaque uint32, val string) {
+	t.Helper()
+	info := lookupInfo(opcode, key, opaque)
+	f, leader := c.Begin(info, Waiter{})
+	if !leader {
+		t.Fatalf("fill(%q): expected to lead", key)
+	}
+	f.Fill(respRaw(t, opcode, opaque, key, val),
+		RespInfo{Match: true, Admit: true, Variant: opcode, Tag: uint64(opaque), HasTag: true})
+}
+
+func newTestCache(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	if cfg.Proto == nil {
+		cfg.Proto = Memcached{}
+	}
+	c := New(cfg)
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestCacheHitZeroAlloc pins the hit path at zero heap allocations — both
+// the verbatim replay (requester opaque matches the stored image) and the
+// opaque-patching copy path (pooled region reuse).
+func TestCacheHitZeroAlloc(t *testing.T) {
+	c := newTestCache(t, Config{Workers: 2})
+	fill(t, c, memcache.OpGetK, "key-000001", 42, "hello-world")
+
+	same := lookupInfo(memcache.OpGetK, "key-000001", 42)
+	if n := testing.AllocsPerRun(200, func() {
+		v, ok := c.Get(0, same)
+		if !ok {
+			panic("miss on warm key")
+		}
+		v.Release()
+	}); n != 0 {
+		t.Fatalf("verbatim hit path allocates %v per run, want 0", n)
+	}
+
+	patched := lookupInfo(memcache.OpGetK, "key-000001", 7777)
+	if n := testing.AllocsPerRun(200, func() {
+		v, ok := c.Get(1, patched)
+		if !ok {
+			panic("miss on warm key")
+		}
+		v.Release()
+	}); n != 0 {
+		t.Fatalf("opaque-patching hit path allocates %v per run, want 0", n)
+	}
+}
+
+// TestHitPatchesOpaque checks a served view carries the requester's
+// opaque, not the stored image's, and replays the stored bytes otherwise.
+func TestHitPatchesOpaque(t *testing.T) {
+	c := newTestCache(t, Config{Workers: 1})
+	stored := respRaw(t, memcache.OpGetK, 42, "k1", "v1")
+	fill(t, c, memcache.OpGetK, "k1", 42, "v1")
+
+	v, ok := c.Get(0, lookupInfo(memcache.OpGetK, "k1", 99))
+	if !ok {
+		t.Fatal("expected hit")
+	}
+	raw := v.Field("_raw").AsBytes()
+	if got := binary.BigEndian.Uint32(raw[memcachedOpaqueOff:]); got != 99 {
+		t.Fatalf("served opaque = %d, want 99", got)
+	}
+	// Everything but the opaque is the stored image verbatim.
+	if len(raw) != len(stored) {
+		t.Fatalf("served %d bytes, stored %d", len(raw), len(stored))
+	}
+	for i := range raw {
+		if i >= memcachedOpaqueOff && i < memcachedOpaqueOff+4 {
+			continue
+		}
+		if raw[i] != stored[i] {
+			t.Fatalf("served byte %d = %#x, stored %#x", i, raw[i], stored[i])
+		}
+	}
+	v.Release()
+
+	v2, ok := c.Get(0, lookupInfo(memcache.OpGetK, "k1", 42))
+	if !ok {
+		t.Fatal("expected hit")
+	}
+	raw2 := v2.Field("_raw").AsBytes()
+	if string(raw2) != string(stored) {
+		t.Fatal("matching opaque should replay the stored image verbatim")
+	}
+	v2.Release()
+}
+
+// TestSingleFlightStress races N goroutines missing one key: exactly one
+// leads (one upstream round trip), the rest coalesce and receive views
+// with their own opaque. Run under -race; the teardown ref-balance check
+// pins refgets == refputs.
+func TestSingleFlightStress(t *testing.T) {
+	before := buffer.Global.Counters()
+	c := New(Config{Proto: Memcached{}, Workers: 4})
+
+	const N = 64
+	var upstream atomic.Int32
+	var delivered atomic.Int32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make(chan string, N)
+
+	for i := 0; i < N; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			opaque := uint32(1000 + i)
+			info := lookupInfo(memcache.OpGetK, "hotkey", opaque)
+			if v, ok := c.Get(i%4, info); ok {
+				// Raced in after the fill: still a correct view.
+				checkServed(errs, v, opaque)
+				delivered.Add(1)
+				return
+			}
+			got := make(chan value.Value, 1)
+			w := Waiter{
+				Tag:     uint64(opaque),
+				HasTag:  true,
+				Deliver: func(view value.Value) { got <- view },
+				Abort:   func() { errs <- "unexpected abort" },
+			}
+			f, leader := c.Begin(info, w)
+			if leader {
+				upstream.Add(1)
+				time.Sleep(2 * time.Millisecond) // let followers pile on
+				f.Fill(respRaw(t, memcache.OpGetK, opaque, "hotkey", "hotvalue"),
+					RespInfo{Match: true, Admit: true, Variant: memcache.OpGetK,
+						Tag: uint64(opaque), HasTag: true})
+				return
+			}
+			select {
+			case view := <-got:
+				checkServed(errs, view, opaque)
+				delivered.Add(1)
+			case <-time.After(5 * time.Second):
+				errs <- "timed out waiting for coalesced delivery"
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if n := upstream.Load(); n != 1 {
+		t.Fatalf("%d upstream round trips, want exactly 1", n)
+	}
+	if got := delivered.Load(); got != N-1 {
+		t.Fatalf("%d views delivered (coalesced + post-fill hits), want %d", got, N-1)
+	}
+	if cval(c.Counters(), "fills") != 1 {
+		t.Fatalf("fills = %d, want 1", cval(c.Counters(), "fills"))
+	}
+	c.Close()
+	after := buffer.Global.Counters()
+	gets := cval(after, "refgets") - cval(before, "refgets")
+	puts := cval(after, "refputs") - cval(before, "refputs")
+	if gets != puts {
+		t.Fatalf("pool ref leak: refgets delta %d != refputs delta %d", gets, puts)
+	}
+}
+
+func checkServed(errs chan<- string, v value.Value, opaque uint32) {
+	raw := v.Field("_raw").AsBytes()
+	if len(raw) < 24 {
+		errs <- "short served view"
+	} else if got := binary.BigEndian.Uint32(raw[memcachedOpaqueOff:]); got != opaque {
+		errs <- fmt.Sprintf("served opaque %d, want %d", got, opaque)
+	}
+	v.Release()
+}
+
+// TestTTLExpiry checks lazy expiry: past the deadline a lookup misses and
+// counts expired; a refill serves again.
+func TestTTLExpiry(t *testing.T) {
+	c := newTestCache(t, Config{Workers: 2, TTL: time.Second})
+	var clock atomic.Int64
+	c.now = clock.Load
+
+	fill(t, c, memcache.OpGetK, "k1", 1, "v1")
+	if _, ok := c.Get(0, lookupInfo(memcache.OpGetK, "k1", 1)); !ok {
+		t.Fatal("want hit before expiry")
+	}
+	clock.Store(int64(2 * time.Second))
+	if _, ok := c.Get(0, lookupInfo(memcache.OpGetK, "k1", 1)); ok {
+		t.Fatal("want miss after expiry")
+	}
+	// The other shard's replica expires independently.
+	if _, ok := c.Get(1, lookupInfo(memcache.OpGetK, "k1", 1)); ok {
+		t.Fatal("want miss after expiry on second shard")
+	}
+	if got := cval(c.Counters(), "expired"); got != 2 {
+		t.Fatalf("expired = %d, want 2", got)
+	}
+	fill(t, c, memcache.OpGetK, "k1", 1, "v2")
+	v, ok := c.Get(0, lookupInfo(memcache.OpGetK, "k1", 1))
+	if !ok {
+		t.Fatal("want hit after refill")
+	}
+	v.Release()
+}
+
+// TestInvalidate checks write-through invalidation drops the key in every
+// variant and kills its in-flight fill (followers re-dispatch, the late
+// fill stores nothing).
+func TestInvalidate(t *testing.T) {
+	c := newTestCache(t, Config{Workers: 1})
+	fill(t, c, memcache.OpGet, "k1", 1, "v1")
+	fill(t, c, memcache.OpGetK, "k1", 2, "v1")
+	fill(t, c, memcache.OpGetK, "other", 3, "v3")
+
+	aborted := 0
+	f, leader := c.Begin(lookupInfo(memcache.OpGetK, "pending", 4), Waiter{})
+	if !leader {
+		t.Fatal("expected to lead")
+	}
+	_, leader = c.Begin(lookupInfo(memcache.OpGetK, "pending", 5),
+		Waiter{Deliver: func(v value.Value) { v.Release(); t.Error("delivered past invalidation") },
+			Abort: func() { aborted++ }})
+	if leader {
+		t.Fatal("expected to coalesce")
+	}
+
+	c.Invalidate([]byte("k1"))
+	c.Invalidate([]byte("pending"))
+	if aborted != 1 {
+		t.Fatalf("aborted = %d, want 1", aborted)
+	}
+	if _, ok := c.Get(0, lookupInfo(memcache.OpGet, "k1", 1)); ok {
+		t.Fatal("GET variant survived invalidation")
+	}
+	if _, ok := c.Get(0, lookupInfo(memcache.OpGetK, "k1", 2)); ok {
+		t.Fatal("GETK variant survived invalidation")
+	}
+	v, ok := c.Get(0, lookupInfo(memcache.OpGetK, "other", 3))
+	if !ok {
+		t.Fatal("unrelated key dropped by invalidation")
+	}
+	v.Release()
+
+	// The killed flight's late fill must not resurrect the entry.
+	f.Fill(respRaw(t, memcache.OpGetK, 4, "pending", "stale"),
+		RespInfo{Match: true, Admit: true, Variant: memcache.OpGetK, Tag: 4, HasTag: true})
+	if _, ok := c.Get(0, lookupInfo(memcache.OpGetK, "pending", 4)); ok {
+		t.Fatal("late fill resurrected an invalidated key")
+	}
+	if cval(c.Counters(), "invalidations") != 2 {
+		t.Fatalf("invalidations = %d, want 2", cval(c.Counters(), "invalidations"))
+	}
+}
+
+// TestClear checks flush_all semantics.
+func TestClear(t *testing.T) {
+	c := newTestCache(t, Config{Workers: 2})
+	for i := 0; i < 8; i++ {
+		fill(t, c, memcache.OpGetK, fmt.Sprintf("k%d", i), uint32(i), "v")
+	}
+	if c.Len() != 8 {
+		t.Fatalf("len = %d, want 8", c.Len())
+	}
+	c.Clear()
+	if c.Len() != 0 || c.BytesResident() != 0 {
+		t.Fatalf("len=%d bytes=%d after clear, want 0/0", c.Len(), c.BytesResident())
+	}
+	if _, ok := c.Get(0, lookupInfo(memcache.OpGetK, "k3", 3)); ok {
+		t.Fatal("entry survived clear")
+	}
+}
+
+// TestEviction checks the byte budget holds by evicting oldest-first.
+func TestEviction(t *testing.T) {
+	one := len(respRaw(t, memcache.OpGetK, 0, "k0", "v0"))
+	c := newTestCache(t, Config{Workers: 1, MaxBytes: int64(3 * one)})
+	for i := 0; i < 6; i++ {
+		fill(t, c, memcache.OpGetK, fmt.Sprintf("k%d", i), uint32(i), fmt.Sprintf("v%d", i))
+	}
+	if got := c.BytesResident(); got > int64(3*one) {
+		t.Fatalf("resident %d bytes exceeds budget %d", got, 3*one)
+	}
+	if got := cval(c.Counters(), "evictions"); got != 3 {
+		t.Fatalf("evictions = %d, want 3", got)
+	}
+	// Oldest gone, newest present.
+	if _, ok := c.Get(0, lookupInfo(memcache.OpGetK, "k0", 0)); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	v, ok := c.Get(0, lookupInfo(memcache.OpGetK, "k5", 5))
+	if !ok {
+		t.Fatal("newest entry evicted")
+	}
+	v.Release()
+}
+
+// TestNonAdmissibleFillAborts checks a miss resolved by a non-cacheable
+// response (memcached KeyNotFound) aborts its followers instead of caching.
+func TestNonAdmissibleFillAborts(t *testing.T) {
+	c := newTestCache(t, Config{Workers: 1})
+	info := lookupInfo(memcache.OpGetK, "missing", 1)
+	f, leader := c.Begin(info, Waiter{})
+	if !leader {
+		t.Fatal("expected to lead")
+	}
+	aborted := 0
+	c.Begin(lookupInfo(memcache.OpGetK, "missing", 2),
+		Waiter{Abort: func() { aborted++ }})
+	f.Fill([]byte("irrelevant"), RespInfo{Match: true, Admit: false})
+	if aborted != 1 {
+		t.Fatalf("aborted = %d, want 1", aborted)
+	}
+	if _, ok := c.Get(0, info); ok {
+		t.Fatal("non-admissible response was cached")
+	}
+	if cval(c.Counters(), "aborts") != 1 {
+		t.Fatalf("aborts = %d, want 1", cval(c.Counters(), "aborts"))
+	}
+}
+
+// TestVariantSeparation checks GET and GETK entries don't serve each other.
+func TestVariantSeparation(t *testing.T) {
+	c := newTestCache(t, Config{Workers: 1})
+	fill(t, c, memcache.OpGetK, "k1", 1, "v1")
+	if _, ok := c.Get(0, lookupInfo(memcache.OpGet, "k1", 1)); ok {
+		t.Fatal("GET served from a GETK entry")
+	}
+	v, ok := c.Get(0, lookupInfo(memcache.OpGetK, "k1", 1))
+	if !ok {
+		t.Fatal("GETK entry missing")
+	}
+	v.Release()
+}
+
+// TestClosedCache checks post-Close behaviour: Begin returns no flight
+// (untracked forward) and fills are dropped.
+func TestClosedCache(t *testing.T) {
+	c := New(Config{Proto: Memcached{}, Workers: 1})
+	info := lookupInfo(memcache.OpGetK, "k1", 1)
+	f, _ := c.Begin(info, Waiter{})
+	c.Close()
+	f.Fill(respRaw(t, memcache.OpGetK, 1, "k1", "v1"),
+		RespInfo{Match: true, Admit: true, Variant: memcache.OpGetK, Tag: 1, HasTag: true})
+	if c.Len() != 0 {
+		t.Fatal("fill stored into a closed cache")
+	}
+	if f2, leader := c.Begin(info, Waiter{}); f2 != nil || !leader {
+		t.Fatal("Begin on a closed cache must return (nil, true)")
+	}
+}
+
+// cval reads one counter from a set (test convenience).
+func cval(cs metrics.CounterSet, name string) uint64 {
+	v, _ := cs.Get(name)
+	return v
+}

@@ -1,0 +1,131 @@
+package cache
+
+import "flick/internal/value"
+
+// A Waiter is a coalesced miss parked on another request's in-flight fill.
+// Exactly one of its callbacks fires, asynchronously, from whichever
+// goroutine resolves the flight — callbacks must not block and must
+// tolerate firing after their instance recycled (the core gates them on a
+// binding generation).
+type Waiter struct {
+	// Tag/HasTag is the waiter's own correlation tag (memcached opaque):
+	// the delivered view carries it, not the leader's.
+	Tag    uint64
+	HasTag bool
+	// Deliver receives a self-contained response view built from the
+	// filled entry; ownership of one reference transfers to the callback.
+	Deliver func(view value.Value)
+	// Abort fires when the flight dies without a usable fill (invalidated,
+	// non-cacheable response, instance reset): the waiter re-dispatches
+	// its own upstream request.
+	Abort func()
+}
+
+// Flight is one in-flight fill: the first miss for a key leads it (owns
+// the upstream round trip and resolves it with Fill or Abort); later
+// misses for the same key join as waiters.
+type Flight struct {
+	c       *Cache
+	skey    string // variant-prefixed owned key
+	key     []byte // owned copy of the request key
+	variant byte
+	waiters []Waiter
+}
+
+// Key returns the flight's owned request key.
+func (f *Flight) Key() []byte { return f.key }
+
+// Variant returns the flight's protocol variant.
+func (f *Flight) Variant() byte { return f.variant }
+
+// Begin joins or leads the key's flight after a miss. The leader
+// (leader=true) forwards its request upstream and must eventually call
+// Fill or Abort; w is ignored for it. A follower (leader=false) parks w on
+// the existing flight and must NOT forward. On a closed cache Begin
+// returns (nil, true): forward upstream with no tracking.
+func (c *Cache) Begin(info ReqInfo, w Waiter) (*Flight, bool) {
+	c.fmu.Lock()
+	if c.closed {
+		c.fmu.Unlock()
+		return nil, true
+	}
+	skey := string(append([]byte{info.Variant}, info.Key...))
+	if f := c.flights[skey]; f != nil {
+		f.waiters = append(f.waiters, w)
+		c.fmu.Unlock()
+		c.coalesced.Inc()
+		return f, false
+	}
+	f := &Flight{c: c, skey: skey, key: []byte(skey[1:]), variant: info.Variant}
+	c.flights[skey] = f
+	c.fmu.Unlock()
+	return f, true
+}
+
+// Fill resolves the flight with the upstream response's wire image. When
+// the response is admissible (ri.Admit, non-empty, within MaxEntryBytes)
+// the entry is installed and every waiter receives its own retained view;
+// otherwise the waiters abort and re-dispatch. A flight already killed by
+// invalidation (or a closed cache) stores nothing — its waiters were
+// aborted at kill time. raw need only stay valid for the duration of the
+// call; the entry owns a pooled copy.
+func (f *Flight) Fill(raw []byte, ri RespInfo) {
+	c := f.c
+	c.fmu.Lock()
+	if c.flights[f.skey] != f {
+		// Killed by Invalidate/Clear/Close: waiters already drained.
+		c.fmu.Unlock()
+		return
+	}
+	delete(c.flights, f.skey)
+	waiters := f.waiters
+	f.waiters = nil
+	var e *entry
+	if !c.closed && ri.Admit && len(raw) > 0 && len(raw) <= MaxEntryBytes {
+		e = c.newEntry(f.skey, raw, ri)
+		c.install(e)
+		c.fills.Inc()
+		if len(waiters) > 0 {
+			// Guard reference: keeps the entry's bytes valid across the
+			// delivery loop even if a concurrent fill evicts it.
+			e.region.Retain()
+		}
+	}
+	c.fmu.Unlock()
+	if e == nil {
+		c.abortWaiters(waiters)
+		return
+	}
+	for _, w := range waiters {
+		w.Deliver(c.proto.MakeHit(e.raw, e.region, w.Tag, w.HasTag))
+	}
+	if len(waiters) > 0 {
+		e.region.Release()
+	}
+}
+
+// Abort resolves the flight without a fill: every parked waiter
+// re-dispatches. Safe to call on an already-resolved flight.
+func (f *Flight) Abort() {
+	c := f.c
+	c.fmu.Lock()
+	if c.flights[f.skey] != f {
+		c.fmu.Unlock()
+		return
+	}
+	delete(c.flights, f.skey)
+	waiters := f.waiters
+	f.waiters = nil
+	c.fmu.Unlock()
+	c.abortWaiters(waiters)
+}
+
+// abortWaiters fires Abort callbacks outside every cache lock.
+func (c *Cache) abortWaiters(waiters []Waiter) {
+	for _, w := range waiters {
+		c.aborts.Inc()
+		if w.Abort != nil {
+			w.Abort()
+		}
+	}
+}

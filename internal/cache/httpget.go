@@ -1,0 +1,126 @@
+package cache
+
+import (
+	"strconv"
+	"strings"
+	"time"
+
+	phttp "flick/internal/proto/http"
+	"flick/internal/value"
+)
+
+// HTTPGet adapts the cache to HTTP/1.1 load balancing: plain GET
+// responses are cached per URI; non-GET methods with side effects write
+// through as invalidations. HTTP/1.1 responses answer requests strictly
+// in order per connection, so the adapter is FIFO — the core correlates
+// through per-port slot queues instead of tags.
+//
+// Conservatism over coverage: conditional requests (If-None-Match /
+// If-Modified-Since — the ETag revalidation path), authenticated
+// requests and requests carrying Cache-Control: no-cache/no-store bypass
+// the cache entirely; only 200 responses free of forbidding Cache-Control
+// directives are admitted, with max-age capping the entry TTL.
+type HTTPGet struct{}
+
+// Name implements Protocol.
+func (HTTPGet) Name() string { return "http-get" }
+
+// Fifo implements Protocol: HTTP/1.1 responses arrive in request order.
+func (HTTPGet) Fifo() bool { return true }
+
+// Variants implements Protocol: one response shape per URI.
+func (HTTPGet) Variants() []byte { return []byte{0} }
+
+// Request implements Protocol.
+func (HTTPGet) Request(req value.Value) ReqInfo {
+	method := req.Field("method").AsBytes()
+	uri := req.Field("uri").AsBytes()
+	if !bytesEqualStr(method, "GET") {
+		switch {
+		case bytesEqualStr(method, "HEAD"), bytesEqualStr(method, "OPTIONS"),
+			bytesEqualStr(method, "TRACE"):
+			// Safe methods, but their responses differ from GET's: pass.
+			return ReqInfo{Class: ClassPass}
+		case len(uri) > 0:
+			// POST/PUT/DELETE/PATCH/...: write through the URI's entry.
+			return ReqInfo{Class: ClassInvalidate, Key: uri}
+		default:
+			return ReqInfo{Class: ClassPass}
+		}
+	}
+	if len(uri) == 0 || req.Field("keep_alive").AsInt() != 1 {
+		// A closing client gets a closing response — never cacheable.
+		return ReqInfo{Class: ClassPass}
+	}
+	if phttp.Header(req, "If-None-Match") != "" ||
+		phttp.Header(req, "If-Modified-Since") != "" ||
+		phttp.Header(req, "Authorization") != "" {
+		return ReqInfo{Class: ClassPass}
+	}
+	if cc := phttp.Header(req, "Cache-Control"); cc != "" {
+		if strings.Contains(cc, "no-cache") || strings.Contains(cc, "no-store") {
+			return ReqInfo{Class: ClassPass}
+		}
+	}
+	return ReqInfo{Class: ClassLookup, Key: uri}
+}
+
+// Response implements Protocol.
+func (HTTPGet) Response(resp value.Value) RespInfo {
+	status := resp.Field("status").AsInt()
+	if status < 200 {
+		// 1xx: forwarded without consuming the pending request slot.
+		return RespInfo{Informational: true}
+	}
+	ri := RespInfo{Match: true}
+	if status != 200 {
+		return ri
+	}
+	if resp.Field("keep_alive").AsInt() != 1 {
+		// Connection-delimited body: replaying it verbatim on a kept-alive
+		// client connection would leave the client unable to frame it.
+		return ri
+	}
+	if cc := phttp.Header(resp, "Cache-Control"); cc != "" {
+		if strings.Contains(cc, "no-store") || strings.Contains(cc, "no-cache") ||
+			strings.Contains(cc, "private") {
+			return ri
+		}
+		if i := strings.Index(cc, "max-age="); i >= 0 {
+			v := cc[i+len("max-age="):]
+			if j := strings.IndexAny(v, ", "); j >= 0 {
+				v = v[:j]
+			}
+			secs, err := strconv.Atoi(v)
+			if err != nil || secs <= 0 {
+				// max-age=0 (or unparsable): already stale, don't store.
+				return ri
+			}
+			ri.TTL = time.Duration(secs) * time.Second
+		}
+	}
+	ri.Admit = true
+	return ri
+}
+
+// MakeHit implements Protocol: HTTP carries no correlation tag, so the
+// stored image replays verbatim (one region retain plus a pooled record).
+func (HTTPGet) MakeHit(raw []byte, region value.Region, _ uint64, _ bool) value.Value {
+	region.Retain()
+	rec := phttp.ResponseDesc.NewOwned(region)
+	rec.SetField("_raw", value.Bytes(raw))
+	return rec
+}
+
+// bytesEqualStr reports b == s without allocating.
+func bytesEqualStr(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		if b[i] != s[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,95 @@
+package cache
+
+import (
+	"time"
+
+	"flick/internal/value"
+)
+
+// Class is a protocol adapter's verdict on a decoded client request.
+type Class uint8
+
+const (
+	// ClassPass forwards the request untouched: not cacheable, not a
+	// write (health probes, quiet reads, conditional requests).
+	ClassPass Class = iota
+	// ClassLookup consults the cache and coalesces misses.
+	ClassLookup
+	// ClassInvalidate is a write through the proxy: drop the key's
+	// entries, kill its flights, then forward.
+	ClassInvalidate
+	// ClassInvalidateAll clears the whole cache, then forwards
+	// (memcached flush_all).
+	ClassInvalidateAll
+)
+
+// ReqInfo classifies one decoded client request. Key aliases the request's
+// pooled bytes and is valid only until the request releases — the cache
+// copies what it keeps.
+type ReqInfo struct {
+	Class Class
+	// Key is the cache key (memcached key, HTTP URI).
+	Key []byte
+	// Variant distinguishes response shapes sharing a key (memcached GET
+	// vs GETK); entries only serve and coalesce within their variant.
+	Variant byte
+	// Tag/HasTag is the request's correlation tag (memcached opaque): the
+	// served view must carry it back.
+	Tag    uint64
+	HasTag bool
+}
+
+// RespInfo classifies one decoded upstream response. Key aliases the
+// response's pooled bytes and is valid only for the duration of the
+// classifying call chain.
+type RespInfo struct {
+	// Match marks a response that answers a ClassLookup request (and so
+	// resolves a flight or FIFO slot). Writes' acks and probe replies
+	// don't match.
+	Match bool
+	// Admit allows the response image into the cache (hit status, no
+	// forbidding cache directives). A matching non-admissible response
+	// still resolves its flight — the waiters re-dispatch.
+	Admit bool
+	// Informational marks a non-final response (HTTP 1xx): forwarded
+	// downstream without consuming the pending request.
+	Informational bool
+	// Key/HasKey is the key echoed by the response (memcached GETK), used
+	// to correlate fills on non-FIFO paths.
+	Key    []byte
+	HasKey bool
+	// Variant mirrors ReqInfo.Variant.
+	Variant byte
+	// Tag/HasTag is the response's correlation tag (memcached opaque).
+	Tag    uint64
+	HasTag bool
+	// TTL, when positive, caps the entry's lifetime below the cache
+	// default (HTTP Cache-Control: max-age).
+	TTL time.Duration
+}
+
+// Protocol adapts the cache to one wire protocol: classification of
+// requests and responses, and construction of served hit views.
+type Protocol interface {
+	// Name identifies the adapter ("memcached", "http-get").
+	Name() string
+	// Fifo reports the response-correlation discipline: true means
+	// responses answer requests strictly in order per upstream connection
+	// (HTTP/1.1); false means responses carry their own correlation
+	// (memcached opaque/key echo) and may be matched out of order.
+	Fifo() bool
+	// Variants enumerates the Variant bytes the adapter emits, so
+	// invalidation can sweep every response shape of a key.
+	Variants() []byte
+	// Request classifies a decoded client request.
+	Request(req value.Value) ReqInfo
+	// Response classifies a decoded upstream response.
+	Response(resp value.Value) RespInfo
+	// MakeHit builds a self-contained served view over a cached wire
+	// image for the request tag given: a pooled record whose raw field
+	// replays zero-copy through the scatter encoder. raw/region are the
+	// entry's and stay valid only for the duration of the call (the
+	// caller holds a reference); MakeHit retains what the view needs.
+	// The returned view carries one reference owned by the caller.
+	MakeHit(raw []byte, region value.Region, tag uint64, hasTag bool) value.Value
+}

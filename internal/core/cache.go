@@ -1,0 +1,463 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+
+	rcache "flick/internal/cache"
+	"flick/internal/value"
+)
+
+// cacheRT is an instance's response-cache runtime: the per-binding
+// bookkeeping that connects the shared cache.Cache (service-wide, set via
+// ServiceConfig.Cache) to this instance's task graph.
+//
+// Two correlation disciplines, selected by the protocol adapter:
+//
+//   - Non-FIFO (memcached): requests are classified at the primary port's
+//     input node, between decode and dispatch. Hits push a served view
+//     straight to the client output node; leading misses register a
+//     pendingFill and forward; coalesced misses park a waiter and forward
+//     nothing. Upstream responses are matched against the pendings by
+//     echoed key (GETK) or unique opaque, out of order.
+//
+//   - FIFO (HTTP/1.1): responses answer requests strictly in order per
+//     upstream connection, so each backend port keeps a slot queue in
+//     request order. Hits and coalesced waits park as slots; upstream
+//     responses resolve the oldest upstream-expecting slot; delivery to
+//     the client drains ready slots from the head, preserving response
+//     order even when a cached hit resolves instantly between two
+//     upstream round trips.
+//
+// Lock discipline: crt.mu is leaf-level — never held across a call into
+// the cache package (whose own locks call back into waiter closures that
+// take crt.mu). Waiter callbacks fire on whatever goroutine resolved the
+// flight and are gated by gen: Reset bumps it under crt.mu, so a stale
+// delivery from a previous binding drops its view instead of pushing into
+// the next session's channels.
+type cacheRT struct {
+	cc    *rcache.Cache
+	proto rcache.Protocol
+	fifo  bool
+
+	// hitCh is a client-output in-channel: where non-FIFO hit views are
+	// delivered. redispatchCh is the primary input node's out-channel:
+	// where an aborted non-FIFO follower re-forwards its request.
+	hitCh        *Chan
+	redispatchCh *Chan
+
+	mu       sync.Mutex
+	gen      uint64
+	pendings []*pendingFill // non-FIFO: fills this instance leads
+	ports    []cachePort    // FIFO: per-port slot queues
+}
+
+// pendingFill is one upstream round trip this instance leads on behalf of
+// a flight (non-FIFO): the decoded response that correlates resolves it.
+type pendingFill struct {
+	f      *rcache.Flight
+	tag    uint64
+	hasTag bool
+}
+
+type slotKind uint8
+
+const (
+	// slotUpstream expects an upstream response that passes through
+	// (plain forwards, invalidating writes).
+	slotUpstream slotKind = iota
+	// slotLead expects an upstream response that also fills s.f.
+	slotLead
+	// slotWait is parked on another instance's flight (coalesced miss).
+	slotWait
+	// slotReady holds a deliverable view (cache hit, delivered fill, or
+	// arrived upstream response parked behind an unresolved slot).
+	slotReady
+)
+
+// slot is one in-flight request of a FIFO port, in client request order.
+type slot struct {
+	kind slotKind
+	f    *rcache.Flight
+	view value.Value // owned while kind == slotReady
+}
+
+// cachePort is the FIFO runtime of one backend port.
+type cachePort struct {
+	respCh *Chan // backend input node's out-channel (client-bound)
+	reqCh  *Chan // backend output node's in-channel (re-dispatch)
+
+	slots   []*slot // client delivery order
+	pending []*slot // upstream send order (slots expecting a response)
+
+	// requeued marks re-dispatched requests in flight back to this
+	// port's output node: the intercept re-links their original slot
+	// into pending instead of queueing a fresh one.
+	requeued []requeue
+}
+
+type requeue struct {
+	id any // message identity (record owner region)
+	s  *slot
+}
+
+// cacheMsgID returns a message's identity for requeue matching: the
+// record's owner region is unique per decoded message and stable across
+// retains.
+func cacheMsgID(msg value.Value) any {
+	if msg.O != nil {
+		return msg.O
+	}
+	return nil
+}
+
+// SetCache installs the service's response cache on this binding. Called
+// by the dispatcher between pool Get and Start (like Bind and SetRouter);
+// the runtime persists across Reset — only its per-binding state clears.
+// Graphs without a primary in/out port pair are left uncached.
+func (inst *Instance) SetCache(c *rcache.Cache) {
+	if c == nil || inst.crt != nil {
+		return
+	}
+	primary := -1
+	for i := range inst.tmpl.ports {
+		if inst.tmpl.ports[i].Primary {
+			primary = i
+			break
+		}
+	}
+	if primary < 0 {
+		return
+	}
+	p := inst.tmpl.ports[primary]
+	if p.In < 0 || p.Out < 0 || len(inst.nodeIn[p.Out]) == 0 || len(inst.nodeOut[p.In]) == 0 {
+		return
+	}
+	crt := &cacheRT{
+		cc:           c,
+		proto:        c.Proto(),
+		fifo:         c.Proto().Fifo(),
+		hitCh:        inst.nodeIn[p.Out][0],
+		redispatchCh: inst.nodeOut[p.In][0],
+		ports:        make([]cachePort, len(inst.tmpl.ports)),
+	}
+	for i := range inst.tmpl.ports {
+		bp := inst.tmpl.ports[i]
+		if bp.Primary || bp.In < 0 || bp.Out < 0 {
+			continue
+		}
+		if len(inst.nodeOut[bp.In]) == 0 || len(inst.nodeIn[bp.Out]) == 0 {
+			continue
+		}
+		crt.ports[i].respCh = inst.nodeOut[bp.In][0]
+		crt.ports[i].reqCh = inst.nodeIn[bp.Out][0]
+	}
+	inst.crt = crt
+}
+
+// resetCache invalidates the binding's cache bookkeeping (from Reset,
+// before channels clear): the generation bump turns outstanding waiter
+// callbacks into no-ops, led flights abort so their followers re-dispatch,
+// and parked views release.
+func (inst *Instance) resetCache() {
+	crt := inst.crt
+	if crt == nil {
+		return
+	}
+	var flights []*rcache.Flight
+	crt.mu.Lock()
+	crt.gen++
+	for _, p := range crt.pendings {
+		flights = append(flights, p.f)
+	}
+	crt.pendings = nil
+	for i := range crt.ports {
+		cp := &crt.ports[i]
+		for _, s := range cp.slots {
+			switch s.kind {
+			case slotLead:
+				flights = append(flights, s.f)
+			case slotReady:
+				s.view.Release()
+				s.view = value.Null
+			}
+		}
+		cp.slots = nil
+		cp.pending = nil
+		cp.requeued = nil
+	}
+	crt.mu.Unlock()
+	// Outside crt.mu: aborting takes the cache's locks, and this binding's
+	// own waiters (if any coalesced onto its flights) re-enter crt.mu.
+	for _, f := range flights {
+		f.Abort()
+	}
+}
+
+// cacheClientRequest intercepts one decoded primary-port request (non-FIFO
+// protocols), between decode and dispatch. Returns true when the request
+// was consumed: a hit view is already on its way to the client output, or
+// the request coalesced onto an in-flight fill. False forwards as usual
+// (pass traffic, invalidating writes, leading misses).
+func (inst *Instance) cacheClientRequest(ctx *ExecCtx, msg value.Value, out *Chan) bool {
+	crt := inst.crt
+	info := crt.proto.Request(msg)
+	switch info.Class {
+	case rcache.ClassPass:
+		return false
+	case rcache.ClassInvalidate:
+		crt.cc.Invalidate(info.Key)
+		return false
+	case rcache.ClassInvalidateAll:
+		crt.cc.Clear()
+		return false
+	}
+	if view, ok := crt.cc.Get(ctx.Worker(), info); ok {
+		crt.hitCh.Push(view)
+		view.Release()
+		return true
+	}
+	crt.mu.Lock()
+	gen := crt.gen
+	crt.mu.Unlock()
+	msg.Retain() // for the waiter; undone immediately when leading
+	w := rcache.Waiter{
+		Tag:    info.Tag,
+		HasTag: info.HasTag,
+		Deliver: func(view value.Value) {
+			// The push happens under crt.mu so it strictly precedes (or
+			// follows, and is then skipped by) Reset's generation bump —
+			// a stale view can never land in the next binding's channels.
+			crt.mu.Lock()
+			if crt.gen == gen {
+				crt.hitCh.Push(view)
+			}
+			crt.mu.Unlock()
+			view.Release()
+			msg.Release()
+		},
+		Abort: func() {
+			crt.mu.Lock()
+			if crt.gen == gen {
+				// Re-forward into the dispatch path: the request takes its
+				// own upstream round trip, uncached.
+				crt.redispatchCh.Push(msg)
+			}
+			crt.mu.Unlock()
+			msg.Release()
+		},
+	}
+	f, leader := crt.cc.Begin(info, w)
+	if !leader {
+		return true // coalesced; the waiter owns the retained msg
+	}
+	msg.Release()
+	if f != nil {
+		crt.mu.Lock()
+		crt.pendings = append(crt.pendings, &pendingFill{f: f, tag: info.Tag, hasTag: info.HasTag})
+		crt.mu.Unlock()
+	}
+	return false
+}
+
+// cacheBackendResponse correlates one decoded backend response (non-FIFO)
+// against the instance's pending fills, after the response was pushed
+// downstream (msg stays valid: the caller still holds its reference). A
+// unique match fills (or, for a non-admissible response, aborts) its
+// flight; an ambiguous match — same variant and opaque, no key echo —
+// aborts every candidate rather than risk caching under the wrong key.
+func (inst *Instance) cacheBackendResponse(msg value.Value) {
+	crt := inst.crt
+	ri := crt.proto.Response(msg)
+	if !ri.Match {
+		return
+	}
+	var matched []*pendingFill
+	crt.mu.Lock()
+	for _, p := range crt.pendings {
+		if p.f.Variant() != ri.Variant {
+			continue
+		}
+		if ri.HasKey {
+			if bytes.Equal(p.f.Key(), ri.Key) {
+				matched = append(matched, p)
+			}
+		} else if ri.HasTag && p.hasTag && p.tag == ri.Tag {
+			matched = append(matched, p)
+		}
+	}
+	if len(matched) > 0 {
+		keep := crt.pendings[:0]
+	outer:
+		for _, p := range crt.pendings {
+			for _, m := range matched {
+				if p == m {
+					continue outer
+				}
+			}
+			keep = append(keep, p)
+		}
+		crt.pendings = keep
+	}
+	crt.mu.Unlock()
+	switch {
+	case len(matched) == 1:
+		matched[0].f.Fill(msg.Field("_raw").AsBytes(), ri)
+	case len(matched) > 1:
+		for _, m := range matched {
+			m.f.Abort()
+		}
+	}
+}
+
+// cacheUpstreamRequest intercepts one request popped at a backend output
+// node (FIFO protocols), before encoding. Every request gets a slot in the
+// port's client-order queue; only requests that truly go upstream also
+// join the pending (send-order) queue. Returns true when the request was
+// consumed (hit or coalesced) and must not be encoded.
+func (inst *Instance) cacheUpstreamRequest(ctx *ExecCtx, msg value.Value, port int) bool {
+	crt := inst.crt
+	cp := &crt.ports[port]
+	if cp.respCh == nil {
+		return false
+	}
+	// A re-dispatched request (aborted coalesced slot) keeps its original
+	// client-order slot; it only (re-)joins the upstream send order.
+	if len(cp.requeued) > 0 {
+		if id := cacheMsgID(msg); id != nil {
+			crt.mu.Lock()
+			for i, rq := range cp.requeued {
+				if rq.id == id {
+					cp.requeued = append(cp.requeued[:i], cp.requeued[i+1:]...)
+					rq.s.kind = slotUpstream
+					cp.pending = append(cp.pending, rq.s)
+					crt.mu.Unlock()
+					return false
+				}
+			}
+			crt.mu.Unlock()
+		}
+	}
+	info := crt.proto.Request(msg)
+	switch info.Class {
+	case rcache.ClassInvalidate:
+		crt.cc.Invalidate(info.Key)
+	case rcache.ClassInvalidateAll:
+		crt.cc.Clear()
+	}
+	if info.Class != rcache.ClassLookup {
+		s := &slot{kind: slotUpstream}
+		crt.mu.Lock()
+		cp.slots = append(cp.slots, s)
+		cp.pending = append(cp.pending, s)
+		crt.mu.Unlock()
+		return false
+	}
+	if view, ok := crt.cc.Get(ctx.Worker(), info); ok {
+		crt.mu.Lock()
+		cp.slots = append(cp.slots, &slot{kind: slotReady, view: view})
+		inst.cacheDrainLocked(cp)
+		crt.mu.Unlock()
+		return true
+	}
+	s := &slot{kind: slotWait}
+	crt.mu.Lock()
+	gen := crt.gen
+	cp.slots = append(cp.slots, s)
+	crt.mu.Unlock()
+	msg.Retain() // for the waiter; undone immediately when leading
+	w := rcache.Waiter{
+		Tag:    info.Tag,
+		HasTag: info.HasTag,
+		Deliver: func(view value.Value) {
+			crt.mu.Lock()
+			if crt.gen == gen {
+				s.kind = slotReady
+				s.view = view
+				view.Retain()
+				inst.cacheDrainLocked(cp)
+			}
+			crt.mu.Unlock()
+			view.Release()
+			msg.Release()
+		},
+		Abort: func() {
+			crt.mu.Lock()
+			if crt.gen == gen {
+				// Keep the slot in client order; route the request back to
+				// this output node for an upstream round trip of its own.
+				cp.requeued = append(cp.requeued, requeue{id: cacheMsgID(msg), s: s})
+				cp.reqCh.Push(msg)
+			}
+			crt.mu.Unlock()
+			msg.Release()
+		},
+	}
+	f, leader := crt.cc.Begin(info, w)
+	if !leader {
+		return true // coalesced; the waiter owns the retained msg
+	}
+	msg.Release()
+	crt.mu.Lock()
+	if f != nil {
+		s.kind = slotLead
+		s.f = f
+		cp.pending = append(cp.pending, s)
+	} else {
+		// Closed cache: plain upstream forward.
+		s.kind = slotUpstream
+		cp.pending = append(cp.pending, s)
+	}
+	crt.mu.Unlock()
+	return false
+}
+
+// cacheFifoResponse routes one decoded backend response (FIFO) through the
+// port's slot queues: it resolves the oldest upstream-expecting slot, then
+// delivery drains ready slots from the head of the client-order queue —
+// never overtaking an unresolved older slot, so the client sees responses
+// strictly in request order. Informational (1xx) responses pass straight
+// through without consuming a slot. Returns the flight to fill (nil when
+// the response doesn't complete a led miss) — the caller invokes Fill
+// outside this instance's lock, while it still holds the message.
+func (inst *Instance) cacheFifoResponse(msg value.Value, port int, out *Chan) *rcache.Flight {
+	crt := inst.crt
+	cp := &crt.ports[port]
+	ri := crt.proto.Response(msg)
+	if cp.respCh == nil || ri.Informational {
+		out.Push(msg)
+		return nil
+	}
+	crt.mu.Lock()
+	if len(cp.pending) == 0 {
+		// Untracked response (nothing was sent upstream by this port):
+		// pass through rather than stall the connection.
+		crt.mu.Unlock()
+		out.Push(msg)
+		return nil
+	}
+	s := cp.pending[0]
+	cp.pending = cp.pending[1:]
+	f := s.f
+	s.f = nil
+	s.kind = slotReady
+	s.view = msg
+	msg.Retain()
+	inst.cacheDrainLocked(cp)
+	crt.mu.Unlock()
+	return f
+}
+
+// cacheDrainLocked delivers the ready prefix of a FIFO port's client-order
+// queue (crt.mu held). Chan.Push never blocks, so pushing under the lock
+// is safe and keeps delivery atomic with the generation check of the
+// callbacks that call here.
+func (inst *Instance) cacheDrainLocked(cp *cachePort) {
+	for len(cp.slots) > 0 && cp.slots[0].kind == slotReady {
+		s := cp.slots[0]
+		cp.slots = cp.slots[1:]
+		cp.respCh.Push(s.view)
+		s.view.Release()
+		s.view = value.Null
+	}
+}

@@ -35,7 +35,12 @@ type Instance struct {
 	// dispatch (nil: fixed topology, plain mod-B routing). Like conns it
 	// is written between pool Get and Start and read by task bodies after
 	// Start, so it needs no extra synchronisation; Reset clears it.
-	router    func(hash int64) int
+	router func(hash int64) int
+	// crt is the response-cache runtime (nil: uncached service). Like
+	// router it is installed between pool Get and Start (SetCache) and
+	// read by task bodies after Start; unlike router it persists across
+	// Reset — only its per-binding state clears (resetCache).
+	crt       *cacheRT
 	id        int64
 	liveTasks atomic.Int32
 	shutdown  atomic.Bool
@@ -209,6 +214,11 @@ func (inst *Instance) initRuntime() {
 // against the previous session's input state and poisoning the fresh one.
 func (inst *Instance) Reset() {
 	inst.active.Store(false)
+	// Cache bookkeeping dies before the channels clear: the generation
+	// bump makes outstanding waiter deliveries inert, so whatever they
+	// pushed before losing the race is released by the channel Reset
+	// below, and nothing lands after it.
+	inst.resetCache()
 	for _, t := range inst.tasks {
 		t.done.Store(false)
 		t.state.Store(int32(TaskIdle))
@@ -420,6 +430,36 @@ func (inst *Instance) runInput(ctx *ExecCtx, n *Node) RunResult {
 		msg, ok, derr := st.dec.Decode(st.q)
 		if ok {
 			st.mu.Unlock()
+			if crt := inst.crt; crt != nil && st.port >= 0 {
+				if primary := inst.tmpl.ports[st.port].Primary; primary && !crt.fifo {
+					// Client request: serve/coalesce/track before dispatch.
+					if inst.cacheClientRequest(ctx, msg, out) {
+						msg.Release()
+						if ctx.CountItem() {
+							return RunYield
+						}
+						continue
+					}
+				} else if !primary {
+					// Backend response: FIFO ports deliver through the slot
+					// queue (order-preserving); non-FIFO ports forward then
+					// correlate by key/opaque. Fills run while the decoder's
+					// reference still pins the response bytes.
+					if crt.fifo {
+						if f := inst.cacheFifoResponse(msg, st.port, out); f != nil {
+							f.Fill(msg.Field("_raw").AsBytes(), crt.proto.Response(msg))
+						}
+					} else {
+						out.Push(msg)
+						inst.cacheBackendResponse(msg)
+					}
+					msg.Release()
+					if ctx.CountItem() {
+						return RunYield
+					}
+					continue
+				}
+			}
 			// Push retains for the channel; dropping the decoder's own
 			// reference leaves the downstream consumer as the sole owner.
 			out.Push(msg)
@@ -560,6 +600,18 @@ func (inst *Instance) runOutput(ctx *ExecCtx, n *Node) RunResult {
 				continue
 			}
 			progressed = true
+			if crt := inst.crt; crt != nil && crt.fifo && st.port >= 0 && !inst.tmpl.ports[st.port].Primary {
+				// FIFO upstream request: hit/coalesce before it costs a
+				// round trip; consumed requests never reach the wire.
+				if inst.cacheUpstreamRequest(ctx, v, st.port) {
+					v.Release()
+					if ctx.CountItem() {
+						st.flush()
+						return RunYield
+					}
+					continue
+				}
+			}
 			st.encode(n.Codec, v)
 			v.Release()
 			if st.sc.Len() >= flushBytes {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	rcache "flick/internal/cache"
 	"flick/internal/netstack"
 	"flick/internal/upstream"
 )
@@ -138,6 +139,13 @@ type ServiceConfig struct {
 	// the manager and closes it on Service.Close. Nil keeps
 	// per-connection dialling (the ablation baseline).
 	Upstreams *upstream.Manager
+	// Cache, when set, interposes the in-network response cache between
+	// client decode and backend dispatch on every PerConnection instance:
+	// hits are served from the executing worker's shard as retained
+	// zero-copy views, concurrent misses for one key coalesce into a
+	// single upstream round trip (see internal/cache). The service owns
+	// the cache and closes it on Service.Close.
+	Cache *rcache.Cache
 }
 
 // Service is a deployed program: a listener plus the graph dispatcher.
@@ -222,11 +230,18 @@ func (s *Service) Close() {
 	if s.cfg.Upstreams != nil {
 		s.cfg.Upstreams.Close()
 	}
+	if s.cfg.Cache != nil {
+		s.cfg.Cache.Close()
+	}
 }
 
 // Upstreams returns the service's shared upstream connection layer (nil
 // when the service dials backends per connection).
 func (s *Service) Upstreams() *upstream.Manager { return s.cfg.Upstreams }
+
+// ResponseCache returns the service's in-network response cache (nil when
+// caching is disabled).
+func (s *Service) ResponseCache() *rcache.Cache { return s.cfg.Cache }
 
 // BackendCapacity returns the compiled channel-array capacity: the
 // maximum backend count a topology update can install
@@ -328,6 +343,7 @@ func (s *Service) dispatchPerConn(conn net.Conn) error {
 	}
 	s.live[inst] = struct{}{}
 	s.mu.Unlock()
+	inst.SetCache(s.cfg.Cache)
 	inst.SetOnFinish(func(i *Instance) {
 		s.mu.Lock()
 		closed := s.closed

@@ -1,0 +1,83 @@
+package loadgen
+
+import "math/rand"
+
+// HotKeyConfig parameterises a skewed key sequence: a hot set absorbing a
+// fixed share of draws, with the cold remainder drawn zipfian or uniform.
+// It models the hot-key workloads an in-network response cache exists for
+// (a few keys dominating the request mix).
+type HotKeyConfig struct {
+	// Seed makes the sequence deterministic (MemcacheSeq's reproducibility
+	// contract: same config → identical key stream across runs).
+	Seed int64
+	// Keys is the key-space size ("key-%06d", shared with PreloadKeys).
+	Keys int
+	// HotShare in [0,1] is the fraction of draws taken from the hot set.
+	HotShare float64
+	// HotKeys is the hot-set size (0: 1). Hot keys are indices
+	// [0, HotKeys); draws within the set are uniform.
+	HotKeys int
+	// ZipfS is the zipf skew of the cold remainder; values > 1 enable the
+	// zipfian tail (rand.Zipf's s parameter), anything else draws the cold
+	// keys uniformly.
+	ZipfS float64
+}
+
+// HotKeySeq yields a deterministic skewed key-index stream. Like
+// MemcacheSeq, the same configuration produces the identical stream, so
+// cached-vs-uncached benchmark arms see byte-identical request mixes.
+type HotKeySeq struct {
+	rng      *rand.Rand
+	zipf     *rand.Zipf
+	keys     int
+	hotKeys  int
+	hotShare float64
+	keyBuf   []byte
+}
+
+// NewHotKeySeq creates a sequence; Keys must be positive.
+func NewHotKeySeq(cfg HotKeyConfig) *HotKeySeq {
+	if cfg.Keys <= 0 {
+		cfg.Keys = 1
+	}
+	if cfg.HotKeys <= 0 {
+		cfg.HotKeys = 1
+	}
+	if cfg.HotKeys > cfg.Keys {
+		cfg.HotKeys = cfg.Keys
+	}
+	s := &HotKeySeq{
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		keys:     cfg.Keys,
+		hotKeys:  cfg.HotKeys,
+		hotShare: cfg.HotShare,
+	}
+	if cold := cfg.Keys - cfg.HotKeys; cold > 0 && cfg.ZipfS > 1 {
+		s.zipf = rand.NewZipf(s.rng, cfg.ZipfS, 1, uint64(cold-1))
+	}
+	return s
+}
+
+// NextIndex returns the next key index in [0, Keys).
+func (s *HotKeySeq) NextIndex() int {
+	if s.hotKeys >= s.keys {
+		return s.rng.Intn(s.keys)
+	}
+	if s.rng.Float64() < s.hotShare {
+		if s.hotKeys == 1 {
+			return 0
+		}
+		return s.rng.Intn(s.hotKeys)
+	}
+	if s.zipf != nil {
+		return s.hotKeys + int(s.zipf.Uint64())
+	}
+	return s.hotKeys + s.rng.Intn(s.keys-s.hotKeys)
+}
+
+// Next renders the next key ("key-%06d"). The slice is reused by the
+// following Next call.
+func (s *HotKeySeq) Next() []byte {
+	s.keyBuf = appendKey(s.keyBuf[:0], s.NextIndex())
+	return s.keyBuf
+}

@@ -1,0 +1,92 @@
+package loadgen
+
+import (
+	"testing"
+)
+
+// TestHotKeyDeterminism pins the reproducibility contract: the same config
+// yields the identical index stream, and a different seed does not.
+func TestHotKeyDeterminism(t *testing.T) {
+	cfg := HotKeyConfig{Seed: 7, Keys: 1000, HotShare: 0.5, HotKeys: 4, ZipfS: 1.2}
+	a, b := NewHotKeySeq(cfg), NewHotKeySeq(cfg)
+	other := cfg
+	other.Seed = 8
+	c := NewHotKeySeq(other)
+	diff := 0
+	for i := 0; i < 10000; i++ {
+		ai, bi := a.NextIndex(), b.NextIndex()
+		if ai != bi {
+			t.Fatalf("draw %d: seeds equal but indices differ (%d vs %d)", i, ai, bi)
+		}
+		if ai != c.NextIndex() {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatalf("different seeds produced identical streams")
+	}
+}
+
+// TestHotKeyShare pins the hot-set mass: with HotShare = 0.5 over a large
+// sample, the hot set must absorb 50% of draws within tolerance.
+func TestHotKeyShare(t *testing.T) {
+	const n = 200000
+	s := NewHotKeySeq(HotKeyConfig{Seed: 1, Keys: 100000, HotShare: 0.5, HotKeys: 1})
+	hot := 0
+	for i := 0; i < n; i++ {
+		if s.NextIndex() == 0 {
+			hot++
+		}
+	}
+	got := float64(hot) / n
+	if got < 0.48 || got > 0.52 {
+		t.Fatalf("hot share = %.4f, want 0.50 ± 0.02", got)
+	}
+}
+
+// TestHotKeyZipfTail pins the zipfian cold tail: lower cold indices must be
+// drawn more often than higher ones (monotone head-heavy mass).
+func TestHotKeyZipfTail(t *testing.T) {
+	const n = 200000
+	s := NewHotKeySeq(HotKeyConfig{Seed: 3, Keys: 10000, HotShare: 0, HotKeys: 1, ZipfS: 1.5})
+	counts := make([]int, 10000)
+	for i := 0; i < n; i++ {
+		counts[s.NextIndex()]++
+	}
+	// Cold indices start at 1 (hot set occupies index 0, share 0 here).
+	head := counts[1] + counts[2] + counts[3] + counts[4]
+	var tail int
+	for i := 101; i <= 104; i++ {
+		tail += counts[i]
+	}
+	if head <= tail*4 {
+		t.Fatalf("zipf head mass %d not dominant over tail mass %d", head, tail)
+	}
+}
+
+// TestHotKeyBounds checks every draw stays inside the key space across
+// configurations, including degenerate ones.
+func TestHotKeyBounds(t *testing.T) {
+	cfgs := []HotKeyConfig{
+		{Seed: 1, Keys: 1},
+		{Seed: 1, Keys: 10, HotKeys: 10, HotShare: 1},
+		{Seed: 1, Keys: 50, HotKeys: 3, HotShare: 0.9, ZipfS: 2},
+		{Seed: 1, Keys: 2, HotShare: 0.5},
+	}
+	for _, cfg := range cfgs {
+		s := NewHotKeySeq(cfg)
+		for i := 0; i < 5000; i++ {
+			if idx := s.NextIndex(); idx < 0 || idx >= cfg.Keys {
+				t.Fatalf("cfg %+v: index %d out of [0,%d)", cfg, idx, cfg.Keys)
+			}
+		}
+	}
+}
+
+// TestHotKeyRendering checks Next renders the same keys PreloadKeys primes.
+func TestHotKeyRendering(t *testing.T) {
+	s := NewHotKeySeq(HotKeyConfig{Seed: 2, Keys: 10, HotShare: 1, HotKeys: 1})
+	if got := string(s.Next()); got != Key(0) {
+		t.Fatalf("hot key rendered %q, want %q", got, Key(0))
+	}
+}

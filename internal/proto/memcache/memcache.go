@@ -47,6 +47,22 @@ const (
 	// shared socket.
 	OpQuitQ = 0x17
 
+	// Mutation opcodes — the response cache treats each as a write-through
+	// invalidation of its key (quiet variants are op|0x10 and classify the
+	// same way by key presence).
+	OpAdd       = 0x02
+	OpReplace   = 0x03
+	OpDelete    = 0x04
+	OpIncrement = 0x05
+	OpDecrement = 0x06
+	OpAppend    = 0x0e
+	OpPrepend   = 0x0f
+	// OpQuit ends the session; OpFlush (flush_all) drops every key.
+	OpQuit    = 0x07
+	OpFlush   = 0x08
+	OpVersion = 0x0b
+	OpStat    = 0x10
+
 	StatusOK          = 0x0000
 	StatusKeyNotFound = 0x0001
 )
