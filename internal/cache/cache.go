@@ -32,12 +32,21 @@
 //
 // Entries carry an absolute deadline (Config.TTL, capped per entry by the
 // protocol's admission verdict, e.g. Cache-Control: max-age). Expiry is
-// lazy: an expired entry misses — and is dropped from the observing shard
-// — and the subsequent refill replaces it everywhere. Write-through
-// invalidation (memcached SET/DELETE, HTTP non-GET) removes the key's
-// entries in every variant and kills the key's in-flight fill, so a value
-// written during a fill can never be shadowed by the pre-write response:
-// the fill's followers re-dispatch their own upstream requests instead.
+// lazy: the first lookup past the deadline misses and removes the entry
+// structurally (index, every shard, eviction order, byte gauge), so idle
+// expired keys don't pin pooled bytes until a refill or capacity
+// eviction. Write-through invalidation (memcached SET/DELETE, HTTP
+// non-GET) removes the key's entries in every variant and kills the key's
+// in-flight fills: their followers re-dispatch upstream instead of
+// receiving the pre-write value.
+//
+// Invalidation fires when the write request is decoded — before the write
+// reaches the backend. That kills every fill in flight at that moment,
+// but a fill that *begins* after the invalidation can still race the
+// write to the backend, capture the pre-write value, and serve it until
+// its deadline: staleness past a write is bounded by the entry TTL, not
+// zero. Workloads that need read-your-write through the proxy must size
+// TTL accordingly.
 package cache
 
 import (
@@ -165,6 +174,19 @@ func New(cfg Config) *Cache {
 // Proto returns the cache's protocol adapter.
 func (c *Cache) Proto() Protocol { return c.proto }
 
+// appendSKey renders the composite cache key into dst: the variant byte,
+// then the scope (when present) separated from the key by '\n' — a byte
+// that can appear in neither an HTTP header value nor a memcached key, so
+// scoped and unscoped keys can never collide.
+func appendSKey(dst []byte, variant byte, scope, key []byte) []byte {
+	dst = append(dst, variant)
+	if len(scope) > 0 {
+		dst = append(dst, scope...)
+		dst = append(dst, '\n')
+	}
+	return append(dst, key...)
+}
+
 // Get serves a hit for a ClassLookup request from worker's shard,
 // returning a self-contained response view (the caller owns one reference)
 // and whether an entry was found. The miss path (including lazy expiry) is
@@ -172,7 +194,7 @@ func (c *Cache) Proto() Protocol { return c.proto }
 func (c *Cache) Get(worker int, info ReqInfo) (value.Value, bool) {
 	sh := &c.shards[worker%len(c.shards)]
 	sh.mu.Lock()
-	sh.kbuf = append(append(sh.kbuf[:0], info.Variant), info.Key...)
+	sh.kbuf = appendSKey(sh.kbuf[:0], info.Variant, info.Scope, info.Key)
 	e := sh.m[string(sh.kbuf)]
 	if e == nil {
 		sh.mu.Unlock()
@@ -180,10 +202,17 @@ func (c *Cache) Get(worker int, info ReqInfo) (value.Value, bool) {
 		return value.Null, false
 	}
 	if c.now() > e.expires {
-		// Lazy expiry: drop from this shard only; the refill replaces the
-		// entry everywhere (remaining replicas re-expire the same way).
-		delete(sh.m, string(sh.kbuf))
+		// Observed expiry: remove the entry structurally so an idle key
+		// doesn't pin its pooled bytes (and the resident gauge) until a
+		// refill or capacity eviction. Lock order is fmu → shard.mu, so
+		// drop the shard lock first and re-check identity under fmu — a
+		// racing removal or refill leaves e unindexed.
 		sh.mu.Unlock()
+		c.fmu.Lock()
+		if c.index[e.skey] == e {
+			c.removeLocked(e)
+		}
+		c.fmu.Unlock()
 		c.expired.Inc()
 		c.misses.Inc()
 		return value.Null, false
@@ -197,10 +226,12 @@ func (c *Cache) Get(worker int, info ReqInfo) (value.Value, bool) {
 	return view, true
 }
 
-// Invalidate removes key's entries (every protocol variant) and kills the
-// key's in-flight fills: their followers re-dispatch upstream, so a racing
-// fill can never reinstate the pre-write response.
-func (c *Cache) Invalidate(key []byte) {
+// Invalidate removes the scoped key's entries (every protocol variant)
+// and kills the key's in-flight fills: their followers re-dispatch
+// upstream, so a fill already in flight can never reinstate the pre-write
+// response. A fill that begins after this call can still race the write
+// to the backend — see the package doc's bounded-staleness note.
+func (c *Cache) Invalidate(scope, key []byte) {
 	if len(key) == 0 {
 		return
 	}
@@ -208,7 +239,7 @@ func (c *Cache) Invalidate(key []byte) {
 	c.fmu.Lock()
 	touched := false
 	for _, v := range c.proto.Variants() {
-		skey := string(append([]byte{v}, key...))
+		skey := string(appendSKey(nil, v, scope, key))
 		if e := c.index[skey]; e != nil {
 			c.removeLocked(e)
 			touched = true

@@ -220,8 +220,10 @@ func checkServed(errs chan<- string, v value.Value, opaque uint32) {
 	v.Release()
 }
 
-// TestTTLExpiry checks lazy expiry: past the deadline a lookup misses and
-// counts expired; a refill serves again.
+// TestTTLExpiry checks lazy expiry: the first lookup past the deadline
+// misses and removes the entry structurally — every shard, the index and
+// the resident-byte gauge — so an idle expired key holds no pooled bytes;
+// a refill serves again.
 func TestTTLExpiry(t *testing.T) {
 	c := newTestCache(t, Config{Workers: 2, TTL: time.Second})
 	var clock atomic.Int64
@@ -235,12 +237,20 @@ func TestTTLExpiry(t *testing.T) {
 	if _, ok := c.Get(0, lookupInfo(memcache.OpGetK, "k1", 1)); ok {
 		t.Fatal("want miss after expiry")
 	}
-	// The other shard's replica expires independently.
+	// The observed expiry removed the entry everywhere, not just from the
+	// observing shard: the other shard misses structurally and nothing
+	// stays resident.
 	if _, ok := c.Get(1, lookupInfo(memcache.OpGetK, "k1", 1)); ok {
 		t.Fatal("want miss after expiry on second shard")
 	}
-	if got := cval(c.Counters(), "expired"); got != 2 {
-		t.Fatalf("expired = %d, want 2", got)
+	if got := cval(c.Counters(), "expired"); got != 1 {
+		t.Fatalf("expired = %d, want 1", got)
+	}
+	if n := c.Len(); n != 0 {
+		t.Fatalf("len = %d after observed expiry, want 0", n)
+	}
+	if b := c.BytesResident(); b != 0 {
+		t.Fatalf("%d bytes resident after observed expiry, want 0", b)
 	}
 	fill(t, c, memcache.OpGetK, "k1", 1, "v2")
 	v, ok := c.Get(0, lookupInfo(memcache.OpGetK, "k1", 1))
@@ -271,8 +281,8 @@ func TestInvalidate(t *testing.T) {
 		t.Fatal("expected to coalesce")
 	}
 
-	c.Invalidate([]byte("k1"))
-	c.Invalidate([]byte("pending"))
+	c.Invalidate(nil, []byte("k1"))
+	c.Invalidate(nil, []byte("pending"))
 	if aborted != 1 {
 		t.Fatalf("aborted = %d, want 1", aborted)
 	}

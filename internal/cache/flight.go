@@ -49,14 +49,14 @@ func (c *Cache) Begin(info ReqInfo, w Waiter) (*Flight, bool) {
 		c.fmu.Unlock()
 		return nil, true
 	}
-	skey := string(append([]byte{info.Variant}, info.Key...))
+	skey := string(appendSKey(nil, info.Variant, info.Scope, info.Key))
 	if f := c.flights[skey]; f != nil {
 		f.waiters = append(f.waiters, w)
 		c.fmu.Unlock()
 		c.coalesced.Inc()
 		return f, false
 	}
-	f := &Flight{c: c, skey: skey, key: []byte(skey[1:]), variant: info.Variant}
+	f := &Flight{c: c, skey: skey, key: append([]byte(nil), info.Key...), variant: info.Variant}
 	c.flights[skey] = f
 	c.fmu.Unlock()
 	return f, true

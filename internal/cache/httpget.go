@@ -1,8 +1,8 @@
 package cache
 
 import (
+	"bytes"
 	"strconv"
-	"strings"
 	"time"
 
 	phttp "flick/internal/proto/http"
@@ -10,17 +10,36 @@ import (
 )
 
 // HTTPGet adapts the cache to HTTP/1.1 load balancing: plain GET
-// responses are cached per URI; non-GET methods with side effects write
-// through as invalidations. HTTP/1.1 responses answer requests strictly
-// in order per connection, so the adapter is FIFO — the core correlates
-// through per-port slot queues instead of tags.
+// responses are cached per Host + URI; non-GET methods with side effects
+// write through as invalidations. HTTP/1.1 responses answer requests
+// strictly in order per connection, so the adapter is FIFO — the core
+// correlates through per-port slot queues instead of tags.
 //
-// Conservatism over coverage: conditional requests (If-None-Match /
-// If-Modified-Since — the ETag revalidation path), authenticated
-// requests and requests carrying Cache-Control: no-cache/no-store bypass
-// the cache entirely; only 200 responses free of forbidding Cache-Control
-// directives are admitted, with max-age capping the entry TTL.
+// Conservatism over coverage. The cache is shared across every client of
+// the service, so anything that could make a response per-user or
+// per-negotiation bypasses it entirely:
+//
+//   - Requests: conditional requests (If-None-Match / If-Modified-Since —
+//     the ETag revalidation path), credentialed requests (Authorization,
+//     Cookie), Range requests and Cache-Control: no-cache/no-store pass
+//     through. Requests without a Host header pass too — there is no
+//     namespace to key them under.
+//   - Responses: only 200 responses free of forbidding Cache-Control
+//     directives are admitted, with max-age capping the entry TTL — and
+//     never when the response carries Set-Cookie (a per-client session),
+//     Vary (content negotiation the Host+URI key doesn't capture) or
+//     Content-Encoding (a negotiated body a different client may not be
+//     able to decode).
 type HTTPGet struct{}
+
+// Forbidding/parsed tokens, package-level so the hot classification path
+// never allocates.
+var (
+	ccNoCache = []byte("no-cache")
+	ccNoStore = []byte("no-store")
+	ccPrivate = []byte("private")
+	ccMaxAge  = []byte("max-age=")
+)
 
 // Name implements Protocol.
 func (HTTPGet) Name() string { return "http-get" }
@@ -35,6 +54,7 @@ func (HTTPGet) Variants() []byte { return []byte{0} }
 func (HTTPGet) Request(req value.Value) ReqInfo {
 	method := req.Field("method").AsBytes()
 	uri := req.Field("uri").AsBytes()
+	host, hasHost := phttp.HeaderBytes(req, "Host")
 	if !bytesEqualStr(method, "GET") {
 		switch {
 		case bytesEqualStr(method, "HEAD"), bytesEqualStr(method, "OPTIONS"),
@@ -43,26 +63,27 @@ func (HTTPGet) Request(req value.Value) ReqInfo {
 			return ReqInfo{Class: ClassPass}
 		case len(uri) > 0:
 			// POST/PUT/DELETE/PATCH/...: write through the URI's entry.
-			return ReqInfo{Class: ClassInvalidate, Key: uri}
+			return ReqInfo{Class: ClassInvalidate, Key: uri, Scope: host}
 		default:
 			return ReqInfo{Class: ClassPass}
 		}
 	}
-	if len(uri) == 0 || req.Field("keep_alive").AsInt() != 1 {
-		// A closing client gets a closing response — never cacheable.
+	if len(uri) == 0 || !hasHost || len(host) == 0 || req.Field("keep_alive").AsInt() != 1 {
+		// A closing client gets a closing response — never cacheable —
+		// and a request without a Host has no cache namespace.
 		return ReqInfo{Class: ClassPass}
 	}
-	if phttp.Header(req, "If-None-Match") != "" ||
-		phttp.Header(req, "If-Modified-Since") != "" ||
-		phttp.Header(req, "Authorization") != "" {
+	if hdrPresent(req, "If-None-Match") || hdrPresent(req, "If-Modified-Since") ||
+		hdrPresent(req, "Authorization") || hdrPresent(req, "Cookie") ||
+		hdrPresent(req, "Range") {
 		return ReqInfo{Class: ClassPass}
 	}
-	if cc := phttp.Header(req, "Cache-Control"); cc != "" {
-		if strings.Contains(cc, "no-cache") || strings.Contains(cc, "no-store") {
+	if cc, ok := phttp.HeaderBytes(req, "Cache-Control"); ok {
+		if bytes.Contains(cc, ccNoCache) || bytes.Contains(cc, ccNoStore) {
 			return ReqInfo{Class: ClassPass}
 		}
 	}
-	return ReqInfo{Class: ClassLookup, Key: uri}
+	return ReqInfo{Class: ClassLookup, Key: uri, Scope: host}
 }
 
 // Response implements Protocol.
@@ -81,17 +102,23 @@ func (HTTPGet) Response(resp value.Value) RespInfo {
 		// client connection would leave the client unable to frame it.
 		return ri
 	}
-	if cc := phttp.Header(resp, "Cache-Control"); cc != "" {
-		if strings.Contains(cc, "no-store") || strings.Contains(cc, "no-cache") ||
-			strings.Contains(cc, "private") {
+	if hdrPresent(resp, "Set-Cookie") || hdrPresent(resp, "Vary") ||
+		hdrPresent(resp, "Content-Encoding") {
+		// Per-client session material, or a body negotiated on request
+		// headers the Host+URI key doesn't capture: never shareable.
+		return ri
+	}
+	if cc, ok := phttp.HeaderBytes(resp, "Cache-Control"); ok {
+		if bytes.Contains(cc, ccNoStore) || bytes.Contains(cc, ccNoCache) ||
+			bytes.Contains(cc, ccPrivate) {
 			return ri
 		}
-		if i := strings.Index(cc, "max-age="); i >= 0 {
-			v := cc[i+len("max-age="):]
-			if j := strings.IndexAny(v, ", "); j >= 0 {
+		if i := bytes.Index(cc, ccMaxAge); i >= 0 {
+			v := cc[i+len(ccMaxAge):]
+			if j := bytes.IndexAny(v, ", "); j >= 0 {
 				v = v[:j]
 			}
-			secs, err := strconv.Atoi(v)
+			secs, err := strconv.Atoi(string(v))
 			if err != nil || secs <= 0 {
 				// max-age=0 (or unparsable): already stale, don't store.
 				return ri
@@ -110,6 +137,12 @@ func (HTTPGet) MakeHit(raw []byte, region value.Region, _ uint64, _ bool) value.
 	rec := phttp.ResponseDesc.NewOwned(region)
 	rec.SetField("_raw", value.Bytes(raw))
 	return rec
+}
+
+// hdrPresent reports whether the named header exists on the message.
+func hdrPresent(msg value.Value, name string) bool {
+	_, ok := phttp.HeaderBytes(msg, name)
+	return ok
 }
 
 // bytesEqualStr reports b == s without allocating.

@@ -1,0 +1,143 @@
+package cache
+
+import (
+	"testing"
+	"time"
+
+	"flick/internal/buffer"
+	phttp "flick/internal/proto/http"
+	"flick/internal/value"
+)
+
+// decodeHTTP decodes one raw HTTP message (request or response) into a
+// record; the caller releases it.
+func decodeHTTP(t *testing.T, isRequest bool, raw string) value.Value {
+	t.Helper()
+	dec := phttp.ResponseFormat{}.NewDecoder()
+	if isRequest {
+		dec = phttp.RequestFormat{}.NewDecoder()
+	}
+	q := buffer.NewQueue(nil)
+	q.Append([]byte(raw))
+	msg, ok, err := dec.Decode(q)
+	if err != nil || !ok {
+		t.Fatalf("decode %q: ok=%v err=%v", raw, ok, err)
+	}
+	return msg
+}
+
+// TestHTTPGetRequestClassification pins the shared-cache conservatism of
+// the request side: credentialed, conditional, Range and Host-less
+// requests bypass the cache; cacheable GETs key on Host + URI; writes
+// invalidate under the same scoped key.
+func TestHTTPGetRequestClassification(t *testing.T) {
+	cases := []struct {
+		name  string
+		raw   string
+		class Class
+		key   string
+		scope string
+	}{
+		{"plain GET", "GET /a HTTP/1.1\r\nHost: h.example\r\n\r\n", ClassLookup, "/a", "h.example"},
+		{"no Host", "GET /a HTTP/1.1\r\n\r\n", ClassPass, "", ""},
+		{"Cookie", "GET /a HTTP/1.1\r\nHost: h.example\r\nCookie: sid=1\r\n\r\n", ClassPass, "", ""},
+		{"Authorization", "GET /a HTTP/1.1\r\nHost: h.example\r\nAuthorization: Bearer x\r\n\r\n", ClassPass, "", ""},
+		{"Range", "GET /a HTTP/1.1\r\nHost: h.example\r\nRange: bytes=0-5\r\n\r\n", ClassPass, "", ""},
+		{"conditional", "GET /a HTTP/1.1\r\nHost: h.example\r\nIf-None-Match: \"v1\"\r\n\r\n", ClassPass, "", ""},
+		{"no-store", "GET /a HTTP/1.1\r\nHost: h.example\r\nCache-Control: no-store\r\n\r\n", ClassPass, "", ""},
+		{"write", "DELETE /a HTTP/1.1\r\nHost: h.example\r\n\r\n", ClassInvalidate, "/a", "h.example"},
+	}
+	for _, tc := range cases {
+		req := decodeHTTP(t, true, tc.raw)
+		info := HTTPGet{}.Request(req)
+		if info.Class != tc.class {
+			t.Errorf("%s: class = %d, want %d", tc.name, info.Class, tc.class)
+		}
+		if tc.class != ClassPass {
+			if string(info.Key) != tc.key || string(info.Scope) != tc.scope {
+				t.Errorf("%s: key/scope = %q/%q, want %q/%q",
+					tc.name, info.Key, info.Scope, tc.key, tc.scope)
+			}
+		}
+		req.Release()
+	}
+}
+
+// TestHTTPGetAdmission pins the response side: per-client session material
+// (Set-Cookie), negotiated representations (Vary, Content-Encoding) and
+// forbidding Cache-Control directives are never admitted into the shared
+// cache; max-age caps the TTL.
+func TestHTTPGetAdmission(t *testing.T) {
+	cases := []struct {
+		name  string
+		raw   string
+		admit bool
+		ttl   time.Duration
+	}{
+		{"plain 200", "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi", true, 0},
+		{"Set-Cookie", "HTTP/1.1 200 OK\r\nContent-Length: 2\r\nSet-Cookie: sid=1\r\n\r\nhi", false, 0},
+		{"Vary", "HTTP/1.1 200 OK\r\nContent-Length: 2\r\nVary: Accept-Encoding\r\n\r\nhi", false, 0},
+		{"Content-Encoding", "HTTP/1.1 200 OK\r\nContent-Length: 2\r\nContent-Encoding: gzip\r\n\r\nhi", false, 0},
+		{"private", "HTTP/1.1 200 OK\r\nContent-Length: 2\r\nCache-Control: private\r\n\r\nhi", false, 0},
+		{"max-age", "HTTP/1.1 200 OK\r\nContent-Length: 2\r\nCache-Control: max-age=60\r\n\r\nhi", true, 60 * time.Second},
+		{"non-200", "HTTP/1.1 404 Not Found\r\nContent-Length: 2\r\n\r\nno", false, 0},
+	}
+	for _, tc := range cases {
+		resp := decodeHTTP(t, false, tc.raw)
+		ri := HTTPGet{}.Response(resp)
+		if ri.Admit != tc.admit {
+			t.Errorf("%s: admit = %v, want %v", tc.name, ri.Admit, tc.admit)
+		}
+		if ri.TTL != tc.ttl {
+			t.Errorf("%s: ttl = %v, want %v", tc.name, ri.TTL, tc.ttl)
+		}
+		if !ri.Match {
+			t.Errorf("%s: final responses must still consume their slot", tc.name)
+		}
+		resp.Release()
+	}
+}
+
+// TestHostScopedKeys checks two origins sharing a URI path hold distinct
+// entries and invalidate independently.
+func TestHostScopedKeys(t *testing.T) {
+	c := newTestCache(t, Config{Proto: HTTPGet{}, Workers: 1})
+	fillScoped := func(scope, val string) {
+		info := ReqInfo{Class: ClassLookup, Key: []byte("/idx"), Scope: []byte(scope)}
+		f, leader := c.Begin(info, Waiter{})
+		if !leader {
+			t.Fatalf("fill %q: expected to lead", scope)
+		}
+		f.Fill([]byte(val), RespInfo{Match: true, Admit: true})
+	}
+	get := func(scope string) (string, bool) {
+		info := ReqInfo{Class: ClassLookup, Key: []byte("/idx"), Scope: []byte(scope)}
+		v, ok := c.Get(0, info)
+		if !ok {
+			return "", false
+		}
+		raw := string(v.Field("_raw").AsBytes())
+		v.Release()
+		return raw, true
+	}
+
+	fillScoped("a.example", "body-A")
+	fillScoped("b.example", "body-B")
+	if got, ok := get("a.example"); !ok || got != "body-A" {
+		t.Fatalf("a.example: %q/%v, want body-A hit", got, ok)
+	}
+	if got, ok := get("b.example"); !ok || got != "body-B" {
+		t.Fatalf("b.example: %q/%v, want body-B hit", got, ok)
+	}
+	if _, ok := get("c.example"); ok {
+		t.Fatal("unfilled origin served another origin's entry")
+	}
+
+	c.Invalidate([]byte("a.example"), []byte("/idx"))
+	if _, ok := get("a.example"); ok {
+		t.Fatal("a.example survived its invalidation")
+	}
+	if got, ok := get("b.example"); !ok || got != "body-B" {
+		t.Fatalf("b.example dropped by a.example's invalidation (%q/%v)", got, ok)
+	}
+}

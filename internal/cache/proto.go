@@ -30,6 +30,10 @@ type ReqInfo struct {
 	Class Class
 	// Key is the cache key (memcached key, HTTP URI).
 	Key []byte
+	// Scope namespaces Key (HTTP Host: two origins sharing a URI path
+	// must not share entries). Empty for single-namespace protocols
+	// (memcached). Like Key, it aliases the request's pooled bytes.
+	Scope []byte
 	// Variant distinguishes response shapes sharing a key (memcached GET
 	// vs GETK); entries only serve and coalesce within their variant.
 	Variant byte

@@ -52,12 +52,19 @@ type cacheRT struct {
 	ports    []cachePort    // FIFO: per-port slot queues
 }
 
-// pendingFill is one upstream round trip this instance leads on behalf of
-// a flight (non-FIFO): the decoded response that correlates resolves it.
+// pendingFill is one upstream round trip the non-FIFO correlation table
+// tracks: either a fill this instance leads on behalf of a flight, or a
+// tracking-only slot (f == nil) for a re-dispatched aborted follower. The
+// tracker exists so the re-dispatched request's response consumes its own
+// correlation slot — without it, a plain-GET response whose client-chosen
+// opaque collides with a newer pending fill for a different key would
+// fill that entry with the wrong bytes.
 type pendingFill struct {
-	f      *rcache.Flight
-	tag    uint64
-	hasTag bool
+	f       *rcache.Flight // nil: tracking-only, nothing fills on match
+	key     []byte         // f's owned key, or an owned copy for trackers
+	variant byte
+	tag     uint64
+	hasTag  bool
 }
 
 type slotKind uint8
@@ -168,7 +175,9 @@ func (inst *Instance) resetCache() {
 	crt.mu.Lock()
 	crt.gen++
 	for _, p := range crt.pendings {
-		flights = append(flights, p.f)
+		if p.f != nil {
+			flights = append(flights, p.f)
+		}
 	}
 	crt.pendings = nil
 	for i := range crt.ports {
@@ -206,7 +215,11 @@ func (inst *Instance) cacheClientRequest(ctx *ExecCtx, msg value.Value, out *Cha
 	case rcache.ClassPass:
 		return false
 	case rcache.ClassInvalidate:
-		crt.cc.Invalidate(info.Key)
+		// Fires at decode time, before the write reaches the backend: a
+		// fill beginning after this point can still race the write
+		// upstream, so staleness past a write is TTL-bounded (see the
+		// cache package doc), not zero.
+		crt.cc.Invalidate(info.Scope, info.Key)
 		return false
 	case rcache.ClassInvalidateAll:
 		crt.cc.Clear()
@@ -240,7 +253,16 @@ func (inst *Instance) cacheClientRequest(ctx *ExecCtx, msg value.Value, out *Cha
 			crt.mu.Lock()
 			if crt.gen == gen {
 				// Re-forward into the dispatch path: the request takes its
-				// own upstream round trip, uncached.
+				// own upstream round trip, uncached — but tracked, so its
+				// response consumes a correlation slot instead of being
+				// invisible to the ambiguity check (msg still pins
+				// info.Key's bytes here; the tracker keeps its own copy).
+				crt.pendings = append(crt.pendings, &pendingFill{
+					key:     append([]byte(nil), info.Key...),
+					variant: info.Variant,
+					tag:     info.Tag,
+					hasTag:  info.HasTag,
+				})
 				crt.redispatchCh.Push(msg)
 			}
 			crt.mu.Unlock()
@@ -254,18 +276,26 @@ func (inst *Instance) cacheClientRequest(ctx *ExecCtx, msg value.Value, out *Cha
 	msg.Release()
 	if f != nil {
 		crt.mu.Lock()
-		crt.pendings = append(crt.pendings, &pendingFill{f: f, tag: info.Tag, hasTag: info.HasTag})
+		crt.pendings = append(crt.pendings, &pendingFill{
+			f:       f,
+			key:     f.Key(),
+			variant: f.Variant(),
+			tag:     info.Tag,
+			hasTag:  info.HasTag,
+		})
 		crt.mu.Unlock()
 	}
 	return false
 }
 
 // cacheBackendResponse correlates one decoded backend response (non-FIFO)
-// against the instance's pending fills, after the response was pushed
+// against the instance's pending table, after the response was pushed
 // downstream (msg stays valid: the caller still holds its reference). A
-// unique match fills (or, for a non-admissible response, aborts) its
-// flight; an ambiguous match — same variant and opaque, no key echo —
-// aborts every candidate rather than risk caching under the wrong key.
+// unique match on a fill fills (or, for a non-admissible response, aborts)
+// its flight; a unique match on a tracking-only pending just consumes the
+// slot; an ambiguous match — same variant and opaque, no key echo —
+// aborts every candidate fill rather than risk caching under the wrong
+// key.
 func (inst *Instance) cacheBackendResponse(msg value.Value) {
 	crt := inst.crt
 	ri := crt.proto.Response(msg)
@@ -275,11 +305,11 @@ func (inst *Instance) cacheBackendResponse(msg value.Value) {
 	var matched []*pendingFill
 	crt.mu.Lock()
 	for _, p := range crt.pendings {
-		if p.f.Variant() != ri.Variant {
+		if p.variant != ri.Variant {
 			continue
 		}
 		if ri.HasKey {
-			if bytes.Equal(p.f.Key(), ri.Key) {
+			if bytes.Equal(p.key, ri.Key) {
 				matched = append(matched, p)
 			}
 		} else if ri.HasTag && p.hasTag && p.tag == ri.Tag {
@@ -302,10 +332,14 @@ func (inst *Instance) cacheBackendResponse(msg value.Value) {
 	crt.mu.Unlock()
 	switch {
 	case len(matched) == 1:
-		matched[0].f.Fill(msg.Field("_raw").AsBytes(), ri)
+		if f := matched[0].f; f != nil {
+			f.Fill(msg.Field("_raw").AsBytes(), ri)
+		}
 	case len(matched) > 1:
 		for _, m := range matched {
-			m.f.Abort()
+			if m.f != nil {
+				m.f.Abort()
+			}
 		}
 	}
 }
@@ -323,25 +357,26 @@ func (inst *Instance) cacheUpstreamRequest(ctx *ExecCtx, msg value.Value, port i
 	}
 	// A re-dispatched request (aborted coalesced slot) keeps its original
 	// client-order slot; it only (re-)joins the upstream send order.
-	if len(cp.requeued) > 0 {
-		if id := cacheMsgID(msg); id != nil {
-			crt.mu.Lock()
-			for i, rq := range cp.requeued {
-				if rq.id == id {
-					cp.requeued = append(cp.requeued[:i], cp.requeued[i+1:]...)
-					rq.s.kind = slotUpstream
-					cp.pending = append(cp.pending, rq.s)
-					crt.mu.Unlock()
-					return false
-				}
+	// cp.requeued is written under crt.mu by the Abort waiter callback
+	// (from whatever goroutine resolved the flight), so even the emptiness
+	// check must hold the lock.
+	if id := cacheMsgID(msg); id != nil {
+		crt.mu.Lock()
+		for i, rq := range cp.requeued {
+			if rq.id == id {
+				cp.requeued = append(cp.requeued[:i], cp.requeued[i+1:]...)
+				rq.s.kind = slotUpstream
+				cp.pending = append(cp.pending, rq.s)
+				crt.mu.Unlock()
+				return false
 			}
-			crt.mu.Unlock()
 		}
+		crt.mu.Unlock()
 	}
 	info := crt.proto.Request(msg)
 	switch info.Class {
 	case rcache.ClassInvalidate:
-		crt.cc.Invalidate(info.Key)
+		crt.cc.Invalidate(info.Scope, info.Key)
 	case rcache.ClassInvalidateAll:
 		crt.cc.Clear()
 	}

@@ -557,6 +557,18 @@ func statusReason(status int) []byte {
 // Header returns the value of the named header within a decoded message's
 // headers block ("" when absent). Matching is case-insensitive.
 func Header(msg value.Value, name string) string {
+	v, ok := HeaderBytes(msg, name)
+	if !ok {
+		return ""
+	}
+	return string(v)
+}
+
+// HeaderBytes returns the named header's trimmed value as a zero-copy view
+// into the decoded message's header block, and whether the header is
+// present — the allocation-free counterpart of Header for hot paths. The
+// view is valid only while the message is.
+func HeaderBytes(msg value.Value, name string) ([]byte, bool) {
 	block := msg.Field("headers").AsBytes()
 	target := []byte(name)
 	for len(block) > 0 {
@@ -564,10 +576,10 @@ func Header(msg value.Value, name string) string {
 		line, block = splitLine(block)
 		n, v := splitHeader(line)
 		if asciiEqualFold(n, target) {
-			return string(trimSpace(v))
+			return trimSpace(v), true
 		}
 	}
-	return ""
+	return nil, false
 }
 
 // --- small byte helpers (kept local to avoid bytes import in hot paths) ---
