@@ -27,7 +27,7 @@ race:
 	$(GO) test -race ./internal/core/... ./internal/buffer/... \
 		./internal/proto/... ./internal/loadgen/... ./internal/upstream/... \
 		./internal/backend/... ./internal/apps/... ./internal/cache/... \
-		./internal/topology/... ./internal/admin/...
+		./internal/topology/... ./internal/admin/... ./internal/metrics/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

@@ -82,6 +82,7 @@ func main() {
 		cacheOn = flag.Bool("cache", false, "enable the in-network response cache (memcachedproxy and httplb only)")
 		cacheTT = flag.Duration("cache-ttl", 0, "response cache entry TTL (0: default)")
 		cacheMB = flag.Int64("cache-max-bytes", 0, "response cache resident-byte budget (0: default)")
+		reqlog  = flag.Int("reqlog", 0, "log every Nth request's latency (0: disabled; unsampled requests stay zero-alloc)")
 	)
 	flag.Var(&backends, "backend", "backend address (repeatable)")
 	flag.Parse()
@@ -149,6 +150,10 @@ func main() {
 	if cc := deployed.ResponseCache(); cc != nil {
 		fmt.Println("flickrun: response cache enabled (hit ratio in admin GET /topology, counters in /counters)")
 	}
+	if *reqlog > 0 {
+		deployed.Latency().SetReqLog(*reqlog)
+		fmt.Printf("flickrun: logging every %dth request's latency\n", *reqlog)
+	}
 
 	ctl := apps.NewControl(svc, deployed, p)
 	if *adminAd != "" {
@@ -157,7 +162,7 @@ func main() {
 			fatal(aerr)
 		}
 		defer srv.Close()
-		fmt.Printf("flickrun: admin API on http://%s (GET/PUT /topology, GET /counters, GET /healthz)\n", srv.Addr())
+		fmt.Printf("flickrun: admin API on http://%s (GET/PUT /topology, GET /counters, GET /latency, GET /healthz)\n", srv.Addr())
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -223,6 +228,10 @@ func main() {
 	if cc := deployed.ResponseCache(); cc != nil {
 		fmt.Printf("\nflickrun: response cache: hit ratio %.3f, %d bytes resident, %s\n",
 			cc.HitRatio(), cc.BytesResident(), cc.Counters())
+	}
+	fmt.Println("\nflickrun: latency:")
+	for _, h := range ctl.Latency() {
+		fmt.Printf("  %-16s %s\n", h.Name, h.Latency)
 	}
 	fmt.Println("\nflickrun: shutting down")
 }

@@ -10,6 +10,7 @@
 //	GET /topology  current topology as JSON (TopologyView)
 //	PUT /topology  install a new topology (topology.DecodeJSON wire form)
 //	GET /counters  every registered metrics.CounterSet as ordered JSON
+//	GET /latency   every registered latency dimension as ordered JSON
 //
 // GET /topology's "backends" field is valid PUT /topology input, so one
 // instance's control plane can feed another's (topology.Poll does exactly
@@ -70,6 +71,10 @@ type TopologyView struct {
 	BoundedLoadC float64 `json:"bounded_load_c,omitempty"`
 	// Cache is the response cache's live state (nil when uncached).
 	Cache *CacheView `json:"cache,omitempty"`
+	// Latency is the service's end-to-end (decode→flush) latency summary
+	// (nil when the service records none). Per-dimension histograms —
+	// upstream round trip, cache hit/miss/coalesced — live on GET /latency.
+	Latency *metrics.Snapshot `json:"latency,omitempty"`
 }
 
 // Controller is the running service the admin server fronts;
@@ -84,6 +89,9 @@ type Controller interface {
 	// Counters snapshots every registered counter set in registration
 	// order.
 	Counters() []metrics.Named
+	// Latency snapshots every registered latency dimension in
+	// registration order.
+	Latency() []metrics.NamedHist
 }
 
 // maxBody bounds a PUT /topology request body.
@@ -116,6 +124,18 @@ func Handler(ctl Controller) http.Handler {
 			return
 		}
 		raw, err := metrics.MarshalNamed(ctl.Counters())
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, raw)
+	})
+	mux.HandleFunc("/latency", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			methodNotAllowed(w, http.MethodGet)
+			return
+		}
+		raw, err := metrics.MarshalNamedHists(ctl.Latency())
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err.Error())
 			return

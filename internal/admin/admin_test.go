@@ -51,6 +51,13 @@ func (f *fakeController) Counters() []metrics.Named {
 	}
 }
 
+func (f *fakeController) Latency() []metrics.NamedHist {
+	return []metrics.NamedHist{
+		{Name: "total", Latency: metrics.Snapshot{Count: 7}},
+		{Name: "upstream", Latency: metrics.Snapshot{Count: 3}},
+	}
+}
+
 func testServer(t *testing.T) (*httptest.Server, *fakeController) {
 	t.Helper()
 	ctl := &fakeController{list: topology.Uniform([]string{"a:1", "b:1"})}
@@ -158,6 +165,19 @@ func TestGetCounters(t *testing.T) {
 	want := `{"upstream":{"dials":4},"sched":{"steals":1}}` + "\n"
 	if body != want {
 		t.Fatalf("GET /counters = %q, want %q (registration order preserved)", body, want)
+	}
+}
+
+func TestGetLatency(t *testing.T) {
+	srv, _ := testServer(t)
+	code, body := get(t, srv.URL+"/latency")
+	if code != 200 {
+		t.Fatalf("GET /latency = %d", code)
+	}
+	want := `{"total":{"count":7,"p50":0,"p95":0,"p99":0,"p999":0,"max":0,"mean":0},` +
+		`"upstream":{"count":3,"p50":0,"p95":0,"p99":0,"p999":0,"max":0,"mean":0}}` + "\n"
+	if body != want {
+		t.Fatalf("GET /latency = %q, want %q (registration and key order pinned)", body, want)
 	}
 }
 

@@ -22,6 +22,7 @@ type Control struct {
 	svc      *Service
 	deployed *core.Service
 	reg      *metrics.Registry
+	hists    *metrics.HistogramSet
 
 	mu       sync.Mutex // serialises Apply (topology transitions are ordered)
 	applied  metrics.Counter
@@ -31,9 +32,12 @@ type Control struct {
 // NewControl builds the control plane for a deployed service, registering
 // the platform's counter sets — scheduler, buffer pool, upstream layer
 // (when the service has one) and the control plane's own — in the
-// registry /counters serves.
+// registry /counters serves, and the live latency dimensions — service
+// total, upstream round trip, cache hit/miss/coalesced — in the histogram
+// set /latency serves.
 func NewControl(svc *Service, deployed *core.Service, p *core.Platform) *Control {
-	c := &Control{svc: svc, deployed: deployed, reg: metrics.NewRegistry()}
+	c := &Control{svc: svc, deployed: deployed,
+		reg: metrics.NewRegistry(), hists: metrics.NewHistogramSet()}
 	c.reg.Register("sched", func() metrics.CounterSet {
 		return p.Scheduler().Stats().Metrics()
 	})
@@ -50,6 +54,15 @@ func NewControl(svc *Service, deployed *core.Service, p *core.Platform) *Control
 			"rejected", c.rejected.Value(),
 		)
 	})
+	c.hists.Register("total", deployed.Latency().Total().Snapshot)
+	if m := deployed.Upstreams(); m != nil {
+		c.hists.Register("upstream", m.Latency().Snapshot)
+	}
+	if cc := deployed.ResponseCache(); cc != nil {
+		c.hists.Register("cache_hit", cc.HitLatency().Snapshot)
+		c.hists.Register("cache_miss", cc.MissLatency().Snapshot)
+		c.hists.Register("cache_coalesced", cc.CoalescedLatency().Snapshot)
+	}
 	return c
 }
 
@@ -75,11 +88,22 @@ func (c *Control) Apply(list []topology.Backend) error {
 // registration order.
 func (c *Control) Counters() []metrics.Named { return c.reg.Snapshot() }
 
+// Latency implements admin.Controller: every registered latency dimension
+// in registration order.
+func (c *Control) Latency() []metrics.NamedHist { return c.hists.Snapshot() }
+
+// Histograms exposes the latency-dimension set (e.g. to register
+// service-specific dimensions before serving the admin API).
+func (c *Control) Histograms() *metrics.HistogramSet { return c.hists }
+
 // View implements admin.Controller: a snapshot of the installed routing
 // topology — addresses, weights, ring shares — joined with the upstream
 // layer's live per-backend health verdicts and in-flight gauges.
 func (c *Control) View() admin.TopologyView {
 	v := admin.TopologyView{Capacity: c.deployed.BackendCapacity()}
+	if total := c.deployed.Latency().Total().Snapshot(); total.Count > 0 {
+		v.Latency = &total
+	}
 	if cc := c.deployed.ResponseCache(); cc != nil {
 		cs := cc.Counters()
 		hits, _ := cs.Get("hits")

@@ -53,6 +53,10 @@ type Fig4Point struct {
 	// Upstream is the shared-upstream-layer counter delta (empty for
 	// baselines and the per-client-dial ablation).
 	Upstream metrics.CounterSet
+	// Live is the middlebox's own decode→flush latency histogram over the
+	// window — the live pipeline the admin /latency endpoint serves
+	// (zero-valued for baselines, which have no such pipeline).
+	Live metrics.Snapshot
 }
 
 // RunFig4 measures the HTTP load balancer for every system×concurrency.
@@ -196,7 +200,7 @@ func runFig4Cell(cfg Fig4Config, sys System, clients int) (Fig4Point, error) {
 		Duration:   cfg.Duration,
 	})
 	allocs1 := heapAllocs()
-	return Fig4Point{
+	pt := Fig4Point{
 		System:      sys,
 		Clients:     clients,
 		Throughput:  res.Throughput(),
@@ -206,7 +210,11 @@ func runFig4Cell(cfg Fig4Config, sys System, clients int) (Fig4Point, error) {
 		AllocsPerOp: allocsPerOp(allocs1-allocs0, res.Requests),
 		Pool:        buffer.Global.Counters().Sub(pool0),
 		Upstream:    upstreamCounters(tb.svc).Sub(up0),
-	}, nil
+	}
+	if tb.svc != nil {
+		pt.Live = tb.svc.Latency().Total().Snapshot()
+	}
+	return pt, nil
 }
 
 // Fig4Table renders the figure's two panels (throughput and latency).
@@ -225,12 +233,16 @@ func Fig4Table(points []Fig4Point, persistent bool) *Table {
 	}
 	t := &Table{
 		Title:   "HTTP load balancer — Figure " + panel,
-		Columns: []string{"system", "clients", "req/s", "mean-lat", "p99-lat", "errors", "allocs/req", "pool", "upstream"},
-		Notes:   notes,
+		Columns: []string{"system", "clients", "req/s", "mean-lat", "p99-lat", "live-p99", "errors", "allocs/req", "pool", "upstream"},
+		Notes:   append(notes, "live-p99 = the middlebox's own decode→flush histogram (admin /latency); '-' for baselines"),
 	}
 	for _, p := range points {
+		liveCol := "-"
+		if p.Live.Count > 0 {
+			liveCol = fmtDur(p.Live.P99)
+		}
 		t.Add(string(p.System), fmt.Sprint(p.Clients), fmtReqs(p.Throughput),
-			fmtDur(p.MeanLatency), fmtDur(p.P99Latency), fmt.Sprint(p.Errors),
+			fmtDur(p.MeanLatency), fmtDur(p.P99Latency), liveCol, fmt.Sprint(p.Errors),
 			fmtAllocs(p.AllocsPerOp), fmtPool(p.Pool), fmtUpstream(p.Upstream))
 	}
 	return t

@@ -56,6 +56,15 @@ type HotkeyPoint struct {
 	HitRatio float64
 	// Cache is the cache counter set (empty for plain).
 	Cache metrics.CounterSet
+	// LiveTotal is the proxy's own decode→flush latency histogram over
+	// the measurement window (the live pipeline the admin /latency
+	// endpoint serves), captured before the probe round trips.
+	LiveTotal metrics.Snapshot
+	// LiveHit and LiveMiss split the cached arm's lookups: in-cache serve
+	// time for hits, Begin→Fill upstream round trip for leading misses
+	// (zero-valued on the plain arm).
+	LiveHit  metrics.Snapshot
+	LiveMiss metrics.Snapshot
 	// Identical reports the arms returned byte-identical responses for
 	// the probe keys (set on the cached arm after both arms ran).
 	Identical bool
@@ -154,6 +163,9 @@ func runHotkeyArm(cfg HotkeyConfig, useCache bool) (HotkeyPoint, [][]byte, error
 	backend0 := backendRequests(servers)
 	res := runHotkeyClients(tr, svc.Addr(), cfg)
 	backendReqs := backendRequests(servers) - backend0
+	// Snapshot the live pipeline before the probe round trips so LiveTotal
+	// covers exactly the measurement window's requests.
+	liveTotal := svc.Latency().Total().Snapshot()
 
 	probes, err := hotkeyProbes(tr, svc.Addr(), cfg)
 	if err != nil {
@@ -167,6 +179,7 @@ func runHotkeyArm(cfg HotkeyConfig, useCache bool) (HotkeyPoint, [][]byte, error
 		Errors:      res.Errors,
 		Requests:    res.Requests,
 		BackendReqs: backendReqs,
+		LiveTotal:   liveTotal,
 	}
 	if backendReqs > 0 {
 		pt.Offload = float64(res.Requests) / float64(backendReqs)
@@ -175,6 +188,8 @@ func runHotkeyArm(cfg HotkeyConfig, useCache bool) (HotkeyPoint, [][]byte, error
 		pt.Arm = "cached"
 		pt.HitRatio = cc.HitRatio()
 		pt.Cache = cc.Counters()
+		pt.LiveHit = cc.HitLatency().Snapshot()
+		pt.LiveMiss = cc.MissLatency().Snapshot()
 	}
 	return pt, probes, nil
 }
@@ -275,20 +290,23 @@ func backendRequests(servers []*backend.MemcachedServer) uint64 {
 func HotkeyTable(points []HotkeyPoint) *Table {
 	t := &Table{
 		Title:   "Hot-key response cache — cached vs plain proxy",
-		Columns: []string{"arm", "req/s", "mean-lat", "p99-lat", "errors", "backend-reqs", "offload", "hit-ratio", "cache", "identical"},
+		Columns: []string{"arm", "req/s", "mean-lat", "p99-lat", "live-p99", "p99(hit)", "p99(miss)", "errors", "backend-reqs", "offload", "hit-ratio", "cache", "identical"},
 		Notes: []string{
 			"offload = client requests per upstream round trip (plain arm pins the 1.0 baseline)",
 			"identical = probe responses byte-identical across arms (opaque patched on hits)",
+			"live-p99 = the proxy's own decode→flush histogram (admin /latency); p99(hit)/p99(miss) split the cache lookups",
 		},
 	}
 	for _, p := range points {
-		cacheCol := "-"
-		hitCol := "-"
+		cacheCol, hitCol, hitLat, missLat := "-", "-", "-", "-"
 		if p.Arm == "cached" {
 			cacheCol = fmtCache(p.Cache)
 			hitCol = fmt.Sprintf("%.3f", p.HitRatio)
+			hitLat = fmtDur(p.LiveHit.P99)
+			missLat = fmtDur(p.LiveMiss.P99)
 		}
 		t.Add(p.Arm, fmtReqs(p.Throughput), fmtDur(p.MeanLatency), fmtDur(p.P99Latency),
+			fmtDur(p.LiveTotal.P99), hitLat, missLat,
 			fmt.Sprint(p.Errors), fmt.Sprint(p.BackendReqs), fmt.Sprintf("%.1fx", p.Offload),
 			hitCol, cacheCol, fmt.Sprint(p.Identical))
 	}

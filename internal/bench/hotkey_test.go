@@ -48,7 +48,29 @@ func TestHotkeySmoke(t *testing.T) {
 	if !cached.Identical {
 		t.Fatal("cached and plain arms returned different response bytes")
 	}
-	if s := HotkeyTable(pts).String(); !strings.Contains(s, "offload") {
+	// Live pipeline acceptance: the proxy's own histogram must account for
+	// exactly the requests the clients completed (no errors, so every
+	// round trip flushed one response), and the cache split must show the
+	// whole point of the cache — hits resolving far faster than the
+	// upstream round trip a leading miss pays.
+	for _, p := range pts {
+		if p.LiveTotal.Count != p.Requests {
+			t.Fatalf("%s arm: live total count %d != client requests %d",
+				p.Arm, p.LiveTotal.Count, p.Requests)
+		}
+		if p.LiveTotal.P50 > p.LiveTotal.P99 || p.LiveTotal.P99 > p.LiveTotal.Max {
+			t.Fatalf("%s arm: live quantiles not monotone: %v", p.Arm, p.LiveTotal)
+		}
+	}
+	if cached.LiveHit.Count == 0 || cached.LiveMiss.Count == 0 {
+		t.Fatalf("cached arm: hit/miss histograms empty: hit %v miss %v",
+			cached.LiveHit, cached.LiveMiss)
+	}
+	if cached.LiveHit.P99 >= cached.LiveMiss.P99 {
+		t.Fatalf("live p99(hit) %v >= p99(miss) %v — hits must beat the upstream round trip",
+			cached.LiveHit.P99, cached.LiveMiss.P99)
+	}
+	if s := HotkeyTable(pts).String(); !strings.Contains(s, "p99(hit)") {
 		t.Fatal("table rendering")
 	}
 }

@@ -135,6 +135,17 @@ type Cache struct {
 	expired       metrics.Counter
 	aborts        metrics.Counter
 
+	// Latency dimensions of the live pipeline. hitLat is sharded like the
+	// key index — the hit path records into the executing worker's shard,
+	// staying wait-free and allocation-free. missLat (Begin → Fill, the
+	// upstream round trip a leading miss pays) and coalLat (Begin → waiter
+	// delivery, what a coalesced request waited) are plain histograms:
+	// misses are orders of magnitude rarer than hits, so cross-worker
+	// cache-line sharing on their atomics is noise next to the round trip.
+	hitLat  *metrics.ShardedHistogram
+	missLat metrics.Histogram
+	coalLat metrics.Histogram
+
 	// now is the clock (tests override).
 	now func() int64
 }
@@ -163,6 +174,7 @@ func New(cfg Config) *Cache {
 		shards:   make([]shard, workers),
 		index:    map[string]*entry{},
 		flights:  map[string]*Flight{},
+		hitLat:   metrics.NewShardedHistogram(workers),
 		now:      func() int64 { return time.Now().UnixNano() },
 	}
 	for i := range c.shards {
@@ -192,6 +204,7 @@ func appendSKey(dst []byte, variant byte, scope, key []byte) []byte {
 // and whether an entry was found. The miss path (including lazy expiry) is
 // counted here; callers follow a miss with Begin.
 func (c *Cache) Get(worker int, info ReqInfo) (value.Value, bool) {
+	start := metrics.Now()
 	sh := &c.shards[worker%len(c.shards)]
 	sh.mu.Lock()
 	sh.kbuf = appendSKey(sh.kbuf[:0], info.Variant, info.Scope, info.Key)
@@ -223,8 +236,23 @@ func (c *Cache) Get(worker int, info ReqInfo) (value.Value, bool) {
 	view := c.proto.MakeHit(e.raw, e.region, info.Tag, info.HasTag)
 	sh.mu.Unlock()
 	c.hits.Inc()
+	c.hitLat.Record(worker, time.Duration(metrics.Now()-start))
 	return view, true
 }
+
+// HitLatency returns the in-cache serve-time histogram of the hit path
+// (lookup entry → view built) — not the client-observed latency, which
+// additionally includes decode and flush batching.
+func (c *Cache) HitLatency() *metrics.ShardedHistogram { return c.hitLat }
+
+// MissLatency returns the leading-miss histogram: Begin (miss classified)
+// → Fill (upstream response resolved the flight). Aborted flights record
+// nothing.
+func (c *Cache) MissLatency() *metrics.Histogram { return &c.missLat }
+
+// CoalescedLatency returns the coalesced-wait histogram: Begin (joined an
+// in-flight fill) → waiter delivery. Aborted waiters record nothing.
+func (c *Cache) CoalescedLatency() *metrics.Histogram { return &c.coalLat }
 
 // Invalidate removes the scoped key's entries (every protocol variant)
 // and kills the key's in-flight fills: their followers re-dispatch

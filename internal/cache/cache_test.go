@@ -90,6 +90,12 @@ func TestCacheHitZeroAlloc(t *testing.T) {
 	}); n != 0 {
 		t.Fatalf("opaque-patching hit path allocates %v per run, want 0", n)
 	}
+
+	// The hit-latency instrumentation is always on inside Get: every hit
+	// measured above must appear in the live histogram, still at 0 allocs.
+	if n := c.HitLatency().Count(); n < 400 {
+		t.Fatalf("hit-latency histogram recorded %d hits, want >= 400", n)
+	}
 }
 
 // TestHitPatchesOpaque checks a served view carries the requester's

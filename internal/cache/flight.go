@@ -1,6 +1,11 @@
 package cache
 
-import "flick/internal/value"
+import (
+	"time"
+
+	"flick/internal/metrics"
+	"flick/internal/value"
+)
 
 // A Waiter is a coalesced miss parked on another request's in-flight fill.
 // Exactly one of its callbacks fires, asynchronously, from whichever
@@ -19,6 +24,10 @@ type Waiter struct {
 	// non-cacheable response, instance reset): the waiter re-dispatches
 	// its own upstream request.
 	Abort func()
+
+	// start is the coalesced-wait stamp, set by Begin when the waiter
+	// parks; the delivery loop records Begin→Deliver into coalLat.
+	start int64
 }
 
 // Flight is one in-flight fill: the first miss for a key leads it (owns
@@ -29,6 +38,7 @@ type Flight struct {
 	skey    string // variant-prefixed owned key
 	key     []byte // owned copy of the request key
 	variant byte
+	start   int64 // leading-miss stamp (Begin → Fill into missLat)
 	waiters []Waiter
 }
 
@@ -44,6 +54,7 @@ func (f *Flight) Variant() byte { return f.variant }
 // the existing flight and must NOT forward. On a closed cache Begin
 // returns (nil, true): forward upstream with no tracking.
 func (c *Cache) Begin(info ReqInfo, w Waiter) (*Flight, bool) {
+	now := metrics.Now()
 	c.fmu.Lock()
 	if c.closed {
 		c.fmu.Unlock()
@@ -51,12 +62,13 @@ func (c *Cache) Begin(info ReqInfo, w Waiter) (*Flight, bool) {
 	}
 	skey := string(appendSKey(nil, info.Variant, info.Scope, info.Key))
 	if f := c.flights[skey]; f != nil {
+		w.start = now
 		f.waiters = append(f.waiters, w)
 		c.fmu.Unlock()
 		c.coalesced.Inc()
 		return f, false
 	}
-	f := &Flight{c: c, skey: skey, key: append([]byte(nil), info.Key...), variant: info.Variant}
+	f := &Flight{c: c, skey: skey, key: append([]byte(nil), info.Key...), variant: info.Variant, start: now}
 	c.flights[skey] = f
 	c.fmu.Unlock()
 	return f, true
@@ -92,11 +104,14 @@ func (f *Flight) Fill(raw []byte, ri RespInfo) {
 		}
 	}
 	c.fmu.Unlock()
+	now := metrics.Now()
+	c.missLat.Record(time.Duration(now - f.start))
 	if e == nil {
 		c.abortWaiters(waiters)
 		return
 	}
 	for _, w := range waiters {
+		c.coalLat.Record(time.Duration(now - w.start))
 		w.Deliver(c.proto.MakeHit(e.raw, e.region, w.Tag, w.HasTag))
 	}
 	if len(waiters) > 0 {

@@ -7,8 +7,11 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"time"
+
 	"flick/internal/buffer"
 	"flick/internal/grammar"
+	"flick/internal/metrics"
 	"flick/internal/netstack"
 	"flick/internal/value"
 )
@@ -40,7 +43,11 @@ type Instance struct {
 	// router it is installed between pool Get and Start (SetCache) and
 	// read by task bodies after Start; unlike router it persists across
 	// Reset — only its per-binding state clears (resetCache).
-	crt       *cacheRT
+	crt *cacheRT
+	// lrt is the live-latency runtime (nil: uninstrumented service). Like
+	// crt it is installed between pool Get and Start (SetLatency) and
+	// persists across Reset — only its stamp ring clears (resetLatency).
+	lrt       *latencyRT
 	id        int64
 	liveTasks atomic.Int32
 	shutdown  atomic.Bool
@@ -219,6 +226,7 @@ func (inst *Instance) Reset() {
 	// pushed before losing the race is released by the channel Reset
 	// below, and nothing lands after it.
 	inst.resetCache()
+	inst.resetLatency()
 	for _, t := range inst.tasks {
 		t.done.Store(false)
 		t.state.Store(int32(TaskIdle))
@@ -422,6 +430,13 @@ func (inst *Instance) runInput(ctx *ExecCtx, n *Node) RunResult {
 	}
 	st := inst.inputRT[n.ID]
 	out := inst.nodeOut[n.ID][0]
+	// stampPrimary: this input feeds the client-facing port of an
+	// instrumented graph, so every decoded request pushes a latency stamp.
+	// The clock is read lazily, once per batch of decodes (lnow resets when
+	// new bytes arrive): requests framed by one socket read arrived
+	// together, so they share an arrival stamp.
+	stampPrimary := inst.lrt != nil && st.port >= 0 && inst.tmpl.ports[st.port].Primary
+	lnow := int64(-1)
 	for {
 		if out.Saturated() {
 			return RunYield
@@ -430,6 +445,12 @@ func (inst *Instance) runInput(ctx *ExecCtx, n *Node) RunResult {
 		msg, ok, derr := st.dec.Decode(st.q)
 		if ok {
 			st.mu.Unlock()
+			if stampPrimary {
+				if lnow < 0 {
+					lnow = metrics.Now()
+				}
+				inst.lrt.push(lnow)
+			}
 			if crt := inst.crt; crt != nil && st.port >= 0 {
 				if primary := inst.tmpl.ports[st.port].Primary; primary && !crt.fifo {
 					// Client request: serve/coalesce/track before dispatch.
@@ -497,6 +518,7 @@ func (inst *Instance) runInput(ctx *ExecCtx, n *Node) RunResult {
 			}
 			if nread > 0 {
 				st.mu.Unlock()
+				lnow = -1 // fresh bytes: the next decode batch re-reads the clock
 				continue
 			}
 			if rerr != nil {
@@ -587,6 +609,13 @@ func (inst *Instance) runOutput(ctx *ExecCtx, n *Node) RunResult {
 	}
 	st := inst.outputRT[n.ID]
 	ins := inst.nodeIn[n.ID]
+	// recordPrimary: this output answers the client-facing port of an
+	// instrumented graph, so each encoded response pops its request's
+	// decode stamp and records the elapsed time. The clock is read lazily,
+	// once per flush batch: the batch leaves in one vectored write, so its
+	// responses share a completion stamp.
+	recordPrimary := inst.lrt != nil && st.port >= 0 && inst.tmpl.ports[st.port].Primary
+	lend := int64(-1)
 	for {
 		progressed := false
 		closedCount := 0
@@ -613,9 +642,18 @@ func (inst *Instance) runOutput(ctx *ExecCtx, n *Node) RunResult {
 				}
 			}
 			st.encode(n.Codec, v)
+			if recordPrimary {
+				if start, popped := inst.lrt.pop(); popped {
+					if lend < 0 {
+						lend = metrics.Now()
+					}
+					inst.lrt.sl.record(ctx.Worker(), time.Duration(lend-start))
+				}
+			}
 			v.Release()
 			if st.sc.Len() >= flushBytes {
 				st.flush()
+				lend = -1 // batch left the process; re-stamp the next one
 			}
 			if ctx.CountItem() {
 				st.flush()

@@ -161,6 +161,10 @@ type Service struct {
 	topo   atomic.Value
 	topoMu sync.Mutex
 
+	// lat is the service's live latency signal, recorded by every
+	// PerConnection instance (see ServiceLatency).
+	lat *ServiceLatency
+
 	mu      sync.Mutex
 	shared  *Instance // Shared dispatch accumulator
 	nextIdx int       // next SharedPorts slot
@@ -183,6 +187,7 @@ func (p *Platform) Deploy(cfg ServiceConfig) (*Service, error) {
 		listener: l,
 		pool:     NewGraphPool(cfg.Template, p.sched, cfg.PoolSize),
 		live:     map[*Instance]struct{}{},
+		lat:      NewServiceLatency(cfg.Name, p.sched.Workers()),
 	}
 	s.pool.Disabled = cfg.DisablePool
 	if err := s.installTopology(&cfg); err != nil {
@@ -242,6 +247,11 @@ func (s *Service) Upstreams() *upstream.Manager { return s.cfg.Upstreams }
 // ResponseCache returns the service's in-network response cache (nil when
 // caching is disabled).
 func (s *Service) ResponseCache() *rcache.Cache { return s.cfg.Cache }
+
+// Latency returns the service's live request-latency signal (always
+// non-nil; it only populates for PerConnection graphs with a primary
+// in/out port pair).
+func (s *Service) Latency() *ServiceLatency { return s.lat }
 
 // BackendCapacity returns the compiled channel-array capacity: the
 // maximum backend count a topology update can install
@@ -344,6 +354,7 @@ func (s *Service) dispatchPerConn(conn net.Conn) error {
 	s.live[inst] = struct{}{}
 	s.mu.Unlock()
 	inst.SetCache(s.cfg.Cache)
+	inst.SetLatency(s.lat)
 	inst.SetOnFinish(func(i *Instance) {
 		s.mu.Lock()
 		closed := s.closed

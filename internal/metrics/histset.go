@@ -1,0 +1,193 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// epoch anchors the package's monotonic clock. Timestamps from Now are
+// nanoseconds since this process-local instant; only differences between
+// two readings are meaningful.
+var epoch = time.Now()
+
+// Now returns a monotonic timestamp in nanoseconds since an arbitrary
+// process-local epoch — the cheap, allocation-free stamp the per-request
+// latency pipeline stores at decode and subtracts at flush. Use
+// time.Duration(Now()-start) to turn two readings into an interval.
+func Now() int64 { return int64(time.Since(epoch)) }
+
+// ShardedHistogram is a latency histogram split into per-worker Histogram
+// shards: Record touches only the calling worker's shard (wait-free atomic
+// adds, no cross-core cache-line ping-pong on the hot path) and reads
+// aggregate every shard's buckets into one summary. This is the data-path
+// recording primitive of the live latency pipeline; one instance per
+// latency dimension (service total, upstream round trip, cache outcome).
+type ShardedHistogram struct {
+	shards []Histogram
+}
+
+// NewShardedHistogram creates a histogram with one shard per worker
+// (workers <= 0 selects a single shard).
+func NewShardedHistogram(workers int) *ShardedHistogram {
+	if workers <= 0 {
+		workers = 1
+	}
+	return &ShardedHistogram{shards: make([]Histogram, workers)}
+}
+
+// Shards returns the shard count.
+func (s *ShardedHistogram) Shards() int { return len(s.shards) }
+
+// Record adds one observation to worker's shard (worker mod shard count;
+// negative workers clamp to 0). Wait-free and allocation-free — safe on
+// the zero-copy data path (TestRecordZeroAlloc pins this).
+func (s *ShardedHistogram) Record(worker int, d time.Duration) {
+	if worker < 0 {
+		worker = 0
+	}
+	s.shards[worker%len(s.shards)].Record(d)
+}
+
+// Count returns the total observations across every shard.
+func (s *ShardedHistogram) Count() uint64 {
+	var n uint64
+	for i := range s.shards {
+		n += s.shards[i].Count()
+	}
+	return n
+}
+
+// merge copies every shard's buckets into one array (a single pass per
+// shard) and returns the merged total, nanosecond sum and maximum.
+func (s *ShardedHistogram) merge(dst *[numBuckets]uint64) (total, sumNs uint64, max time.Duration) {
+	for i := range s.shards {
+		h := &s.shards[i]
+		for j := range h.buckets {
+			n := h.buckets[j].Load()
+			dst[j] += n
+			total += n
+		}
+		sumNs += h.sum.Load()
+		if m := h.Max(); m > max {
+			max = m
+		}
+	}
+	return total, sumNs, max
+}
+
+// Snapshot aggregates every shard into one point-in-time summary. Shards
+// are read in sequence without a global lock, so observations recorded
+// while the read is in progress may land in the summary or the next one —
+// counts are monotone across successive snapshots, never torn.
+func (s *ShardedHistogram) Snapshot() Snapshot {
+	var b [numBuckets]uint64
+	total, sumNs, max := s.merge(&b)
+	return snapshotFrom(&b, total, sumNs, max)
+}
+
+// Quantile returns the q-th quantile over the merged shards.
+func (s *ShardedHistogram) Quantile(q float64) time.Duration {
+	var b [numBuckets]uint64
+	total, _, _ := s.merge(&b)
+	return quantileFrom(&b, total, q)
+}
+
+// MarshalJSON renders the snapshot as one JSON object with pinned key
+// order — count, p50, p95, p99, p999, max, mean — latencies as integer
+// nanoseconds. Like CounterSet, the object is built by hand so the admin
+// API's /latency payload has a stable shape.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf(
+		`{"count":%d,"p50":%d,"p95":%d,"p99":%d,"p999":%d,"max":%d,"mean":%d}`,
+		s.Count, s.P50.Nanoseconds(), s.P95.Nanoseconds(), s.P99.Nanoseconds(),
+		s.P999.Nanoseconds(), s.Max.Nanoseconds(), s.Mean.Nanoseconds())), nil
+}
+
+// NamedHist couples a latency snapshot with the dimension name it was
+// registered under ("total", "upstream", "cache_hit", ...).
+type NamedHist struct {
+	// Name is the registered dimension name.
+	Name string
+	// Latency is the dimension's aggregated summary.
+	Latency Snapshot
+}
+
+// HistogramSet is an ordered, concurrency-safe collection of named latency
+// sources: each dimension registers a snapshot function once and consumers
+// — the admin API's /latency endpoint, flickrun's exit dump, the bench
+// tables — snapshot them all in registration order. It is the histogram
+// analogue of the counter Registry, registered next to the CounterSets in
+// apps.NewControl. The zero value is not usable; call NewHistogramSet.
+type HistogramSet struct {
+	mu      sync.Mutex
+	names   []string
+	sources map[string]func() Snapshot
+}
+
+// NewHistogramSet creates an empty set.
+func NewHistogramSet() *HistogramSet {
+	return &HistogramSet{sources: map[string]func() Snapshot{}}
+}
+
+// Register adds (or replaces) the named snapshot source. Registration
+// order is preserved across snapshots; re-registering a name keeps its
+// original position.
+func (hs *HistogramSet) Register(name string, fn func() Snapshot) {
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	if _, ok := hs.sources[name]; !ok {
+		hs.names = append(hs.names, name)
+	}
+	hs.sources[name] = fn
+}
+
+// Snapshot calls every registered source and returns the readings in
+// registration order. Sources run outside the set's lock.
+func (hs *HistogramSet) Snapshot() []NamedHist {
+	hs.mu.Lock()
+	names := append([]string(nil), hs.names...)
+	fns := make([]func() Snapshot, len(names))
+	for i, n := range names {
+		fns[i] = hs.sources[n]
+	}
+	hs.mu.Unlock()
+	out := make([]NamedHist, len(names))
+	for i, n := range names {
+		out[i] = NamedHist{Name: n, Latency: fns[i]()}
+	}
+	return out
+}
+
+// MarshalJSON renders a snapshot of every registered dimension as one JSON
+// object in registration order: {"total":{...},"upstream":{...}}.
+func (hs *HistogramSet) MarshalJSON() ([]byte, error) {
+	return MarshalNamedHists(hs.Snapshot())
+}
+
+// MarshalNamedHists renders named latency snapshots as one
+// order-preserving JSON object (the /latency wire format).
+func MarshalNamedHists(hists []NamedHist) ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteByte('{')
+	for i, h := range hists {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		name, err := json.Marshal(h.Name)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(name)
+		b.WriteByte(':')
+		inner, err := h.Latency.MarshalJSON()
+		if err != nil {
+			return nil, err
+		}
+		b.Write(inner)
+	}
+	b.WriteByte('}')
+	return b.Bytes(), nil
+}

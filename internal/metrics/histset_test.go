@@ -1,0 +1,203 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestShardedHistogramAggregation(t *testing.T) {
+	sh := NewShardedHistogram(4)
+	if sh.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", sh.Shards())
+	}
+	var ref Histogram
+	for i := 0; i < 1000; i++ {
+		d := time.Duration(1+i*7919) * time.Microsecond
+		sh.Record(i, d) // spread across all shards
+		ref.Record(d)
+	}
+	if sh.Count() != ref.Count() {
+		t.Fatalf("Count = %d, want %d", sh.Count(), ref.Count())
+	}
+	got, want := sh.Snapshot(), ref.Snapshot()
+	if got != want {
+		t.Fatalf("merged snapshot %v != single-histogram snapshot %v", got, want)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if g, w := sh.Quantile(q), ref.Quantile(q); g != w {
+			t.Fatalf("Quantile(%v) = %v, want %v", q, g, w)
+		}
+	}
+}
+
+func TestShardedHistogramWorkerClamping(t *testing.T) {
+	sh := NewShardedHistogram(0) // <= 0 workers selects one shard
+	if sh.Shards() != 1 {
+		t.Fatalf("Shards() = %d, want 1", sh.Shards())
+	}
+	sh.Record(-5, time.Millisecond) // negative worker clamps, must not panic
+	sh.Record(99, time.Millisecond) // out-of-range worker wraps
+	if sh.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", sh.Count())
+	}
+}
+
+// TestRecordZeroAlloc pins the hot-path cost of the latency pipeline: a
+// clock read plus a sharded Record must not allocate, or every request on
+// the zero-copy path would.
+func TestRecordZeroAlloc(t *testing.T) {
+	sh := NewShardedHistogram(8)
+	var h Histogram
+	if n := testing.AllocsPerRun(1000, func() {
+		start := Now()
+		h.Record(time.Duration(Now() - start))
+	}); n != 0 {
+		t.Fatalf("Histogram.Record allocates %v/op, want 0", n)
+	}
+	w := 0
+	if n := testing.AllocsPerRun(1000, func() {
+		start := Now()
+		sh.Record(w, time.Duration(Now()-start))
+		w++
+	}); n != 0 {
+		t.Fatalf("ShardedHistogram.Record allocates %v/op, want 0", n)
+	}
+}
+
+// TestShardedRecordVsSnapshotConcurrent drives 16 recorder goroutines
+// against concurrent Snapshot/Quantile readers (run under -race in CI):
+// counts must be monotone across successive snapshots and every summary
+// internally ordered — no torn reads.
+func TestShardedRecordVsSnapshotConcurrent(t *testing.T) {
+	sh := NewShardedHistogram(16)
+	const recorders = 16
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < recorders; g++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			d := time.Duration(1+worker) * time.Microsecond
+			for !stop.Load() {
+				sh.Record(worker, d)
+			}
+		}(g)
+	}
+	iters := 500
+	if testing.Short() {
+		iters = 50
+	}
+	var prev uint64
+	for i := 0; i < iters; i++ {
+		s := sh.Snapshot()
+		if s.Count < prev {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatalf("count went backwards: %d after %d", s.Count, prev)
+		}
+		prev = s.Count
+		if s.P50 > s.P95 || s.P95 > s.P99 || s.P99 > s.P999 || s.P999 > s.Max {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatalf("torn snapshot, quantiles not monotone: %v", s)
+		}
+		if q := sh.Quantile(0.5); q > 20*time.Microsecond {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatalf("concurrent Quantile(0.5) = %v, outside recorded range", q)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	final := sh.Snapshot()
+	if final.Count < prev {
+		t.Fatalf("final count %d below last observed %d", final.Count, prev)
+	}
+}
+
+func TestSnapshotMarshalJSONPinnedOrder(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	h.Record(2 * time.Millisecond)
+	raw, err := json.Marshal(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(raw)
+	want := []string{`"count":`, `"p50":`, `"p95":`, `"p99":`, `"p999":`, `"max":`, `"mean":`}
+	pos := -1
+	for _, key := range want {
+		i := strings.Index(got, key)
+		if i < 0 {
+			t.Fatalf("key %s missing from %s", key, got)
+		}
+		if i < pos {
+			t.Fatalf("key %s out of pinned order in %s", key, got)
+		}
+		pos = i
+	}
+	var decoded map[string]uint64
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("snapshot JSON not an object of integers: %v (%s)", err, got)
+	}
+	if decoded["count"] != 2 {
+		t.Fatalf("count = %d, want 2 (%s)", decoded["count"], got)
+	}
+	if decoded["max"] != uint64(2*time.Millisecond) {
+		t.Fatalf("max = %d, want %d (%s)", decoded["max"], 2*time.Millisecond, got)
+	}
+}
+
+func TestHistogramSetOrderAndJSON(t *testing.T) {
+	hs := NewHistogramSet()
+	var a, b Histogram
+	a.Record(time.Microsecond)
+	b.Record(time.Second)
+	hs.Register("total", a.Snapshot)
+	hs.Register("upstream", b.Snapshot)
+	hs.Register("cache_hit", func() Snapshot { return Snapshot{} })
+	hs.Register("total", a.Snapshot) // re-register keeps position
+
+	snap := hs.Snapshot()
+	names := make([]string, len(snap))
+	for i, nh := range snap {
+		names[i] = nh.Name
+	}
+	if got := fmt.Sprint(names); got != "[total upstream cache_hit]" {
+		t.Fatalf("registration order not preserved: %v", got)
+	}
+	if snap[0].Latency.Count != 1 || snap[1].Latency.Max != time.Second {
+		t.Fatalf("snapshots not wired to sources: %+v", snap)
+	}
+
+	raw, err := json.Marshal(hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(raw)
+	ti, ui, ci := strings.Index(s, `"total"`), strings.Index(s, `"upstream"`), strings.Index(s, `"cache_hit"`)
+	if ti < 0 || ui < 0 || ci < 0 || !(ti < ui && ui < ci) {
+		t.Fatalf("set JSON keys missing or out of order: %s", s)
+	}
+	var decoded map[string]map[string]int64
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("set JSON not nested objects: %v (%s)", err, s)
+	}
+	if decoded["upstream"]["max"] != int64(time.Second) {
+		t.Fatalf("upstream max = %d, want %d", decoded["upstream"]["max"], int64(time.Second))
+	}
+}
+
+func TestNowMonotone(t *testing.T) {
+	a := Now()
+	time.Sleep(time.Millisecond)
+	b := Now()
+	if b <= a {
+		t.Fatalf("Now not monotone: %d then %d", a, b)
+	}
+}

@@ -137,9 +137,26 @@ func (h *Histogram) Max() time.Duration {
 	return time.Duration(h.maxNs.Load())
 }
 
-// Quantile returns an approximation of the q-th quantile (0 < q <= 1).
-func (h *Histogram) Quantile(q float64) time.Duration {
-	total := h.count.Load()
+// loadBuckets copies the bucket counters into dst in one pass and returns
+// their sum. Every read of the histogram derives both the rank target and
+// the cumulative walk from this single snapshot array: loading the count
+// atomic separately would let a racing Record make the target rank exceed
+// the walked sum and report a spuriously large quantile.
+func (h *Histogram) loadBuckets(dst *[numBuckets]uint64) uint64 {
+	var total uint64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		dst[i] = n
+		total += n
+	}
+	return total
+}
+
+// quantileFrom extracts the q-th quantile from a one-shot bucket snapshot
+// whose counts sum to total. The reported value is the lower bound of the
+// bucket holding the target rank, so it under-reports by at most one
+// log-bucket's width (lower/16 for values >= 16ns).
+func quantileFrom(b *[numBuckets]uint64, total uint64, q float64) time.Duration {
 	if total == 0 {
 		return 0
 	}
@@ -153,40 +170,71 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	if target == 0 {
 		target = 1
 	}
+	if target > total {
+		target = total
+	}
 	var cum uint64
 	for i := 0; i < numBuckets; i++ {
-		cum += h.buckets[i].Load()
+		cum += b[i]
 		if cum >= target {
 			return time.Duration(bucketLower(i))
 		}
 	}
-	return h.Max()
+	// Unreachable: target <= total == sum of b. Kept for safety.
+	return time.Duration(bucketLower(numBuckets - 1))
+}
+
+// Quantile returns an approximation of the q-th quantile (0 < q <= 1). The
+// bucket array is snapshotted once and the rank target derives from that
+// same snapshot, so a Quantile racing concurrent Records is internally
+// consistent (never past the data it walked).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	var b [numBuckets]uint64
+	total := h.loadBuckets(&b)
+	return quantileFrom(&b, total, q)
 }
 
 // Snapshot summarises the histogram for reporting.
 type Snapshot struct {
+	// Count is the number of observations the quantiles are drawn from.
 	Count uint64
-	Mean  time.Duration
-	P50   time.Duration
-	P95   time.Duration
-	P99   time.Duration
-	Max   time.Duration
+	// Mean is the arithmetic mean latency.
+	Mean time.Duration
+	// P50, P95, P99 and P999 are bucket-resolution quantiles.
+	P50  time.Duration
+	P95  time.Duration
+	P99  time.Duration
+	P999 time.Duration
+	// Max is the exact largest recorded latency.
+	Max time.Duration
 }
 
-// Snapshot extracts a point-in-time summary.
-func (h *Histogram) Snapshot() Snapshot {
-	return Snapshot{
-		Count: h.Count(),
-		Mean:  h.Mean(),
-		P50:   h.Quantile(0.50),
-		P95:   h.Quantile(0.95),
-		P99:   h.Quantile(0.99),
-		Max:   h.Max(),
+// snapshotFrom summarises one bucket snapshot: every quantile (and the
+// count) derives from the same array, so the summary is self-consistent
+// even when Records raced the copy.
+func snapshotFrom(b *[numBuckets]uint64, total, sumNs uint64, max time.Duration) Snapshot {
+	s := Snapshot{Count: total, Max: max}
+	if total == 0 {
+		return s
 	}
+	s.Mean = time.Duration(sumNs / total)
+	s.P50 = quantileFrom(b, total, 0.50)
+	s.P95 = quantileFrom(b, total, 0.95)
+	s.P99 = quantileFrom(b, total, 0.99)
+	s.P999 = quantileFrom(b, total, 0.999)
+	return s
+}
+
+// Snapshot extracts a point-in-time summary. The buckets are copied once
+// and every quantile (and Count) derives from that copy.
+func (h *Histogram) Snapshot() Snapshot {
+	var b [numBuckets]uint64
+	total := h.loadBuckets(&b)
+	return snapshotFrom(&b, total, h.sum.Load(), h.Max())
 }
 
 // String renders a snapshot compactly.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
-		s.Count, s.Mean, s.P50, s.P95, s.P99, s.Max)
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v p999=%v max=%v",
+		s.Count, s.Mean, s.P50, s.P95, s.P99, s.P999, s.Max)
 }

@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// quantileErrBound asserts the histogram's reported quantile sits within
+// one log-bucket of the exact value computed from the sorted samples: the
+// report is the lower bound of the bucket holding the true rank, so it
+// never exceeds the truth and trails it by at most the bucket width
+// (lower/16 for values >= 16ns, 1ns below).
+func quantileErrBound(t *testing.T, name string, samples []uint64) {
+	t.Helper()
+	var h Histogram
+	for _, ns := range samples {
+		h.Record(time.Duration(ns))
+	}
+	sorted := append([]uint64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, q := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+		got := uint64(h.Quantile(q))
+		rank := int(float64(len(sorted)) * q)
+		if rank > 0 {
+			rank-- // ceil(q*n)-1 as a 0-based index, matching quantileFrom
+		}
+		if f := float64(len(sorted)) * q; f > float64(int(f)) {
+			rank = int(f) // non-integer rank: ceil lands one past the floor
+		}
+		if rank >= len(sorted) {
+			rank = len(sorted) - 1
+		}
+		want := sorted[rank]
+		if got > want {
+			t.Fatalf("%s q=%v: reported %d > exact %d", name, q, got, want)
+		}
+		if slack := want/16 + 1; want-got > slack {
+			t.Fatalf("%s q=%v: reported %d trails exact %d by %d (> one bucket %d)",
+				name, q, got, want, want-got, slack)
+		}
+	}
+}
+
+func TestQuantilePropertyUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]uint64, 5000)
+	for i := range samples {
+		samples[i] = uint64(rng.Int63n(50_000_000)) // 0..50ms
+	}
+	quantileErrBound(t, "uniform", samples)
+}
+
+func TestQuantilePropertyZipf(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	z := rand.NewZipf(rng, 1.3, 1, 10_000_000)
+	samples := make([]uint64, 5000)
+	for i := range samples {
+		samples[i] = 1000 + z.Uint64() // 1µs floor plus a heavy tail
+	}
+	quantileErrBound(t, "zipf", samples)
+}
+
+func TestQuantilePropertyBimodal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	samples := make([]uint64, 5000)
+	for i := range samples {
+		if rng.Intn(2) == 0 {
+			samples[i] = 800 + uint64(rng.Int63n(400)) // ~1µs mode (cache hits)
+		} else {
+			samples[i] = 9_000_000 + uint64(rng.Int63n(2_000_000)) // ~10ms mode
+		}
+	}
+	quantileErrBound(t, "bimodal", samples)
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty Histogram
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty q=%v = %v, want 0", q, got)
+		}
+	}
+	var single Histogram
+	single.Record(3 * time.Millisecond)
+	lo := time.Duration(bucketLower(bucketIndex(uint64(3 * time.Millisecond))))
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := single.Quantile(q); got != lo {
+			t.Fatalf("single q=%v = %v, want bucket lower %v", q, got, lo)
+		}
+	}
+	// q=0 clamps to rank 1 (the minimum); q=1 is the maximum's bucket.
+	var h Histogram
+	h.Record(time.Microsecond)
+	h.Record(time.Second)
+	if got := h.Quantile(0); got > 2*time.Microsecond {
+		t.Fatalf("q=0 = %v, want the minimum's bucket", got)
+	}
+	if got := h.Quantile(1); got < 900*time.Millisecond {
+		t.Fatalf("q=1 = %v, want the maximum's bucket", got)
+	}
+}
+
+func TestBucketIndexBoundaries(t *testing.T) {
+	if bucketIndex(0) != 0 {
+		t.Fatalf("bucketIndex(0) = %d", bucketIndex(0))
+	}
+	// Exact powers of two open their own bucket: the lower bound inverts
+	// exactly (for powers >= 16; smaller exponents share sub-buckets).
+	for exp := uint(4); exp < 63; exp++ {
+		p := uint64(1) << exp
+		i := bucketIndex(p)
+		if i >= numBuckets {
+			break // clamped tail, checked below
+		}
+		if got := bucketLower(i); got != p {
+			t.Fatalf("bucketLower(bucketIndex(2^%d)) = %d, want %d", exp, got, p)
+		}
+		if j := bucketIndex(p - 1); j >= i {
+			t.Fatalf("2^%d-1 in bucket %d, >= 2^%d's bucket %d", exp, j, exp, i)
+		}
+	}
+	// Values at the extreme top of the range stay inside the array: the
+	// largest representable value occupies the final bucket, and nothing
+	// indexes past it.
+	if i := bucketIndex(^uint64(0)); i != numBuckets-1 {
+		t.Fatalf("bucketIndex(max uint64) = %d, want %d", i, numBuckets-1)
+	}
+	for _, ns := range []uint64{1 << 62, 1 << 63, 1<<63 + 1, ^uint64(0)} {
+		if i := bucketIndex(ns); i < 0 || i >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d, out of range", ns, i)
+		}
+	}
+}
+
+// TestQuantileInterleavedRecorder is the regression test for the racing
+// Quantile: the rank target and the cumulative walk must derive from one
+// bucket snapshot. With the target computed from a separately loaded count,
+// a concurrent Record could push the target past the walked sum and the
+// median of a pile of microsecond observations would spuriously report the
+// histogram's 10-second outlier.
+func TestQuantileInterleavedRecorder(t *testing.T) {
+	var h Histogram
+	h.Record(10 * time.Second) // far-bucket outlier: the spurious answer
+	for i := 0; i < 8; i++ {
+		h.Record(time.Microsecond)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			h.Record(time.Microsecond)
+		}
+	}()
+	for i := 0; i < 20000; i++ {
+		if got := h.Quantile(0.5); got > time.Millisecond {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatalf("interleaved p50 = %v, want ~1µs (spurious max-bucket report)", got)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	// The same one-snapshot discipline keeps Snapshot self-consistent.
+	s := h.Snapshot()
+	if s.P50 > s.P95 || s.P95 > s.P99 || s.P99 > s.P999 || s.P999 > s.Max {
+		t.Fatalf("snapshot quantiles not monotone: %v", s)
+	}
+}

@@ -2,15 +2,20 @@ package http
 
 import (
 	"testing"
+	"time"
 
 	"flick/internal/buffer"
+	"flick/internal/metrics"
 )
 
 // TestDecodeEncodeZeroAlloc is the alloc-regression gate for the HTTP hot
 // path: a request arriving in a pooled chunk is decoded in place, the
 // record forwarded (retain/release cycle), re-encoded into a pooled scatter
 // list via the raw fast path, and everything recycled — with zero heap
-// allocations per message in steady state.
+// allocations per message in steady state. The loop carries the live
+// latency instrumentation the core pipeline adds around this codec (a
+// monotonic stamp at decode, a sharded histogram record at encode), so the
+// gate measures the instrumented hot path, not a bare one.
 func TestDecodeEncodeZeroAlloc(t *testing.T) {
 	wire := BuildRequest(nil, "GET", "/index.html", "bench", true, nil)
 	pool := buffer.NewPool(64)
@@ -18,10 +23,12 @@ func TestDecodeEncodeZeroAlloc(t *testing.T) {
 	q := buffer.NewQueue(pool)
 	dec := RequestFormat{}.NewDecoder()
 	sc := buffer.NewScatter(pool)
+	lat := metrics.NewShardedHistogram(2)
 	var scratch []byte
 	var sink int64
 
 	allocs := testing.AllocsPerRun(1000, func() {
+		start := metrics.Now()
 		ref := pool.GetRef(len(wire))
 		copy(ref.Bytes(), wire)
 		q.AppendRef(ref, len(wire))
@@ -43,9 +50,13 @@ func TestDecodeEncodeZeroAlloc(t *testing.T) {
 			t.Fatalf("scatter holds %d bytes, want %d", sc.Len(), len(wire))
 		}
 		sc.Reset()
+		lat.Record(0, time.Duration(metrics.Now()-start))
 	})
 	if allocs != 0 {
 		t.Fatalf("HTTP decode→encode round trip allocates %.1f/op, want 0", allocs)
+	}
+	if n := lat.Count(); n < 1000 {
+		t.Fatalf("latency histogram recorded %d round trips, want >= 1000", n)
 	}
 
 	s := pool.Stats()

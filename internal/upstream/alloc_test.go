@@ -71,4 +71,9 @@ func TestLeasedSessionZeroAlloc(t *testing.T) {
 	if s := pool.Stats(); s.Oversized != 0 {
 		t.Fatalf("hot path hit the over-MaxClass fallback %d times", s.Oversized)
 	}
+	// The latency instrumentation is always on: every measured round trip
+	// must have been recorded in the live histogram at zero alloc cost.
+	if n := m.Latency().Count(); n < 1000 {
+		t.Fatalf("upstream latency histogram recorded %d round trips, want >= 1000", n)
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"flick/internal/buffer"
+	"flick/internal/metrics"
 	"flick/internal/netstack"
 )
 
@@ -168,8 +169,11 @@ func (s *Session) writeLocked(bufs [][]byte) (int64, error) {
 			nb += s.wlens[sent+k]
 			k++
 		}
+		// One clock read covers the whole framed batch: its requests leave
+		// in one vectored write, so they share a round-trip start stamp.
+		now := metrics.Now()
 		for i := 0; i < k; i++ {
-			c.pushWaiter(s, s.wctxs[sent+i])
+			c.pushWaiter(s, s.wctxs[sent+i], now)
 		}
 		c.m.inflight.Add(int64(k)) // under c.mu, so fail() cannot double-count
 		c.load.Add(int64(k))

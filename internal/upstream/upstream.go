@@ -153,6 +153,12 @@ type Manager struct {
 	shardsteals metrics.Counter // leases served by a sibling shard's socket
 	inflight    atomic.Int64    // current unanswered requests (gauge)
 
+	// lat is the upstream round-trip histogram: lease write (FIFO entry
+	// push under c.mu, stamped once per framed batch) → FIFO delivery.
+	// Sharded by the socket's home shard, so recording stays core-local
+	// with the rest of the write path.
+	lat *metrics.ShardedHistogram
+
 	// loads holds one in-flight gauge per backend address, shared by every
 	// shard's sockets to that address: the global per-backend view that
 	// bounded-load routing (backend.BoundedRing via InflightFor) consumes.
@@ -218,7 +224,8 @@ func NewManager(cfg Config) *Manager {
 		panic("upstream: NewManager requires request and response framers")
 	}
 	m := &Manager{cfg: cfg, bufs: cfg.Pool, done: make(chan struct{}),
-		loads: map[string]*atomic.Int64{}}
+		loads: map[string]*atomic.Int64{},
+		lat:   metrics.NewShardedHistogram(cfg.Shards)}
 	m.shards = make([]*shard, cfg.Shards)
 	for i := range m.shards {
 		m.shards[i] = &shard{m: m, id: i, pools: map[string]*pool{},
@@ -232,6 +239,12 @@ func NewManager(cfg Config) *Manager {
 
 // Shards returns the configured shard count.
 func (m *Manager) Shards() int { return len(m.shards) }
+
+// Latency returns the manager's round-trip histogram: time from a
+// request's FIFO entry (stamped as its framed batch is reserved, just
+// before the vectored write) to its response's FIFO delivery. Requests
+// dropped by a socket failure record nothing.
+func (m *Manager) Latency() *metrics.ShardedHistogram { return m.lat }
 
 // Lease returns a virtual connection to addr from shard 0. Callers that
 // know which scheduler worker will write the session should use LeaseOn.
@@ -735,10 +748,12 @@ func (c *conn) pump() {
 }
 
 // waiter is one FIFO entry: the session owed the next response plus the
-// demux context its request's framing captured at write time.
+// demux context its request's framing captured at write time and the
+// round-trip start stamp (metrics.Now, read once per framed batch).
 type waiter struct {
-	s   *Session
-	ctx Context
+	s     *Session
+	ctx   Context
+	start int64
 }
 
 // deliver frames complete responses off the inbound stream — consulting
@@ -770,7 +785,7 @@ func (c *conn) deliver() error {
 		}
 		view, ref := c.rq.TakeRef(n)
 		c.mu.Lock()
-		s := c.popWaiter()
+		s, start := c.popWaiter()
 		if s != nil {
 			c.m.inflight.Add(-1) // under c.mu: fail() subtracts fcount here too
 			c.load.Add(-1)
@@ -781,12 +796,14 @@ func (c *conn) deliver() error {
 			ref.Release()
 			return ErrUnsolicited
 		}
+		c.m.lat.Record(c.p.sh.id, time.Duration(metrics.Now()-start))
 		s.deliver(view, ref)
 	}
 }
 
-// pushWaiter appends one in-flight entry. c.mu must be held.
-func (c *conn) pushWaiter(s *Session, ctx Context) {
+// pushWaiter appends one in-flight entry stamped with its round-trip
+// start. c.mu must be held.
+func (c *conn) pushWaiter(s *Session, ctx Context, start int64) {
 	if c.fcount == len(c.fifo) {
 		grown := make([]waiter, max(16, 2*len(c.fifo)))
 		for i := 0; i < c.fcount; i++ {
@@ -795,7 +812,7 @@ func (c *conn) pushWaiter(s *Session, ctx Context) {
 		c.fifo = grown
 		c.fhead = 0
 	}
-	c.fifo[(c.fhead+c.fcount)%len(c.fifo)] = waiter{s: s, ctx: ctx}
+	c.fifo[(c.fhead+c.fcount)%len(c.fifo)] = waiter{s: s, ctx: ctx, start: start}
 	c.fcount++
 }
 
@@ -808,16 +825,17 @@ func (c *conn) peekWaiter() (Context, bool) {
 	return c.fifo[c.fhead].ctx, true
 }
 
-// popWaiter removes the FIFO head (nil when empty). c.mu must be held.
-func (c *conn) popWaiter() *Session {
+// popWaiter removes the FIFO head, returning its session and round-trip
+// start stamp (nil session when empty). c.mu must be held.
+func (c *conn) popWaiter() (*Session, int64) {
 	if c.fcount == 0 {
-		return nil
+		return nil, 0
 	}
-	s := c.fifo[c.fhead].s
+	w := c.fifo[c.fhead]
 	c.fifo[c.fhead] = waiter{}
 	c.fhead = (c.fhead + 1) % len(c.fifo)
 	c.fcount--
-	return s
+	return w.s, w.start
 }
 
 // writeRaw performs one vectored write on the shared socket. c.wmu must be

@@ -4,9 +4,11 @@
 #
 #   1. GET /healthz answers "ok".
 #   2. GET /counters returns a JSON object with the registered sets.
-#   3. PUT /topology grows the backend set 2 -> 3.
-#   4. GET /topology shows the third backend.
-#   5. PUT /topology with more backends than -max-backends answers 409.
+#   3. GET /latency returns the live latency dimensions with the pinned
+#      histogram shape (count/p50/p99/p999/max).
+#   4. PUT /topology grows the backend set 2 -> 3.
+#   5. GET /topology shows the third backend.
+#   6. PUT /topology with more backends than -max-backends answers 409.
 #
 # Backends are fake addresses: upstream dials are lazy, so the control
 # plane is fully exercisable without live backends. Run from the repo
@@ -52,14 +54,27 @@ case $counters in
     *) fail "/counters missing expected sets: $counters" ;;
 esac
 
-# 3. PUT a 3-backend topology (one weighted) through the one update path.
+# 3. /latency serves the live pipeline: the service-total and upstream
+# dimensions with the pinned histogram field order. No traffic has
+# flowed, so counts are 0 — the shape is what the smoke pins.
+latency=$(curl -sf "http://$ADMIN/latency")
+case $latency in
+    '{"total":{"count":'*'"upstream":{"count":'*) ;;
+    *) fail "/latency missing dimensions or order not pinned: $latency" ;;
+esac
+case $latency in
+    *'"p50"'*'"p99"'*'"p999"'*'"max"'*) ;;
+    *) fail "/latency missing histogram fields: $latency" ;;
+esac
+
+# 4. PUT a 3-backend topology (one weighted) through the one update path.
 code=$(curl -s -o /tmp/admin_smoke_put.$$ -w '%{http_code}' -X PUT \
     -d '{"backends":["127.0.0.1:29001","127.0.0.1:29002",{"addr":"127.0.0.1:29003","weight":2}]}' \
     "http://$ADMIN/topology")
 [ "$code" = "200" ] || fail "PUT /topology = $code: $(cat /tmp/admin_smoke_put.$$)"
 rm -f /tmp/admin_smoke_put.$$
 
-# 4. The change is visible in GET /topology.
+# 5. The change is visible in GET /topology.
 topo=$(curl -sf "http://$ADMIN/topology")
 case $topo in
     *'127.0.0.1:29003'*) ;;
@@ -70,7 +85,7 @@ case $topo in
     *) fail "weight 2 not visible in GET /topology: $topo" ;;
 esac
 
-# 5. Over capacity -> 409, topology unchanged.
+# 6. Over capacity -> 409, topology unchanged.
 code=$(curl -s -o /dev/null -w '%{http_code}' -X PUT \
     -d '{"backends":["a:1","b:1","c:1","d:1"]}' "http://$ADMIN/topology")
 [ "$code" = "409" ] || fail "over-capacity PUT = $code, want 409"
@@ -79,4 +94,4 @@ case $topo in
     *'"a:1"'*) fail "rejected PUT changed the topology: $topo" ;;
 esac
 
-echo "admin-smoke: ok (healthz, counters, PUT 2->3, weight visible, 409 on overflow)"
+echo "admin-smoke: ok (healthz, counters, latency shape, PUT 2->3, weight visible, 409 on overflow)"
