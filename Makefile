@@ -49,7 +49,9 @@ bench-rebalance:
 
 # Hot-key response-cache smoke: the cached proxy vs the plain proxy
 # under the identical seeded 50%-hot workload — offload, hit ratio and
-# cross-arm byte-identity (also run by the CI bench-smoke job).
+# cross-arm byte-identity — followed by the conditional freshness arm
+# (ETagged origin, short TTL, stale-while-revalidate across expiries;
+# also run by the CI bench-smoke job).
 bench-hotkey:
 	$(GO) run ./cmd/flickbench -quick hotkey
 

@@ -252,6 +252,15 @@ func main() {
 			return err
 		}
 		fmt.Println(bench.HotkeyTable(pts))
+		cpt, err := bench.RunHotkeyConditional(bench.HotkeyConfig{
+			Cores:    *workers,
+			Clients:  hc.Clients,
+			Duration: *dur,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.ConditionalTable(cpt))
 		return nil
 	})
 

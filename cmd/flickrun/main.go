@@ -8,7 +8,10 @@
 // With -cache the proxy and the HTTP load balancer serve repeated reads
 // from an in-network response cache (worker-sharded, single-flight miss
 // coalescing); -cache-ttl and -cache-max-bytes bound staleness and
-// resident bytes. GET /topology reports the live hit ratio.
+// resident bytes, -cache-stale-ttl serves stale entries while a
+// background conditional refresh revalidates them, and
+// -cache-negative-ttl bounds negative (key-absence) entries.
+// GET /topology reports the live hit ratio.
 //
 // Live backend topology: with -live-topology the backend set can change
 // while serving. Every update path converges on the same drain-correct
@@ -82,6 +85,8 @@ func main() {
 		cacheOn = flag.Bool("cache", false, "enable the in-network response cache (memcachedproxy and httplb only)")
 		cacheTT = flag.Duration("cache-ttl", 0, "response cache entry TTL (0: default)")
 		cacheMB = flag.Int64("cache-max-bytes", 0, "response cache resident-byte budget (0: default)")
+		cacheSW = flag.Duration("cache-stale-ttl", 0, "serve stale entries for this long past expiry while revalidating in the background (0: disabled)")
+		cacheNG = flag.Duration("cache-negative-ttl", 0, "response cache negative-entry TTL (0: default; <0: disabled)")
 		reqlog  = flag.Int("reqlog", 0, "log every Nth request's latency (0: disabled; unsampled requests stay zero-alloc)")
 	)
 	flag.Var(&backends, "backend", "backend address (repeatable)")
@@ -125,9 +130,11 @@ func main() {
 		BoundedLoadC: *loadC,
 	}
 	svc.Cache = apps.CacheOptions{
-		Enable:   *cacheOn,
-		TTL:      *cacheTT,
-		MaxBytes: *cacheMB,
+		Enable:      *cacheOn,
+		TTL:         *cacheTT,
+		MaxBytes:    *cacheMB,
+		StaleTTL:    *cacheSW,
+		NegativeTTL: *cacheNG,
 	}
 
 	p := core.NewPlatform(core.Config{Workers: *workers})

@@ -54,6 +54,11 @@ type CacheView struct {
 	Hits          uint64  `json:"hits"`
 	Misses        uint64  `json:"misses"`
 	Coalesced     uint64  `json:"coalesced"`
+	// Revalidated counts upstream 304s that extended an entry's
+	// freshness in place; StaleServed counts hits answered from an
+	// expired entry while its background revalidation ran.
+	Revalidated uint64 `json:"revalidated"`
+	StaleServed uint64 `json:"stale_served"`
 }
 
 // TopologyView is the GET /topology response body.

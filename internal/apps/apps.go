@@ -160,6 +160,12 @@ type CacheOptions struct {
 	TTL time.Duration
 	// MaxBytes bounds resident response bytes (0: cache.DefaultMaxBytes).
 	MaxBytes int64
+	// StaleTTL extends serving past expiry while a background
+	// revalidation runs — stale-while-revalidate (0: disabled).
+	StaleTTL time.Duration
+	// NegativeTTL bounds negative entries — authoritative key-absence
+	// responses (0: cache.DefaultNegativeTTL; <0: disabled).
+	NegativeTTL time.Duration
 }
 
 // Service is a ready-to-deploy FLICK application.
@@ -281,10 +287,12 @@ func (s *Service) Deploy(p *core.Platform, listenAddr string, backendAddrs []str
 				return nil, fmt.Errorf("apps: %s has no backends to cache for", s.Name)
 			}
 			cfg.Cache = cache.New(cache.Config{
-				Proto:    s.cacheProto,
-				Workers:  p.Scheduler().Workers(),
-				TTL:      s.Cache.TTL,
-				MaxBytes: s.Cache.MaxBytes,
+				Proto:       s.cacheProto,
+				Workers:     p.Scheduler().Workers(),
+				TTL:         s.Cache.TTL,
+				MaxBytes:    s.Cache.MaxBytes,
+				StaleTTL:    s.Cache.StaleTTL,
+				NegativeTTL: s.Cache.NegativeTTL,
 			})
 		}
 	case core.Shared:

@@ -109,12 +109,16 @@ func (c *Control) View() admin.TopologyView {
 		hits, _ := cs.Get("hits")
 		misses, _ := cs.Get("misses")
 		coalesced, _ := cs.Get("coalesced")
+		revalidated, _ := cs.Get("revalidated")
+		staleServed, _ := cs.Get("stale_served")
 		v.Cache = &admin.CacheView{
 			HitRatio:      cc.HitRatio(),
 			BytesResident: cc.BytesResident(),
 			Hits:          hits,
 			Misses:        misses,
 			Coalesced:     coalesced,
+			Revalidated:   revalidated,
+			StaleServed:   staleServed,
 		}
 	}
 	t := c.deployed.Topology()

@@ -74,3 +74,45 @@ func TestHotkeySmoke(t *testing.T) {
 		t.Fatal("table rendering")
 	}
 }
+
+// TestHotkeyConditionalSmoke gates the freshness acceptance numbers: with
+// the TTL far below the run length the hot entry expires dozens of times,
+// yet stale-while-revalidate must hold the hit ratio at >= 0.8 with zero
+// client errors, and the origin must see real conditional refreshes — at
+// least one If-None-Match answered 304 on the wire, mirrored by the
+// cache's revalidated and stale_served counters.
+func TestHotkeyConditionalSmoke(t *testing.T) {
+	pt, err := RunHotkeyConditional(HotkeyConfig{
+		Cores:    4,
+		Clients:  8,
+		TTL:      60 * time.Millisecond,
+		StaleTTL: time.Minute,
+		Duration: 600 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Errors != 0 {
+		t.Fatalf("conditional arm: %d client errors", pt.Errors)
+	}
+	if pt.Requests == 0 || pt.Throughput <= 0 {
+		t.Fatalf("conditional arm: no completed requests (%+v)", pt)
+	}
+	if pt.HitRatio < 0.8 {
+		t.Fatalf("hit ratio %.3f under SWR, want >= 0.8", pt.HitRatio)
+	}
+	if pt.Origin304s == 0 {
+		t.Fatal("origin answered no 304s — revalidation never reached the wire")
+	}
+	reval, _ := pt.Cache.Get("revalidated")
+	stale, _ := pt.Cache.Get("stale_served")
+	if reval == 0 {
+		t.Fatal("cache recorded no upstream 304 extensions")
+	}
+	if stale == 0 {
+		t.Fatal("cache recorded no stale serves — SWR window never exercised")
+	}
+	if s := ConditionalTable(pt).String(); !strings.Contains(s, "origin-304s") {
+		t.Fatal("table rendering")
+	}
+}

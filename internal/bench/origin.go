@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"flick/internal/buffer"
@@ -26,6 +27,7 @@ type RealOrigin struct {
 	listener net.Listener
 	srv      *http.Server
 	payload  []byte
+	notMod   atomic.Uint64
 }
 
 // Origin routes: a Content-Length-framed payload, a chunked stream of the
@@ -65,6 +67,11 @@ func (o *RealOrigin) Addr() string { return o.listener.Addr().String() }
 // Close stops the origin.
 func (o *RealOrigin) Close() { o.srv.Close() }
 
+// NotModified reports how many conditional requests the origin answered
+// with 304 — the wire-level witness that a middlebox in front of it
+// revalidated instead of re-fetching.
+func (o *RealOrigin) NotModified() uint64 { return o.notMod.Load() }
+
 func (o *RealOrigin) servePayload(w http.ResponseWriter, r *http.Request) {
 	h := w.Header()
 	h["Date"] = nil // deterministic wire image
@@ -93,6 +100,7 @@ func (o *RealOrigin) serveCached(w http.ResponseWriter, r *http.Request) {
 	h["Date"] = nil
 	h.Set("ETag", OriginETag)
 	if r.Header.Get("If-None-Match") == OriginETag {
+		o.notMod.Add(1)
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}

@@ -11,8 +11,10 @@
 // through the service's Protocol adapter and either serves a retained
 // response view (hit), joins the key's in-flight fill (coalesced miss), or
 // forwards upstream and captures the response on its way back (leading
-// miss). One entry holds one admitted response's verbatim wire image in a
-// pooled buffer.Ref region.
+// miss). One entry holds one admitted response's rendered wire image in a
+// pooled buffer.Ref region, alongside the serving-time structures its
+// protocol pre-rendered: a fixed-width Age patch zone, a synthesized
+// validator-hit response (HTTP 304) and an upstream refresh request.
 //
 // Sharding mirrors the PR-5 upstream layer: one shard per scheduler
 // worker, each holding a full replica of the key index (entries are
@@ -22,35 +24,67 @@
 // and sweep all shards; they are miss-path events and orders of magnitude
 // rarer than hits.
 //
-// The hit path performs zero heap allocations: the key lookup runs
-// against a per-shard scratch buffer, the served view is a pooled record
-// (value.RecordDesc.NewOwned) whose only populated field is the captured
-// wire image, and the output node's scatter encoder replays that image
-// by reference (TestCacheHitZeroAlloc pins this).
+// The hit path performs zero heap allocations: the key lookup (including
+// the Vary secondary-key fold) runs against a per-shard scratch buffer,
+// the served view is a pooled record (value.RecordDesc.NewOwned) whose
+// only populated field is the captured wire image — patched in a pooled
+// copy when the image carries a correlation tag or Age zone, replayed by
+// reference otherwise — and the output node's scatter encoder replays that
+// image by reference (TestCacheHitZeroAlloc pins this, including the
+// variant-hit and synthesized-304 paths).
 //
-// # Expiry and invalidation
+// # Freshness
 //
-// Entries carry an absolute deadline (Config.TTL, capped per entry by the
-// protocol's admission verdict, e.g. Cache-Control: max-age). Expiry is
-// lazy: the first lookup past the deadline misses and removes the entry
-// structurally (index, every shard, eviction order, byte gauge), so idle
-// expired keys don't pin pooled bytes until a refill or capacity
-// eviction. Write-through invalidation (memcached SET/DELETE, HTTP
-// non-GET) removes the key's entries in every variant and kills the key's
-// in-flight fills: their followers re-dispatch upstream instead of
-// receiving the pre-write value.
+// Entries carry three deadlines derived from one admission: expires (the
+// freshness lifetime — Config.TTL capped by the protocol's verdict, e.g.
+// Cache-Control: max-age), stale (expires plus Config.StaleTTL for
+// entries that can be revalidated) and birth (for the served Age).
+// Between expires and stale the entry keeps serving — counted as
+// stale_served — while the first lookup to observe expiry claims a
+// background revalidation: a single-flight refresh built from the entry's
+// pre-rendered conditional request. An upstream 304 extends the retained
+// entry's freshness in place (revalidated); a 200 replaces it; a failed
+// refresh leaves the stale entry serving until its hard deadline, so an
+// origin outage degrades to bounded staleness instead of a miss storm.
+// Past the hard deadline (or immediately at expiry for entries without a
+// refresh request) expiry is structural, exactly as before: the lookup
+// misses and the entry is removed so idle keys don't pin pooled bytes.
 //
-// Invalidation fires when the write request is decoded — before the write
-// reaches the backend. That kills every fill in flight at that moment,
-// but a fill that *begins* after the invalidation can still race the
-// write to the backend, capture the pre-write value, and serve it until
-// its deadline: staleness past a write is bounded by the entry TTL, not
-// zero. Workloads that need read-your-write through the proxy must size
-// TTL accordingly.
+// Responses carrying Vary are admitted under a learned per-key vary rule:
+// the response's named request headers are folded into a secondary key
+// segment, so each header combination gets its own entry. The rule is
+// replicated into every shard next to the key index, keeping the hit-path
+// fold allocation-free.
+//
+// # Eviction
+//
+// Capacity eviction is segmented LRU: new entries enter a probation
+// segment; an entry hit at least once after install earns promotion to a
+// protected segment (capped at 80% of the byte budget, overflow demoting
+// back to probation) the next time the eviction scan reaches it. The hit
+// signal is one atomic counter per entry — the hit path never touches the
+// structure lock — and promotion is applied lazily during eviction, so
+// the policy stays deterministic for a given op order (the reference-model
+// test relies on this). Scan-shaped traffic therefore can't flush the
+// working set: one-touch entries die at probation's head while re-hit
+// entries survive in protected.
+//
+// # Invalidation
+//
+// Write-through invalidation (memcached SET/DELETE, HTTP non-GET) removes
+// the key's entries in every variant — including every Vary variant, via
+// a per-base entry list — drops the learned vary rule, and kills the
+// key's in-flight fills: their followers re-dispatch upstream instead of
+// receiving the pre-write value. Invalidation fires when the write
+// request is decoded — before the write reaches the backend — so a fill
+// that *begins* after the invalidation can still race the write, capture
+// the pre-write value, and serve it until its deadline: staleness past a
+// write is bounded by the entry TTL (plus StaleTTL), not zero.
 package cache
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flick/internal/buffer"
@@ -67,6 +101,21 @@ const (
 	// MaxEntryBytes is the admission cap per response: bulk transfers are
 	// not worth displacing a working set of small hot objects for.
 	MaxEntryBytes = 1 << 20
+	// DefaultNegativeTTL bounds negative entries (authoritative key-absence
+	// responses): long enough to absorb a miss storm, short enough that a
+	// racing out-of-band write surfaces quickly.
+	DefaultNegativeTTL = time.Second
+)
+
+// varySep separates the base key from the folded Vary secondary segment.
+// NUL can appear in no HTTP header value and no memcached key, so varied
+// and unvaried keys can never collide.
+const varySep = 0x00
+
+// Eviction segments.
+const (
+	segProbation = iota
+	segProtected
 )
 
 // Config configures a Cache.
@@ -78,32 +127,92 @@ type Config struct {
 	Workers int
 	// TTL is the default entry lifetime (<=0: DefaultTTL).
 	TTL time.Duration
-	// MaxBytes bounds resident response bytes; the oldest entries are
-	// evicted past it (<=0: DefaultMaxBytes).
+	// MaxBytes bounds resident response bytes; segmented-LRU eviction
+	// reclaims past it (<=0: DefaultMaxBytes).
 	MaxBytes int64
+	// StaleTTL extends serving past expiry: an expired entry that can be
+	// revalidated keeps serving for this window while a background
+	// single-flight refresh runs (<=0: disabled — entries die at expiry).
+	StaleTTL time.Duration
+	// NegativeTTL is the lifetime of negative entries (0:
+	// DefaultNegativeTTL; <0: negative caching disabled).
+	NegativeTTL time.Duration
 }
 
-// entry is one admitted response: a verbatim wire image in a pooled
-// region, shared by every shard's map. Structural membership (index, order
-// list, shard maps, resident-byte gauge) changes only under Cache.fmu.
+// entry is one admitted response: a rendered wire image in a pooled
+// region, shared by every shard's map. Structural membership (index,
+// per-base list, segment lists, shard maps, resident-byte gauge) changes
+// only under Cache.fmu; hits is the lone hit-path write, an atomic.
 type entry struct {
-	skey    string // variant-prefixed owned key
-	raw     []byte // response wire image (view into region)
-	region  value.Region
-	tag     uint64 // correlation tag of the stored image (memcached opaque)
-	hasTag  bool
-	expires int64 // UnixNano deadline
+	skey string // full owned key (vary secondary segment included)
+	base string // variant-prefixed primary key (== skey when unvaried)
 
-	prev, next *entry // insertion-order eviction list
+	raw     []byte // served response image (view into region)
+	notmod  []byte // pre-rendered validator-hit response (nil: none)
+	reval   []byte // pre-rendered upstream refresh request (nil: no SWR)
+	etag    []byte // stored validators (views into region)
+	lastMod []byte
+	region  value.Region
+	size    int64 // total pooled image bytes (raw + notmod + reval)
+
+	tag      uint64 // correlation tag of the stored image (memcached opaque)
+	hasTag   bool
+	ageOff   int // Age digit zone offset inside raw (-1: none)
+	negative bool
+
+	born    int64 // install/extension stamp (UnixNano; Age base)
+	expires int64 // freshness deadline
+	stale   int64 // hard serve deadline (== expires without reval/StaleTTL)
+
+	// hits counts lookups since install or last segment move: the lazy
+	// promotion signal the eviction scan consumes. Atomic because shards
+	// hit concurrently while fmu is not held.
+	hits atomic.Uint32
+	// revalidating marks a claimed background refresh (fmu), keeping the
+	// stale window single-flight.
+	revalidating bool
+
+	seg        uint8
+	prev, next *entry // segment list links (fmu)
 }
 
-// shard is one worker's replica of the key index. The hit path takes only
-// its home shard's lock; kbuf is the lock-guarded scratch the prefixed
-// lookup key is assembled in (no allocation: map lookups through a
-// []byte→string conversion in index position don't copy).
+// elist is one eviction segment: an intrusive doubly-linked list ordered
+// oldest (head) to newest (tail).
+type elist struct{ head, tail *entry }
+
+func (l *elist) pushTail(e *entry) {
+	e.prev, e.next = l.tail, nil
+	if l.tail != nil {
+		l.tail.next = e
+	} else {
+		l.head = e
+	}
+	l.tail = e
+}
+
+func (l *elist) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// shard is one worker's replica of the key index and the vary-rule table.
+// The hit path takes only its home shard's lock; kbuf is the lock-guarded
+// scratch the prefixed lookup key is assembled in (no allocation: map
+// lookups through a []byte→string conversion in index position don't
+// copy).
 type shard struct {
 	mu   sync.Mutex
 	m    map[string]*entry
+	vary map[string]string // base key → learned vary rule
 	kbuf []byte
 }
 
@@ -111,20 +220,26 @@ type shard struct {
 type Cache struct {
 	proto    Protocol
 	ttl      time.Duration
+	staleTTL time.Duration
+	negTTL   time.Duration
 	maxBytes int64
 	shards   []shard
 
-	// fmu serialises structural state: the entry index and order list,
-	// the in-flight fill table and the closed flag. Lock order is fmu →
-	// shard.mu; the hit path takes a shard lock only.
+	// fmu serialises structural state: the entry index, per-base lists,
+	// segment lists, vary rules, the in-flight fill table and the closed
+	// flag. Lock order is fmu → shard.mu; the hit path takes a shard lock
+	// only.
 	fmu     sync.Mutex
 	index   map[string]*entry
+	byBase  map[string][]*entry // variants sharing a base key
+	varies  map[string]string   // canonical vary rules (shards replicate)
 	flights map[string]*Flight
-	head    *entry // oldest
-	tail    *entry // newest
+	prob    elist // probation segment (new entries)
+	prot    elist // protected segment (re-hit entries)
 	closed  bool
 
-	resident int64 // bytes held by live entries (fmu)
+	resident  int64 // bytes held by live entries (fmu)
+	protBytes int64 // bytes held by the protected segment (fmu)
 
 	hits          metrics.Counter
 	misses        metrics.Counter
@@ -134,14 +249,19 @@ type Cache struct {
 	invalidations metrics.Counter
 	expired       metrics.Counter
 	aborts        metrics.Counter
+	revalidated   metrics.Counter // upstream 304s that extended an entry
+	staleServed   metrics.Counter // hits served past expires (SWR window)
+	variants      metrics.Counter // installs under a Vary secondary key
+	negHits       metrics.Counter // hits served from negative entries
 
 	// Latency dimensions of the live pipeline. hitLat is sharded like the
 	// key index — the hit path records into the executing worker's shard,
 	// staying wait-free and allocation-free. missLat (Begin → Fill, the
-	// upstream round trip a leading miss pays) and coalLat (Begin → waiter
-	// delivery, what a coalesced request waited) are plain histograms:
-	// misses are orders of magnitude rarer than hits, so cross-worker
-	// cache-line sharing on their atomics is noise next to the round trip.
+	// upstream round trip a leading miss or background refresh pays) and
+	// coalLat (Begin → waiter delivery, what a coalesced request waited)
+	// are plain histograms: misses are orders of magnitude rarer than
+	// hits, so cross-worker cache-line sharing on their atomics is noise
+	// next to the round trip.
 	hitLat  *metrics.ShardedHistogram
 	missLat metrics.Histogram
 	coalLat metrics.Histogram
@@ -167,18 +287,33 @@ func New(cfg Config) *Cache {
 	if maxBytes <= 0 {
 		maxBytes = DefaultMaxBytes
 	}
+	staleTTL := cfg.StaleTTL
+	if staleTTL < 0 {
+		staleTTL = 0
+	}
+	negTTL := cfg.NegativeTTL
+	if negTTL == 0 {
+		negTTL = DefaultNegativeTTL
+	} else if negTTL < 0 {
+		negTTL = 0
+	}
 	c := &Cache{
 		proto:    cfg.Proto,
 		ttl:      ttl,
+		staleTTL: staleTTL,
+		negTTL:   negTTL,
 		maxBytes: maxBytes,
 		shards:   make([]shard, workers),
 		index:    map[string]*entry{},
+		byBase:   map[string][]*entry{},
+		varies:   map[string]string{},
 		flights:  map[string]*Flight{},
 		hitLat:   metrics.NewShardedHistogram(workers),
 		now:      func() int64 { return time.Now().UnixNano() },
 	}
 	for i := range c.shards {
 		c.shards[i].m = map[string]*entry{}
+		c.shards[i].vary = map[string]string{}
 	}
 	return c
 }
@@ -199,23 +334,36 @@ func appendSKey(dst []byte, variant byte, scope, key []byte) []byte {
 	return append(dst, key...)
 }
 
-// Get serves a hit for a ClassLookup request from worker's shard,
-// returning a self-contained response view (the caller owns one reference)
-// and whether an entry was found. The miss path (including lazy expiry) is
-// counted here; callers follow a miss with Begin.
-func (c *Cache) Get(worker int, info ReqInfo) (value.Value, bool) {
+// Get serves a hit for a ClassLookup or ClassCond request from worker's
+// shard, returning a self-contained response view (the caller owns one
+// reference), whether an entry was found, and — when the entry is serving
+// stale — the claimed background revalidation the caller must dispatch
+// upstream (nil when another lookup already claimed it). A ClassCond
+// request whose validators match the entry's receives the pre-rendered 304
+// instead of the body. The miss path (including lazy expiry) is counted
+// here; callers follow a miss with Begin (ClassLookup) or forward
+// untracked (ClassCond).
+func (c *Cache) Get(worker int, info ReqInfo) (value.Value, bool, *Reval) {
 	start := metrics.Now()
 	sh := &c.shards[worker%len(c.shards)]
 	sh.mu.Lock()
 	sh.kbuf = appendSKey(sh.kbuf[:0], info.Variant, info.Scope, info.Key)
+	if len(sh.vary) > 0 {
+		if rule, ok := sh.vary[string(sh.kbuf)]; ok {
+			sh.kbuf = append(sh.kbuf, varySep)
+			sh.kbuf = c.proto.SecondaryKey(sh.kbuf, info.Msg, rule)
+		}
+	}
 	e := sh.m[string(sh.kbuf)]
 	if e == nil {
 		sh.mu.Unlock()
 		c.misses.Inc()
-		return value.Null, false
+		return value.Null, false, nil
 	}
-	if c.now() > e.expires {
-		// Observed expiry: remove the entry structurally so an idle key
+	now := c.now()
+	stale := now > e.expires
+	if stale && (now > e.stale || len(e.reval) == 0) {
+		// Hard expiry: remove the entry structurally so an idle key
 		// doesn't pin its pooled bytes (and the resident gauge) until a
 		// refill or capacity eviction. Lock order is fmu → shard.mu, so
 		// drop the shard lock first and re-check identity under fmu — a
@@ -228,16 +376,47 @@ func (c *Cache) Get(worker int, info ReqInfo) (value.Value, bool) {
 		c.fmu.Unlock()
 		c.expired.Inc()
 		c.misses.Inc()
-		return value.Null, false
+		return value.Null, false, nil
 	}
+	e.hits.Add(1)
 	// Build the view under the shard lock: a concurrent eviction releases
 	// the entry's region only after sweeping every shard, so holding this
-	// shard's lock keeps e.raw alive for the duration.
-	view := c.proto.MakeHit(e.raw, e.region, info.Tag, info.HasTag)
+	// shard's lock keeps the entry's bytes alive for the duration.
+	h := Hit{Tag: info.Tag, HasTag: info.HasTag, AgeOff: -1}
+	if (len(info.IfNoneMatch) > 0 || len(info.IfModifiedSince) > 0) &&
+		len(e.notmod) > 0 && validatorHit(e, info) {
+		h.Raw, h.Region = e.notmod, e.region
+	} else {
+		h.Raw, h.Region, h.AgeOff = e.raw, e.region, e.ageOff
+		h.AgeSecs = (now - e.born) / int64(time.Second)
+	}
+	view := c.proto.MakeHit(h)
+	negative := e.negative
 	sh.mu.Unlock()
 	c.hits.Inc()
+	if negative {
+		c.negHits.Inc()
+	}
+	var rv *Reval
+	if stale {
+		c.staleServed.Inc()
+		rv = c.claimReval(e)
+	}
 	c.hitLat.Record(worker, time.Duration(metrics.Now()-start))
-	return view, true
+	return view, true, rv
+}
+
+// validatorHit reports whether a conditional request's validators match
+// the entry's: If-None-Match wins when present (weak comparison, per RFC
+// 9110 §13.1.2); If-Modified-Since falls back to byte equality against the
+// stored Last-Modified — deliberately conservative (no date parsing on the
+// hit path): a differently-rendered but equal date refetches, it never
+// serves a wrong 304.
+func validatorHit(e *entry, info ReqInfo) bool {
+	if len(info.IfNoneMatch) > 0 {
+		return len(e.etag) > 0 && etagMatch(info.IfNoneMatch, e.etag)
+	}
+	return len(e.lastMod) > 0 && bytesEqualTrim(info.IfModifiedSince, e.lastMod)
 }
 
 // HitLatency returns the in-cache serve-time histogram of the hit path
@@ -246,36 +425,46 @@ func (c *Cache) Get(worker int, info ReqInfo) (value.Value, bool) {
 func (c *Cache) HitLatency() *metrics.ShardedHistogram { return c.hitLat }
 
 // MissLatency returns the leading-miss histogram: Begin (miss classified)
-// → Fill (upstream response resolved the flight). Aborted flights record
-// nothing.
+// → Fill (upstream response resolved the flight). Background refreshes
+// record here too; aborted flights record nothing.
 func (c *Cache) MissLatency() *metrics.Histogram { return &c.missLat }
 
 // CoalescedLatency returns the coalesced-wait histogram: Begin (joined an
 // in-flight fill) → waiter delivery. Aborted waiters record nothing.
 func (c *Cache) CoalescedLatency() *metrics.Histogram { return &c.coalLat }
 
-// Invalidate removes the scoped key's entries (every protocol variant)
-// and kills the key's in-flight fills: their followers re-dispatch
-// upstream, so a fill already in flight can never reinstate the pre-write
-// response. A fill that begins after this call can still race the write
-// to the backend — see the package doc's bounded-staleness note.
+// Invalidate removes the scoped key's entries (every protocol variant,
+// every Vary variant), drops the key's learned vary rules, and kills the
+// key's in-flight fills: their followers re-dispatch upstream, so a fill
+// already in flight can never reinstate the pre-write response. A fill
+// that begins after this call can still race the write to the backend —
+// see the package doc's bounded-staleness note.
 func (c *Cache) Invalidate(scope, key []byte) {
 	if len(key) == 0 {
 		return
 	}
 	var orphans []Waiter
+	var reqs []value.Value
 	c.fmu.Lock()
 	touched := false
 	for _, v := range c.proto.Variants() {
-		skey := string(appendSKey(nil, v, scope, key))
-		if e := c.index[skey]; e != nil {
-			c.removeLocked(e)
+		base := string(appendSKey(nil, v, scope, key))
+		for len(c.byBase[base]) > 0 {
+			c.removeLocked(c.byBase[base][0])
 			touched = true
 		}
-		if f := c.flights[skey]; f != nil {
+		c.setVaryRuleLocked(base, "")
+		for skey, f := range c.flights {
+			if f.base != base {
+				continue
+			}
 			delete(c.flights, skey)
 			orphans = append(orphans, f.waiters...)
 			f.waiters = nil
+			if !f.req.IsNull() {
+				reqs = append(reqs, f.req)
+				f.req = value.Null
+			}
 			touched = true
 		}
 	}
@@ -283,33 +472,48 @@ func (c *Cache) Invalidate(scope, key []byte) {
 		c.invalidations.Inc()
 	}
 	c.fmu.Unlock()
+	for _, r := range reqs {
+		r.Release()
+	}
 	c.abortWaiters(orphans)
 }
 
-// Clear removes every entry and kills every in-flight fill (memcached
-// flush_all; Close).
+// Clear removes every entry, every learned vary rule and kills every
+// in-flight fill (memcached flush_all; Close).
 func (c *Cache) Clear() {
 	var orphans []Waiter
+	var reqs []value.Value
 	c.fmu.Lock()
-	for c.head != nil {
-		c.removeLocked(c.head)
+	for c.prob.head != nil {
+		c.removeLocked(c.prob.head)
 	}
-	if len(c.flights) > 0 {
-		for skey, f := range c.flights {
-			delete(c.flights, skey)
-			orphans = append(orphans, f.waiters...)
-			f.waiters = nil
+	for c.prot.head != nil {
+		c.removeLocked(c.prot.head)
+	}
+	for base := range c.varies {
+		c.setVaryRuleLocked(base, "")
+	}
+	for skey, f := range c.flights {
+		delete(c.flights, skey)
+		orphans = append(orphans, f.waiters...)
+		f.waiters = nil
+		if !f.req.IsNull() {
+			reqs = append(reqs, f.req)
+			f.req = value.Null
 		}
 	}
 	c.invalidations.Inc()
 	c.fmu.Unlock()
+	for _, r := range reqs {
+		r.Release()
+	}
 	c.abortWaiters(orphans)
 }
 
 // Close clears the cache and stops admitting: subsequent Begin calls
 // return no flight (callers forward upstream untracked) and fills are
-// dropped. Close releases every retained region, restoring pool
-// ref-balance (refgets == refputs) for teardown assertions.
+// dropped. Close releases every retained region and request, restoring
+// pool ref-balance (refgets == refputs) for teardown assertions.
 func (c *Cache) Close() {
 	c.fmu.Lock()
 	c.closed = true
@@ -317,40 +521,118 @@ func (c *Cache) Close() {
 	c.Clear()
 }
 
+// setVaryRuleLocked updates the canonical vary rule for a base key and
+// replicates it into every shard ("" deletes). fmu held; takes shard
+// locks, honouring the fmu → shard.mu order.
+func (c *Cache) setVaryRuleLocked(base, rule string) {
+	cur, had := c.varies[base]
+	if (!had && rule == "") || (had && cur == rule) {
+		return
+	}
+	if rule == "" {
+		delete(c.varies, base)
+	} else {
+		c.varies[base] = rule
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		if rule == "" {
+			delete(sh.vary, base)
+		} else {
+			sh.vary[base] = rule
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // install links a filled entry (fmu held): replaces the key's previous
-// entry, replicates into every shard map, appends to the eviction order
-// and evicts the oldest entries past the byte budget.
+// entry, replicates into every shard map, enters probation and runs the
+// eviction scan past the byte budget.
 func (c *Cache) install(e *entry) {
 	if old := c.index[e.skey]; old != nil {
 		c.removeLocked(old)
 	}
 	c.index[e.skey] = e
+	c.byBase[e.base] = append(c.byBase[e.base], e)
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
 		sh.m[e.skey] = e
 		sh.mu.Unlock()
 	}
-	e.prev = c.tail
-	if c.tail != nil {
-		c.tail.next = e
-	} else {
-		c.head = e
+	e.seg = segProbation
+	c.prob.pushTail(e)
+	c.resident += e.size
+	if e.skey != e.base {
+		c.variants.Inc()
 	}
-	c.tail = e
-	c.resident += int64(len(e.raw))
-	for c.resident > c.maxBytes && c.head != nil && c.head != e {
-		c.removeLocked(c.head)
+	c.evictLocked(e)
+}
+
+// evictLocked reclaims bytes past the budget (fmu held), never evicting
+// keep (the just-installed entry). Segmented LRU with lazy promotion: the
+// scan walks probation oldest-first — an entry hit since install earns
+// promotion to protected (the "second hit" signal, applied here rather
+// than on the hit path so hits stay wait-free), an unhit entry is evicted.
+// Protected is capped at 80% of the budget; overflow demotes its oldest
+// back to probation's tail with the hit signal cleared, so every scan step
+// either frees bytes or moves a cleared entry behind the scan point —
+// progress is bounded by concurrent re-hits, which arrive at most once per
+// lookup.
+func (c *Cache) evictLocked(keep *entry) {
+	protCap := c.maxBytes - c.maxBytes/5
+	for c.resident > c.maxBytes {
+		v := c.prob.head
+		if v == nil {
+			v = c.prot.head
+		}
+		if v == nil || v == keep {
+			return
+		}
+		if v.seg == segProbation && v.hits.Load() != 0 {
+			v.hits.Store(0)
+			c.prob.unlink(v)
+			v.seg = segProtected
+			c.prot.pushTail(v)
+			c.protBytes += v.size
+			for c.protBytes > protCap {
+				d := c.prot.head
+				if d == nil || d == keep {
+					break
+				}
+				d.hits.Store(0)
+				c.prot.unlink(d)
+				d.seg = segProbation
+				c.protBytes -= d.size
+				c.prob.pushTail(d)
+			}
+			continue
+		}
+		c.removeLocked(v)
 		c.evictions.Inc()
 	}
 }
 
-// removeLocked unlinks an entry from the index, every shard and the order
-// list, then releases its region (fmu held). The release happens only
-// after sweeping all shard locks, so a hit holding its shard's lock can
-// never observe recycled bytes.
+// removeLocked unlinks an entry from the index, the per-base list, every
+// shard and its segment list, then releases its region (fmu held). The
+// release happens only after sweeping all shard locks, so a hit holding
+// its shard's lock can never observe recycled bytes.
 func (c *Cache) removeLocked(e *entry) {
 	delete(c.index, e.skey)
+	bb := c.byBase[e.base]
+	for i, x := range bb {
+		if x == e {
+			bb[i] = bb[len(bb)-1]
+			bb = bb[:len(bb)-1]
+			break
+		}
+	}
+	if len(bb) == 0 {
+		delete(c.byBase, e.base)
+	} else {
+		c.byBase[e.base] = bb
+	}
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
@@ -359,38 +641,78 @@ func (c *Cache) removeLocked(e *entry) {
 		}
 		sh.mu.Unlock()
 	}
-	if e.prev != nil {
-		e.prev.next = e.next
+	if e.seg == segProtected {
+		c.prot.unlink(e)
+		c.protBytes -= e.size
 	} else {
-		c.head = e.next
+		c.prob.unlink(e)
 	}
-	if e.next != nil {
-		e.next.prev = e.prev
-	} else {
-		c.tail = e.prev
-	}
-	e.prev, e.next = nil, nil
-	c.resident -= int64(len(e.raw))
+	c.resident -= e.size
 	e.region.Release()
 }
 
-// newEntry copies a response wire image into a pooled region (fmu held by
+// newEntry copies a rendered store image into a pooled region and wires
+// the entry's serving-time views from the StoreInfo offsets (fmu held by
 // the caller; the copy itself is lock-free).
-func (c *Cache) newEntry(skey string, raw []byte, ri RespInfo) *entry {
-	ref := buffer.Global.GetRef(len(raw))
-	b := ref.Bytes()[:len(raw)]
-	copy(b, raw)
+func (c *Cache) newEntry(skey, base string, img []byte, si StoreInfo, ri RespInfo) *entry {
+	ref := buffer.Global.GetRef(len(img))
+	b := ref.Bytes()[:len(img)]
+	copy(b, img)
+	ttl := c.ttl
+	if ri.Negative {
+		ttl = c.negTTL
+	}
+	if ri.TTL > 0 && ri.TTL < ttl {
+		ttl = ri.TTL
+	}
+	now := c.now()
+	e := &entry{
+		skey:     skey,
+		base:     base,
+		raw:      b[:si.ImageLen],
+		region:   ref,
+		size:     int64(len(img)),
+		tag:      ri.Tag,
+		hasTag:   ri.HasTag,
+		ageOff:   si.AgeOff,
+		negative: ri.Negative,
+		born:     now,
+		expires:  now + int64(ttl),
+	}
+	if si.NotModLen > 0 {
+		e.notmod = b[si.NotModOff : si.NotModOff+si.NotModLen]
+	}
+	if si.RevalLen > 0 {
+		e.reval = b[si.RevalOff : si.RevalOff+si.RevalLen]
+	}
+	if si.ETagLen > 0 {
+		e.etag = b[si.ETagOff : si.ETagOff+si.ETagLen]
+	}
+	if si.LastModLen > 0 {
+		e.lastMod = b[si.LastModOff : si.LastModOff+si.LastModLen]
+	}
+	e.stale = e.expires
+	if len(e.reval) > 0 && c.staleTTL > 0 && !ri.Negative {
+		e.stale += int64(c.staleTTL)
+	}
+	return e
+}
+
+// extendLocked re-arms a revalidated entry's deadlines after an upstream
+// 304 (fmu held): Age restarts from the validation instant per RFC 9111
+// §4.2.3, freshness gets a fresh TTL (capped by the 304's own max-age when
+// present).
+func (c *Cache) extendLocked(e *entry, ri RespInfo) {
 	ttl := c.ttl
 	if ri.TTL > 0 && ri.TTL < ttl {
 		ttl = ri.TTL
 	}
-	return &entry{
-		skey:    skey,
-		raw:     b,
-		region:  ref,
-		tag:     ri.Tag,
-		hasTag:  ri.HasTag,
-		expires: c.now() + int64(ttl),
+	now := c.now()
+	e.born = now
+	e.expires = now + int64(ttl)
+	e.stale = e.expires
+	if len(e.reval) > 0 && c.staleTTL > 0 {
+		e.stale += int64(c.staleTTL)
 	}
 }
 
@@ -406,6 +728,10 @@ func (c *Cache) Counters() metrics.CounterSet {
 		"invalidations", c.invalidations.Value(),
 		"expired", c.expired.Value(),
 		"aborts", c.aborts.Value(),
+		"revalidated", c.revalidated.Value(),
+		"stale_served", c.staleServed.Value(),
+		"variants", c.variants.Value(),
+		"neg_hits", c.negHits.Value(),
 		"bytes", uint64(c.BytesResident()),
 	)
 }

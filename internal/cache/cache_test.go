@@ -71,7 +71,7 @@ func TestCacheHitZeroAlloc(t *testing.T) {
 
 	same := lookupInfo(memcache.OpGetK, "key-000001", 42)
 	if n := testing.AllocsPerRun(200, func() {
-		v, ok := c.Get(0, same)
+		v, ok, _ := c.Get(0, same)
 		if !ok {
 			panic("miss on warm key")
 		}
@@ -82,7 +82,7 @@ func TestCacheHitZeroAlloc(t *testing.T) {
 
 	patched := lookupInfo(memcache.OpGetK, "key-000001", 7777)
 	if n := testing.AllocsPerRun(200, func() {
-		v, ok := c.Get(1, patched)
+		v, ok, _ := c.Get(1, patched)
 		if !ok {
 			panic("miss on warm key")
 		}
@@ -105,7 +105,7 @@ func TestHitPatchesOpaque(t *testing.T) {
 	stored := respRaw(t, memcache.OpGetK, 42, "k1", "v1")
 	fill(t, c, memcache.OpGetK, "k1", 42, "v1")
 
-	v, ok := c.Get(0, lookupInfo(memcache.OpGetK, "k1", 99))
+	v, ok, _ := c.Get(0, lookupInfo(memcache.OpGetK, "k1", 99))
 	if !ok {
 		t.Fatal("expected hit")
 	}
@@ -127,7 +127,7 @@ func TestHitPatchesOpaque(t *testing.T) {
 	}
 	v.Release()
 
-	v2, ok := c.Get(0, lookupInfo(memcache.OpGetK, "k1", 42))
+	v2, ok, _ := c.Get(0, lookupInfo(memcache.OpGetK, "k1", 42))
 	if !ok {
 		t.Fatal("expected hit")
 	}
@@ -161,7 +161,7 @@ func TestSingleFlightStress(t *testing.T) {
 			<-start
 			opaque := uint32(1000 + i)
 			info := lookupInfo(memcache.OpGetK, "hotkey", opaque)
-			if v, ok := c.Get(i%4, info); ok {
+			if v, ok, _ := c.Get(i%4, info); ok {
 				// Raced in after the fill: still a correct view.
 				checkServed(errs, v, opaque)
 				delivered.Add(1)
@@ -236,17 +236,17 @@ func TestTTLExpiry(t *testing.T) {
 	c.now = clock.Load
 
 	fill(t, c, memcache.OpGetK, "k1", 1, "v1")
-	if _, ok := c.Get(0, lookupInfo(memcache.OpGetK, "k1", 1)); !ok {
+	if _, ok, _ := c.Get(0, lookupInfo(memcache.OpGetK, "k1", 1)); !ok {
 		t.Fatal("want hit before expiry")
 	}
 	clock.Store(int64(2 * time.Second))
-	if _, ok := c.Get(0, lookupInfo(memcache.OpGetK, "k1", 1)); ok {
+	if _, ok, _ := c.Get(0, lookupInfo(memcache.OpGetK, "k1", 1)); ok {
 		t.Fatal("want miss after expiry")
 	}
 	// The observed expiry removed the entry everywhere, not just from the
 	// observing shard: the other shard misses structurally and nothing
 	// stays resident.
-	if _, ok := c.Get(1, lookupInfo(memcache.OpGetK, "k1", 1)); ok {
+	if _, ok, _ := c.Get(1, lookupInfo(memcache.OpGetK, "k1", 1)); ok {
 		t.Fatal("want miss after expiry on second shard")
 	}
 	if got := cval(c.Counters(), "expired"); got != 1 {
@@ -259,7 +259,7 @@ func TestTTLExpiry(t *testing.T) {
 		t.Fatalf("%d bytes resident after observed expiry, want 0", b)
 	}
 	fill(t, c, memcache.OpGetK, "k1", 1, "v2")
-	v, ok := c.Get(0, lookupInfo(memcache.OpGetK, "k1", 1))
+	v, ok, _ := c.Get(0, lookupInfo(memcache.OpGetK, "k1", 1))
 	if !ok {
 		t.Fatal("want hit after refill")
 	}
@@ -292,13 +292,13 @@ func TestInvalidate(t *testing.T) {
 	if aborted != 1 {
 		t.Fatalf("aborted = %d, want 1", aborted)
 	}
-	if _, ok := c.Get(0, lookupInfo(memcache.OpGet, "k1", 1)); ok {
+	if _, ok, _ := c.Get(0, lookupInfo(memcache.OpGet, "k1", 1)); ok {
 		t.Fatal("GET variant survived invalidation")
 	}
-	if _, ok := c.Get(0, lookupInfo(memcache.OpGetK, "k1", 2)); ok {
+	if _, ok, _ := c.Get(0, lookupInfo(memcache.OpGetK, "k1", 2)); ok {
 		t.Fatal("GETK variant survived invalidation")
 	}
-	v, ok := c.Get(0, lookupInfo(memcache.OpGetK, "other", 3))
+	v, ok, _ := c.Get(0, lookupInfo(memcache.OpGetK, "other", 3))
 	if !ok {
 		t.Fatal("unrelated key dropped by invalidation")
 	}
@@ -307,7 +307,7 @@ func TestInvalidate(t *testing.T) {
 	// The killed flight's late fill must not resurrect the entry.
 	f.Fill(respRaw(t, memcache.OpGetK, 4, "pending", "stale"),
 		RespInfo{Match: true, Admit: true, Variant: memcache.OpGetK, Tag: 4, HasTag: true})
-	if _, ok := c.Get(0, lookupInfo(memcache.OpGetK, "pending", 4)); ok {
+	if _, ok, _ := c.Get(0, lookupInfo(memcache.OpGetK, "pending", 4)); ok {
 		t.Fatal("late fill resurrected an invalidated key")
 	}
 	if cval(c.Counters(), "invalidations") != 2 {
@@ -328,7 +328,7 @@ func TestClear(t *testing.T) {
 	if c.Len() != 0 || c.BytesResident() != 0 {
 		t.Fatalf("len=%d bytes=%d after clear, want 0/0", c.Len(), c.BytesResident())
 	}
-	if _, ok := c.Get(0, lookupInfo(memcache.OpGetK, "k3", 3)); ok {
+	if _, ok, _ := c.Get(0, lookupInfo(memcache.OpGetK, "k3", 3)); ok {
 		t.Fatal("entry survived clear")
 	}
 }
@@ -347,10 +347,10 @@ func TestEviction(t *testing.T) {
 		t.Fatalf("evictions = %d, want 3", got)
 	}
 	// Oldest gone, newest present.
-	if _, ok := c.Get(0, lookupInfo(memcache.OpGetK, "k0", 0)); ok {
+	if _, ok, _ := c.Get(0, lookupInfo(memcache.OpGetK, "k0", 0)); ok {
 		t.Fatal("oldest entry survived eviction")
 	}
-	v, ok := c.Get(0, lookupInfo(memcache.OpGetK, "k5", 5))
+	v, ok, _ := c.Get(0, lookupInfo(memcache.OpGetK, "k5", 5))
 	if !ok {
 		t.Fatal("newest entry evicted")
 	}
@@ -373,7 +373,7 @@ func TestNonAdmissibleFillAborts(t *testing.T) {
 	if aborted != 1 {
 		t.Fatalf("aborted = %d, want 1", aborted)
 	}
-	if _, ok := c.Get(0, info); ok {
+	if _, ok, _ := c.Get(0, info); ok {
 		t.Fatal("non-admissible response was cached")
 	}
 	if cval(c.Counters(), "aborts") != 1 {
@@ -385,10 +385,10 @@ func TestNonAdmissibleFillAborts(t *testing.T) {
 func TestVariantSeparation(t *testing.T) {
 	c := newTestCache(t, Config{Workers: 1})
 	fill(t, c, memcache.OpGetK, "k1", 1, "v1")
-	if _, ok := c.Get(0, lookupInfo(memcache.OpGet, "k1", 1)); ok {
+	if _, ok, _ := c.Get(0, lookupInfo(memcache.OpGet, "k1", 1)); ok {
 		t.Fatal("GET served from a GETK entry")
 	}
-	v, ok := c.Get(0, lookupInfo(memcache.OpGetK, "k1", 1))
+	v, ok, _ := c.Get(0, lookupInfo(memcache.OpGetK, "k1", 1))
 	if !ok {
 		t.Fatal("GETK entry missing")
 	}
@@ -416,4 +416,151 @@ func TestClosedCache(t *testing.T) {
 func cval(cs metrics.CounterSet, name string) uint64 {
 	v, _ := cs.Get(name)
 	return v
+}
+
+// respRawNotFound renders a KeyNotFound response wire image (the negative
+// caching seed).
+func respRawNotFound(t *testing.T, opcode byte, opaque uint32, key string) []byte {
+	t.Helper()
+	req := memcache.Request(opcode, []byte(key), nil)
+	req.SetField("opaque", value.Int(int64(opaque)))
+	resp := memcache.Response(req, memcache.StatusKeyNotFound, nil, nil)
+	raw, err := memcache.Codec.Encode(nil, resp)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	req.Release()
+	resp.Release()
+	return raw
+}
+
+// TestNegativeCache checks memcached KeyNotFound responses are admitted as
+// negative entries bounded by NegativeTTL: a miss storm on an absent key is
+// absorbed, the entry expires on the short negative clock, writes drop it
+// like any entry, and disabling negative caching drops the fill entirely.
+func TestNegativeCache(t *testing.T) {
+	// The adapter classifies authoritative absence as admissible+negative.
+	req := memcache.Request(memcache.OpGetK, []byte("absent"), nil)
+	resp := memcache.Response(req, memcache.StatusKeyNotFound, nil, nil)
+	ri := Memcached{}.Response(resp)
+	if !ri.Admit || !ri.Negative {
+		t.Fatalf("KeyNotFound classified admit=%v negative=%v, want true/true", ri.Admit, ri.Negative)
+	}
+	req.Release()
+	resp.Release()
+
+	c := newTestCache(t, Config{Workers: 1}) // NegativeTTL 0 → DefaultNegativeTTL
+	var clock atomic.Int64
+	c.now = clock.Load
+
+	info := lookupInfo(memcache.OpGetK, "absent", 7)
+	f, leader := c.Begin(info, Waiter{})
+	if !leader {
+		t.Fatal("expected to lead")
+	}
+	f.Fill(respRawNotFound(t, memcache.OpGetK, 7, "absent"),
+		RespInfo{Match: true, Admit: true, Negative: true,
+			Variant: memcache.OpGetK, Tag: 7, HasTag: true})
+	v, ok, _ := c.Get(0, info)
+	if !ok {
+		t.Fatal("negative entry did not serve")
+	}
+	v.Release()
+	if got := cval(c.Counters(), "neg_hits"); got != 1 {
+		t.Fatalf("neg_hits = %d, want 1", got)
+	}
+	// Negative entries live on the short clock, never the default TTL, and
+	// never serve stale.
+	clock.Store(int64(DefaultNegativeTTL) + 1)
+	if _, ok, _ := c.Get(0, info); ok {
+		t.Fatal("negative entry served past NegativeTTL")
+	}
+
+	// A write drops a resident negative entry like any other.
+	f, _ = c.Begin(info, Waiter{})
+	f.Fill(respRawNotFound(t, memcache.OpGetK, 7, "absent"),
+		RespInfo{Match: true, Admit: true, Negative: true,
+			Variant: memcache.OpGetK, Tag: 7, HasTag: true})
+	c.Invalidate(nil, []byte("absent"))
+	if _, ok, _ := c.Get(0, info); ok {
+		t.Fatal("negative entry survived invalidation")
+	}
+
+	// NegativeTTL < 0 disables negative caching: the fill stores nothing.
+	c2 := newTestCache(t, Config{Workers: 1, NegativeTTL: -1})
+	f, _ = c2.Begin(info, Waiter{})
+	f.Fill(respRawNotFound(t, memcache.OpGetK, 7, "absent"),
+		RespInfo{Match: true, Admit: true, Negative: true,
+			Variant: memcache.OpGetK, Tag: 7, HasTag: true})
+	if c2.Len() != 0 {
+		t.Fatal("negative entry stored with negative caching disabled")
+	}
+}
+
+// TestMemcachedWriteScoping pins the invalidation blast radius of every
+// mutation shape: key-carrying opcodes — loud, quiet, and expiry-touching —
+// invalidate exactly their key; only flush and truly keyless unknown
+// opcodes clear the whole cache.
+func TestMemcachedWriteScoping(t *testing.T) {
+	cases := []struct {
+		name  string
+		op    byte
+		key   string
+		class Class
+	}{
+		{"Set", memcache.OpSet, "k", ClassInvalidate},
+		{"Delete", memcache.OpDelete, "k", ClassInvalidate},
+		{"SetQ", memcache.OpSetQ, "k", ClassInvalidate},
+		{"AddQ", memcache.OpAddQ, "k", ClassInvalidate},
+		{"ReplaceQ", memcache.OpReplaceQ, "k", ClassInvalidate},
+		{"DeleteQ", memcache.OpDeleteQ, "k", ClassInvalidate},
+		{"IncrementQ", memcache.OpIncrementQ, "k", ClassInvalidate},
+		{"DecrementQ", memcache.OpDecrementQ, "k", ClassInvalidate},
+		{"AppendQ", memcache.OpAppendQ, "k", ClassInvalidate},
+		{"PrependQ", memcache.OpPrependQ, "k", ClassInvalidate},
+		{"Touch", memcache.OpTouch, "k", ClassInvalidate},
+		{"GAT", memcache.OpGAT, "k", ClassInvalidate},
+		{"GATQ", memcache.OpGATQ, "k", ClassInvalidate},
+		{"GATK", memcache.OpGATK, "k", ClassInvalidate},
+		{"GATKQ", memcache.OpGATKQ, "k", ClassInvalidate},
+		{"unknown keyed", 0x55, "k", ClassInvalidate},
+		{"Flush", memcache.OpFlush, "", ClassInvalidateAll},
+		{"FlushQ", memcache.OpFlushQ, "", ClassInvalidateAll},
+		{"unknown keyless", 0x55, "", ClassInvalidateAll},
+		{"Noop", memcache.OpNoop, "", ClassPass},
+		{"GetQ", memcache.OpGetQ, "k", ClassPass},
+		{"Version", memcache.OpVersion, "", ClassPass},
+	}
+	for _, tc := range cases {
+		var key []byte
+		if tc.key != "" {
+			key = []byte(tc.key)
+		}
+		req := memcache.Request(tc.op, key, nil)
+		info := Memcached{}.Request(req)
+		if info.Class != tc.class {
+			t.Errorf("%s: class = %d, want %d", tc.name, info.Class, tc.class)
+		}
+		if tc.class == ClassInvalidate && string(info.Key) != tc.key {
+			t.Errorf("%s: key = %q, want %q", tc.name, info.Key, tc.key)
+		}
+		req.Release()
+	}
+
+	// End to end: a quiet mutation's invalidation drops only its key.
+	c := newTestCache(t, Config{Workers: 1})
+	fill(t, c, memcache.OpGetK, "mine", 1, "v1")
+	fill(t, c, memcache.OpGetK, "other", 2, "v2")
+	w := memcache.Request(memcache.OpSetQ, []byte("mine"), []byte("nv"))
+	wi := Memcached{}.Request(w)
+	c.Invalidate(wi.Scope, wi.Key)
+	w.Release()
+	if _, ok, _ := c.Get(0, lookupInfo(memcache.OpGetK, "mine", 1)); ok {
+		t.Fatal("written key survived its quiet mutation")
+	}
+	v, ok, _ := c.Get(0, lookupInfo(memcache.OpGetK, "other", 2))
+	if !ok {
+		t.Fatal("unrelated key dropped by a single-key quiet mutation")
+	}
+	v.Release()
 }

@@ -32,14 +32,24 @@ type Waiter struct {
 
 // Flight is one in-flight fill: the first miss for a key leads it (owns
 // the upstream round trip and resolves it with Fill or Abort); later
-// misses for the same key join as waiters.
+// misses for the same key join as waiters. A reval flight is the
+// background-refresh flavour, claimed by a stale hit instead of a miss.
 type Flight struct {
 	c       *Cache
-	skey    string // variant-prefixed owned key
-	key     []byte // owned copy of the request key
+	skey    string // full owned key (vary secondary segment included)
+	base    string // variant-prefixed primary key
+	key     []byte // owned copy of the request key (nil on reval flights)
 	variant byte
-	start   int64 // leading-miss stamp (Begin → Fill into missLat)
+	vrule   string // vary rule skey was computed under
+	reval   bool   // background refresh of a retained entry
+	start   int64  // leading-miss stamp (Begin → Fill into missLat)
 	waiters []Waiter
+
+	// req is the leader's retained request record (value.Null when the
+	// protocol set none): Fill's Store call renders Vary secondary keys
+	// and the next refresh request from it. Guarded by c.fmu; whoever
+	// clears it to Null owns the release.
+	req value.Value
 }
 
 // Key returns the flight's owned request key.
@@ -48,11 +58,15 @@ func (f *Flight) Key() []byte { return f.key }
 // Variant returns the flight's protocol variant.
 func (f *Flight) Variant() byte { return f.variant }
 
+// Reval reports whether this is a background-refresh flight.
+func (f *Flight) Reval() bool { return f.reval }
+
 // Begin joins or leads the key's flight after a miss. The leader
 // (leader=true) forwards its request upstream and must eventually call
 // Fill or Abort; w is ignored for it. A follower (leader=false) parks w on
-// the existing flight and must NOT forward. On a closed cache Begin
-// returns (nil, true): forward upstream with no tracking.
+// the existing flight — which may be a background refresh already in
+// flight — and must NOT forward. On a closed cache Begin returns
+// (nil, true): forward upstream with no tracking.
 func (c *Cache) Begin(info ReqInfo, w Waiter) (*Flight, bool) {
 	now := metrics.Now()
 	c.fmu.Lock()
@@ -60,7 +74,15 @@ func (c *Cache) Begin(info ReqInfo, w Waiter) (*Flight, bool) {
 		c.fmu.Unlock()
 		return nil, true
 	}
-	skey := string(appendSKey(nil, info.Variant, info.Scope, info.Key))
+	kb := appendSKey(nil, info.Variant, info.Scope, info.Key)
+	base := string(kb)
+	skey := base
+	rule := c.varies[base]
+	if rule != "" && !info.Msg.IsNull() {
+		kb = append(kb, varySep)
+		kb = c.proto.SecondaryKey(kb, info.Msg, rule)
+		skey = string(kb)
+	}
 	if f := c.flights[skey]; f != nil {
 		w.start = now
 		f.waiters = append(f.waiters, w)
@@ -68,59 +90,302 @@ func (c *Cache) Begin(info ReqInfo, w Waiter) (*Flight, bool) {
 		c.coalesced.Inc()
 		return f, false
 	}
-	f := &Flight{c: c, skey: skey, key: append([]byte(nil), info.Key...), variant: info.Variant, start: now}
+	f := &Flight{
+		c:       c,
+		skey:    skey,
+		base:    base,
+		key:     append([]byte(nil), info.Key...),
+		variant: info.Variant,
+		vrule:   rule,
+		start:   now,
+		req:     value.Null,
+	}
+	if !info.Msg.IsNull() {
+		info.Msg.Retain()
+		f.req = info.Msg
+	}
 	c.flights[skey] = f
 	c.fmu.Unlock()
 	return f, true
 }
 
+// Reval is a claimed background revalidation: Req is the entry's
+// pre-rendered conditional refresh request, living in Region (ownership of
+// one retained reference transfers to the caller — Protocol.MakeReval
+// consumes it). The caller dispatches the request upstream and resolves F
+// with Fill or Abort; until then the stale entry keeps serving.
+type Reval struct {
+	F      *Flight
+	Req    []byte
+	Region value.Region
+}
+
+// claimReval registers the single background refresh of a stale entry.
+// Returns nil when the refresh is already claimed (or any flight owns the
+// key, or the cache closed): the stale window stays single-flight.
+func (c *Cache) claimReval(e *entry) *Reval {
+	c.fmu.Lock()
+	if c.closed || c.index[e.skey] != e || e.revalidating || c.flights[e.skey] != nil {
+		c.fmu.Unlock()
+		return nil
+	}
+	e.revalidating = true
+	f := &Flight{
+		c:     c,
+		skey:  e.skey,
+		base:  e.base,
+		reval: true,
+		start: metrics.Now(),
+		req:   value.Null,
+	}
+	c.flights[e.skey] = f
+	e.region.Retain()
+	rv := &Reval{F: f, Req: e.reval, Region: e.region}
+	c.fmu.Unlock()
+	return rv
+}
+
+// AttachRequest hands the flight the fabricated refresh request record
+// built over Reval.Req, so a replacing 200 fill can render the next
+// generation's validators and refresh request from it. Ownership of one
+// reference transfers on true; on false (flight already resolved or
+// killed) the caller keeps it.
+func (f *Flight) AttachRequest(msg value.Value) bool {
+	c := f.c
+	c.fmu.Lock()
+	if c.flights[f.skey] != f {
+		c.fmu.Unlock()
+		return false
+	}
+	old := f.req
+	f.req = msg
+	c.fmu.Unlock()
+	if !old.IsNull() {
+		old.Release()
+	}
+	return true
+}
+
 // Fill resolves the flight with the upstream response's wire image. When
 // the response is admissible (ri.Admit, non-empty, within MaxEntryBytes)
-// the entry is installed and every waiter receives its own retained view;
-// otherwise the waiters abort and re-dispatch. A flight already killed by
+// the protocol's rendered image is installed and every waiter receives its
+// own retained view; otherwise the waiters abort and re-dispatch. A
+// response carrying Vary updates the base key's learned rule: the entry
+// installs under the folded secondary key, and a rule *change* purges the
+// base's old-rule entries and aborts the waiters (their secondary keys
+// were computed under the stale rule). A flight already killed by
 // invalidation (or a closed cache) stores nothing — its waiters were
 // aborted at kill time. raw need only stay valid for the duration of the
 // call; the entry owns a pooled copy.
 func (f *Flight) Fill(raw []byte, ri RespInfo) {
+	if f.reval {
+		f.fillReval(raw, ri)
+		return
+	}
 	c := f.c
+	// Take the retained request under fmu first: a concurrent kill path
+	// releases f.req, so reading it unlocked would race. Clearing it to
+	// Null transfers ownership here; the kill paths then skip it.
 	c.fmu.Lock()
 	if c.flights[f.skey] != f {
-		// Killed by Invalidate/Clear/Close: waiters already drained.
 		c.fmu.Unlock()
+		return
+	}
+	req := f.req
+	f.req = value.Null
+	c.fmu.Unlock()
+
+	// Render the stored image outside every lock (Store may copy and
+	// allocate; misses are off the hit path).
+	admit := ri.Admit && !ri.NotModified && len(raw) > 0 && len(raw) <= MaxEntryBytes
+	if ri.Negative && c.negTTL <= 0 {
+		admit = false
+	}
+	rule := f.vrule
+	skey := f.skey
+	var img []byte
+	var si StoreInfo
+	if admit {
+		rule = normalizeVary(ri.Vary)
+		if rule != f.vrule {
+			if req.IsNull() && rule != "" {
+				// No request material to fold the new rule's headers from:
+				// the response can't be keyed. Serve-and-drop.
+				admit = false
+			} else {
+				skey = f.base
+				if rule != "" {
+					kb := append(append([]byte(nil), f.base...), varySep)
+					skey = string(c.proto.SecondaryKey(kb, req, rule))
+				}
+			}
+		}
+	}
+	if admit {
+		img, si = c.proto.Store(raw, ri, req)
+		if si.ImageLen == 0 {
+			si.ImageLen = len(img)
+			si.AgeOff = -1
+		}
+		admit = len(img) > 0
+	}
+
+	c.fmu.Lock()
+	if c.flights[f.skey] != f {
+		c.fmu.Unlock()
+		if !req.IsNull() {
+			req.Release()
+		}
 		return
 	}
 	delete(c.flights, f.skey)
 	waiters := f.waiters
 	f.waiters = nil
 	var e *entry
-	if !c.closed && ri.Admit && len(raw) > 0 && len(raw) <= MaxEntryBytes {
-		e = c.newEntry(f.skey, raw, ri)
+	deliver := true
+	if !c.closed && admit {
+		if rule != f.vrule {
+			c.setVaryRuleLocked(f.base, rule)
+			// Existing entries under the base were keyed by the old rule;
+			// purge them so new-rule lookups can't serve a mismatched
+			// variant. Waiters joined under the old rule too: abort them.
+			for len(c.byBase[f.base]) > 0 {
+				c.removeLocked(c.byBase[f.base][0])
+			}
+			deliver = false
+		}
+		e = c.newEntry(skey, f.base, img, si, ri)
 		c.install(e)
 		c.fills.Inc()
-		if len(waiters) > 0 {
+		if deliver && len(waiters) > 0 {
 			// Guard reference: keeps the entry's bytes valid across the
 			// delivery loop even if a concurrent fill evicts it.
 			e.region.Retain()
 		}
 	}
 	c.fmu.Unlock()
+	if !req.IsNull() {
+		req.Release()
+	}
 	now := metrics.Now()
 	c.missLat.Record(time.Duration(now - f.start))
-	if e == nil {
+	if e == nil || !deliver {
 		c.abortWaiters(waiters)
 		return
 	}
 	for _, w := range waiters {
 		c.coalLat.Record(time.Duration(now - w.start))
-		w.Deliver(c.proto.MakeHit(e.raw, e.region, w.Tag, w.HasTag))
+		w.Deliver(c.proto.MakeHit(Hit{
+			Raw: e.raw, Region: e.region,
+			Tag: w.Tag, HasTag: w.HasTag,
+			AgeOff: e.ageOff, AgeSecs: 0,
+		}))
 	}
 	if len(waiters) > 0 {
 		e.region.Release()
 	}
 }
 
+// fillReval resolves a background refresh: an upstream 304 extends the
+// retained entry's freshness in place; an admissible 200 replaces it
+// (keyed under the same secondary key it was claimed with); anything else
+// — error response, non-cacheable refresh — leaves the stale entry
+// serving until its hard deadline, the graceful-degradation half of
+// stale-while-revalidate. Waiters (misses that arrived after the entry's
+// hard expiry) are delivered from the surviving entry or aborted.
+func (f *Flight) fillReval(raw []byte, ri RespInfo) {
+	c := f.c
+	c.fmu.Lock()
+	if c.flights[f.skey] != f {
+		c.fmu.Unlock()
+		return
+	}
+	req := f.req
+	f.req = value.Null
+	c.fmu.Unlock()
+
+	admit := ri.Admit && !ri.NotModified && len(raw) > 0 && len(raw) <= MaxEntryBytes
+	if ri.Negative && c.negTTL <= 0 {
+		admit = false
+	}
+	var img []byte
+	var si StoreInfo
+	if admit {
+		img, si = c.proto.Store(raw, ri, req)
+		if si.ImageLen == 0 {
+			si.ImageLen = len(img)
+			si.AgeOff = -1
+		}
+		admit = len(img) > 0
+	}
+
+	c.fmu.Lock()
+	if c.flights[f.skey] != f {
+		c.fmu.Unlock()
+		if !req.IsNull() {
+			req.Release()
+		}
+		return
+	}
+	delete(c.flights, f.skey)
+	waiters := f.waiters
+	f.waiters = nil
+	e := c.index[f.skey]
+	if e != nil {
+		e.revalidating = false
+	}
+	switch {
+	case c.closed:
+		e = nil
+	case ri.NotModified && e != nil:
+		c.extendLocked(e, ri)
+		c.revalidated.Inc()
+	case admit:
+		e = c.newEntry(f.skey, f.base, img, si, ri)
+		c.install(e)
+		c.fills.Inc()
+	default:
+		// Failed refresh: the stale entry (when still resident) keeps
+		// serving; a later stale hit re-claims the revalidation.
+		e = nil
+	}
+	if e != nil && len(waiters) > 0 {
+		e.region.Retain()
+	}
+	born := int64(0)
+	ageOff := -1
+	var eraw []byte
+	var region value.Region
+	if e != nil {
+		born, ageOff, eraw, region = e.born, e.ageOff, e.raw, e.region
+	}
+	c.fmu.Unlock()
+	if !req.IsNull() {
+		req.Release()
+	}
+	now := metrics.Now()
+	c.missLat.Record(time.Duration(now - f.start))
+	if e == nil {
+		c.abortWaiters(waiters)
+		return
+	}
+	age := (c.now() - born) / int64(time.Second)
+	for _, w := range waiters {
+		c.coalLat.Record(time.Duration(now - w.start))
+		w.Deliver(c.proto.MakeHit(Hit{
+			Raw: eraw, Region: region,
+			Tag: w.Tag, HasTag: w.HasTag,
+			AgeOff: ageOff, AgeSecs: age,
+		}))
+	}
+	if len(waiters) > 0 {
+		region.Release()
+	}
+}
+
 // Abort resolves the flight without a fill: every parked waiter
-// re-dispatches. Safe to call on an already-resolved flight.
+// re-dispatches, and a reval flight hands the stale entry back its
+// revalidation claim. Safe to call on an already-resolved flight.
 func (f *Flight) Abort() {
 	c := f.c
 	c.fmu.Lock()
@@ -129,9 +394,19 @@ func (f *Flight) Abort() {
 		return
 	}
 	delete(c.flights, f.skey)
+	if f.reval {
+		if e := c.index[f.skey]; e != nil {
+			e.revalidating = false
+		}
+	}
+	req := f.req
+	f.req = value.Null
 	waiters := f.waiters
 	f.waiters = nil
 	c.fmu.Unlock()
+	if !req.IsNull() {
+		req.Release()
+	}
 	c.abortWaiters(waiters)
 }
 

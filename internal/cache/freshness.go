@@ -1,0 +1,119 @@
+package cache
+
+// Freshness helpers shared by the hit path (validator matching — must not
+// allocate) and the fill path (vary-rule normalization — may).
+
+// etagMatch reports whether the If-None-Match field value inm matches the
+// stored entity tag etag, per RFC 9110 §13.1.2: "*" matches any stored
+// response, the field is a comma-separated tag list, and comparison is
+// weak — a W/ prefix on either side is ignored. Allocation-free.
+func etagMatch(inm, etag []byte) bool {
+	inm = trimOWS(inm)
+	if len(inm) == 1 && inm[0] == '*' {
+		return true
+	}
+	target := stripWeak(etag)
+	for len(inm) > 0 {
+		tok := inm
+		if i := byteIndex(inm, ','); i >= 0 {
+			tok, inm = inm[:i], inm[i+1:]
+		} else {
+			inm = nil
+		}
+		tok = trimOWS(tok)
+		if len(tok) == 0 {
+			continue
+		}
+		if bytesEq(stripWeak(tok), target) {
+			return true
+		}
+	}
+	return false
+}
+
+// stripWeak drops an entity tag's weakness prefix (W/"x" → "x").
+func stripWeak(t []byte) []byte {
+	if len(t) >= 2 && (t[0] == 'W' || t[0] == 'w') && t[1] == '/' {
+		return t[2:]
+	}
+	return t
+}
+
+// bytesEqualTrim reports a == b after trimming optional whitespace from a
+// (b is stored pre-trimmed). The If-Modified-Since comparison: byte
+// equality of HTTP-dates, deliberately conservative — a semantically equal
+// but differently rendered date misses and refetches, it never serves a
+// wrong 304.
+func bytesEqualTrim(a, b []byte) bool {
+	return bytesEq(trimOWS(a), b)
+}
+
+// normalizeVary canonicalises a Vary field value into the cache's rule
+// form: lowercase header names, comma-joined, whitespace and empty
+// members dropped ("Accept-Encoding, X-Client " → "accept-encoding,
+// x-client" without the space). Returns "" for an absent/empty value.
+// Member order is preserved — origins emit Vary consistently, and an
+// order flap merely re-learns the rule. Runs on the fill path: allocation
+// is fine.
+func normalizeVary(v []byte) string {
+	if len(v) == 0 {
+		return ""
+	}
+	out := make([]byte, 0, len(v))
+	for len(v) > 0 {
+		tok := v
+		if i := byteIndex(v, ','); i >= 0 {
+			tok, v = v[:i], v[i+1:]
+		} else {
+			v = nil
+		}
+		tok = trimOWS(tok)
+		if len(tok) == 0 {
+			continue
+		}
+		if len(out) > 0 {
+			out = append(out, ',')
+		}
+		for _, c := range tok {
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+// --- allocation-free byte primitives (hit path: no bytes import here to
+// keep the compiler's escape analysis trivial) ---
+
+func trimOWS(b []byte) []byte {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t') {
+		b = b[1:]
+	}
+	for len(b) > 0 && (b[len(b)-1] == ' ' || b[len(b)-1] == '\t') {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+func byteIndex(b []byte, c byte) int {
+	for i, x := range b {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+func bytesEq(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -43,7 +43,7 @@ func TestHTTPGetRequestClassification(t *testing.T) {
 		{"Cookie", "GET /a HTTP/1.1\r\nHost: h.example\r\nCookie: sid=1\r\n\r\n", ClassPass, "", ""},
 		{"Authorization", "GET /a HTTP/1.1\r\nHost: h.example\r\nAuthorization: Bearer x\r\n\r\n", ClassPass, "", ""},
 		{"Range", "GET /a HTTP/1.1\r\nHost: h.example\r\nRange: bytes=0-5\r\n\r\n", ClassPass, "", ""},
-		{"conditional", "GET /a HTTP/1.1\r\nHost: h.example\r\nIf-None-Match: \"v1\"\r\n\r\n", ClassPass, "", ""},
+		{"conditional", "GET /a HTTP/1.1\r\nHost: h.example\r\nIf-None-Match: \"v1\"\r\n\r\n", ClassCond, "/a", "h.example"},
 		{"no-store", "GET /a HTTP/1.1\r\nHost: h.example\r\nCache-Control: no-store\r\n\r\n", ClassPass, "", ""},
 		{"write", "DELETE /a HTTP/1.1\r\nHost: h.example\r\n\r\n", ClassInvalidate, "/a", "h.example"},
 	}
@@ -64,9 +64,10 @@ func TestHTTPGetRequestClassification(t *testing.T) {
 }
 
 // TestHTTPGetAdmission pins the response side: per-client session material
-// (Set-Cookie), negotiated representations (Vary, Content-Encoding) and
-// forbidding Cache-Control directives are never admitted into the shared
-// cache; max-age caps the TTL.
+// (Set-Cookie), unkeyable negotiation (Vary: *, Content-Encoding without a
+// covering Vary rule) and forbidding Cache-Control directives are never
+// admitted into the shared cache; a nameable Vary admits under a learned
+// rule; max-age caps the TTL.
 func TestHTTPGetAdmission(t *testing.T) {
 	cases := []struct {
 		name  string
@@ -76,7 +77,8 @@ func TestHTTPGetAdmission(t *testing.T) {
 	}{
 		{"plain 200", "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi", true, 0},
 		{"Set-Cookie", "HTTP/1.1 200 OK\r\nContent-Length: 2\r\nSet-Cookie: sid=1\r\n\r\nhi", false, 0},
-		{"Vary", "HTTP/1.1 200 OK\r\nContent-Length: 2\r\nVary: Accept-Encoding\r\n\r\nhi", false, 0},
+		{"Vary", "HTTP/1.1 200 OK\r\nContent-Length: 2\r\nVary: Accept-Encoding\r\n\r\nhi", true, 0},
+		{"Vary star", "HTTP/1.1 200 OK\r\nContent-Length: 2\r\nVary: *\r\n\r\nhi", false, 0},
 		{"Content-Encoding", "HTTP/1.1 200 OK\r\nContent-Length: 2\r\nContent-Encoding: gzip\r\n\r\nhi", false, 0},
 		{"private", "HTTP/1.1 200 OK\r\nContent-Length: 2\r\nCache-Control: private\r\n\r\nhi", false, 0},
 		{"max-age", "HTTP/1.1 200 OK\r\nContent-Length: 2\r\nCache-Control: max-age=60\r\n\r\nhi", true, 60 * time.Second},
@@ -108,11 +110,12 @@ func TestHostScopedKeys(t *testing.T) {
 		if !leader {
 			t.Fatalf("fill %q: expected to lead", scope)
 		}
-		f.Fill([]byte(val), RespInfo{Match: true, Admit: true})
+		raw := "HTTP/1.1 200 OK\r\nContent-Length: 6\r\n\r\n" + val
+		f.Fill([]byte(raw), RespInfo{Match: true, Admit: true})
 	}
 	get := func(scope string) (string, bool) {
 		info := ReqInfo{Class: ClassLookup, Key: []byte("/idx"), Scope: []byte(scope)}
-		v, ok := c.Get(0, info)
+		v, ok, _ := c.Get(0, info)
 		if !ok {
 			return "", false
 		}
@@ -120,13 +123,19 @@ func TestHostScopedKeys(t *testing.T) {
 		v.Release()
 		return raw, true
 	}
+	body := func(served string) string {
+		if i := len(served) - 6; i >= 0 {
+			return served[i:]
+		}
+		return served
+	}
 
 	fillScoped("a.example", "body-A")
 	fillScoped("b.example", "body-B")
-	if got, ok := get("a.example"); !ok || got != "body-A" {
+	if got, ok := get("a.example"); !ok || body(got) != "body-A" {
 		t.Fatalf("a.example: %q/%v, want body-A hit", got, ok)
 	}
-	if got, ok := get("b.example"); !ok || got != "body-B" {
+	if got, ok := get("b.example"); !ok || body(got) != "body-B" {
 		t.Fatalf("b.example: %q/%v, want body-B hit", got, ok)
 	}
 	if _, ok := get("c.example"); ok {
@@ -137,7 +146,71 @@ func TestHostScopedKeys(t *testing.T) {
 	if _, ok := get("a.example"); ok {
 		t.Fatal("a.example survived its invalidation")
 	}
-	if got, ok := get("b.example"); !ok || got != "body-B" {
+	if got, ok := get("b.example"); !ok || body(got) != "body-B" {
 		t.Fatalf("b.example dropped by a.example's invalidation (%q/%v)", got, ok)
+	}
+}
+
+// TestHTTPHitZeroAlloc extends the zero-allocation pin to the freshness
+// paths: the Age-patched full hit (pooled copy + digit-zone patch), the
+// Vary variant hit (secondary-key fold inside the shard lock), and the
+// synthesized-304 conditional hit (verbatim replay of the pre-rendered
+// image) must all serve without a single heap allocation.
+func TestHTTPHitZeroAlloc(t *testing.T) {
+	c := newTestCache(t, Config{Proto: HTTPGet{}, Workers: 1})
+
+	req := decodeHTTP(t, true, "GET /z HTTP/1.1\r\nHost: h\r\nAccept-Encoding: gzip\r\n\r\n")
+	defer req.Release()
+	info := HTTPGet{}.Request(req)
+	f, leader := c.Begin(info, Waiter{})
+	if !leader {
+		t.Fatal("expected to lead")
+	}
+	raw := "HTTP/1.1 200 OK\r\nContent-Length: 2\r\nETag: \"v1\"\r\nVary: Accept-Encoding\r\n\r\nhi"
+	resp := decodeHTTP(t, false, raw)
+	f.Fill([]byte(raw), HTTPGet{}.Response(resp))
+	resp.Release()
+
+	// Variant + Age-patched full hit: the lookup folds the learned vary
+	// rule into the secondary key, then copies and patches the Age zone.
+	warm := func(i ReqInfo) {
+		v, ok, _ := c.Get(0, i)
+		if !ok {
+			t.Fatal("miss on warm key")
+		}
+		v.Release()
+	}
+	warm(info)
+	if n := testing.AllocsPerRun(200, func() {
+		v, ok, _ := c.Get(0, info)
+		if !ok {
+			panic("miss on warm key")
+		}
+		v.Release()
+	}); n != 0 {
+		t.Fatalf("variant Age-patched hit path allocates %v per run, want 0", n)
+	}
+
+	// Synthesized 304: a conditional request whose validator matches
+	// replays the pre-rendered image by reference.
+	creq := decodeHTTP(t, true,
+		"GET /z HTTP/1.1\r\nHost: h\r\nAccept-Encoding: gzip\r\nIf-None-Match: \"v1\"\r\n\r\n")
+	defer creq.Release()
+	cinfo := HTTPGet{}.Request(creq)
+	if cinfo.Class != ClassCond {
+		t.Fatalf("conditional request classified %d, want ClassCond", cinfo.Class)
+	}
+	warm(cinfo)
+	if n := testing.AllocsPerRun(200, func() {
+		v, ok, _ := c.Get(0, cinfo)
+		if !ok {
+			panic("miss on warm key")
+		}
+		if raw := v.Field("_raw").AsBytes(); len(raw) < 12 || raw[9] != '3' {
+			panic("conditional hit did not serve the synthesized 304")
+		}
+		v.Release()
+	}); n != 0 {
+		t.Fatalf("synthesized-304 hit path allocates %v per run, want 0", n)
 	}
 }

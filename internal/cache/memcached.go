@@ -20,6 +20,11 @@ const memcachedOpaqueOff = 12
 // header field), so the adapter is non-FIFO: a GETK fill also matches by
 // the echoed key.
 //
+// KeyNotFound responses are admitted as negative entries (RespInfo.
+// Negative, bounded by Config.NegativeTTL): a miss storm on an absent key
+// is absorbed by the proxy instead of hammering the backend, and any
+// mutation of the key drops the negative entry like any other.
+//
 // Served views patch the stored image's opaque with the requester's own,
 // so pipelined clients correlate correctly even though a hit may overtake
 // an earlier in-flight miss on the same connection (binary-protocol
@@ -52,9 +57,14 @@ func (Memcached) Request(req value.Value) ReqInfo {
 			HasTag:  true,
 		}
 	case memcache.OpSet, memcache.OpAdd, memcache.OpReplace, memcache.OpDelete,
-		memcache.OpIncrement, memcache.OpDecrement, memcache.OpAppend, memcache.OpPrepend:
+		memcache.OpIncrement, memcache.OpDecrement, memcache.OpAppend, memcache.OpPrepend,
+		memcache.OpSetQ, memcache.OpAddQ, memcache.OpReplaceQ, memcache.OpDeleteQ,
+		memcache.OpIncrementQ, memcache.OpDecrementQ, memcache.OpAppendQ, memcache.OpPrependQ,
+		memcache.OpTouch, memcache.OpGAT, memcache.OpGATQ, memcache.OpGATK, memcache.OpGATKQ:
+		// Every key-carrying mutation — loud, quiet, or expiry-touching —
+		// invalidates exactly its key.
 		return ReqInfo{Class: ClassInvalidate, Key: req.Field("key").AsBytes()}
-	case memcache.OpFlush:
+	case memcache.OpFlush, memcache.OpFlushQ:
 		return ReqInfo{Class: ClassInvalidateAll}
 	case memcache.OpNoop, memcache.OpGetQ, memcache.OpGetKQ, memcache.OpQuit,
 		memcache.OpQuitQ, memcache.OpVersion, memcache.OpStat:
@@ -62,9 +72,10 @@ func (Memcached) Request(req value.Value) ReqInfo {
 		// and the rest carry no cacheable payload: pass through.
 		return ReqInfo{Class: ClassPass}
 	default:
-		// Unknown opcode: assume the worst. With a key (covers the quiet
-		// mutation variants, op|0x10) invalidate it; without one (flushQ)
-		// clear everything rather than risk staleness.
+		// Unknown opcode: assume the worst, scoped as tightly as the
+		// request allows. With a key, a single-key invalidation covers any
+		// mutation semantics it could have; only a keyless unknown op
+		// forces a full clear.
 		if key := req.Field("key").AsBytes(); len(key) > 0 {
 			return ReqInfo{Class: ClassInvalidate, Key: key}
 		}
@@ -93,28 +104,53 @@ func (Memcached) Response(resp value.Value) RespInfo {
 			ri.HasKey = true
 		}
 	}
-	ri.Admit = memcache.Status(resp) == memcache.StatusOK
+	switch memcache.Status(resp) {
+	case memcache.StatusOK:
+		ri.Admit = true
+	case memcache.StatusKeyNotFound:
+		// Authoritative absence: admit as a negative entry so the miss
+		// storm coalesces at the proxy (Fill drops it when negative
+		// caching is disabled).
+		ri.Admit = true
+		ri.Negative = true
+	}
 	return ri
 }
+
+// Store implements Protocol: memcached images replay verbatim — no patch
+// zones beyond the opaque MakeHit handles, no validators, no revalidation.
+func (Memcached) Store(raw []byte, _ RespInfo, _ value.Value) ([]byte, StoreInfo) {
+	return raw, StoreInfo{ImageLen: len(raw), AgeOff: -1}
+}
+
+// SecondaryKey implements Protocol: memcached has no content negotiation.
+func (Memcached) SecondaryKey(dst []byte, _ value.Value, _ string) []byte { return dst }
 
 // MakeHit implements Protocol. When the requester's opaque matches the
 // stored image's, the view replays the image verbatim (zero-copy,
 // zero-alloc: one region retain plus a pooled record). Otherwise the image
 // is copied into a fresh pooled region with the opaque patched — still
 // heap-allocation-free once pools are warm.
-func (Memcached) MakeHit(raw []byte, region value.Region, tag uint64, hasTag bool) value.Value {
-	if hasTag && len(raw) >= 24 &&
-		binary.BigEndian.Uint32(raw[memcachedOpaqueOff:]) != uint32(tag) {
-		ref := buffer.Global.GetRef(len(raw))
-		b := ref.Bytes()[:len(raw)]
-		copy(b, raw)
-		binary.BigEndian.PutUint32(b[memcachedOpaqueOff:], uint32(tag))
+func (Memcached) MakeHit(h Hit) value.Value {
+	if h.HasTag && len(h.Raw) >= 24 &&
+		binary.BigEndian.Uint32(h.Raw[memcachedOpaqueOff:]) != uint32(h.Tag) {
+		ref := buffer.Global.GetRef(len(h.Raw))
+		b := ref.Bytes()[:len(h.Raw)]
+		copy(b, h.Raw)
+		binary.BigEndian.PutUint32(b[memcachedOpaqueOff:], uint32(h.Tag))
 		rec := memcache.Desc.NewOwned(ref)
 		rec.SetField("_raw", value.Bytes(b))
 		return rec
 	}
-	region.Retain()
-	rec := memcache.Desc.NewOwned(region)
-	rec.SetField("_raw", value.Bytes(raw))
+	h.Region.Retain()
+	rec := memcache.Desc.NewOwned(h.Region)
+	rec.SetField("_raw", value.Bytes(h.Raw))
 	return rec
+}
+
+// MakeReval implements Protocol: memcached entries carry no validators and
+// never revalidate — they expire and refill.
+func (Memcached) MakeReval(_ []byte, region value.Region) value.Value {
+	region.Release()
+	return value.Null
 }

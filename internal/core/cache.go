@@ -80,6 +80,11 @@ const (
 	// slotReady holds a deliverable view (cache hit, delivered fill, or
 	// arrived upstream response parked behind an unresolved slot).
 	slotReady
+	// slotReval expects the upstream response of a background
+	// revalidation: it lives only in the pending (send-order) queue — no
+	// client is waiting, the stale entry already served them — and its
+	// response resolves the refresh flight without being forwarded.
+	slotReval
 )
 
 // slot is one in-flight request of a FIFO port, in client request order.
@@ -101,11 +106,21 @@ type cachePort struct {
 	// port's output node: the intercept re-links their original slot
 	// into pending instead of queueing a fresh one.
 	requeued []requeue
+
+	// revalq marks fabricated revalidation requests in flight to this
+	// port's output node: the intercept turns each into a slotReval
+	// pending entry instead of classifying it as fresh client traffic.
+	revalq []revalDispatch
 }
 
 type requeue struct {
 	id any // message identity (record owner region)
 	s  *slot
+}
+
+type revalDispatch struct {
+	id any // message identity (the entry's region)
+	f  *rcache.Flight
 }
 
 // cacheMsgID returns a message's identity for requeue matching: the
@@ -191,9 +206,21 @@ func (inst *Instance) resetCache() {
 				s.view = value.Null
 			}
 		}
+		// Revalidation slots live only in the pending queue; aborting them
+		// hands the stale entry back its claim so a later hit re-tries.
+		for _, s := range cp.pending {
+			if s.kind == slotReval && s.f != nil {
+				flights = append(flights, s.f)
+				s.f = nil
+			}
+		}
+		for _, rd := range cp.revalq {
+			flights = append(flights, rd.f)
+		}
 		cp.slots = nil
 		cp.pending = nil
 		cp.requeued = nil
+		cp.revalq = nil
 	}
 	crt.mu.Unlock()
 	// Outside crt.mu: aborting takes the cache's locks, and this binding's
@@ -225,10 +252,23 @@ func (inst *Instance) cacheClientRequest(ctx *ExecCtx, msg value.Value, out *Cha
 		crt.cc.Clear()
 		return false
 	}
-	if view, ok := crt.cc.Get(ctx.Worker(), info); ok {
+	view, ok, rv := crt.cc.Get(ctx.Worker(), info)
+	if rv != nil {
+		// Non-FIFO protocols never pre-render a refresh request, so a
+		// claimed revalidation can't be dispatched here: hand the claim
+		// back rather than leak the flight and the retained region.
+		rv.Region.Release()
+		rv.F.Abort()
+	}
+	if ok {
 		crt.hitCh.Push(view)
 		view.Release()
 		return true
+	}
+	if info.Class == rcache.ClassCond {
+		// Conditional miss: the origin evaluates the condition; its
+		// response passes through unadmitted, so no flight is led.
+		return false
 	}
 	crt.mu.Lock()
 	gen := crt.gen
@@ -356,10 +396,11 @@ func (inst *Instance) cacheUpstreamRequest(ctx *ExecCtx, msg value.Value, port i
 		return false
 	}
 	// A re-dispatched request (aborted coalesced slot) keeps its original
-	// client-order slot; it only (re-)joins the upstream send order.
-	// cp.requeued is written under crt.mu by the Abort waiter callback
-	// (from whatever goroutine resolved the flight), so even the emptiness
-	// check must hold the lock.
+	// client-order slot; it only (re-)joins the upstream send order. A
+	// fabricated revalidation request takes a pending-only slotReval — no
+	// client is waiting on it. Both tables are written under crt.mu by
+	// callbacks (from whatever goroutine resolved the flight or claimed
+	// the refresh), so even the emptiness checks must hold the lock.
 	if id := cacheMsgID(msg); id != nil {
 		crt.mu.Lock()
 		for i, rq := range cp.requeued {
@@ -367,6 +408,14 @@ func (inst *Instance) cacheUpstreamRequest(ctx *ExecCtx, msg value.Value, port i
 				cp.requeued = append(cp.requeued[:i], cp.requeued[i+1:]...)
 				rq.s.kind = slotUpstream
 				cp.pending = append(cp.pending, rq.s)
+				crt.mu.Unlock()
+				return false
+			}
+		}
+		for i, rd := range cp.revalq {
+			if rd.id == id {
+				cp.revalq = append(cp.revalq[:i], cp.revalq[i+1:]...)
+				cp.pending = append(cp.pending, &slot{kind: slotReval, f: rd.f})
 				crt.mu.Unlock()
 				return false
 			}
@@ -380,7 +429,7 @@ func (inst *Instance) cacheUpstreamRequest(ctx *ExecCtx, msg value.Value, port i
 	case rcache.ClassInvalidateAll:
 		crt.cc.Clear()
 	}
-	if info.Class != rcache.ClassLookup {
+	if info.Class != rcache.ClassLookup && info.Class != rcache.ClassCond {
 		s := &slot{kind: slotUpstream}
 		crt.mu.Lock()
 		cp.slots = append(cp.slots, s)
@@ -388,12 +437,28 @@ func (inst *Instance) cacheUpstreamRequest(ctx *ExecCtx, msg value.Value, port i
 		crt.mu.Unlock()
 		return false
 	}
-	if view, ok := crt.cc.Get(ctx.Worker(), info); ok {
+	view, ok, rv := crt.cc.Get(ctx.Worker(), info)
+	if ok {
 		crt.mu.Lock()
 		cp.slots = append(cp.slots, &slot{kind: slotReady, view: view})
 		inst.cacheDrainLocked(cp)
 		crt.mu.Unlock()
+		if rv != nil {
+			// The hit was served stale: dispatch the claimed background
+			// refresh through this port's own send queue.
+			inst.dispatchReval(cp, rv)
+		}
 		return true
+	}
+	if info.Class == rcache.ClassCond {
+		// Conditional miss: forward for the origin to evaluate — a plain
+		// upstream slot, no flight, the 200/304 passes through unadmitted.
+		s := &slot{kind: slotUpstream}
+		crt.mu.Lock()
+		cp.slots = append(cp.slots, s)
+		cp.pending = append(cp.pending, s)
+		crt.mu.Unlock()
+		return false
 	}
 	s := &slot{kind: slotWait}
 	crt.mu.Lock()
@@ -447,6 +512,35 @@ func (inst *Instance) cacheUpstreamRequest(ctx *ExecCtx, msg value.Value, port i
 	return false
 }
 
+// dispatchReval turns a claimed background revalidation into an upstream
+// round trip on the port that served the stale hit: the protocol fabricates
+// a request record over the entry's pre-rendered conditional GET (consuming
+// the Reval's retained region reference), the flight keeps a reference so a
+// replacing 200 fill can render the next generation's refresh request, and
+// the record is routed to the port's output node, where the revalq identity
+// match parks it as a pending-only slotReval.
+func (inst *Instance) dispatchReval(cp *cachePort, rv *rcache.Reval) {
+	crt := inst.crt
+	msg := crt.proto.MakeReval(rv.Req, rv.Region)
+	if msg.IsNull() || cp.reqCh == nil {
+		if !msg.IsNull() {
+			msg.Release()
+		}
+		rv.F.Abort()
+		return
+	}
+	crt.mu.Lock()
+	cp.revalq = append(cp.revalq, revalDispatch{id: cacheMsgID(msg), f: rv.F})
+	cp.reqCh.Push(msg)
+	crt.mu.Unlock()
+	if !rv.F.AttachRequest(msg) {
+		// Flight already killed (a write raced the claim): the fabricated
+		// request still completes its round trip, and the dead flight's
+		// Fill is a no-op.
+		msg.Release()
+	}
+}
+
 // cacheFifoResponse routes one decoded backend response (FIFO) through the
 // port's slot queues: it resolves the oldest upstream-expecting slot, then
 // delivery drains ready slots from the head of the client-order queue —
@@ -459,7 +553,7 @@ func (inst *Instance) cacheFifoResponse(msg value.Value, port int, out *Chan) *r
 	crt := inst.crt
 	cp := &crt.ports[port]
 	ri := crt.proto.Response(msg)
-	if cp.respCh == nil || ri.Informational {
+	if cp.respCh == nil {
 		out.Push(msg)
 		return nil
 	}
@@ -472,9 +566,26 @@ func (inst *Instance) cacheFifoResponse(msg value.Value, port int, out *Chan) *r
 		return nil
 	}
 	s := cp.pending[0]
+	if ri.Informational {
+		// 1xx: forwarded without consuming the slot — unless it belongs
+		// to a background revalidation, which has no client to forward to.
+		isReval := s.kind == slotReval
+		crt.mu.Unlock()
+		if !isReval {
+			out.Push(msg)
+		}
+		return nil
+	}
 	cp.pending = cp.pending[1:]
 	f := s.f
 	s.f = nil
+	if s.kind == slotReval {
+		// The refresh's response resolves the flight (caller fills) and
+		// goes no further: the clients it would have answered were already
+		// served from the stale entry.
+		crt.mu.Unlock()
+		return f
+	}
 	s.kind = slotReady
 	s.view = msg
 	msg.Retain()

@@ -64,7 +64,7 @@ func TestCacheTrackerBlocksWrongKeyFill(t *testing.T) {
 	if len(crt.pendings) != 0 {
 		t.Fatalf("%d pendings left, want 0 (ambiguous match consumes all)", len(crt.pendings))
 	}
-	if _, ok := cc.Get(0, mcLookup("Y", 7)); ok {
+	if _, ok, _ := cc.Get(0, mcLookup("Y", 7)); ok {
 		t.Fatal("key Y was filled with key X's response bytes")
 	}
 

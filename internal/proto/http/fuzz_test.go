@@ -31,6 +31,18 @@ func FuzzHTTPDecode(f *testing.F) {
 	f.Add([]byte("HTTP/1.1 204 No Content\r\n\r\n"))
 	f.Add([]byte("GET / HTTP/1.1\r\nConnection: close, TE\r\n\r\n"))
 	f.Add([]byte("HTTP/1.1 100 Continue\r\n\r\nHTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok"))
+	// Freshness material the cache layer parses out of decoded messages:
+	// Vary lists, Cache-Control directives, validators and conditional
+	// request headers in awkward-but-legal renderings.
+	f.Add([]byte("HTTP/1.1 200 OK\r\nContent-Length: 2\r\nVary: Accept-Encoding,  X-Client , \r\n\r\nhi"))
+	f.Add([]byte("HTTP/1.1 200 OK\r\nContent-Length: 2\r\nVary: *\r\n\r\nhi"))
+	f.Add([]byte("HTTP/1.1 200 OK\r\nContent-Length: 2\r\nCache-Control: public, max-age=60, must-revalidate\r\n\r\nhi"))
+	f.Add([]byte("HTTP/1.1 200 OK\r\nContent-Length: 2\r\nCache-Control: max-age=\r\n\r\nhi"))
+	f.Add([]byte("HTTP/1.1 200 OK\r\nContent-Length: 2\r\nCache-Control: max-age=99999999999999999999\r\n\r\nhi"))
+	f.Add([]byte("HTTP/1.1 200 OK\r\nContent-Length: 2\r\nETag: W/\"weak\"\r\nLast-Modified: Sat, 01 Jan 2022 00:00:00 GMT\r\nAge: 37\r\n\r\nhi"))
+	f.Add([]byte("GET /c HTTP/1.1\r\nHost: h\r\nIf-None-Match: W/\"a\", \"b\" , *\r\n\r\n"))
+	f.Add([]byte("GET /c HTTP/1.1\r\nHost: h\r\nIf-Modified-Since: Sat, 01 Jan 2022 00:00:00 GMT\r\nIf-None-Match: \"v1\"\r\n\r\n"))
+	f.Add([]byte("HTTP/1.1 304 Not Modified\r\nETag: \"v1\"\r\nCache-Control: max-age=1\r\n\r\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		for _, isReq := range []bool{true, false} {
 			var format grammar.WireFormat = RequestFormat{}

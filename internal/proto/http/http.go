@@ -570,12 +570,11 @@ func Header(msg value.Value, name string) string {
 // view is valid only while the message is.
 func HeaderBytes(msg value.Value, name string) ([]byte, bool) {
 	block := msg.Field("headers").AsBytes()
-	target := []byte(name)
 	for len(block) > 0 {
 		var line []byte
 		line, block = splitLine(block)
 		n, v := splitHeader(line)
-		if asciiEqualFold(n, target) {
+		if asciiEqualFoldStr(n, name) {
 			return trimSpace(v), true
 		}
 	}
@@ -639,6 +638,21 @@ func asciiEqualFold(a, b []byte) bool {
 	return true
 }
 
+// asciiEqualFoldStr is asciiEqualFold against a string, so callers with a
+// string name (including substrings of a larger rule string) never pay a
+// []byte conversion allocation.
+func asciiEqualFoldStr(a []byte, s string) bool {
+	if len(a) != len(s) {
+		return false
+	}
+	for i := range a {
+		if asciiLower(a[i]) != asciiLower(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // containsToken reports whether the comma- or space-separated list hay
 // contains needle as a WHOLE token, ASCII case-insensitively. Substring
 // matching would be wrong twice over: "Connection: disclosed" must not
@@ -692,6 +706,49 @@ func BuildRequest(dst []byte, method, uri, host string, keepAlive bool, body []b
 	dst = append(dst, '\r', '\n')
 	dst = append(dst, body...)
 	return dst
+}
+
+// BuildNotModified renders a minimal 304 Not Modified carrying the given
+// validators (either may be empty) — the response a cache synthesizes for
+// a conditional request whose validators match a stored entry. 304 is a
+// bodiless status (the decoder's bodilessStatus set), so no framing
+// headers are emitted.
+func BuildNotModified(dst []byte, etag, lastMod []byte) []byte {
+	dst = append(dst, "HTTP/1.1 304 Not Modified\r\n"...)
+	if len(etag) > 0 {
+		dst = append(dst, "ETag: "...)
+		dst = append(dst, etag...)
+		dst = append(dst, '\r', '\n')
+	}
+	if len(lastMod) > 0 {
+		dst = append(dst, "Last-Modified: "...)
+		dst = append(dst, lastMod...)
+		dst = append(dst, '\r', '\n')
+	}
+	return append(dst, '\r', '\n')
+}
+
+// BuildConditionalGet renders the upstream revalidation request for a
+// cached entry: a keep-alive GET carrying If-None-Match when an entity tag
+// is known (the stronger validator wins), If-Modified-Since otherwise, or
+// neither — a plain background refresh — when the entry stored no
+// validators.
+func BuildConditionalGet(dst []byte, uri, host, etag, lastMod []byte) []byte {
+	dst = append(dst, "GET "...)
+	dst = append(dst, uri...)
+	dst = append(dst, " HTTP/1.1\r\nHost: "...)
+	dst = append(dst, host...)
+	dst = append(dst, '\r', '\n')
+	if len(etag) > 0 {
+		dst = append(dst, "If-None-Match: "...)
+		dst = append(dst, etag...)
+		dst = append(dst, '\r', '\n')
+	} else if len(lastMod) > 0 {
+		dst = append(dst, "If-Modified-Since: "...)
+		dst = append(dst, lastMod...)
+		dst = append(dst, '\r', '\n')
+	}
+	return append(dst, '\r', '\n')
 }
 
 // BuildResponse renders a 200 response with the given body (backend helper).

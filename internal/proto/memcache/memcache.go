@@ -63,6 +63,29 @@ const (
 	OpVersion = 0x0b
 	OpStat    = 0x10
 
+	// Quiet mutation opcodes (op | 0x10 of their loud twins): acked only on
+	// failure, but each still names exactly one key — the response cache
+	// scopes them to single-key invalidations rather than a full clear.
+	OpSetQ       = 0x11
+	OpAddQ       = 0x12
+	OpReplaceQ   = 0x13
+	OpDeleteQ    = 0x14
+	OpIncrementQ = 0x15
+	OpDecrementQ = 0x16
+	OpAppendQ    = 0x19
+	OpPrependQ   = 0x1a
+	// OpFlushQ drops every key without an ack — the one quiet op that is
+	// genuinely keyless.
+	OpFlushQ = 0x18
+	// Touch and get-and-touch mutate a key's expiry (and GAT* also read):
+	// the proxy cache can't mirror per-key TTL changes, so each
+	// invalidates its key.
+	OpTouch = 0x1c
+	OpGAT   = 0x1d
+	OpGATQ  = 0x1e
+	OpGATK  = 0x23
+	OpGATKQ = 0x24
+
 	StatusOK          = 0x0000
 	StatusKeyNotFound = 0x0001
 )

@@ -12,6 +12,11 @@
 #   3. /cached cold fetch matches direct (200 + ETag).
 #   4. /cached with If-None-Match answers 304 Not Modified with no body,
 #      again byte-identical to direct.
+#   5. A second, cached balancer serves the repeat fetch from memory with
+#      an Age header, answers the client's If-None-Match with a 304
+#      synthesized in the cache, and — once the 1s TTL lapses — keeps
+#      serving while a background conditional GET revalidates against the
+#      origin (the admin cache.revalidated counter moves).
 #
 # The origin suppresses the Date header, so "byte-identical" is literal.
 # Run from the repo root (make origin-smoke).
@@ -19,9 +24,12 @@ set -eu
 
 ORIGIN=127.0.0.1:19091
 LB=127.0.0.1:19090
+CLB=127.0.0.1:19092
+CADMIN=127.0.0.1:19093
 ETAG='"flick-origin-v1"'
 DIR=$(mktemp -d)
-trap 'kill $ORIGIN_PID $LB_PID 2>/dev/null || true; rm -rf "$DIR"' EXIT INT TERM
+ORIGIN_PID=""; LB_PID=""; CLB_PID=""
+trap 'kill $ORIGIN_PID $LB_PID $CLB_PID 2>/dev/null || true; rm -rf "$DIR"' EXIT INT TERM
 
 go build -o "$DIR/chunkedorigin" ./cmd/chunkedorigin
 go build -o "$DIR/flickrun" ./cmd/flickrun
@@ -30,14 +38,17 @@ go build -o "$DIR/flickrun" ./cmd/flickrun
 ORIGIN_PID=$!
 "$DIR/flickrun" -service httplb -listen "$LB" -backend "$ORIGIN" &
 LB_PID=$!
+"$DIR/flickrun" -service httplb -listen "$CLB" -backend "$ORIGIN" \
+    -cache -cache-ttl 1s -cache-stale-ttl 30s -admin-addr "$CADMIN" &
+CLB_PID=$!
 
 fail() {
     echo "origin-smoke: $1" >&2
     exit 1
 }
 
-# Wait until both the origin and the balancer answer.
-for addr in "$ORIGIN" "$LB"; do
+# Wait until the origin and both balancers answer.
+for addr in "$ORIGIN" "$LB" "$CLB"; do
     i=0
     until curl -sf -o /dev/null "http://$addr/payload" 2>/dev/null; do
         i=$((i + 1))
@@ -86,4 +97,33 @@ grep -q 'HTTP/1.1 304' "$DIR/304.via" || fail "validator hit not a 304"
 cmp -s "$DIR/304.via" "$DIR/304.direct" \
     || fail "304 differs through the balancer"
 
-echo "origin-smoke: ok (payload, chunked passthrough, cached 200, conditional 304 all byte-identical)"
+# 5. Freshness leg through the cached balancer. The cold fetch misses and
+# fills; the repeat must be a cache hit, visible on the wire as the Age
+# header the cache patches into every served copy.
+fetch "$CLB" /cached "" "$DIR/cached.cold"
+grep -q 'HTTP/1.1 200' "$DIR/cached.cold" || fail "cached-LB cold fetch not a 200"
+fetch "$CLB" /cached "" "$DIR/cached.hit"
+grep -qi '^age:' "$DIR/cached.hit" || fail "cached-LB repeat fetch carries no Age header — not served from cache"
+
+# A client validator against the cached copy: the 304 is synthesized in
+# the cache (the entry is fresh, so no origin round trip is needed) and
+# must carry the entity's ETag.
+fetch "$CLB" /cached "$ETAG" "$DIR/cached.304"
+grep -q 'HTTP/1.1 304' "$DIR/cached.304" || fail "cached-LB validator hit not a 304"
+grep -qF "$ETAG" "$DIR/cached.304" || fail "cache-synthesized 304 lost the ETag"
+
+# Let the TTL lapse, fetch through the stale window, and wait for the
+# background conditional refresh to land: the origin answers 304 and the
+# cache's revalidated counter moves.
+sleep 1.2
+fetch "$CLB" /cached "" "$DIR/cached.stale"
+grep -q 'HTTP/1.1 200' "$DIR/cached.stale" || fail "stale-window fetch not served"
+i=0
+until curl -s "http://$CADMIN/counters" | grep -o '"revalidated":[0-9]*' \
+        | head -1 | grep -qv '"revalidated":0'; do
+    i=$((i + 1))
+    [ "$i" -ge 50 ] || { sleep 0.1; fetch "$CLB" /cached "" /dev/null; continue; }
+    fail "cache.revalidated never moved — background revalidation did not land"
+done
+
+echo "origin-smoke: ok (payload, chunked passthrough, cached 200, conditional 304 byte-identical; cached LB: Age hit, synthesized 304, background revalidation)"
