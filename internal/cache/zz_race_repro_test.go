@@ -1,0 +1,63 @@
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Temporary reviewer reproducer: concurrent Get vs 304-extension.
+func TestReviewerExtendRace(t *testing.T) {
+	c := newTestCache(t, Config{Proto: HTTPGet{}, Workers: 2,
+		TTL: 10 * time.Second, StaleTTL: time.Hour})
+	var clock atomic.Int64
+	c.now = clock.Load
+
+	req := decodeHTTP(t, true, reqA)
+	defer req.Release()
+	info := HTTPGet{}.Request(req)
+	f, leader := c.Begin(info, Waiter{})
+	if !leader {
+		t.Fatal("expected to lead")
+	}
+	resp := decodeHTTP(t, false, respSWR)
+	f.Fill([]byte(respSWR), HTTPGet{}.Response(resp))
+	resp.Release()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // reader: hammers Get under the shard lock only
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v, ok, rv := c.Get(1, info)
+			if ok {
+				v.Release()
+			}
+			if rv != nil {
+				rv.Region.Release()
+				rv.F.Abort()
+			}
+		}
+	}()
+
+	for i := 0; i < 200; i++ {
+		clock.Store(int64(2*time.Second) + int64(i)*int64(time.Millisecond))
+		v, ok, rv := c.Get(0, info)
+		if ok {
+			v.Release()
+		}
+		if rv != nil {
+			rv.F.Fill([]byte(notMod304), RespInfo{Match: true, NotModified: true})
+			clock.Store(0)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
